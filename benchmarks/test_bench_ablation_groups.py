@@ -1,0 +1,14 @@
+"""Bench: ablation -- piggyback group partitions for (10,4)."""
+
+from conftest import emit
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_group_partitions(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl_groups",), rounds=1, iterations=1
+    )
+    emit(result.render())
+    assert result.paper_rows[0]["measured"] is True  # default == optimal
+    assert result.data["best_units"] <= 6.7

@@ -1,0 +1,18 @@
+"""Bench: ablation -- distinct-rack vs distinct-node placement."""
+
+from conftest import emit
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_placement(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("abl_placement",),
+        kwargs={"days": 8.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    for row in result.paper_rows:
+        assert row["measured"] is True

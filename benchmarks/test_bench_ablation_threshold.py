@@ -1,0 +1,20 @@
+"""Bench: ablation -- the 15-minute unavailability threshold."""
+
+from conftest import emit
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_threshold(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("abl_threshold",),
+        kwargs={"days": 10.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    assert result.paper_rows[0]["measured"] is True
+    rows = result.data["rows"]
+    # The longest threshold reconstructs far less than the default.
+    assert rows[-1]["total_cross_rack_TB"] < 0.5 * rows[0]["total_cross_rack_TB"]

@@ -1,0 +1,21 @@
+"""Bench: ablation -- RS vs Piggybacked-RS vs LRC vs replication."""
+
+from conftest import emit
+
+from repro.experiments import run_experiment
+
+
+def test_code_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl_codes",), rounds=1, iterations=1
+    )
+    emit(result.render())
+    rows = {row["code"]: row for row in result.tables["code comparison"]}
+    # Storage-optimality vs repair-cost trade-off, quantified:
+    assert rows["PiggybackedRS(10,4)"]["avg_repair_units"] < rows[
+        "RS(10,4)"
+    ]["avg_repair_units"]
+    assert rows["LRC(10,2,2)"]["avg_repair_units"] < rows[
+        "PiggybackedRS(10,4)"
+    ]["avg_repair_units"]
+    assert rows["LRC(10,2,2)"]["mds"] is False  # ...at a tolerance cost

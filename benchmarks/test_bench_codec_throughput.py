@@ -1,0 +1,73 @@
+"""Bench: codec microbenchmarks -- encode/decode/repair throughput.
+
+Not a paper figure, but the quantity that decides whether a software
+codec can keep up with the cluster's recovery rate; printed in MB/s of
+*logical* data processed.
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis.report import render_kv
+from repro.codes.crs import CauchyBitmatrixRSCode
+from repro.codes.lrc import LRCCode
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+
+UNIT_SIZE = 1 << 20
+
+CODES = {
+    "rs": ReedSolomonCode(10, 4),
+    "piggyback": PiggybackedRSCode(10, 4),
+    "lrc": LRCCode(10, 2, 2),
+    "crs-bitmatrix": CauchyBitmatrixRSCode(10, 4),
+}
+
+
+def make_stripe(code):
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 256, size=(10, UNIT_SIZE), dtype=np.uint8)
+    return data, code.encode(data)
+
+
+@pytest.mark.parametrize("name", list(CODES))
+def test_encode_throughput(benchmark, name):
+    code = CODES[name]
+    data, __ = make_stripe(code)
+    benchmark(code.encode, data)
+    mb_per_s = 10 * UNIT_SIZE / benchmark.stats["mean"] / 1e6
+    emit(render_kv(f"{code.name} encode", {"MB_per_s": round(mb_per_s, 1)}))
+
+
+@pytest.mark.parametrize("name", list(CODES))
+def test_decode_throughput(benchmark, name):
+    """Worst-case decode: all r data losses, recover from parities."""
+    code = CODES[name]
+    data, stripe = make_stripe(code)
+    erased = min(code.r, 2)
+    available = {i: stripe[i] for i in range(erased, code.n)}
+    decoded = benchmark(code.decode, available)
+    assert np.array_equal(decoded, data)
+    mb_per_s = 10 * UNIT_SIZE / benchmark.stats["mean"] / 1e6
+    emit(render_kv(
+        f"{code.name} decode ({erased} erasures)",
+        {"MB_per_s": round(mb_per_s, 1)},
+    ))
+
+
+@pytest.mark.parametrize("name", list(CODES))
+def test_repair_throughput(benchmark, name):
+    code = CODES[name]
+    __, stripe = make_stripe(code)
+    available = {i: stripe[i] for i in range(1, code.n)}
+    rebuilt, downloaded = benchmark(code.execute_repair, 0, available)
+    assert np.array_equal(rebuilt, stripe[0])
+    mb_per_s = UNIT_SIZE / benchmark.stats["mean"] / 1e6
+    emit(render_kv(
+        f"{code.name} single-unit repair",
+        {
+            "rebuilt_MB_per_s": round(mb_per_s, 1),
+            "downloaded_units": downloaded / UNIT_SIZE,
+        },
+    ))

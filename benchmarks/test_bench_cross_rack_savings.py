@@ -1,0 +1,34 @@
+"""Bench: Section 3.2 -- cross-rack traffic saving (>50 TB/day projection).
+
+Replays the identical 24-day failure history under RS(10,4) and
+Piggybacked-RS(10,4); prints measured saving next to the paper's own
+flat-30% projection method.
+"""
+
+from conftest import emit
+
+from repro.analysis.stats import within_factor
+from repro.experiments import run_experiment
+
+
+def test_cross_rack_savings(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("tab_traffic",),
+        kwargs={"days": 24.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    rs_tb = result.data["rs_median_bytes"] / 1e12
+    saving_tb = result.data["measured_saving_bytes"] / 1e12
+    paper_method_tb = result.data["estimate"][
+        "paper_method_savings_TB_per_day"
+    ]
+    assert within_factor(rs_tb, 180.0, 1.5)
+    # Paper's projection method applied to our baseline clears 50 TB/day.
+    assert paper_method_tb > 50.0
+    # Exact replay saving: tens of TB/day (23.6% of baseline under
+    # uniform block failures; the paper's flat 30% is the data-block rate).
+    assert saving_tb > 30.0
+    assert saving_tb / rs_tb > 0.2

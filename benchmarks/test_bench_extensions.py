@@ -1,0 +1,68 @@
+"""Bench: extension experiments (cut-set bound, capacity, degraded reads)."""
+
+from conftest import emit
+
+from repro.experiments import run_experiment
+
+
+def test_ext_cutset_bound(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("ext_bound",), rounds=3, iterations=1
+    )
+    emit(result.render())
+    assert result.data["bound_units"] == 3.25
+
+
+def test_ext_codable_capacity(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("ext_capacity",), rounds=3, iterations=1
+    )
+    emit(result.render())
+    assert result.data["gain_fraction"] > 0.25
+
+
+def test_ext_raiding_pipeline(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("ext_raiding",), rounds=3, iterations=1
+    )
+    emit(result.render())
+    rows = result.tables["weekly growth pipeline"]
+    assert rows[1]["total_TB_per_day"] < rows[0]["total_TB_per_day"]
+
+
+def test_ext_degraded_reads(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("ext_degraded",),
+        kwargs={"days": 8.0, "reads_per_stripe_per_day": 1.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    assert 0.2 < result.data["saving"] < 0.45
+
+
+def test_ext_uplink_utilisation(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("ext_uplink",),
+        kwargs={"days": 12.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    assert result.data["pb"]["median_uplink_util_%"] < result.data["rs"][
+        "median_uplink_util_%"
+    ]
+
+
+def test_ext_recovery_latency(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("ext_latency",),
+        kwargs={"days": 8.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    assert result.data["pb_mean"] < result.data["rs_mean"]

@@ -1,0 +1,21 @@
+"""Bench: Section 2.2 item 2 -- 98.08/1.87/0.05% degraded-stripe split."""
+
+from conftest import emit
+
+from repro.experiments import run_experiment
+
+
+def test_failure_mode_split(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("tab_missing",),
+        kwargs={"days": 48.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    fractions = result.data["fractions"]
+    # Shape: singles dominate by ~50x over doubles, triples are rare.
+    assert fractions["one"] > 0.94
+    assert 0.003 < fractions["two"] < 0.05
+    assert fractions["three_plus"] < 0.005

@@ -1,0 +1,21 @@
+"""Bench: Fig. 1 -- recovery of a (2,2) RS unit moves k units cross-rack."""
+
+from conftest import emit
+
+from repro.experiments import run_experiment
+
+UNIT_SIZE = 1 << 20  # 1 MiB units
+
+
+def test_fig1_recovery_traffic(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("fig1",),
+        kwargs={"unit_size": UNIT_SIZE},
+        rounds=3,
+        iterations=1,
+    )
+    emit(result.render())
+    by_metric = {row["metric"]: row for row in result.paper_rows}
+    assert by_metric["units transferred through TOR switches"]["measured"] == 2
+    assert by_metric["units through aggregation switch"]["measured"] == 2

@@ -1,0 +1,21 @@
+"""Bench: Fig. 3a -- machines unavailable >15 min per day (34 days)."""
+
+from conftest import emit
+
+from repro.analysis.stats import within_factor
+from repro.experiments import run_experiment
+
+
+def test_fig3a_unavailability(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("fig3a",),
+        kwargs={"days": 34.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    median = result.data["summary"]["median"]
+    # Paper: median above 50 events/day, spikes into the hundreds.
+    assert within_factor(median, 52.0, 1.6)
+    assert result.data["summary"]["max"] > 100

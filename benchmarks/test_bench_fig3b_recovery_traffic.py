@@ -1,0 +1,28 @@
+"""Bench: Fig. 3b -- blocks reconstructed & cross-rack bytes per day.
+
+Cluster-A-scale replay over the paper's 24-day window under (10,4) RS.
+Paper medians: ~95,500 blocks/day, >180 TB/day.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.analysis.stats import within_factor
+from repro.experiments import run_experiment
+
+
+def test_fig3b_recovery_traffic(benchmark):
+    result = benchmark.pedantic(
+        run_experiment,
+        args=("fig3b",),
+        kwargs={"days": 24.0},
+        rounds=1,
+        iterations=1,
+    )
+    emit(result.render())
+    blocks_median = float(np.median(result.data["blocks_per_day_scaled"]))
+    bytes_median = float(
+        np.median(result.data["cross_rack_bytes_per_day_scaled"])
+    )
+    assert within_factor(blocks_median, 95_500.0, 1.5)
+    assert within_factor(bytes_median, 180e12, 1.5)

@@ -1,0 +1,24 @@
+"""Bench: Fig. 4 -- the (2,2) piggyback toy example (3 vs 4 units)."""
+
+import numpy as np
+from conftest import emit
+
+from repro.codes.piggyback import PiggybackedRSCode, fig4_toy_design
+from repro.experiments import run_experiment
+
+UNIT_SIZE = 1 << 20
+
+
+def test_fig4_piggyback_example(benchmark):
+    code = PiggybackedRSCode(2, 2, design=fig4_toy_design())
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, size=(2, UNIT_SIZE), dtype=np.uint8)
+    stripe = code.encode(data)
+    survivors = {i: stripe[i] for i in range(1, 4)}
+
+    rebuilt, downloaded = benchmark(code.execute_repair, 0, survivors)
+    assert np.array_equal(rebuilt, stripe[0])
+    assert downloaded == 3 * UNIT_SIZE // 2  # 3 subunits, not 4
+
+    result = run_experiment("fig4", unit_size=4096)
+    emit(result.render())

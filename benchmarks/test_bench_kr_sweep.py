@@ -1,0 +1,13 @@
+"""Bench: Piggybacked-RS savings across the (k, r) parameter grid."""
+
+from conftest import emit
+
+from repro.experiments import run_experiment
+
+
+def test_kr_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("abl_kr",), rounds=1, iterations=1
+    )
+    emit(result.render())
+    assert result.paper_rows[0]["measured"] is True

@@ -1,0 +1,15 @@
+"""Bench: Section 3.2 -- MTTDL(Piggybacked-RS) >= MTTDL(RS)."""
+
+from conftest import emit
+
+from repro.experiments import run_experiment
+
+
+def test_mttdl_comparison(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("tab_mttdl",), rounds=3, iterations=1
+    )
+    emit(result.render())
+    data = result.data
+    assert data["PiggybackedRS(10,4)"] > data["RS(10,4)"]
+    assert data["RS(10,4)"] > data["Replication(x3)"]

@@ -1,0 +1,40 @@
+"""Bench: simulator throughput -- the substrate's own performance.
+
+Not a paper figure; measures how fast the discrete-event warehouse
+simulation itself runs (events and block recoveries per wall-clock
+second), which bounds how long the fig3a/fig3b reproductions take.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import render_kv
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+
+
+def run_simulation():
+    config = ClusterConfig(days=4.0, stripes_per_node=30.0, seed=8)
+    simulation = WarehouseSimulation(config)
+    result = simulation.run()
+    return simulation, result
+
+
+def test_simulator_throughput(benchmark):
+    simulation, result = benchmark.pedantic(
+        run_simulation, rounds=2, iterations=1
+    )
+    seconds = benchmark.stats["mean"]
+    emit(render_kv(
+        "warehouse simulator throughput (4 simulated days)",
+        {
+            "wall_seconds": round(seconds, 2),
+            "des_events_per_s": round(
+                simulation.queue.events_processed / seconds
+            ),
+            "block_recoveries_per_s": round(
+                result.stats.blocks_recovered / seconds
+            ),
+            "simulated_days_per_s": round(4.0 / seconds, 2),
+        },
+    ))
+    assert result.stats.blocks_recovered > 0

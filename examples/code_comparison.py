@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Design-space tour: replication vs RS vs LRC vs Piggybacked-RS.
+
+Quantifies the trade-off the paper's Sections 1 and 5 discuss: storage
+overhead, single-failure repair download, connections, fault tolerance,
+and reliability (MTTDL), for every code family in the library.
+
+Run:  python examples/code_comparison.py
+"""
+
+from itertools import combinations
+
+from repro.analysis.mttdl import mttdl_comparison
+from repro.analysis.repair_cost import repair_cost_profile
+from repro.analysis.report import render_table
+from repro.codes.hitchhiker import hitchhiker_xor
+from repro.codes.lrc import LRCCode
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.replication import ReplicationCode
+from repro.codes.rs import ReedSolomonCode
+
+BLOCK = 256 * 1024 * 1024
+
+
+def fault_tolerance_note(code) -> str:
+    if code.is_mds:
+        return f"any {code.r}"
+    # LRC: count surviving fraction of r-failure patterns.
+    patterns = list(combinations(range(code.n), code.r))
+    survived = sum(1 for p in patterns if code.tolerates(p))
+    return f"any {code.g + 1}, {survived / len(patterns):.0%} of {code.r}"
+
+
+def main() -> None:
+    codes = [
+        ReplicationCode(3),
+        ReedSolomonCode(10, 4),
+        PiggybackedRSCode(10, 4),
+        hitchhiker_xor(10, 4),
+        LRCCode(10, 2, 2),
+    ]
+    mttdl = mttdl_comparison(codes, unit_size=BLOCK)
+
+    rows = []
+    for code in codes:
+        profile = repair_cost_profile(code)
+        rows.append({
+            "code": code.name,
+            "storage": f"{code.storage_overhead:.2f}x",
+            "MDS": code.is_mds,
+            "repair_dl (units)": round(profile.average_units, 2),
+            "data repair_dl": round(profile.average_data_units, 2),
+            "connections": profile.max_connections,
+            "tolerates": fault_tolerance_note(code),
+            "MTTDL (years)": f"{mttdl[code.name].mttdl_years:.2e}",
+        })
+    print(render_table(rows, title="(10,4)-class code comparison"))
+
+    print("""
+reading the table:
+  - replication recovers with 1 unit but pays 3x storage;
+  - RS is storage-optimal but repairs cost k = 10 units (the paper's
+    180 TB/day problem);
+  - Piggybacked-RS keeps RS's storage and fault tolerance, cutting data
+    repairs to 6.5-7 units (~30-35% less) -- the paper's contribution;
+  - LRC repairs cheapest among the coded options but needs the same
+    1.4x storage while tolerating only 3 arbitrary failures (not MDS).
+""")
+
+    print("repair download per failed node (units of one block):")
+    header = "  node      : " + " ".join(f"{i:>5}" for i in range(14))
+    print(header)
+    for code in codes[1:]:
+        profile = repair_cost_profile(code)
+        cells = " ".join(f"{u:>5.1f}" for u in profile.per_node_units)
+        print(f"  {code.name:<10}: {cells}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Designing your own piggyback code (arbitrary parameters, Fig. 4 style).
+
+The paper stresses that -- unlike regenerating codes or Rotated-RS --
+the Piggybacking framework supports *arbitrary* (k, r) and leaves the
+designer freedom in which data units ride on which parity.  This example
+rebuilds the paper's Fig. 4 toy code from scratch, then designs a custom
+(6, 3) code with non-XOR coefficients and compares three partition
+choices.
+
+Run:  python examples/custom_piggyback_design.py
+"""
+
+import numpy as np
+
+from repro import PiggybackDesign, PiggybackedRSCode, fig4_toy_design
+from repro.analysis.repair_cost import repair_cost_profile
+from repro.analysis.report import render_table
+
+
+def fig4_walkthrough() -> None:
+    print("== the paper's Fig. 4 code, from scratch ==")
+    design = PiggybackDesign.from_groups(2, 2, groups=[[0]])
+    assert design.matrix.tolist() == fig4_toy_design().matrix.tolist()
+    code = PiggybackedRSCode(2, 2, design=design)
+
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 256, size=(2, 2), dtype=np.uint8)  # {a1,b1},{a2,b2}
+    stripe = code.encode(data)
+    print(f"  node 1 stores (a1, b1)            = {tuple(stripe[0])}")
+    print(f"  node 2 stores (a2, b2)            = {tuple(stripe[1])}")
+    print(f"  node 3 stores (p1(a), p1(b))      = {tuple(stripe[2])}")
+    print(f"  node 4 stores (p2(a), p2(b)+a1)   = {tuple(stripe[3])}")
+
+    plan = code.repair_plan(0)
+    rebuilt, downloaded = code.execute_repair(
+        0, {i: stripe[i] for i in (1, 2, 3)}, plan
+    )
+    assert np.array_equal(rebuilt, stripe[0])
+    print(f"  recovering node 1 downloads {downloaded} bytes "
+          f"(3 of the stripe's 8 stored bytes; RS needs 4)\n")
+
+
+def custom_design() -> None:
+    print("== a custom (6,3) code with GF(256) coefficients ==")
+    design = PiggybackDesign.from_groups(
+        6, 3,
+        groups=[[0, 1, 2], [3, 4, 5]],
+        coefficients=[[1, 2, 3], [1, 1, 7]],
+    )
+    code = PiggybackedRSCode(6, 3, design=design)
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 256, size=(6, 64), dtype=np.uint8)
+    stripe = code.encode(data)
+    for failed in range(9):
+        survivors = {i: stripe[i] for i in range(9) if i != failed}
+        rebuilt, __ = code.execute_repair(failed, survivors)
+        assert np.array_equal(rebuilt, stripe[failed])
+    profile = repair_cost_profile(code)
+    print(f"  all 9 single-node repairs verified; "
+          f"data-node average download {profile.average_data_units:.2f} "
+          f"units (RS: 6)\n")
+
+
+def partition_shootout() -> None:
+    print("== partition choice matters: three (10,4) designs ==")
+    candidates = {
+        "near-equal 4/3/3 (default)": [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]],
+        "skewed 8/1/1": [list(range(8)), [8], [9]],
+        "partial 3/3 (4 units unprotected)": [[0, 1, 2], [3, 4, 5]],
+    }
+    rows = []
+    for label, groups in candidates.items():
+        code = PiggybackedRSCode(
+            10, 4, design=PiggybackDesign.from_groups(10, 4, groups)
+        )
+        profile = repair_cost_profile(code)
+        rows.append({
+            "design": label,
+            "avg data repair (units)": round(profile.average_data_units, 2),
+            "worst data repair": max(profile.per_node_units[:10]),
+            "saving vs RS": f"{1 - profile.average_data_units / 10:.0%}",
+        })
+    print(render_table(rows))
+    print("\nnear-equal groups minimise the average -- exactly why design 1 "
+          "of the\nPiggybacking framework (and this library's default) "
+          "splits 10 units as 4/3/3.")
+
+
+def main() -> None:
+    fig4_walkthrough()
+    custom_design()
+    partition_shootout()
+
+
+if __name__ == "__main__":
+    main()

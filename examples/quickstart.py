@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: encode, fail, repair -- RS vs Piggybacked-RS.
+
+The 60-second tour of the library's public API, walking the paper's core
+claim: a (10,4) Piggybacked-RS code stores exactly as much as the (10,4)
+RS code the Facebook warehouse cluster uses, tolerates the same four
+failures, but repairs a lost data block with ~30% less network transfer.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import PiggybackedRSCode, ReedSolomonCode
+
+BLOCK_SIZE = 1 << 20  # 1 MiB stand-in for the cluster's 256 MB blocks
+
+
+def main() -> None:
+    rng = np.random.default_rng(2013)
+
+    # Ten data blocks, as the warehouse cluster groups them (Fig. 2).
+    data_blocks = rng.integers(0, 256, size=(10, BLOCK_SIZE), dtype=np.uint8)
+
+    rs = ReedSolomonCode(10, 4)
+    piggyback = PiggybackedRSCode(10, 4)
+
+    print("== encode ==")
+    rs_stripe = rs.encode(data_blocks)
+    pb_stripe = piggyback.encode(data_blocks)
+    print(f"{rs.name}:        {rs_stripe.shape[0]} blocks stored, "
+          f"overhead {rs.storage_overhead:.1f}x")
+    print(f"{piggyback.name}: {pb_stripe.shape[0]} blocks stored, "
+          f"overhead {piggyback.storage_overhead:.1f}x  (identical)")
+
+    # Both codes are systematic: the data blocks are stored verbatim.
+    assert np.array_equal(rs_stripe[:10], data_blocks)
+    assert np.array_equal(pb_stripe[:10], data_blocks)
+
+    print("\n== lose a data block, rebuild it ==")
+    failed = 0
+    rs_unit, rs_bytes = rs.execute_repair(
+        failed, {i: rs_stripe[i] for i in range(14) if i != failed}
+    )
+    pb_unit, pb_bytes = piggyback.execute_repair(
+        failed, {i: pb_stripe[i] for i in range(14) if i != failed}
+    )
+    assert np.array_equal(rs_unit, rs_stripe[failed])
+    assert np.array_equal(pb_unit, pb_stripe[failed])
+    print(f"{rs.name}:        downloaded {rs_bytes / 1e6:6.1f} MB "
+          f"({rs_bytes // BLOCK_SIZE} blocks)")
+    print(f"{piggyback.name}: downloaded {pb_bytes / 1e6:6.1f} MB "
+          f"({pb_bytes / BLOCK_SIZE:.1f} blocks)")
+    print(f"saving: {1 - pb_bytes / rs_bytes:.0%} "
+          f"(the paper's Section 3 headline)")
+
+    print("\n== both tolerate any 4 of 14 failures ==")
+    gone = {2, 7, 11, 13}
+    survivors = {i: pb_stripe[i] for i in range(14) if i not in gone}
+    decoded = piggyback.decode(survivors)
+    assert np.array_equal(decoded, data_blocks)
+    print(f"erased blocks {sorted(gone)}; full data recovered: OK")
+
+    print("\nper-block repair download (in blocks), all other blocks alive:")
+    print("  block :", " ".join(f"{i:>5}" for i in range(14)))
+    print("  RS    :", " ".join(f"{rs.repair_download_units(i):>5.1f}"
+                                for i in range(14)))
+    print("  PB-RS :", " ".join(f"{piggyback.repair_download_units(i):>5.1f}"
+                                for i in range(14)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Reliability deep-dive: Markov model, Monte-Carlo, and the threshold.
+
+Section 3.2 argues the Piggybacked-RS system's MTTDL exceeds the RS
+system's because repairs move less data.  This example:
+
+1. computes exact Markov-chain MTTDLs with repair rates derived from
+   each code's repair plans;
+2. cross-validates the chain against direct Monte-Carlo simulation of a
+   stripe (scaled rates);
+3. shows how the advantage responds to the repair-bandwidth environment
+   (congested networks widen the gap);
+4. sweeps the cluster's 15-minute unavailability threshold, the policy
+   knob that trades recovery traffic against exposure.
+
+Run:  python examples/reliability_study.py
+"""
+
+import numpy as np
+
+from repro.analysis.montecarlo import simulate_stripe_mttdl
+from repro.analysis.mttdl import mttdl_comparison, mttdl_markov
+from repro.analysis.recovery_time import RecoveryTimeModel
+from repro.analysis.report import render_table
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.experiments import run_experiment
+
+BLOCK = 256 * 1024 * 1024
+
+
+def markov_vs_montecarlo() -> None:
+    print("== 1. Markov chain vs Monte-Carlo (scaled rates) ==")
+    n, r, lam = 14, 4, 0.5
+    for label, mu in (("RS-like repair", 2.0), ("piggyback-like repair", 2.0 * 10 / 7.643)):
+        analytic = mttdl_markov(n, r, lam, [mu] * r)
+        estimate = simulate_stripe_mttdl(
+            n, r, lam, [mu] * r, trials=3000, rng=np.random.default_rng(0)
+        )
+        low, high = estimate.confidence_interval()
+        agrees = "agree" if low <= analytic <= high else "DISAGREE"
+        print(f"  {label:<22}: markov {analytic:9.1f}   "
+              f"monte-carlo {estimate.mean:9.1f} +/- {estimate.standard_error:.1f}  [{agrees}]")
+    print()
+
+
+def environment_sweep() -> None:
+    print("== 2. MTTDL vs repair-bandwidth environment ==")
+    rows = []
+    for label, bandwidth in (
+        ("idle network (1 Gb/s)", 125e6),
+        ("busy network (250 Mb/s)", 31.25e6),
+        ("congested (100 Mb/s)", 12.5e6),
+    ):
+        model = RecoveryTimeModel(
+            download_bandwidth=bandwidth,
+            source_bandwidth=bandwidth,
+            disk_write_bandwidth=1e9,
+        )
+        results = mttdl_comparison(
+            [ReedSolomonCode(10, 4), PiggybackedRSCode(10, 4)],
+            unit_size=BLOCK,
+            time_model=model,
+        )
+        rs, pb = results["RS(10,4)"], results["PiggybackedRS(10,4)"]
+        rows.append({
+            "environment": label,
+            "rs_repair_h": round(rs.single_failure_repair_hours, 3),
+            "pb_repair_h": round(pb.single_failure_repair_hours, 3),
+            "mttdl_gain": f"{pb.mttdl_hours / rs.mttdl_hours:.3f}x",
+        })
+    print(render_table(rows))
+    print("  the slower the network, the more the 30% download saving\n"
+          "  matters for reliability -- congestion widens the MTTDL gap.\n")
+
+
+def threshold_sweep() -> None:
+    print("== 3. the 15-minute threshold (Section 2.2's policy default) ==")
+    result = run_experiment("abl_threshold", days=8.0)
+    print(render_table(result.data["rows"]))
+    print("  short thresholds reconstruct transient outages (traffic);\n"
+          "  long thresholds leave stripes degraded for longer (risk).")
+
+
+def main() -> None:
+    markov_vs_montecarlo()
+    environment_sweep()
+    threshold_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed editable (``pip install -e . --no-use-pep517``)
+on machines without network access to the ``wheel`` build dependency.
+"""
+
+from setuptools import setup
+
+setup(
+    # Repeated here (not only in pyproject.toml) because the legacy
+    # ``setup.py develop`` path used on offline machines does not
+    # install [project.scripts] entries on older setuptools.
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

@@ -1,0 +1,58 @@
+"""repro: Piggybacked-RS erasure codes and warehouse-cluster recovery study.
+
+A production-quality reproduction of
+
+    K. V. Rashmi, N. B. Shah, D. Gu, H. Kuang, D. Borthakur,
+    K. Ramchandran.  "A Solution to the Network Challenges of Data
+    Recovery in Erasure-coded Distributed Storage Systems: A Study on the
+    Facebook Warehouse Cluster."  USENIX HotStorage 2013.
+
+The library has three layers:
+
+1. **Codes** (:mod:`repro.gf`, :mod:`repro.codes`) -- GF(2^8) arithmetic,
+   Reed-Solomon, the paper's Piggybacked-RS code, and the baselines it is
+   compared against (replication, LRC, Hitchhiker variants).
+2. **Storage substrate** (:mod:`repro.striping`, :mod:`repro.cluster`) --
+   an HDFS-like block/stripe layer and a discrete-event warehouse-cluster
+   simulator with racks, switches, placement, failures, and a recovery
+   scheduler that meters cross-rack bytes.
+3. **Analysis & experiments** (:mod:`repro.analysis`,
+   :mod:`repro.experiments`) -- analytic repair-cost/traffic/MTTDL models
+   and one runner per figure/table of the paper.
+"""
+
+from repro.codes import (
+    ErasureCode,
+    LRCCode,
+    PiggybackedRSCode,
+    ReedSolomonCode,
+    RepairPlan,
+    ReplicationCode,
+    SymbolRequest,
+    available_codes,
+    create_code,
+    register_code,
+)
+from repro.codes.piggyback import PiggybackDesign, fig4_toy_design
+from repro.errors import ReproError
+from repro.gf import GF256
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GF256",
+    "ErasureCode",
+    "ReedSolomonCode",
+    "PiggybackedRSCode",
+    "PiggybackDesign",
+    "fig4_toy_design",
+    "ReplicationCode",
+    "LRCCode",
+    "RepairPlan",
+    "SymbolRequest",
+    "register_code",
+    "create_code",
+    "available_codes",
+    "ReproError",
+    "__version__",
+]

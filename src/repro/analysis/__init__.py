@@ -1,0 +1,44 @@
+"""Analytic models and reporting helpers.
+
+- :mod:`repro.analysis.repair_cost` -- closed-form per-code repair
+  download/read costs (the Section 3.1/3.2 "~30% savings" numbers);
+- :mod:`repro.analysis.traffic` -- cross-rack traffic estimation from
+  measured recovery rates (the ">50 TB/day" projection of Section 3.2);
+- :mod:`repro.analysis.recovery_time` -- the bandwidth-limited
+  recovery-time model behind Section 3.2's "connecting to more nodes
+  does not affect the recovery time";
+- :mod:`repro.analysis.mttdl` -- a Markov-chain mean-time-to-data-loss
+  model (Section 3.2's reliability argument);
+- :mod:`repro.analysis.stats` -- medians/percentiles/series helpers;
+- :mod:`repro.analysis.report` -- plain-text tables for the benches.
+"""
+
+from repro.analysis.bounds import (
+    best_cutset_bound_units,
+    msr_cutset_bound_units,
+    repair_optimality_table,
+)
+from repro.analysis.capacity import OperatingPoint, codable_capacity_table
+from repro.analysis.mttdl import mttdl_markov, mttdl_comparison
+from repro.analysis.recovery_time import RecoveryTimeModel
+from repro.analysis.repair_cost import (
+    repair_cost_profile,
+    repair_cost_table,
+    savings_vs_rs,
+)
+from repro.analysis.traffic import estimate_cross_rack_savings
+
+__all__ = [
+    "repair_cost_profile",
+    "repair_cost_table",
+    "savings_vs_rs",
+    "estimate_cross_rack_savings",
+    "RecoveryTimeModel",
+    "mttdl_markov",
+    "mttdl_comparison",
+    "msr_cutset_bound_units",
+    "best_cutset_bound_units",
+    "repair_optimality_table",
+    "OperatingPoint",
+    "codable_capacity_table",
+]

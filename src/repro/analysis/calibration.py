@@ -1,0 +1,158 @@
+"""Automatic trace calibration against published targets.
+
+The shipped :class:`~repro.cluster.config.ClusterConfig` defaults are
+hand-calibrated to the paper's medians at the default seed.  Users who
+change the cluster shape (rack count, density, duration) need the trace
+knobs re-fit; this module automates the two dominant fits:
+
+- ``daily_event_median`` drives the Fig. 3a unavailability median
+  (close to linearly);
+- ``recovery_trigger_fraction`` drives the Fig. 3b blocks-per-day median
+  (linearly, given the event rate).
+
+The fit runs short pilot simulations and applies proportional
+corrections -- deliberately simple, monotone, and explainable, rather
+than a black-box optimiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.cluster.config import PAPER_TARGETS, ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of :func:`calibrate_config`."""
+
+    config: ClusterConfig
+    measured_unavailability_median: float
+    measured_blocks_median: float
+    target_unavailability_median: float
+    target_blocks_median: float
+    iterations: int
+
+    @property
+    def unavailability_error(self) -> float:
+        if self.target_unavailability_median == 0:
+            return 0.0
+        return (
+            self.measured_unavailability_median
+            / self.target_unavailability_median
+            - 1.0
+        )
+
+    @property
+    def blocks_error(self) -> float:
+        if self.target_blocks_median == 0:
+            return 0.0
+        return self.measured_blocks_median / self.target_blocks_median - 1.0
+
+
+def _pilot(config: ClusterConfig, pilot_days: float) -> WarehouseSimulation:
+    pilot_config = replace(config, days=pilot_days)
+    simulation = WarehouseSimulation(pilot_config)
+    simulation.run()
+    return simulation
+
+
+def calibrate_config(
+    config: Optional[ClusterConfig] = None,
+    target_unavailability_median: float = (
+        PAPER_TARGETS.median_unavailability_events_per_day
+    ),
+    target_blocks_median: float = PAPER_TARGETS.median_blocks_recovered_per_day,
+    pilot_days: float = 10.0,
+    iterations: int = 2,
+    tolerance: float = 0.10,
+) -> CalibrationResult:
+    """Fit the trace knobs so pilot medians hit the targets.
+
+    Parameters
+    ----------
+    config:
+        Starting configuration (defaults to the shipped defaults).
+    target_unavailability_median:
+        Desired Fig. 3a median (events/day).
+    target_blocks_median:
+        Desired Fig. 3b median (blocks/day, at *production* density --
+        the pilot's scaled median is compared against it).
+    pilot_days:
+        Length of each pilot simulation.
+    iterations:
+        Proportional-correction rounds (2 is usually enough; each round
+        runs one pilot).
+    tolerance:
+        Stop early once both relative errors are inside this band.
+
+    Returns
+    -------
+    CalibrationResult with the fitted config and the last pilot's
+    measurements.
+    """
+    if config is None:
+        config = ClusterConfig()
+    if iterations < 1:
+        raise ConfigError("need at least one calibration iteration")
+    if pilot_days <= 0:
+        raise ConfigError("pilot_days must be positive")
+    if target_unavailability_median <= 0 or target_blocks_median <= 0:
+        raise ConfigError("calibration targets must be positive")
+
+    current = config
+    measured_events = measured_blocks = 0.0
+    rounds = 0
+    for rounds in range(1, iterations + 1):
+        pilot = _pilot(current, pilot_days)
+        result_days = int(pilot.config.days)
+        events = pilot.injector.daily_flagged_series(result_days)
+        blocks = pilot.recovery.stats.daily_blocks_series(result_days)
+        measured_events = float(sorted(events)[len(events) // 2])
+        measured_blocks = (
+            float(sorted(blocks)[len(blocks) // 2]) * current.block_scale
+        )
+        events_ok = (
+            measured_events > 0
+            and abs(measured_events / target_unavailability_median - 1.0)
+            <= tolerance
+        )
+        blocks_ok = (
+            measured_blocks > 0
+            and abs(measured_blocks / target_blocks_median - 1.0) <= tolerance
+        )
+        if events_ok and blocks_ok:
+            break
+        event_scale = (
+            target_unavailability_median / measured_events
+            if measured_events
+            else 1.0
+        )
+        block_scale = (
+            target_blocks_median / measured_blocks if measured_blocks else 1.0
+        )
+        # blocks/day ~ events/day * trigger_fraction * density: correct
+        # the trigger for the residual after the event-rate correction.
+        new_trigger = min(
+            1.0,
+            max(
+                0.01,
+                current.recovery_trigger_fraction * block_scale / event_scale,
+            ),
+        )
+        current = replace(
+            current,
+            daily_event_median=current.daily_event_median * event_scale,
+            recovery_trigger_fraction=new_trigger,
+        )
+    return CalibrationResult(
+        config=current,
+        measured_unavailability_median=measured_events,
+        measured_blocks_median=measured_blocks,
+        target_unavailability_median=target_unavailability_median,
+        target_blocks_median=target_blocks_median,
+        iterations=rounds,
+    )

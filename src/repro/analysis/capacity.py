@@ -1,0 +1,131 @@
+"""How much more data could be erasure-coded? (Section 3.2's punchline.)
+
+Section 2.1: "there exists a large portion of data in the cluster which
+is not RS-encoded at present, but has access patterns that permit
+erasure coding.  The increase in the load on the already oversubscribed
+network infrastructure ... is the primary deterrent."  And Section 3.2:
+the saved traffic "would allow for storing a greater fraction of data
+using erasure codes, thereby saving storage capacity."
+
+This module turns those sentences into numbers.  From a measured
+operating point (coded bytes in the cluster, recovery traffic per day)
+it derives the recovery-traffic *intensity* -- bytes of cross-rack
+traffic per day per byte of coded data -- for any code, and inverts it:
+given a network budget, how much data can each code protect, and how
+much raw disk does that save versus 3x replication?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.repair_cost import repair_cost_profile
+from repro.codes.base import ErasureCode
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """A measured cluster operating point (the paper's, by default).
+
+    Attributes
+    ----------
+    coded_bytes:
+        Physical bytes protected by the baseline code ("more than ten
+        petabytes of RS-coded data", Section 2.1).
+    recovery_bytes_per_day:
+        Cross-rack recovery traffic at that point (median > 180 TB/day,
+        Fig. 3b).
+    """
+
+    coded_bytes: float = 10e15
+    recovery_bytes_per_day: float = 180e12
+
+    @property
+    def traffic_intensity_per_day(self) -> float:
+        """Recovery bytes per day, per coded byte, under the baseline."""
+        if self.coded_bytes <= 0:
+            raise ConfigError("coded_bytes must be positive")
+        return self.recovery_bytes_per_day / self.coded_bytes
+
+
+@dataclass(frozen=True)
+class CodableCapacity:
+    """How much data one code can protect within a network budget."""
+
+    code_name: str
+    storage_overhead: float
+    relative_traffic_per_byte: float
+    codable_bytes: float
+    disk_bytes_saved_vs_replication: float
+
+
+def relative_traffic_per_coded_byte(
+    code: ErasureCode, baseline: ErasureCode
+) -> float:
+    """Recovery traffic per coded byte, relative to the baseline code.
+
+    Failures hit stored units uniformly, so per stored byte the traffic
+    scales with (average repair download) / (units per stripe) --
+    normalising for how much of a stripe each unit is.
+    """
+    code_profile = repair_cost_profile(code)
+    base_profile = repair_cost_profile(baseline)
+    code_intensity = code_profile.average_units / code.n
+    base_intensity = base_profile.average_units / baseline.n
+    return code_intensity / base_intensity
+
+
+def codable_capacity_table(
+    codes: List[ErasureCode],
+    baseline: ErasureCode,
+    operating_point: Optional[OperatingPoint] = None,
+    network_budget_bytes_per_day: Optional[float] = None,
+    replication_factor: float = 3.0,
+) -> List[CodableCapacity]:
+    """For each code: protectable bytes within the network budget.
+
+    Parameters
+    ----------
+    codes:
+        Candidate codes (must share the baseline's unit-failure regime).
+    baseline:
+        The code the operating point was measured under (RS(10,4)).
+    operating_point:
+        Defaults to the paper's: 10 PB coded, 180 TB/day recovery.
+    network_budget_bytes_per_day:
+        Cross-rack budget for recovery; defaults to the operating
+        point's current traffic (i.e. "spend the same network, code more
+        data").
+    replication_factor:
+        What uncoded data costs today (3x).
+    """
+    point = operating_point if operating_point is not None else OperatingPoint()
+    budget = (
+        network_budget_bytes_per_day
+        if network_budget_bytes_per_day is not None
+        else point.recovery_bytes_per_day
+    )
+    if budget <= 0:
+        raise ConfigError("network budget must be positive")
+    base_intensity = point.traffic_intensity_per_day
+    rows = []
+    for code in codes:
+        relative = relative_traffic_per_coded_byte(code, baseline)
+        intensity = base_intensity * relative
+        codable = budget / intensity
+        # Disk saved: logical data that fits in `codable` physical bytes
+        # would otherwise cost replication_factor x logical.
+        logical = codable / code.storage_overhead
+        saved = logical * replication_factor - codable
+        rows.append(
+            CodableCapacity(
+                code_name=code.name,
+                storage_overhead=code.storage_overhead,
+                relative_traffic_per_byte=relative,
+                codable_bytes=codable,
+                disk_bytes_saved_vs_replication=saved,
+            )
+        )
+    return rows

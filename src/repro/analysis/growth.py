@@ -1,0 +1,119 @@
+"""Cold-data growth and raid-encoding traffic (Section 2.1).
+
+"The storage capacity used in each cluster is growing at a rate of a few
+petabytes every week" and "data which has not been accessed for more
+than three months is stored as a (10,4) RS code."  Converting that data
+is itself a network operation: the raid node reads ``k`` blocks, emits
+``r`` parity blocks, and drops the extra replicas -- all across racks,
+because stripe members must land on distinct racks.
+
+This module models that conversion pipeline so the encoding traffic can
+be compared with the recovery traffic the paper measures (the two
+compete for the same TOR uplinks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.codes.base import ErasureCode
+from repro.errors import ConfigError
+
+#: Seconds per week, for rate conversions.
+SECONDS_PER_WEEK = 7 * 86_400.0
+
+
+@dataclass(frozen=True)
+class RaidConversionModel:
+    """Network cost of converting replicated data to erasure-coded form.
+
+    Attributes
+    ----------
+    read_is_remote:
+        Whether the raid node reads source blocks across racks (true in
+        the paper's cluster: blocks live anywhere).
+    parity_write_is_remote:
+        Whether parity blocks are written to other racks (always true
+        under distinct-rack placement).
+    consolidation_fraction:
+        Fraction of data blocks that must be migrated so each stripe
+        member lands on its own rack (replicas are dropped in place;
+        typically one copy is already somewhere usable, so only a small
+        fraction moves -- 0 in the optimistic model).
+    """
+
+    read_is_remote: bool = True
+    parity_write_is_remote: bool = True
+    consolidation_fraction: float = 0.0
+
+    def conversion_bytes_per_logical_byte(self, code: ErasureCode) -> float:
+        """Cross-rack bytes moved per byte of data converted."""
+        if not 0.0 <= self.consolidation_fraction <= 1.0:
+            raise ConfigError("consolidation_fraction must be in [0, 1]")
+        total = 0.0
+        if self.read_is_remote:
+            total += 1.0  # every data byte is read once to encode
+        parity_per_logical = code.r / code.k
+        if self.parity_write_is_remote:
+            total += parity_per_logical
+        total += self.consolidation_fraction
+        return total
+
+    def weekly_conversion_bytes(
+        self, code: ErasureCode, growth_bytes_per_week: float
+    ) -> float:
+        """Cross-rack bytes/week to raid the week's cold-data cohort."""
+        if growth_bytes_per_week < 0:
+            raise ConfigError("growth must be non-negative")
+        return growth_bytes_per_week * self.conversion_bytes_per_logical_byte(
+            code
+        )
+
+    def daily_conversion_bytes(
+        self, code: ErasureCode, growth_bytes_per_week: float
+    ) -> float:
+        return self.weekly_conversion_bytes(code, growth_bytes_per_week) / 7.0
+
+
+def storage_released_per_logical_byte(
+    code: ErasureCode, replication_factor: float = 3.0
+) -> float:
+    """Disk freed per byte converted from replication to the code."""
+    if replication_factor <= 0:
+        raise ConfigError("replication factor must be positive")
+    return replication_factor - code.storage_overhead
+
+
+@dataclass(frozen=True)
+class GrowthReport:
+    """One code's weekly raid-pipeline accounting."""
+
+    code_name: str
+    growth_bytes_per_week: float
+    conversion_bytes_per_day: float
+    storage_released_per_week: float
+    recovery_bytes_per_day: float
+
+    @property
+    def total_network_bytes_per_day(self) -> float:
+        return self.conversion_bytes_per_day + self.recovery_bytes_per_day
+
+
+def weekly_growth_report(
+    code: ErasureCode,
+    growth_bytes_per_week: float,
+    recovery_bytes_per_day: float,
+    model: RaidConversionModel = RaidConversionModel(),
+    replication_factor: float = 3.0,
+) -> GrowthReport:
+    """Combine conversion and recovery traffic for one code."""
+    return GrowthReport(
+        code_name=code.name,
+        growth_bytes_per_week=growth_bytes_per_week,
+        conversion_bytes_per_day=model.daily_conversion_bytes(
+            code, growth_bytes_per_week
+        ),
+        storage_released_per_week=growth_bytes_per_week
+        * storage_released_per_logical_byte(code, replication_factor),
+        recovery_bytes_per_day=recovery_bytes_per_day,
+    )

@@ -1,0 +1,86 @@
+"""TOR-uplink budget: what recovery traffic costs the switches.
+
+The paper's framing is not absolute bytes but *contention*: recovery
+"consumes precious cross-rack bandwidth that is heavily oversubscribed
+in most data centers including the one studied here" (Section 2.1).
+This model converts daily cross-rack byte counts into utilisation of
+the rack uplinks so the two codes can be compared in the unit that
+matters to the network operators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cluster.config import SECONDS_PER_DAY
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class UplinkModel:
+    """Per-rack uplink capacity under oversubscription.
+
+    Attributes
+    ----------
+    racks:
+        Rack count (the traffic spreads across all TOR switches).
+    uplink_gbps:
+        Physical TOR-to-aggregation capacity per rack, in Gb/s.
+    oversubscription:
+        Host-bandwidth to uplink ratio (classic values 4:1 to 10:1);
+        reported utilisation is against the *physical* uplink, the
+        oversubscription contextualises how scarce that capacity is.
+    """
+
+    racks: int = 100
+    uplink_gbps: float = 40.0
+    oversubscription: float = 8.0
+
+    def __post_init__(self):
+        if self.racks < 1:
+            raise ConfigError("need at least one rack")
+        if self.uplink_gbps <= 0:
+            raise ConfigError("uplink capacity must be positive")
+        if self.oversubscription < 1:
+            raise ConfigError("oversubscription factor must be >= 1")
+
+    @property
+    def cluster_uplink_bytes_per_day(self) -> float:
+        """Aggregate daily byte capacity of all TOR uplinks (one way)."""
+        bytes_per_sec = self.racks * self.uplink_gbps * 1e9 / 8.0
+        return bytes_per_sec * SECONDS_PER_DAY
+
+    def utilisation(self, cross_rack_bytes_per_day: float) -> float:
+        """Average uplink utilisation from a daily cross-rack volume.
+
+        Every cross-rack byte traverses two TOR uplinks (source up,
+        destination down); utilisation is charged against the
+        corresponding two-sided capacity.
+        """
+        if cross_rack_bytes_per_day < 0:
+            raise ConfigError("traffic must be non-negative")
+        return cross_rack_bytes_per_day / self.cluster_uplink_bytes_per_day
+
+    def utilisation_series(
+        self, daily_bytes: Sequence[float]
+    ) -> List[float]:
+        return [self.utilisation(b) for b in daily_bytes]
+
+    def report(
+        self, label: str, daily_bytes: Sequence[float]
+    ) -> Dict[str, object]:
+        """Summary row over a daily series."""
+        series = self.utilisation_series(daily_bytes)
+        if not series:
+            raise ConfigError("need at least one day of traffic")
+        ordered = sorted(series)
+        median = ordered[len(ordered) // 2]
+        return {
+            "traffic": label,
+            "median_uplink_util_%": round(100 * median, 2),
+            "peak_uplink_util_%": round(100 * max(series), 2),
+            "headroom_at_peak_x": round(1.0 / max(series), 1)
+            if max(series) > 0
+            else float("inf"),
+        }

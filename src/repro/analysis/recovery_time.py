@@ -1,0 +1,121 @@
+"""Bandwidth-limited recovery-time model (Section 3.2).
+
+The paper argues: "efficient recovery under Piggybacked-RS codes
+necessitates connecting to more nodes, but requires the download of a
+smaller amount of data in total.  ...  At the scale of multiple
+megabytes, the system is limited by the network and disk bandwidths,
+making the recovery time dependent only on the total amount of data read
+and transferred."
+
+The model here makes that argument quantitative.  A repair that contacts
+``c`` sources and downloads ``B`` bytes in total takes::
+
+    T = c * connection_overhead
+        + max(B / download_bandwidth,          # destination NIC
+              max_i (b_i / source_bandwidth),  # slowest parallel source
+              B / disk_write_bandwidth)        # writing the rebuilt unit
+
+With per-connection overheads in the milliseconds and block-scale
+transfers in the hundreds of megabytes, the total-bytes term dominates
+-- which is the paper's claim, and the bench sweeps the overhead to show
+exactly where it would stop holding (the crossover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.codes.base import ErasureCode, RepairPlan
+
+#: 1 Gb/s in bytes/second -- a typical 2013 datanode NIC.
+GBPS = 125_000_000.0
+
+
+@dataclass(frozen=True)
+class RecoveryTimeModel:
+    """Recovery-time estimator for one cluster hardware profile.
+
+    Attributes
+    ----------
+    download_bandwidth:
+        Destination NIC ingress, bytes/s (oversubscription already
+        applied by the caller if desired).
+    source_bandwidth:
+        Per-source egress available to the repair, bytes/s.
+    disk_write_bandwidth:
+        Destination disk write rate, bytes/s.
+    connection_overhead:
+        Per-source connection setup cost, seconds.
+    """
+
+    download_bandwidth: float = GBPS
+    source_bandwidth: float = GBPS / 2
+    disk_write_bandwidth: float = 100e6
+    connection_overhead: float = 5e-3
+
+    def plan_time(self, plan: RepairPlan, unit_size: int) -> float:
+        """Seconds to execute a repair plan on ``unit_size``-byte units."""
+        total_bytes = plan.bytes_downloaded(unit_size)
+        subunit_bytes = unit_size // plan.substripes_per_unit
+        slowest_source = max(
+            len(request.substripes) * subunit_bytes for request in plan.requests
+        )
+        network_time = max(
+            total_bytes / self.download_bandwidth,
+            slowest_source / self.source_bandwidth,
+        )
+        disk_time = unit_size / self.disk_write_bandwidth
+        setup_time = plan.num_connections * self.connection_overhead
+        return setup_time + max(network_time, disk_time)
+
+    def code_recovery_time(
+        self, code: ErasureCode, unit_size: int, failed_node: int = 0
+    ) -> float:
+        """Recovery time of one unit under a code, all survivors alive."""
+        return self.plan_time(code.repair_plan(failed_node), unit_size)
+
+    def average_recovery_time(self, code: ErasureCode, unit_size: int) -> float:
+        """Mean recovery time over all single-node failures."""
+        return sum(
+            self.code_recovery_time(code, unit_size, node)
+            for node in range(code.n)
+        ) / code.n
+
+    def crossover_overhead(
+        self,
+        cheap_code: ErasureCode,
+        baseline_code: ErasureCode,
+        unit_size: int,
+        failed_node: int = 0,
+    ) -> Optional[float]:
+        """Connection overhead at which the cheap code stops winning.
+
+        Solves for the per-connection overhead that equalises the two
+        recovery times for the given failure; None when the cheap code's
+        plan does not contact more nodes (it then wins at any overhead).
+        """
+        cheap_plan = cheap_code.repair_plan(failed_node)
+        base_plan = baseline_code.repair_plan(failed_node)
+        extra_connections = cheap_plan.num_connections - base_plan.num_connections
+        if extra_connections <= 0:
+            return None
+        zero = RecoveryTimeModel(
+            download_bandwidth=self.download_bandwidth,
+            source_bandwidth=self.source_bandwidth,
+            disk_write_bandwidth=self.disk_write_bandwidth,
+            connection_overhead=0.0,
+        )
+        time_gap = zero.plan_time(base_plan, unit_size) - zero.plan_time(
+            cheap_plan, unit_size
+        )
+        return time_gap / extra_connections
+
+    def describe(self, code: ErasureCode, unit_size: int) -> Dict[str, float]:
+        """Summary row for the recovery-time bench."""
+        plan = code.repair_plan(0)
+        return {
+            "connections": plan.num_connections,
+            "download_MB": plan.bytes_downloaded(unit_size) / 1e6,
+            "time_s": self.plan_time(plan, unit_size),
+        }

@@ -1,0 +1,94 @@
+"""Plain-text table rendering for benches, experiments, and the CLI.
+
+Every experiment prints "the same rows/series the paper reports"; this
+module is the single place that turns result dicts into aligned text so
+the output of ``pytest benchmarks/`` and ``repro run-all`` stays uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Optional, Sequence
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable byte count (decimal units, like the paper's TB)."""
+    value = float(num_bytes)
+    for unit in ("B", "KB", "MB", "GB", "TB", "PB"):
+        if abs(value) < 1000.0 or unit == "PB":
+            if unit == "B":
+                return f"{value:.0f} {unit}"
+            return f"{value:.2f} {unit}"
+        value /= 1000.0
+    return f"{value:.2f} PB"
+
+
+def format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != 0 and abs(value) < 0.01:
+            return f"{value:.2e}"
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    cells = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(row[i]) for row in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, values: Sequence[float], formatter=format_value
+) -> str:
+    """Render a daily series as ``day: value`` lines."""
+    lines = [name]
+    for day, value in enumerate(values):
+        lines.append(f"  day {day:>3}: {formatter(value)}")
+    return "\n".join(lines)
+
+
+def render_kv(title: str, mapping: Mapping[str, object]) -> str:
+    """Render a key/value block."""
+    width = max((len(k) for k in mapping), default=0)
+    lines = [title]
+    for key, value in mapping.items():
+        lines.append(f"  {key.ljust(width)} : {format_value(value)}")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: Iterable[Mapping[str, object]]
+) -> str:
+    """The standard comparison table of every experiment.
+
+    Rows need keys: ``metric``, ``paper``, ``measured`` (and optionally
+    ``note``).
+    """
+    rows = list(rows)
+    columns = ["metric", "paper", "measured"]
+    if any("note" in row for row in rows):
+        columns.append("note")
+    return render_table(rows, columns=columns, title="paper vs measured")

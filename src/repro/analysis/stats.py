@@ -1,0 +1,76 @@
+"""Series statistics shared by benches and experiments.
+
+Small, dependency-free helpers: the paper reports its measurements as
+medians over daily series (the dotted lines of Fig. 3), so that is the
+vocabulary offered here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SeriesSummary:
+    """Five-number-ish summary of a daily series."""
+
+    count: int
+    median: float
+    mean: float
+    minimum: float
+    maximum: float
+    p10: float
+    p90: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "median": self.median,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p10": self.p10,
+            "p90": self.p90,
+        }
+
+
+def summarize_series(values: Sequence[float]) -> SeriesSummary:
+    """Summary statistics of a (daily) series."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        return SeriesSummary(0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    return SeriesSummary(
+        count=int(array.size),
+        median=float(np.median(array)),
+        mean=float(array.mean()),
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        p10=float(np.percentile(array, 10)),
+        p90=float(np.percentile(array, 90)),
+    )
+
+
+def relative_error(measured: float, target: float) -> float:
+    """Signed relative error of a measurement against a paper target."""
+    if target == 0:
+        return float("inf") if measured else 0.0
+    return (measured - target) / target
+
+
+def within_factor(measured: float, target: float, factor: float) -> bool:
+    """Whether a measurement is within a multiplicative factor of target."""
+    if measured <= 0 or target <= 0:
+        return measured == target
+    ratio = measured / target
+    return 1.0 / factor <= ratio <= factor
+
+
+def histogram_fractions(histogram: Dict[int, int]) -> Dict[int, float]:
+    """Normalise an integer histogram to fractions."""
+    total = sum(histogram.values())
+    if not total:
+        return {}
+    return {key: value / total for key, value in sorted(histogram.items())}

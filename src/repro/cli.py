@@ -1,0 +1,241 @@
+"""Command-line front-end: ``repro`` (or ``python -m repro``).
+
+Subcommands:
+
+- ``repro experiments`` -- list the paper's figures/tables and their ids;
+- ``repro run <id> [...]`` -- run one experiment and print its report;
+- ``repro run-all`` -- run every experiment (the full reproduction);
+- ``repro codes`` -- list registered erasure codes with their repair
+  profiles;
+- ``repro simulate`` -- run a custom warehouse simulation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.report import render_table
+from repro.analysis.repair_cost import repair_cost_table
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+from repro.codes.registry import available_codes, create_code
+from repro.experiments import available_experiments, run_experiment
+
+
+def _cmd_experiments(_: argparse.Namespace) -> int:
+    for experiment_id in available_experiments():
+        print(experiment_id)
+    return 0
+
+
+def _json_safe(value):
+    """Recursively convert numpy scalars/arrays for json.dumps."""
+    import numpy as np
+
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return _json_safe(value.tolist())
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(args.experiment)
+    if args.json:
+        import json
+
+        payload = {
+            "experiment_id": result.experiment_id,
+            "title": result.title,
+            "paper_rows": _json_safe(result.paper_rows),
+            "tables": _json_safe(result.tables),
+            "data": _json_safe(result.data),
+        }
+        print(json.dumps(payload, indent=2, default=str))
+    else:
+        print(result.render())
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    for experiment_id in available_experiments():
+        result = run_experiment(experiment_id)
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_codes(_: argparse.Namespace) -> int:
+    rows = []
+    for name in available_codes():
+        try:
+            if name in ("rs", "reed-solomon", "piggyback", "piggybacked-rs",
+                        "crs", "cauchy-bitmatrix"):
+                code = create_code(name, k=10, r=4)
+            elif name == "lrc":
+                code = create_code(name, k=10, l=2, g=2)
+            else:
+                code = create_code(name)
+        except TypeError:
+            continue
+        rows.append({"registry_name": name, **repair_cost_table([code])[0]})
+    print(render_table(rows, title="registered codes ((10,4)-class parameters)"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    params = {"k": args.k, "r": args.r}
+    if args.code == "lrc":
+        params = {"k": args.k, "l": 2, "g": 2}
+    elif args.code == "replication":
+        params = {"replicas": 3}
+    config = ClusterConfig(
+        days=args.days,
+        seed=args.seed,
+        code_name=args.code,
+        code_params=params,
+        stripes_per_node=args.stripes_per_node,
+        reads_per_stripe_per_day=args.reads_per_stripe_per_day,
+        recovery_bandwidth_bytes_per_sec=args.recovery_gbps * 125e6
+        if args.recovery_gbps
+        else None,
+    )
+    result = WarehouseSimulation(config).run()
+    print(f"code: {result.code_name}  days: {result.days}  "
+          f"machines: {config.num_nodes}  block-scale: {config.block_scale:.1f}x")
+    print(f"median unavailability events/day : {result.median_unavailability_events:.0f}")
+    print(f"median blocks recovered/day      : {result.median_blocks_recovered_scaled:,.0f} (scaled)")
+    print(f"median cross-rack TB/day         : {result.median_cross_rack_bytes_scaled / 1e12:,.1f} (scaled)")
+    fractions = result.degraded_fractions
+    print(f"degraded stripes 1/2/3+ missing  : "
+          f"{fractions['one']:.2%} / {fractions['two']:.2%} / {fractions['three_plus']:.2%}")
+    if result.stats.repair_latencies:
+        import numpy as np
+
+        latencies = np.asarray(result.stats.repair_latencies)
+        print(f"recovery latency mean/median/p99 : "
+              f"{latencies.mean():.2f}s / {np.median(latencies):.2f}s / "
+              f"{np.percentile(latencies, 99):.2f}s")
+    if result.read_stats is not None:
+        reads = result.read_stats
+        print(f"foreground reads                 : {reads.reads:,} "
+              f"({reads.degraded_fraction:.3%} degraded, "
+              f"amplification {reads.degraded_read_amplification:.1f}x)")
+    return 0
+
+
+#: Experiments that run multi-day cluster simulations.
+_HEAVY_EXPERIMENTS = {
+    "fig3a", "fig3b", "tab_missing", "tab_traffic", "ext_degraded",
+    "ext_latency", "ext_uplink", "abl_threshold", "abl_placement",
+}
+
+
+def _cmd_scorecard(args: argparse.Namespace) -> int:
+    from repro.experiments.scorecard import scorecard, summarize
+
+    ids = available_experiments()
+    if args.quick:
+        ids = [e for e in ids if e not in _HEAVY_EXPERIMENTS]
+    rows = scorecard(ids)
+    table_rows = [
+        {
+            "experiment": row.experiment_id,
+            "metric": row.metric,
+            "paper": row.paper,
+            "measured": row.measured,
+            "status": row.status.upper(),
+        }
+        for row in rows
+    ]
+    print(render_table(table_rows, title="reproduction scorecard"))
+    summary = summarize(rows)
+    print(
+        f"\n{summary['pass']} pass, {summary['fail']} fail, "
+        f"{summary['info']} informational"
+    )
+    return 0 if summary["fail"] == 0 else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Solution to the Network Challenges of Data "
+            "Recovery in Erasure-coded Distributed Storage Systems' "
+            "(HotStorage 2013)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list experiment ids").set_defaults(
+        fn=_cmd_experiments
+    )
+
+    run_parser = sub.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", choices=available_experiments())
+    run_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    run_parser.set_defaults(fn=_cmd_run)
+
+    sub.add_parser("run-all", help="run every experiment").set_defaults(
+        fn=_cmd_run_all
+    )
+
+    sub.add_parser("codes", help="list registered codes").set_defaults(
+        fn=_cmd_codes
+    )
+
+    score_parser = sub.add_parser(
+        "scorecard",
+        help="run every experiment and grade paper-vs-measured rows",
+    )
+    score_parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="only the fast (non-simulation) experiments",
+    )
+    score_parser.set_defaults(fn=_cmd_scorecard)
+
+    sim_parser = sub.add_parser("simulate", help="run a warehouse simulation")
+    sim_parser.add_argument("--code", default="rs", choices=available_codes())
+    sim_parser.add_argument("--days", type=float, default=24.0)
+    sim_parser.add_argument("--seed", type=int, default=20130901)
+    sim_parser.add_argument("--k", type=int, default=10)
+    sim_parser.add_argument("--r", type=int, default=4)
+    sim_parser.add_argument("--stripes-per-node", type=float, default=60.0)
+    sim_parser.add_argument(
+        "--reads-per-stripe-per-day",
+        type=float,
+        default=0.0,
+        help="foreground read rate (enables degraded-read accounting)",
+    )
+    sim_parser.add_argument(
+        "--recovery-gbps",
+        type=float,
+        default=0.0,
+        help="shared recovery pipe in Gb/s (0 = instantaneous recovery)",
+    )
+    sim_parser.set_defaults(fn=_cmd_simulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""Warehouse-cluster discrete-event simulator.
+
+The measurement half of the paper is about one quantity: the bytes that
+recovery operations of RS-coded blocks push through the top-of-rack (TOR)
+switches of Facebook's warehouse cluster.  This subpackage is the
+substrate that lets us *measure the same quantity* on a simulated
+cluster:
+
+- :mod:`repro.cluster.config` -- all knobs in one dataclass, including
+  the calibration targets published in the paper;
+- :mod:`repro.cluster.events` -- a small event-heap DES core;
+- :mod:`repro.cluster.topology` -- racks, nodes, TOR + aggregation
+  switches;
+- :mod:`repro.cluster.network` -- byte meters (per-transfer, per-switch,
+  per-day; cross-rack vs intra-rack);
+- :mod:`repro.cluster.placement` -- distinct-rack random block placement
+  (Section 2.1);
+- :mod:`repro.cluster.blockmap`, :mod:`repro.cluster.namenode`,
+  :mod:`repro.cluster.datanode`, :mod:`repro.cluster.raidnode` --
+  HDFS-model metadata: files, blocks, stripes, node inventories, and the
+  cold-data RAID policy;
+- :mod:`repro.cluster.failures` -- machine unavailability models with the
+  cluster's 15-minute recovery-trigger threshold;
+- :mod:`repro.cluster.recovery` -- the reconstruction scheduler that
+  executes code repair plans and charges the meters;
+- :mod:`repro.cluster.traces` -- seeded generators calibrated to the
+  paper's published statistics;
+- :mod:`repro.cluster.simulation` -- the assembled
+  :class:`~repro.cluster.simulation.WarehouseSimulation`.
+"""
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import SimulationResult, WarehouseSimulation
+from repro.cluster.topology import Topology
+
+__all__ = [
+    "ClusterConfig",
+    "Topology",
+    "WarehouseSimulation",
+    "SimulationResult",
+]

@@ -1,0 +1,172 @@
+"""Vectorised stripe metadata for cluster-scale simulation.
+
+The warehouse simulation tracks millions of block *placements* but never
+touches payloads, so stripe metadata is stored as dense numpy arrays:
+
+- ``placement[s, u]`` -- node id storing unit ``u`` of stripe ``s``;
+- ``unit_size[s]`` -- byte size of every unit of stripe ``s`` (all
+  members of an HDFS-RAID stripe share a width; the tail-of-file mix
+  gives different stripes different widths);
+- ``missing[s, u]`` -- whether the unit is currently missing.
+
+An inverted index answers the hot query "which stripe units live on node
+X?" in O(units-on-node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+class StripeStore:
+    """All stripe placements of one simulated cluster.
+
+    Parameters
+    ----------
+    placement:
+        ``(num_stripes, width)`` integer node ids; units of one stripe
+        must be on distinct nodes.
+    unit_sizes:
+        ``(num_stripes,)`` byte widths.
+    """
+
+    def __init__(self, placement: np.ndarray, unit_sizes: np.ndarray):
+        placement = np.asarray(placement, dtype=np.int64)
+        unit_sizes = np.asarray(unit_sizes, dtype=np.int64)
+        if placement.ndim != 2:
+            raise SimulationError(
+                f"placement must be 2-d, got shape {placement.shape}"
+            )
+        if unit_sizes.shape != (placement.shape[0],):
+            raise SimulationError(
+                f"unit_sizes shape {unit_sizes.shape} does not match "
+                f"{placement.shape[0]} stripes"
+            )
+        if placement.shape[0]:
+            sorted_rows = np.sort(placement, axis=1)
+            duplicated = np.any(sorted_rows[:, 1:] == sorted_rows[:, :-1], axis=1)
+            if np.any(duplicated):
+                stripe = int(np.flatnonzero(duplicated)[0])
+                raise SimulationError(
+                    f"stripe {stripe} places two units on one node"
+                )
+        self.placement = placement
+        self.unit_sizes = unit_sizes
+        self.missing = np.zeros(placement.shape, dtype=bool)
+        self._rebuild_index()
+
+    # ------------------------------------------------------------------
+    # Index maintenance
+    # ------------------------------------------------------------------
+
+    def _rebuild_index(self) -> None:
+        """Node -> (stripe, slot) inverted index."""
+        index: Dict[int, List[Tuple[int, int]]] = {}
+        num_stripes, width = self.placement.shape
+        flat = self.placement.reshape(-1)
+        order = np.argsort(flat, kind="stable")
+        stripes = order // width
+        slots = order % width
+        sorted_nodes = flat[order]
+        boundaries = np.flatnonzero(np.diff(sorted_nodes)) + 1
+        starts = np.concatenate([[0], boundaries])
+        ends = np.concatenate([boundaries, [flat.shape[0]]])
+        for start, end in zip(starts, ends):
+            node = int(sorted_nodes[start])
+            index[node] = list(
+                zip(stripes[start:end].tolist(), slots[start:end].tolist())
+            )
+        self._node_index = index
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_stripes(self) -> int:
+        return self.placement.shape[0]
+
+    @property
+    def width(self) -> int:
+        return self.placement.shape[1]
+
+    def units_on_node(self, node: int) -> List[Tuple[int, int]]:
+        """(stripe, slot) pairs stored on a node."""
+        return list(self._node_index.get(int(node), ()))
+
+    def units_per_node(self) -> Dict[int, int]:
+        """Node id -> number of stripe units stored there."""
+        return {node: len(units) for node, units in self._node_index.items()}
+
+    def stripe_nodes(self, stripe: int) -> List[int]:
+        """Node ids of one stripe's units, in slot order."""
+        return [int(n) for n in self.placement[stripe]]
+
+    def available_slots(self, stripe: int) -> List[int]:
+        """Slots of a stripe that are not currently missing."""
+        return [int(s) for s in np.flatnonzero(~self.missing[stripe])]
+
+    def missing_count(self, stripe: int) -> int:
+        return int(self.missing[stripe].sum())
+
+    def degraded_stripes_on_node(self, node: int) -> List[Tuple[int, int]]:
+        """(stripe, slot) pairs on a node whose unit is marked missing."""
+        return [
+            (stripe, slot)
+            for stripe, slot in self.units_on_node(node)
+            if self.missing[stripe, slot]
+        ]
+
+    @property
+    def total_physical_bytes(self) -> int:
+        """Physical bytes stored across the cluster."""
+        return int((self.unit_sizes * self.width).sum())
+
+    # ------------------------------------------------------------------
+    # Mutations
+    # ------------------------------------------------------------------
+
+    def mark_node_missing(self, node: int) -> List[Tuple[int, int]]:
+        """Mark every unit on a node missing; returns the affected pairs."""
+        pairs = self.units_on_node(node)
+        for stripe, slot in pairs:
+            self.missing[stripe, slot] = True
+        return pairs
+
+    def mark_node_available(self, node: int) -> List[Tuple[int, int]]:
+        """Clear the missing flag for units still mapped to this node.
+
+        Used when a machine returns before its blocks were reconstructed
+        elsewhere.
+        """
+        pairs = [
+            (stripe, slot)
+            for stripe, slot in self.units_on_node(node)
+            if self.missing[stripe, slot]
+        ]
+        for stripe, slot in pairs:
+            self.missing[stripe, slot] = False
+        return pairs
+
+    def relocate_unit(self, stripe: int, slot: int, new_node: int) -> None:
+        """Move a (rebuilt) unit to a new node and clear its missing flag."""
+        old_node = int(self.placement[stripe, slot])
+        new_node = int(new_node)
+        if new_node in set(self.placement[stripe].tolist()) - {old_node}:
+            raise SimulationError(
+                f"stripe {stripe} already has a unit on node {new_node}"
+            )
+        self.placement[stripe, slot] = new_node
+        self.missing[stripe, slot] = False
+        old_list = self._node_index.get(old_node, [])
+        try:
+            old_list.remove((int(stripe), int(slot)))
+        except ValueError as exc:
+            raise SimulationError(
+                f"index out of sync for stripe {stripe} slot {slot}"
+            ) from exc
+        self._node_index.setdefault(new_node, []).append((int(stripe), int(slot)))

@@ -1,0 +1,236 @@
+"""Cluster simulation configuration.
+
+Every knob of the warehouse simulation lives here, with defaults chosen
+to model "Cluster A" of the paper at reduced block density (the
+``block_scale`` factor extrapolates counts back to production density so
+the benches can compare against the published medians directly).
+
+The calibration constants published by the paper are collected in
+:class:`PaperTargets` so that traces, benches, and documentation all
+refer to a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ConfigError
+
+#: Seconds in a simulated day.
+SECONDS_PER_DAY = 86_400.0
+
+#: The cluster flags a machine as unavailable after 15 minutes
+#: (Section 2.2, item 1).
+UNAVAILABILITY_THRESHOLD_SECONDS = 15 * 60.0
+
+
+@dataclass(frozen=True)
+class PaperTargets:
+    """The published measurements this reproduction calibrates against.
+
+    All values are taken verbatim from Section 2 of the paper.
+    """
+
+    #: Median machine-unavailability events (>15 min) per day (Fig. 3a).
+    median_unavailability_events_per_day: float = 52.0
+    #: Largest daily unavailability spike visible in Fig. 3a.
+    max_unavailability_events_per_day: float = 350.0
+    #: Median RS blocks reconstructed per day (Fig. 3b).
+    median_blocks_recovered_per_day: float = 95_500.0
+    #: Median cross-rack bytes moved per day for RS recovery (Fig. 3b).
+    median_cross_rack_bytes_per_day: float = 180e12
+    #: Stripe-degradation split over degraded stripes (Section 2.2 item 2).
+    fraction_one_missing: float = 0.9808
+    fraction_two_missing: float = 0.0187
+    fraction_three_plus_missing: float = 0.0005
+    #: Production code parameters and block size (Section 2.1).
+    k: int = 10
+    r: int = 4
+    block_size_bytes: int = 256 * 1024 * 1024
+    #: Machines in the studied cluster ("a few thousand", Section 2.1).
+    machines: int = 3_000
+    #: Paper's §3.2 projection: savings of the Piggybacked-RS code.
+    projected_savings_fraction: float = 0.30
+    projected_cross_rack_savings_bytes_per_day: float = 50e12
+
+
+#: Singleton targets instance used across the library.
+PAPER_TARGETS = PaperTargets()
+
+
+@dataclass
+class ClusterConfig:
+    """Configuration of a :class:`~repro.cluster.simulation.WarehouseSimulation`.
+
+    Attributes
+    ----------
+    num_racks, nodes_per_rack:
+        Topology (default 100 x 30 = 3000 machines, the paper's scale).
+    placement_policy:
+        ``"distinct-rack"`` (production, Section 2.1) or
+        ``"distinct-node"`` (ablation: distinct machines, racks may
+        repeat).
+    code_name, code_params:
+        Which registered erasure code protects the cold data.
+    block_size_bytes:
+        Maximum (full) block size; 256 MB in production.
+    full_block_fraction, min_tail_block_fraction:
+        Per-stripe block-size mix: a stripe is full-size with probability
+        ``full_block_fraction``; otherwise its width is uniform in
+        ``[min_tail_block_fraction, 1) x block_size``.  Calibrated so the
+        mean RS recovery transfer matches Fig. 3b (~1.9 GB per block).
+    stripes_per_node:
+        RS-coded block density: how many stripe *members* each node
+        holds on average in the simulation.  Production density is
+        ~4,700 blocks/node; simulations run lighter and extrapolate with
+        :attr:`block_scale`.
+    target_stripes_per_node:
+        Production density used for extrapolation.
+    daily_event_median, daily_event_sigma:
+        Lognormal model of unavailability events per day (Fig. 3a).
+    event_spike_probability, event_spike_multiplier:
+        Heavy upper tail: occasional maintenance/software-rollout days
+        multiply the event count (the 200-350 spikes of Fig. 3a).
+    mean_downtime_seconds:
+        Mean of the exponential tail of unavailability durations beyond
+        :attr:`duration_floor_seconds`.  Governs how many machines are
+        concurrently down and hence the rate of doubly degraded stripes
+        (Section 2.2 item 2).
+    downtime_distribution, downtime_weibull_shape:
+        Shape of the duration tail beyond the floor: ``"exponential"``
+        (default, memoryless) or ``"weibull"`` with the given shape.
+        Disk/machine repair-time studies (e.g. Schroeder-Gibson FAST'07,
+        cited by the paper as [6]) find heavy-tailed, Weibull-like
+        distributions with shape < 1; the knob exists to test the
+        conclusions' sensitivity to that tail.
+    duration_floor_seconds:
+        Minimum outage duration in the trace.  Defaults to the 15-minute
+        flag threshold (the trace models the >15-min events Fig. 3a
+        counts); kept separate from
+        :attr:`unavailability_threshold_seconds` so threshold-policy
+        ablations can sweep the flag threshold against a fixed outage
+        population.
+    correlated_event_probability, correlated_batch_size:
+        Rare correlated incidents (a maintenance batch or shared-switch
+        event) take a whole group of machines down *simultaneously*.
+        Independent failures alone cannot reproduce the paper's 0.05%
+        triply-degraded stripes -- simultaneous group outages are what
+        populate that tail (and they show up as moderate Fig. 3a spike
+        days, consistent with the plot).
+    recovery_trigger_fraction:
+        Fraction of >15-min events whose blocks are actually
+        reconstructed (some machines return before the re-replication
+        queue reaches them; calibrated against Fig. 3b).
+    recovery_bandwidth_bytes_per_sec:
+        Aggregate cluster bandwidth dedicated to reconstruction.  None
+        (default) models recovery as instantaneous at flag time (the
+        right model for daily byte accounting); a finite value makes
+        recoveries occupy a shared pipe so per-block repair *latency*
+        and degraded exposure become measurable (the Section 3.2
+        recovery-time experiments).
+    days:
+        Simulated duration.
+    seed:
+        Master RNG seed; every sub-component derives its own stream.
+    """
+
+    num_racks: int = 100
+    nodes_per_rack: int = 30
+    placement_policy: str = "distinct-rack"
+    code_name: str = "rs"
+    code_params: Dict[str, int] = field(default_factory=lambda: {"k": 10, "r": 4})
+    block_size_bytes: int = PAPER_TARGETS.block_size_bytes
+    full_block_fraction: float = 0.5
+    min_tail_block_fraction: float = 0.0625
+    stripes_per_node: float = 60.0
+    target_stripes_per_node: float = 4_700.0
+    daily_event_median: float = 50.0
+    daily_event_sigma: float = 0.55
+    event_spike_probability: float = 0.06
+    event_spike_multiplier: float = 2.5
+    mean_downtime_seconds: float = 3_500.0
+    downtime_distribution: str = "exponential"
+    downtime_weibull_shape: float = 0.7
+    correlated_event_probability: float = 0.05
+    correlated_batch_size: int = 35
+    recovery_trigger_fraction: float = 0.33
+    unavailability_threshold_seconds: float = UNAVAILABILITY_THRESHOLD_SECONDS
+    duration_floor_seconds: float = UNAVAILABILITY_THRESHOLD_SECONDS
+    reads_per_stripe_per_day: float = 0.0
+    recovery_bandwidth_bytes_per_sec: Optional[float] = None
+    days: float = 24.0
+    seed: int = 20130901  # arXiv submission date of the paper
+
+    def __post_init__(self):
+        if self.num_racks < 2:
+            raise ConfigError("need at least 2 racks for cross-rack placement")
+        if self.nodes_per_rack < 1:
+            raise ConfigError("nodes_per_rack must be >= 1")
+        n = sum(self.code_params.get(key, 0) for key in ("k", "r", "l", "g"))
+        if self.code_name != "replication" and n > self.num_racks:
+            raise ConfigError(
+                f"stripe of {n} units cannot be placed on {self.num_racks} "
+                f"distinct racks"
+            )
+        if not 0.0 <= self.full_block_fraction <= 1.0:
+            raise ConfigError("full_block_fraction must be in [0, 1]")
+        if not 0.0 < self.min_tail_block_fraction <= 1.0:
+            raise ConfigError("min_tail_block_fraction must be in (0, 1]")
+        if self.days <= 0:
+            raise ConfigError("days must be positive")
+        if self.stripes_per_node <= 0 or self.target_stripes_per_node <= 0:
+            raise ConfigError("stripe densities must be positive")
+        if not 0.0 <= self.recovery_trigger_fraction <= 1.0:
+            raise ConfigError("recovery_trigger_fraction must be in [0, 1]")
+        if self.reads_per_stripe_per_day < 0:
+            raise ConfigError("reads_per_stripe_per_day must be >= 0")
+        if (
+            self.recovery_bandwidth_bytes_per_sec is not None
+            and self.recovery_bandwidth_bytes_per_sec <= 0
+        ):
+            raise ConfigError("recovery bandwidth must be positive or None")
+        if self.downtime_distribution not in ("exponential", "weibull"):
+            raise ConfigError(
+                f"unknown downtime distribution "
+                f"{self.downtime_distribution!r}; expected 'exponential' "
+                f"or 'weibull'"
+            )
+        if self.downtime_weibull_shape <= 0:
+            raise ConfigError("Weibull shape must be positive")
+        if not 0.0 <= self.correlated_event_probability <= 1.0:
+            raise ConfigError("correlated_event_probability must be in [0, 1]")
+        if self.correlated_batch_size < 1:
+            raise ConfigError("correlated_batch_size must be >= 1")
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_racks * self.nodes_per_rack
+
+    @property
+    def stripe_width_units(self) -> int:
+        """Units per stripe under the configured code."""
+        params = self.code_params
+        if self.code_name == "replication":
+            return params.get("replicas", 3)
+        if self.code_name == "lrc":
+            return params["k"] + params["l"] + params["g"]
+        return params["k"] + params["r"]
+
+    @property
+    def num_stripes(self) -> int:
+        """Stripes to place so each node holds ~``stripes_per_node`` members."""
+        members = self.stripe_width_units
+        return max(1, int(round(self.stripes_per_node * self.num_nodes / members)))
+
+    @property
+    def block_scale(self) -> float:
+        """Extrapolation factor from simulated to production block density."""
+        return self.target_stripes_per_node / self.stripes_per_node
+
+    def with_code(self, code_name: str, **code_params) -> "ClusterConfig":
+        """Copy of this config with a different protecting code."""
+        from dataclasses import replace
+
+        params = dict(code_params) if code_params else dict(self.code_params)
+        return replace(self, code_name=code_name, code_params=params)

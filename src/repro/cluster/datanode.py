@@ -1,0 +1,119 @@
+"""Datanodes: per-machine block storage and availability state.
+
+Two granularities share this module:
+
+- :class:`DataNode` -- a payload-carrying node used by the mini-HDFS
+  layer (namenode/raidnode) in integration tests and examples;
+- :class:`NodeStateTable` -- the vectorised up/down state of every
+  machine in the cluster-scale simulation, including the
+  "down since" timestamps the 15-minute unavailability threshold is
+  evaluated against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.striping.blocks import Block
+
+
+@dataclass
+class DataNode:
+    """A payload-carrying datanode of the mini-HDFS layer."""
+
+    node_id: int
+    rack_id: int
+    blocks: Dict[str, Block] = field(default_factory=dict)
+    is_up: bool = True
+
+    def store(self, block: Block) -> None:
+        if not block.has_payload:
+            raise SimulationError(
+                f"datanode {self.node_id} can only store payload blocks"
+            )
+        self.blocks[block.block_id] = block
+
+    def read(self, block_id: str) -> Block:
+        if not self.is_up:
+            raise SimulationError(f"datanode {self.node_id} is down")
+        if block_id not in self.blocks:
+            raise SimulationError(
+                f"datanode {self.node_id} does not hold block {block_id}"
+            )
+        return self.blocks[block_id]
+
+    def drop(self, block_id: str) -> None:
+        self.blocks.pop(block_id, None)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(block.size for block in self.blocks.values())
+
+
+class NodeStateTable:
+    """Vectorised availability state of all machines.
+
+    Tracks, per node: up/down, the time it went down, and whether the
+    cluster has already flagged it (the >15-minute threshold of
+    Section 2.2).
+    """
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise SimulationError("cluster needs at least one node")
+        self.num_nodes = num_nodes
+        self.is_up = np.ones(num_nodes, dtype=bool)
+        self.down_since = np.full(num_nodes, np.nan)
+        self.flagged = np.zeros(num_nodes, dtype=bool)
+
+    def mark_down(self, node: int, time: float) -> None:
+        node = self._check(node)
+        if not self.is_up[node]:
+            raise SimulationError(f"node {node} is already down")
+        self.is_up[node] = False
+        self.down_since[node] = time
+        self.flagged[node] = False
+
+    def mark_up(self, node: int) -> None:
+        node = self._check(node)
+        if self.is_up[node]:
+            raise SimulationError(f"node {node} is already up")
+        self.is_up[node] = True
+        self.down_since[node] = np.nan
+        self.flagged[node] = False
+
+    def flag_unavailable(self, node: int) -> None:
+        """Record that the cluster declared this node unavailable."""
+        node = self._check(node)
+        if self.is_up[node]:
+            raise SimulationError(f"cannot flag node {node}: it is up")
+        self.flagged[node] = True
+
+    def is_down(self, node: int) -> bool:
+        return not self.is_up[self._check(node)]
+
+    def downtime(self, node: int, now: float) -> float:
+        """Seconds the node has currently been down (0 when up)."""
+        node = self._check(node)
+        if self.is_up[node]:
+            return 0.0
+        return now - float(self.down_since[node])
+
+    def down_nodes(self) -> List[int]:
+        return [int(n) for n in np.flatnonzero(~self.is_up)]
+
+    @property
+    def num_down(self) -> int:
+        return int((~self.is_up).sum())
+
+    def _check(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self.num_nodes:
+            raise SimulationError(
+                f"node {node} outside cluster of {self.num_nodes}"
+            )
+        return node

@@ -1,0 +1,116 @@
+"""A small discrete-event simulation core.
+
+A binary-heap event queue with deterministic tie-breaking (FIFO among
+equal timestamps), which is all the warehouse simulation needs.  Events
+are plain callables; components schedule follow-ups from inside their
+handlers.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+EventHandler = Callable[["EventQueue", float], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    sequence: int
+    handler: EventHandler = field(compare=False)
+    label: str = field(compare=False, default="")
+
+
+class EventQueue:
+    """Time-ordered event queue driving the simulation.
+
+    Examples
+    --------
+    >>> queue = EventQueue()
+    >>> seen = []
+    >>> queue.schedule(2.0, lambda q, t: seen.append(("b", t)))
+    >>> queue.schedule(1.0, lambda q, t: seen.append(("a", t)))
+    >>> queue.run()
+    2.0
+    >>> seen
+    [('a', 1.0), ('b', 2.0)]
+    """
+
+    def __init__(self):
+        self._heap: List[_ScheduledEvent] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (seconds)."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._heap)
+
+    def schedule(
+        self, time: float, handler: EventHandler, label: str = ""
+    ) -> None:
+        """Schedule ``handler(queue, time)`` at an absolute time.
+
+        Scheduling into the past is an error: it would silently reorder
+        causality.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event {label!r} at {time} before now "
+                f"({self._now})"
+            )
+        heapq.heappush(
+            self._heap,
+            _ScheduledEvent(
+                time=float(time),
+                sequence=next(self._counter),
+                handler=handler,
+                label=label,
+            ),
+        )
+
+    def schedule_after(
+        self, delay: float, handler: EventHandler, label: str = ""
+    ) -> None:
+        """Schedule relative to the current time."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay} for {label!r}")
+        self.schedule(self._now + delay, handler, label)
+
+    def step(self) -> Optional[Tuple[float, str]]:
+        """Process a single event; returns ``(time, label)`` or None."""
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._now = event.time
+        self._events_processed += 1
+        event.handler(self, event.time)
+        return event.time, event.label
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the queue drains or ``until`` is reached.
+
+        Events scheduled at exactly ``until`` are processed.  Returns the
+        final simulation time.
+        """
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self._now = until
+                break
+            self.step()
+        return self._now

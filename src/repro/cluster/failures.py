@@ -1,0 +1,142 @@
+"""Machine-unavailability injection.
+
+Drives the :class:`~repro.cluster.datanode.NodeStateTable` and the
+:class:`~repro.cluster.blockmap.StripeStore` from a pre-generated trace
+of :class:`~repro.cluster.traces.UnavailabilityEvent`, implementing the
+cluster's observable lifecycle (Section 2.2):
+
+1. a machine goes down -- its stripe units become *missing* immediately;
+2. after 15 minutes down, the cluster flags it unavailable (this is the
+   event Fig. 3a counts) and hands it to the recovery layer;
+3. the machine eventually returns; units that were not reconstructed
+   elsewhere in the meantime simply become available again.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.blockmap import StripeStore
+from repro.cluster.config import SECONDS_PER_DAY
+from repro.cluster.datanode import NodeStateTable
+from repro.cluster.events import EventQueue
+from repro.cluster.traces import UnavailabilityEvent
+
+#: Callback signature: (queue, node, time) -> None.
+FlagCallback = Callable[[EventQueue, int, float], None]
+
+
+class FailureInjector:
+    """Replays an unavailability trace into the simulation.
+
+    Parameters
+    ----------
+    state:
+        Availability table to drive.
+    store:
+        Stripe store whose units get marked missing/available.
+    threshold_seconds:
+        The 15-minute flag threshold.
+    on_flagged:
+        Invoked when a machine is declared unavailable (the recovery
+        layer's entry point).
+    """
+
+    def __init__(
+        self,
+        state: NodeStateTable,
+        store: Optional[StripeStore],
+        threshold_seconds: float,
+        on_flagged: Optional[FlagCallback] = None,
+    ):
+        self.state = state
+        self.store = store
+        self.threshold_seconds = threshold_seconds
+        self.on_flagged = on_flagged
+        #: Fig. 3a series: flagged (>threshold) events per day.
+        self.flagged_events_by_day: Dict[int, int] = defaultdict(int)
+        self.total_events = 0
+        self.skipped_already_down = 0
+
+    # ------------------------------------------------------------------
+    # Trace installation
+    # ------------------------------------------------------------------
+
+    def install(
+        self, queue: EventQueue, events: Sequence[UnavailabilityEvent]
+    ) -> None:
+        """Schedule the whole trace onto an event queue."""
+        for event in events:
+            queue.schedule(
+                event.time,
+                self._make_down_handler(event),
+                label=f"down@{event.node}",
+            )
+
+    def _make_down_handler(self, event: UnavailabilityEvent):
+        def handler(queue: EventQueue, time: float) -> None:
+            self._node_down(queue, event, time)
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # Lifecycle handlers
+    # ------------------------------------------------------------------
+
+    def _node_down(
+        self, queue: EventQueue, event: UnavailabilityEvent, time: float
+    ) -> None:
+        self.total_events += 1
+        if self.state.is_down(event.node):
+            # Overlapping trace events on one machine: the first outage
+            # is still in progress, so this one is absorbed by it.
+            self.skipped_already_down += 1
+            return
+        self.state.mark_down(event.node, time)
+        if self.store is not None:
+            self.store.mark_node_missing(event.node)
+        queue.schedule_after(
+            self.threshold_seconds,
+            lambda q, t, node=event.node, started=time: self._flag_check(
+                q, node, started, t
+            ),
+            label=f"flag@{event.node}",
+        )
+        queue.schedule_after(
+            event.duration,
+            lambda q, t, node=event.node, started=time: self._node_up(
+                q, node, started, t
+            ),
+            label=f"up@{event.node}",
+        )
+
+    def _flag_check(
+        self, queue: EventQueue, node: int, started: float, time: float
+    ) -> None:
+        if self.state.is_up[node] or float(self.state.down_since[node]) != started:
+            return  # the outage this check belongs to has ended
+        self.state.flag_unavailable(node)
+        self.flagged_events_by_day[int(started // SECONDS_PER_DAY)] += 1
+        if self.on_flagged is not None:
+            self.on_flagged(queue, node, time)
+
+    def _node_up(
+        self, queue: EventQueue, node: int, started: float, time: float
+    ) -> None:
+        if self.state.is_up[node] or float(self.state.down_since[node]) != started:
+            return
+        self.state.mark_up(node)
+        if self.store is not None:
+            # Units not reconstructed elsewhere return with the machine.
+            self.store.mark_node_available(node)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def daily_flagged_series(self, num_days: int) -> List[int]:
+        """Dense per-day flagged-event counts (the Fig. 3a series)."""
+        return [
+            self.flagged_events_by_day.get(day, 0) for day in range(num_days)
+        ]

@@ -1,0 +1,187 @@
+"""The mini-HDFS namenode: files, block locations, stripe registry.
+
+This is the payload-level model of the storage system described in
+Section 2.1: immutable files partitioned into blocks, replicated on
+arrival, and later erasure-coded by the RAID policy when cold.  It is
+deliberately small but *complete*: the integration tests write real
+bytes through it, kill datanodes, run recovery, and check byte-identical
+reads -- for every code in the library.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.datanode import DataNode
+from repro.cluster.placement import PlacementPolicy
+from repro.cluster.topology import Topology
+from repro.errors import SimulationError
+from repro.striping.blocks import Block, LogicalFile, chunk_bytes
+from repro.striping.layout import StripeLayout
+
+
+@dataclass
+class FileEntry:
+    """Namenode metadata for one file."""
+
+    file: LogicalFile
+    replication: int
+    raided: bool = False
+    stripe_ids: List[str] = field(default_factory=list)
+
+
+@dataclass
+class StripeEntry:
+    """Namenode metadata for one erasure-coded stripe."""
+
+    layout: StripeLayout
+    code_name: str
+    #: slot -> node id, for every non-virtual slot.
+    locations: Dict[int, int] = field(default_factory=dict)
+
+
+class NameNode:
+    """Block/file metadata plus datanode management.
+
+    Parameters
+    ----------
+    topology:
+        Cluster shape; one :class:`DataNode` is created per machine.
+    placement:
+        Policy used both for initial replica placement and for stripes.
+    """
+
+    def __init__(self, topology: Topology, placement: PlacementPolicy):
+        self.topology = topology
+        self.placement = placement
+        self.datanodes: Dict[int, DataNode] = {
+            node.node_id: DataNode(node_id=node.node_id, rack_id=node.rack_id)
+            for node in topology.iter_nodes()
+        }
+        self.files: Dict[str, FileEntry] = {}
+        self.stripes: Dict[str, StripeEntry] = {}
+        #: block id -> list of node ids currently holding it.
+        self.block_locations: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # File ingest (replicated, as data arrives hot)
+    # ------------------------------------------------------------------
+
+    def write_file(
+        self,
+        name: str,
+        data: np.ndarray,
+        block_size: int,
+        replication: int = 3,
+    ) -> FileEntry:
+        """Write a file with ``replication``-way replicated blocks.
+
+        The cluster owns its copy of the bytes: later mutation of the
+        caller's buffer (or of stored payloads, e.g. injected
+        corruption) must not alias through.
+        """
+        if name in self.files:
+            raise SimulationError(f"file {name!r} already exists")
+        owned = np.array(data, dtype=np.uint8, copy=True).reshape(-1)
+        logical = chunk_bytes(name, owned, block_size)
+        entry = FileEntry(file=logical, replication=replication)
+        for block in logical.blocks:
+            nodes = self.placement.place_stripe(replication)
+            for node in nodes:
+                self.datanodes[node].store(block)
+            self.block_locations[block.block_id] = list(nodes)
+        self.files[name] = entry
+        return entry
+
+    def read_file(self, name: str) -> np.ndarray:
+        """Read a file back, via any live replica or degraded stripe read."""
+        entry = self._file(name)
+        parts = [self.read_block(block.block_id) for block in entry.file.blocks]
+        if not parts:
+            return np.zeros(0, dtype=np.uint8)
+        return np.concatenate(parts) if len(parts) > 1 else parts[0]
+
+    def read_block(self, block_id: str) -> np.ndarray:
+        """Read one block from any live holder.
+
+        Raises
+        ------
+        SimulationError
+            If no live replica exists (degraded reads through a stripe
+            are the recovery layer's job -- see
+            :meth:`repro.cluster.raidnode.RaidNode.degraded_read`).
+        """
+        for node in self.block_locations.get(block_id, ()):
+            datanode = self.datanodes[node]
+            if datanode.is_up and block_id in datanode.blocks:
+                return datanode.read(block_id).payload
+        raise SimulationError(f"no live replica of block {block_id}")
+
+    # ------------------------------------------------------------------
+    # Stripe registry (populated by the raid node)
+    # ------------------------------------------------------------------
+
+    def register_stripe(
+        self,
+        layout: StripeLayout,
+        code_name: str,
+        locations: Dict[int, int],
+    ) -> StripeEntry:
+        if layout.stripe_id in self.stripes:
+            raise SimulationError(f"stripe {layout.stripe_id} already registered")
+        entry = StripeEntry(layout=layout, code_name=code_name, locations=dict(locations))
+        self.stripes[layout.stripe_id] = entry
+        return entry
+
+    def stripe_of_block(self, block_id: str) -> Optional[Tuple[StripeEntry, int]]:
+        """(stripe entry, slot) containing a block, if it is raided."""
+        for entry in self.stripes.values():
+            for slot, member_id in enumerate(entry.layout.all_block_ids()):
+                if member_id == block_id:
+                    return entry, slot
+        return None
+
+    # ------------------------------------------------------------------
+    # Node lifecycle
+    # ------------------------------------------------------------------
+
+    def kill_node(self, node: int) -> List[str]:
+        """Take a datanode down; returns ids of blocks that lost a copy."""
+        datanode = self._datanode(node)
+        datanode.is_up = False
+        return sorted(datanode.blocks)
+
+    def revive_node(self, node: int) -> None:
+        self._datanode(node).is_up = True
+
+    def live_holders(self, block_id: str) -> List[int]:
+        return [
+            node
+            for node in self.block_locations.get(block_id, ())
+            if self.datanodes[node].is_up
+        ]
+
+    def missing_blocks(self) -> List[str]:
+        """Blocks with no live copy anywhere."""
+        return sorted(
+            block_id
+            for block_id in self.block_locations
+            if not self.live_holders(block_id)
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _file(self, name: str) -> FileEntry:
+        if name not in self.files:
+            raise SimulationError(f"no such file {name!r}")
+        return self.files[name]
+
+    def _datanode(self, node: int) -> DataNode:
+        if node not in self.datanodes:
+            raise SimulationError(f"no such datanode {node}")
+        return self.datanodes[node]

@@ -1,0 +1,116 @@
+"""Network byte accounting.
+
+The paper's headline measurement (Fig. 3b) is "# cross-rack transfer
+bytes" per day, attributed to recovery of RS-coded blocks.  The
+:class:`TrafficMeter` charges every simulated transfer to:
+
+- a running cross-rack / intra-rack total,
+- a per-day cross-rack series (the Fig. 3b line),
+- per-switch counters (each TOR switch and the aggregation switch), and
+- per-purpose totals (recovery vs other traffic), so foreground traffic
+  can share the meters in extended experiments.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.config import SECONDS_PER_DAY
+from repro.cluster.topology import Topology
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One point-to-point transfer, for detailed inspection in tests."""
+
+    time: float
+    src_node: int
+    dst_node: int
+    num_bytes: int
+    cross_rack: bool
+    purpose: str
+
+
+class TrafficMeter:
+    """Charges transfers and aggregates them the way the paper reports.
+
+    Parameters
+    ----------
+    topology:
+        Used to classify transfers and name switch paths.
+    record_transfers:
+        Keep a full transfer log (tests and small sims only; the log
+        grows with every transfer).
+    """
+
+    def __init__(self, topology: Topology, record_transfers: bool = False):
+        self.topology = topology
+        self.record_transfers = record_transfers
+        self.transfers: List[Transfer] = []
+        self.total_bytes = 0
+        self.cross_rack_bytes = 0
+        self.intra_rack_bytes = 0
+        self.num_transfers = 0
+        self.bytes_by_purpose: Dict[str, int] = defaultdict(int)
+        self.cross_rack_bytes_by_day: Dict[int, int] = defaultdict(int)
+        self.bytes_by_switch: Dict[str, int] = defaultdict(int)
+
+    def charge(
+        self,
+        time: float,
+        src_node: int,
+        dst_node: int,
+        num_bytes: int,
+        purpose: str = "recovery",
+    ) -> bool:
+        """Record one transfer; returns whether it crossed racks."""
+        if num_bytes < 0:
+            raise SimulationError(f"negative transfer size {num_bytes}")
+        if src_node == dst_node:
+            raise SimulationError(
+                f"node {src_node} cannot transfer to itself"
+            )
+        num_bytes = int(num_bytes)
+        cross = self.topology.crosses_racks(src_node, dst_node)
+        self.total_bytes += num_bytes
+        self.num_transfers += 1
+        self.bytes_by_purpose[purpose] += num_bytes
+        if cross:
+            self.cross_rack_bytes += num_bytes
+            self.cross_rack_bytes_by_day[int(time // SECONDS_PER_DAY)] += num_bytes
+        else:
+            self.intra_rack_bytes += num_bytes
+        for switch in self.topology.switch_path(src_node, dst_node):
+            self.bytes_by_switch[switch] += num_bytes
+        if self.record_transfers:
+            self.transfers.append(
+                Transfer(
+                    time=time,
+                    src_node=src_node,
+                    dst_node=dst_node,
+                    num_bytes=num_bytes,
+                    cross_rack=cross,
+                    purpose=purpose,
+                )
+            )
+        return cross
+
+    def daily_cross_rack_series(self, num_days: Optional[int] = None) -> List[int]:
+        """Cross-rack bytes per day as a dense list (Fig. 3b's line)."""
+        if not self.cross_rack_bytes_by_day and num_days is None:
+            return []
+        last_day = (
+            max(self.cross_rack_bytes_by_day) + 1
+            if self.cross_rack_bytes_by_day
+            else 0
+        )
+        days = num_days if num_days is not None else last_day
+        return [self.cross_rack_bytes_by_day.get(day, 0) for day in range(days)]
+
+    @property
+    def aggregation_switch_bytes(self) -> int:
+        """Bytes through the aggregation switch (== cross-rack bytes)."""
+        return self.bytes_by_switch.get("aggregation", 0)

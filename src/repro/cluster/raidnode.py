@@ -1,0 +1,242 @@
+"""The RAID node: erasure-codes cold files and repairs their blocks.
+
+Section 2.1: data not accessed for three months is converted from 3-way
+replication to (10, 4) RS coding.  :class:`RaidNode` performs that
+conversion against the mini-HDFS layer -- groups a file's blocks into
+stripes, computes parities with a :class:`~repro.striping.codec.StripeCodec`,
+places every stripe member on a distinct rack, and drops the now-redundant
+extra replicas.  It also implements block reconstruction and degraded
+reads through the stripe, charging every transfer to a
+:class:`~repro.cluster.network.TrafficMeter` so the integration tests can
+check the byte accounting end to end against the repair plans.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cluster.namenode import NameNode, StripeEntry
+from repro.cluster.network import TrafficMeter
+from repro.codes.base import ErasureCode
+from repro.errors import RepairError, SimulationError
+from repro.striping.blocks import Block
+from repro.striping.codec import StripeCodec
+from repro.striping.layout import group_into_stripes
+
+
+class RaidNode:
+    """Cold-data encoder and block reconstructor.
+
+    Parameters
+    ----------
+    namenode:
+        The metadata service and datanode registry.
+    code:
+        The protecting erasure code.
+    meter:
+        Optional traffic meter; when given, every payload transfer is
+        charged (purpose ``"raid-encode"``, ``"recovery"`` or
+        ``"degraded-read"``).
+    """
+
+    def __init__(
+        self,
+        namenode: NameNode,
+        code: ErasureCode,
+        meter: Optional[TrafficMeter] = None,
+    ):
+        self.namenode = namenode
+        self.codec = StripeCodec(code)
+        self.code = code
+        self.meter = meter
+
+    # ------------------------------------------------------------------
+    # Raiding (replicas -> stripes)
+    # ------------------------------------------------------------------
+
+    def raid_file(self, name: str, time: float = 0.0) -> List[StripeEntry]:
+        """Erasure-code a file, then reduce its blocks to one copy each."""
+        entry = self.namenode.files.get(name)
+        if entry is None:
+            raise SimulationError(f"no such file {name!r}")
+        if entry.raided:
+            raise SimulationError(f"file {name!r} is already raided")
+        blocks = entry.file.blocks
+        layouts = group_into_stripes(
+            blocks, self.code.k, self.code.r, stripe_prefix=f"{name}/stripe"
+        )
+        stripe_entries = []
+        cursor = 0
+        for layout in layouts:
+            members = blocks[cursor : cursor + layout.real_data_count]
+            cursor += layout.real_data_count
+            data_slots: List[Optional[Block]] = []
+            real_iter = iter(members)
+            for block_id in layout.data_block_ids:
+                data_slots.append(None if block_id is None else next(real_iter))
+            parities = self.codec.encode_stripe(layout, data_slots)
+            stripe_entries.append(
+                self._place_stripe(layout, data_slots, parities, time)
+            )
+        entry.raided = True
+        entry.stripe_ids = [se.layout.stripe_id for se in stripe_entries]
+        return stripe_entries
+
+    def _place_stripe(
+        self,
+        layout,
+        data_slots: List[Optional[Block]],
+        parities: List[Block],
+        time: float,
+    ) -> StripeEntry:
+        width = layout.n
+        nodes = self.namenode.placement.place_stripe(width)
+        locations: Dict[int, int] = {}
+        for slot, block in enumerate(data_slots):
+            if block is None:
+                continue
+            target = nodes[slot]
+            self._move_block_to(block, target, time)
+            locations[slot] = target
+        for j, parity in enumerate(parities):
+            slot = layout.k + j
+            target = nodes[slot]
+            self.namenode.datanodes[target].store(parity)
+            self.namenode.block_locations[parity.block_id] = [target]
+            locations[slot] = target
+        return self.namenode.register_stripe(layout, self.code.name, locations)
+
+    def _move_block_to(self, block: Block, target: int, time: float) -> None:
+        """Keep exactly one copy of a data block, on the chosen node."""
+        holders = self.namenode.block_locations.get(block.block_id, [])
+        if target not in holders:
+            source = next(
+                (n for n in holders if self.namenode.datanodes[n].is_up), None
+            )
+            if source is None:
+                raise SimulationError(
+                    f"no live copy of {block.block_id} to migrate"
+                )
+            self.namenode.datanodes[target].store(block)
+            if self.meter is not None and source != target:
+                self.meter.charge(
+                    time, source, target, block.size, purpose="raid-encode"
+                )
+        for node in holders:
+            if node != target:
+                self.namenode.datanodes[node].drop(block.block_id)
+        self.namenode.block_locations[block.block_id] = [target]
+
+    # ------------------------------------------------------------------
+    # Reconstruction and degraded reads
+    # ------------------------------------------------------------------
+
+    def _stripe_availability(
+        self, entry: StripeEntry
+    ) -> Tuple[Dict[int, Block], List[int]]:
+        """(live slot -> block, missing slots) for a stripe."""
+        available: Dict[int, Block] = {}
+        missing: List[int] = []
+        for slot, member_id in enumerate(entry.layout.all_block_ids()):
+            if member_id is None:
+                continue
+            node = entry.locations.get(slot)
+            datanode = self.namenode.datanodes.get(node) if node is not None else None
+            if (
+                datanode is not None
+                and datanode.is_up
+                and member_id in datanode.blocks
+            ):
+                available[slot] = datanode.blocks[member_id]
+            else:
+                missing.append(slot)
+        return available, missing
+
+    def reconstruct_block(
+        self, stripe_id: str, slot: int, time: float = 0.0
+    ) -> Tuple[Block, int]:
+        """Rebuild one stripe member onto a fresh node.
+
+        Returns the rebuilt block and the bytes transferred, which equal
+        the code's repair-plan bytes (the tests assert this).
+        """
+        entry = self.namenode.stripes.get(stripe_id)
+        if entry is None:
+            raise SimulationError(f"no such stripe {stripe_id}")
+        available, missing = self._stripe_availability(entry)
+        if slot not in missing:
+            raise RepairError(f"slot {slot} of {stripe_id} is not missing")
+        rebuilt, bytes_read, plan = self.codec.repair_block(
+            entry.layout, slot, available
+        )
+        live_nodes = [entry.locations[s] for s in available]
+        down_nodes = [
+            node.node_id
+            for node in self.namenode.datanodes.values()
+            if not node.is_up
+        ]
+        destination = self.namenode.placement.replacement_node(
+            exclude_nodes=live_nodes + down_nodes
+        )
+        self.namenode.datanodes[destination].store(rebuilt)
+        self.namenode.block_locations[rebuilt.block_id] = [destination]
+        entry.locations[slot] = destination
+        if self.meter is not None:
+            unit_bytes = self.codec.padded_width(entry.layout)
+            sub_bytes = unit_bytes // self.code.substripes_per_unit
+            for request in plan.requests:
+                source_node = entry.locations.get(request.node)
+                if source_node is None or source_node == destination:
+                    continue
+                self.meter.charge(
+                    time,
+                    source_node,
+                    destination,
+                    len(request.substripes) * sub_bytes,
+                    purpose="recovery",
+                )
+        return rebuilt, bytes_read
+
+    def reconstruct_all_missing(self, time: float = 0.0) -> int:
+        """Rebuild every missing member of every stripe; returns count."""
+        rebuilt = 0
+        for stripe_id, entry in self.namenode.stripes.items():
+            __, missing = self._stripe_availability(entry)
+            for slot in missing:
+                self.reconstruct_block(stripe_id, slot, time)
+                rebuilt += 1
+        return rebuilt
+
+    def degraded_read(self, block_id: str, time: float = 0.0) -> np.ndarray:
+        """Read a block whose copy is offline, through its stripe.
+
+        Unlike :meth:`reconstruct_block` this does not re-place the
+        block; it only serves the read (what a map-reduce task blocked on
+        a missing block needs).
+        """
+        located = self.namenode.stripe_of_block(block_id)
+        if located is None:
+            raise SimulationError(f"block {block_id} is not part of a stripe")
+        entry, slot = located
+        available, missing = self._stripe_availability(entry)
+        if slot in available:
+            return available[slot].payload
+        rebuilt, __, plan = self.codec.repair_block(entry.layout, slot, available)
+        if self.meter is not None:
+            unit_bytes = self.codec.padded_width(entry.layout)
+            sub_bytes = unit_bytes // self.code.substripes_per_unit
+            reader = entry.locations.get(slot, 0)
+            for request in plan.requests:
+                source_node = entry.locations.get(request.node)
+                if source_node is None or source_node == reader:
+                    continue
+                self.meter.charge(
+                    time,
+                    source_node,
+                    reader,
+                    len(request.substripes) * sub_bytes,
+                    purpose="degraded-read",
+                )
+        return rebuilt.payload

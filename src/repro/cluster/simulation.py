@@ -1,0 +1,219 @@
+"""The assembled warehouse-cluster simulation.
+
+:class:`WarehouseSimulation` wires topology, placement, stripe store,
+availability state, failure injection, recovery, and traffic metering
+together, runs the event queue for the configured number of days, and
+returns a :class:`SimulationResult` with exactly the series and medians
+the paper's figures report.
+
+Determinism: every stochastic component draws from its own
+``numpy`` Generator seeded from ``config.seed``, and *none* of the
+failure/size/placement streams depend on the protecting code -- so
+running the same config with ``code_name="rs"`` and
+``code_name="piggyback"`` replays the identical failure history, making
+traffic differences attributable to the code alone (the §3.2
+comparison).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.cluster.blockmap import StripeStore
+from repro.cluster.config import ClusterConfig
+from repro.cluster.datanode import NodeStateTable
+from repro.cluster.events import EventQueue
+from repro.cluster.failures import FailureInjector
+from repro.cluster.network import TrafficMeter
+from repro.cluster.placement import PlacementPolicy, make_placement
+from repro.cluster.recovery import RecoveryService, RecoveryStats
+from repro.cluster.topology import Topology
+from repro.cluster.traces import generate_unavailability_events, stripe_unit_sizes
+from repro.cluster.workload import ReadStats, ReadWorkload
+from repro.codes.registry import create_code
+
+
+@dataclass
+class SimulationResult:
+    """Everything a bench needs from one simulation run.
+
+    ``*_scaled`` fields extrapolate from the simulated block density to
+    production density (``config.block_scale``); unavailability counts
+    are *not* scaled (the simulated machine count is the production
+    machine count).
+    """
+
+    config: ClusterConfig
+    code_name: str
+    days: int
+    #: Fig. 3a series (per day, full machine count -- unscaled).
+    unavailability_events_per_day: List[int]
+    #: Fig. 3b series (per day, at simulated block density).
+    blocks_recovered_per_day: List[int]
+    cross_rack_bytes_per_day: List[int]
+    #: Section 2.2 item 2.
+    degraded_fractions: Dict[str, float]
+    degraded_histogram: Dict[int, int]
+    stats: RecoveryStats = field(repr=False, default=None)
+    meter: TrafficMeter = field(repr=False, default=None)
+    read_stats: Optional[ReadStats] = field(repr=False, default=None)
+
+    # ------------------------------------------------------------------
+    # Medians and extrapolation
+    # ------------------------------------------------------------------
+
+    @property
+    def block_scale(self) -> float:
+        return self.config.block_scale
+
+    @property
+    def median_unavailability_events(self) -> float:
+        return float(np.median(self.unavailability_events_per_day))
+
+    @property
+    def median_blocks_recovered(self) -> float:
+        return float(np.median(self.blocks_recovered_per_day))
+
+    @property
+    def median_blocks_recovered_scaled(self) -> float:
+        return self.median_blocks_recovered * self.block_scale
+
+    @property
+    def blocks_recovered_per_day_scaled(self) -> List[float]:
+        return [b * self.block_scale for b in self.blocks_recovered_per_day]
+
+    @property
+    def median_cross_rack_bytes(self) -> float:
+        return float(np.median(self.cross_rack_bytes_per_day))
+
+    @property
+    def median_cross_rack_bytes_scaled(self) -> float:
+        return self.median_cross_rack_bytes * self.block_scale
+
+    @property
+    def cross_rack_bytes_per_day_scaled(self) -> List[float]:
+        return [b * self.block_scale for b in self.cross_rack_bytes_per_day]
+
+    @property
+    def total_cross_rack_bytes_scaled(self) -> float:
+        return self.meter.cross_rack_bytes * self.block_scale
+
+    @property
+    def mean_bytes_per_recovered_block(self) -> float:
+        if self.stats.blocks_recovered == 0:
+            return 0.0
+        return self.stats.bytes_downloaded / self.stats.blocks_recovered
+
+
+class WarehouseSimulation:
+    """One configured warehouse-cluster simulation.
+
+    Examples
+    --------
+    >>> config = ClusterConfig(num_racks=20, nodes_per_rack=5,
+    ...                        stripes_per_node=20.0, days=2.0)
+    >>> result = WarehouseSimulation(config).run()
+    >>> len(result.blocks_recovered_per_day)
+    2
+    """
+
+    def __init__(self, config: ClusterConfig, record_transfers: bool = False):
+        self.config = config
+        self.topology = Topology(config.num_racks, config.nodes_per_rack)
+        # Independent, code-agnostic random streams (see module docstring).
+        seed = np.random.SeedSequence(config.seed)
+        (
+            placement_seed,
+            failure_seed,
+            size_seed,
+            recovery_seed,
+            workload_seed,
+        ) = seed.spawn(5)
+        self.placement: PlacementPolicy = make_placement(
+            config.placement_policy, self.topology, seed=placement_seed
+        )
+        self.code = create_code(config.code_name, **config.code_params)
+        sizes_rng = np.random.default_rng(size_seed)
+        placements = self.placement.place_many(
+            config.num_stripes, self.code.n
+        )
+        sizes = stripe_unit_sizes(sizes_rng, config.num_stripes, config)
+        self.store = StripeStore(placements, sizes)
+        self.state = NodeStateTable(config.num_nodes)
+        self.meter = TrafficMeter(self.topology, record_transfers=record_transfers)
+        self._failure_rng = np.random.default_rng(failure_seed)
+        recovery_rng = np.random.default_rng(recovery_seed)
+        self.recovery = RecoveryService(
+            store=self.store,
+            state=self.state,
+            placement=self.placement,
+            code=self.code,
+            meter=self.meter,
+            rng=recovery_rng,
+            trigger_fraction=config.recovery_trigger_fraction,
+            bandwidth_bytes_per_sec=config.recovery_bandwidth_bytes_per_sec,
+        )
+        self.injector = FailureInjector(
+            state=self.state,
+            store=self.store,
+            threshold_seconds=config.unavailability_threshold_seconds,
+            on_flagged=self.recovery.on_node_flagged,
+        )
+        self.workload: Optional[ReadWorkload] = None
+        if config.reads_per_stripe_per_day > 0:
+            self.workload = ReadWorkload(
+                store=self.store,
+                state=self.state,
+                meter=self.meter,
+                code=self.code,
+                rng=np.random.default_rng(workload_seed),
+                reads_per_stripe_per_day=config.reads_per_stripe_per_day,
+            )
+        self.queue = EventQueue()
+
+    def run(self) -> SimulationResult:
+        """Generate the trace, replay it, and collect the results."""
+        events = generate_unavailability_events(self._failure_rng, self.config)
+        self.injector.install(self.queue, events)
+        if self.workload is not None:
+            self.workload.install(self.queue, self.config.days)
+        # Run the queue to exhaustion so in-flight outages resolve (flag
+        # checks + recoveries); the reported series cover full days only.
+        self.queue.run()
+        num_days = int(self.config.days)
+        return SimulationResult(
+            config=self.config,
+            code_name=self.code.name,
+            days=num_days,
+            unavailability_events_per_day=self.injector.daily_flagged_series(
+                num_days
+            ),
+            blocks_recovered_per_day=self.recovery.stats.daily_blocks_series(
+                num_days
+            ),
+            cross_rack_bytes_per_day=self.meter.daily_cross_rack_series(num_days),
+            degraded_fractions=self.recovery.stats.degraded_fractions(),
+            degraded_histogram=dict(self.recovery.stats.degraded_histogram),
+            stats=self.recovery.stats,
+            meter=self.meter,
+            read_stats=self.workload.stats if self.workload else None,
+        )
+
+
+def run_code_comparison(
+    config: ClusterConfig, code_names: List[str], **per_code_params
+) -> Dict[str, SimulationResult]:
+    """Run the identical failure history under several codes.
+
+    ``per_code_params`` optionally maps a code name to its parameter
+    dict; codes not listed reuse ``config.code_params``.
+    """
+    results: Dict[str, SimulationResult] = {}
+    for name in code_names:
+        params = per_code_params.get(name, config.code_params)
+        run_config = config.with_code(name, **params)
+        results[name] = WarehouseSimulation(run_config).run()
+    return results

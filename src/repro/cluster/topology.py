@@ -1,0 +1,96 @@
+"""Cluster topology: racks, nodes, TOR and aggregation switches.
+
+Fig. 1 of the paper shows the network path a recovery transfer takes:
+source node -> source TOR switch -> aggregation switch -> destination TOR
+switch -> destination node.  The topology object answers the one question
+the measurement study depends on -- does a transfer cross racks? -- and
+names the switches a transfer traverses so the meters can attribute
+bytes per switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Node:
+    """One machine: a flat id and the rack that houses it."""
+
+    node_id: int
+    rack_id: int
+
+
+class Topology:
+    """A two-level rack/aggregation topology.
+
+    Node ids are dense integers ``0 .. num_nodes-1``; rack ``i`` houses
+    nodes ``i * nodes_per_rack .. (i+1) * nodes_per_rack - 1``.
+
+    Examples
+    --------
+    >>> topo = Topology(num_racks=3, nodes_per_rack=2)
+    >>> topo.rack_of(5)
+    2
+    >>> topo.crosses_racks(0, 1), topo.crosses_racks(0, 2)
+    (False, True)
+    """
+
+    def __init__(self, num_racks: int, nodes_per_rack: int):
+        if num_racks < 1 or nodes_per_rack < 1:
+            raise ConfigError(
+                f"invalid topology {num_racks} racks x {nodes_per_rack} nodes"
+            )
+        self.num_racks = num_racks
+        self.nodes_per_rack = nodes_per_rack
+
+    @property
+    def num_nodes(self) -> int:
+        return self.num_racks * self.nodes_per_rack
+
+    def validate_node(self, node_id: int) -> int:
+        node_id = int(node_id)
+        if not 0 <= node_id < self.num_nodes:
+            raise ConfigError(
+                f"node {node_id} outside cluster of {self.num_nodes} nodes"
+            )
+        return node_id
+
+    def rack_of(self, node_id: int) -> int:
+        """Rack housing a node."""
+        return self.validate_node(node_id) // self.nodes_per_rack
+
+    def node(self, node_id: int) -> Node:
+        return Node(node_id=self.validate_node(node_id), rack_id=self.rack_of(node_id))
+
+    def nodes_in_rack(self, rack_id: int) -> List[int]:
+        rack_id = int(rack_id)
+        if not 0 <= rack_id < self.num_racks:
+            raise ConfigError(
+                f"rack {rack_id} outside cluster of {self.num_racks} racks"
+            )
+        start = rack_id * self.nodes_per_rack
+        return list(range(start, start + self.nodes_per_rack))
+
+    def iter_nodes(self) -> Iterator[Node]:
+        for node_id in range(self.num_nodes):
+            yield self.node(node_id)
+
+    def crosses_racks(self, src_node: int, dst_node: int) -> bool:
+        """Whether a transfer between two nodes traverses TOR uplinks."""
+        return self.rack_of(src_node) != self.rack_of(dst_node)
+
+    def switch_path(self, src_node: int, dst_node: int) -> Tuple[str, ...]:
+        """Named switches a transfer traverses (Fig. 1's TOR/AS path).
+
+        Intra-rack transfers touch only their rack's TOR switch;
+        cross-rack transfers go TOR -> aggregation -> TOR.
+        """
+        src_rack = self.rack_of(src_node)
+        dst_rack = self.rack_of(dst_node)
+        if src_rack == dst_rack:
+            return (f"tor_{src_rack}",)
+        return (f"tor_{src_rack}", "aggregation", f"tor_{dst_rack}")

@@ -1,0 +1,188 @@
+"""Calibrated synthetic trace generators.
+
+The paper publishes summary statistics of its production traces rather
+than the traces themselves (Fig. 3a/3b and Section 2.2).  This module
+generates seeded synthetic traces whose summary statistics match the
+published ones; the simulator then *measures* its own behaviour against
+those traces, exercising the same code paths real traces would.
+
+Calibration targets (see
+:class:`repro.cluster.config.PaperTargets`):
+
+- daily machine-unavailability events: median ~52, occasional spikes to
+  200-350 (Fig. 3a) -- modelled as lognormal counts with a spike mixture;
+- stripe widths: ~50% full 256 MB blocks, the rest a uniform tail, so
+  the mean RS recovery transfer is ~1.9 GB/block, matching the ratio of
+  the two Fig. 3b medians (180 TB / 95.5k blocks);
+- unavailability durations: exponential beyond the 15-minute flag
+  threshold, with a mean that keeps 2-4 machines concurrently down
+  (setting the doubly-degraded-stripe rate), plus rare *correlated*
+  batch incidents -- a maintenance wave or shared-switch event taking a
+  few dozen machines down at one instant -- which populate the
+  triply-degraded tail of the 98.08 / 1.87 / 0.05 split of Section 2.2
+  (independent failures alone cannot reach the 0.05%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.cluster.config import SECONDS_PER_DAY, ClusterConfig
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class UnavailabilityEvent:
+    """One machine-unavailability event (already past the 15-min flag)."""
+
+    time: float
+    node: int
+    duration: float
+
+    @property
+    def day(self) -> int:
+        return int(self.time // SECONDS_PER_DAY)
+
+
+def daily_event_counts(
+    rng: np.random.Generator,
+    days: int,
+    median: float,
+    sigma: float,
+    spike_probability: float,
+    spike_multiplier: float,
+) -> np.ndarray:
+    """Events per day: lognormal body with a heavy spike mixture.
+
+    The lognormal median is ``median`` (``exp(mu)``); on spike days the
+    count is multiplied by ``spike_multiplier`` (maintenance waves and
+    rollout days -- the 200-350 event days of Fig. 3a).
+    """
+    if days < 1:
+        raise TraceError(f"need at least one day, got {days}")
+    if median <= 0:
+        raise TraceError(f"median must be positive, got {median}")
+    counts = rng.lognormal(mean=np.log(median), sigma=sigma, size=days)
+    spikes = rng.random(days) < spike_probability
+    counts = np.where(spikes, counts * spike_multiplier, counts)
+    return np.maximum(1, np.round(counts)).astype(np.int64)
+
+
+def sample_downtime_tail(
+    rng: np.random.Generator, config: ClusterConfig, count: int
+) -> np.ndarray:
+    """Sample the duration tail beyond the floor.
+
+    ``"exponential"`` keeps the calibrated memoryless tail;
+    ``"weibull"`` with shape < 1 gives the heavier tail machine-repair
+    studies observe, scaled so the mean stays
+    ``mean_downtime_seconds`` (calibration-preserving by construction).
+    """
+    if config.downtime_distribution == "exponential":
+        return rng.exponential(config.mean_downtime_seconds, size=count)
+    shape = config.downtime_weibull_shape
+    # E[scale * W(shape)] = scale * Gamma(1 + 1/shape).
+    from math import gamma
+
+    scale = config.mean_downtime_seconds / gamma(1.0 + 1.0 / shape)
+    return scale * rng.weibull(shape, size=count)
+
+
+def generate_unavailability_events(
+    rng: np.random.Generator, config: ClusterConfig
+) -> List[UnavailabilityEvent]:
+    """Full event trace for a simulation run.
+
+    Event times are uniform within their day; nodes are uniform over the
+    cluster (a node already down at the sampled time is handled by the
+    simulator, which skips double-down transitions); durations are the
+    15-minute threshold plus an exponential tail.
+    """
+    days = int(np.ceil(config.days))
+    counts = daily_event_counts(
+        rng,
+        days,
+        config.daily_event_median,
+        config.daily_event_sigma,
+        config.event_spike_probability,
+        config.event_spike_multiplier,
+    )
+    events: List[UnavailabilityEvent] = []
+    horizon = config.days * SECONDS_PER_DAY
+    for day, count in enumerate(counts):
+        times = rng.uniform(0.0, SECONDS_PER_DAY, size=int(count)) + day * SECONDS_PER_DAY
+        nodes = rng.integers(0, config.num_nodes, size=int(count))
+        durations = config.duration_floor_seconds + sample_downtime_tail(
+            rng, config, int(count)
+        )
+        for time, node, duration in zip(times, nodes, durations):
+            if time >= horizon:
+                continue
+            events.append(
+                UnavailabilityEvent(
+                    time=float(time), node=int(node), duration=float(duration)
+                )
+            )
+        # Correlated incidents: a maintenance batch / shared-switch
+        # event takes a whole group down at the same instant (the
+        # source of multiply-degraded stripes, Section 2.2 item 2).
+        if rng.random() < config.correlated_event_probability:
+            batch_time = float(
+                rng.uniform(0.0, SECONDS_PER_DAY) + day * SECONDS_PER_DAY
+            )
+            if batch_time < horizon:
+                batch_size = min(config.correlated_batch_size, config.num_nodes)
+                batch_nodes = rng.choice(
+                    config.num_nodes, size=batch_size, replace=False
+                )
+                batch_durations = (
+                    config.duration_floor_seconds
+                    + sample_downtime_tail(rng, config, batch_size)
+                )
+                for node, duration in zip(batch_nodes, batch_durations):
+                    events.append(
+                        UnavailabilityEvent(
+                            time=batch_time,
+                            node=int(node),
+                            duration=float(duration),
+                        )
+                    )
+    events.sort(key=lambda e: e.time)
+    return events
+
+
+def stripe_unit_sizes(
+    rng: np.random.Generator, num_stripes: int, config: ClusterConfig
+) -> np.ndarray:
+    """Per-stripe unit widths (bytes): full blocks plus a uniform tail.
+
+    With probability ``full_block_fraction`` a stripe is made of full
+    256 MB blocks; otherwise its width is uniform in
+    ``[min_tail_block_fraction, 1) x block_size``.  The defaults give a
+    mean width of ~197 MB, i.e. ~1.97 GB downloaded per (10,4) RS block
+    recovery -- the ratio of the paper's two Fig. 3b medians.
+    """
+    if num_stripes < 1:
+        raise TraceError(f"need at least one stripe, got {num_stripes}")
+    block = config.block_size_bytes
+    full = rng.random(num_stripes) < config.full_block_fraction
+    tails = rng.uniform(
+        config.min_tail_block_fraction * block, block, size=num_stripes
+    )
+    sizes = np.maximum(8, np.where(full, block, tails)).astype(np.int64)
+    # Round to a multiple of 8 bytes so every codec's substripe split
+    # (2 for piggybacked codes, 8 strips for bit-matrix CRS) is exact.
+    return (sizes // 8) * 8
+
+
+def expected_mean_unit_size(config: ClusterConfig) -> float:
+    """Analytic mean of :func:`stripe_unit_sizes` (used by calibration tests)."""
+    block = config.block_size_bytes
+    tail_mean = (config.min_tail_block_fraction * block + block) / 2.0
+    return (
+        config.full_block_fraction * block
+        + (1.0 - config.full_block_fraction) * tail_mean
+    )

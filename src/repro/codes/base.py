@@ -1,0 +1,417 @@
+"""Common interface for erasure codes and their repair plans.
+
+Terminology (matching the paper, Section 1-2):
+
+- A *stripe* consists of ``n = k + r`` *units* stored on distinct nodes:
+  ``k`` data units and ``r`` parity units.  In the warehouse cluster a
+  unit is a 256 MB HDFS block.
+- A *unit* is a byte payload.  Codes built from multiple byte-level
+  substripes (the Piggybacked-RS code couples two) divide each unit into
+  ``substripes_per_unit`` equal contiguous *subunits*; the code operates
+  on corresponding subunits across nodes.  Plain RS has
+  ``substripes_per_unit == 1``.
+- *Repair* of a failed unit downloads some set of subunits from surviving
+  nodes.  The network cost of the paper's study is exactly the byte count
+  of those downloads, so repair is described by an explicit
+  :class:`RepairPlan` that the cluster simulator meters.
+
+All payloads are numpy ``uint8`` arrays.  ``encode`` is systematic: the
+first ``k`` output units are the data units unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import DecodingError, EncodingError, RepairError
+
+
+@dataclass(frozen=True)
+class SymbolRequest:
+    """A request to read some subunits of one surviving node's unit.
+
+    Attributes
+    ----------
+    node:
+        Index of the surviving node in the stripe, in ``[0, n)``.
+    substripes:
+        Sorted tuple of substripe indices to read from that node's unit,
+        each in ``[0, substripes_per_unit)``.
+    """
+
+    node: int
+    substripes: Tuple[int, ...]
+
+    def __post_init__(self):
+        if not self.substripes:
+            raise RepairError("a SymbolRequest must request at least one substripe")
+        if tuple(sorted(set(self.substripes))) != self.substripes:
+            raise RepairError("substripes must be sorted and unique")
+
+    def fraction_of_unit(self, substripes_per_unit: int) -> float:
+        """Fraction of the node's unit that this request reads."""
+        return len(self.substripes) / substripes_per_unit
+
+
+@dataclass(frozen=True)
+class RepairPlan:
+    """A complete description of one unit-repair operation.
+
+    The plan is *declarative*: it lists which subunits to read from which
+    surviving nodes.  :meth:`ErasureCode.repair` consumes exactly these
+    subunits; the simulator charges exactly these bytes to the network.
+
+    Attributes
+    ----------
+    failed_node:
+        The stripe index of the unit being rebuilt.
+    requests:
+        One :class:`SymbolRequest` per surviving node contacted.
+    substripes_per_unit:
+        Copied from the owning code, so byte accounting needs no
+        back-reference.
+    """
+
+    failed_node: int
+    requests: Tuple[SymbolRequest, ...]
+    substripes_per_unit: int = 1
+
+    def __post_init__(self):
+        nodes = [request.node for request in self.requests]
+        if len(set(nodes)) != len(nodes):
+            raise RepairError("repair plan contacts a node twice")
+        if self.failed_node in nodes:
+            raise RepairError("repair plan reads from the failed node")
+
+    @property
+    def nodes_contacted(self) -> Tuple[int, ...]:
+        """Stripe indices of the surviving nodes read from."""
+        return tuple(request.node for request in self.requests)
+
+    @property
+    def num_connections(self) -> int:
+        """How many distinct nodes the repair connects to."""
+        return len(self.requests)
+
+    @property
+    def subunits_read(self) -> int:
+        """Total number of subunits transferred."""
+        return sum(len(request.substripes) for request in self.requests)
+
+    @property
+    def units_downloaded(self) -> float:
+        """Total download in units (fractions of a full unit)."""
+        return self.subunits_read / self.substripes_per_unit
+
+    def bytes_downloaded(self, unit_size: int) -> int:
+        """Total download in bytes for a stripe whose units are ``unit_size``.
+
+        ``unit_size`` must be divisible by ``substripes_per_unit`` (codes
+        enforce this on their payloads as well).
+        """
+        if unit_size % self.substripes_per_unit:
+            raise RepairError(
+                f"unit size {unit_size} not divisible by "
+                f"{self.substripes_per_unit} substripes"
+            )
+        return self.subunits_read * (unit_size // self.substripes_per_unit)
+
+
+class ErasureCode(abc.ABC):
+    """Abstract base class for all erasure codes in the library.
+
+    Subclasses define the class attributes/properties ``k``, ``r`` and
+    ``substripes_per_unit`` and implement :meth:`encode`,
+    :meth:`decode`, :meth:`repair_plan` and :meth:`repair`.
+    """
+
+    #: Number of data units per stripe.
+    k: int
+    #: Number of parity units per stripe.
+    r: int
+    #: How many byte-level substripes each unit is divided into.
+    substripes_per_unit: int = 1
+
+    # ------------------------------------------------------------------
+    # Derived properties
+    # ------------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Total number of units (nodes) per stripe."""
+        return self.k + self.r
+
+    @property
+    def unit_alignment(self) -> int:
+        """Byte multiple unit sizes must satisfy.
+
+        Defaults to the substripe count; backends with internal
+        bit-slicing (e.g. the Cauchy bit-matrix codec) require more.
+        The block codec pads stripe widths to this alignment.
+        """
+        return self.substripes_per_unit
+
+    @property
+    def storage_overhead(self) -> float:
+        """Physical-to-logical storage ratio ``n / k`` (1.4 for (10,4))."""
+        return self.n / self.k
+
+    @property
+    def is_mds(self) -> bool:
+        """Whether the code is Maximum Distance Separable.
+
+        MDS codes decode from *any* ``k`` surviving units and are
+        storage-optimal for their fault tolerance; RS and Piggybacked-RS
+        are MDS, LRC is not.
+        """
+        return True
+
+    @property
+    def name(self) -> str:
+        """Human-readable identifier used in benches and reports."""
+        return f"{type(self).__name__}({self.k},{self.r})"
+
+    # ------------------------------------------------------------------
+    # Core operations
+    # ------------------------------------------------------------------
+
+    @abc.abstractmethod
+    def encode(self, data_units: np.ndarray) -> np.ndarray:
+        """Systematically encode ``k`` data units into ``n`` stripe units.
+
+        Parameters
+        ----------
+        data_units:
+            Array of shape ``(k, unit_size)`` and dtype ``uint8``.
+            ``unit_size`` must be a positive multiple of
+            ``substripes_per_unit``.
+
+        Returns
+        -------
+        Array of shape ``(n, unit_size)``; rows ``0..k-1`` equal the
+        input data units.
+        """
+
+    @abc.abstractmethod
+    def decode(self, available_units: Mapping[int, np.ndarray]) -> np.ndarray:
+        """Recover the ``k`` data units from surviving units.
+
+        Parameters
+        ----------
+        available_units:
+            Maps stripe index to that node's full unit payload.  MDS
+            codes require any ``k`` entries; non-MDS codes may need more
+            depending on which nodes survive.
+
+        Returns
+        -------
+        Array of shape ``(k, unit_size)``: the original data units.
+
+        Raises
+        ------
+        DecodingError
+            If the surviving set is insufficient.
+        """
+
+    @abc.abstractmethod
+    def repair_plan(
+        self,
+        failed_node: int,
+        available_nodes: Optional[Iterable[int]] = None,
+    ) -> RepairPlan:
+        """Plan the cheapest supported repair of one failed unit.
+
+        Parameters
+        ----------
+        failed_node:
+            Stripe index in ``[0, n)`` of the unit to rebuild.
+        available_nodes:
+            Iterable of surviving stripe indices; defaults to all nodes
+            except ``failed_node``.  The plan only reads from these.
+
+        Raises
+        ------
+        RepairError
+            If the survivors cannot rebuild the failed unit.
+        """
+
+    @abc.abstractmethod
+    def repair(
+        self,
+        failed_node: int,
+        fetched: Mapping[int, Mapping[int, np.ndarray]],
+    ) -> np.ndarray:
+        """Rebuild a failed unit from the subunits named by its plan.
+
+        Parameters
+        ----------
+        failed_node:
+            Stripe index of the unit to rebuild.
+        fetched:
+            ``fetched[node][substripe]`` is the requested subunit payload
+            from a surviving node, exactly as named by the
+            :class:`RepairPlan` this call is executing.
+
+        Returns
+        -------
+        The rebuilt unit, shape ``(unit_size,)``.
+        """
+
+    # ------------------------------------------------------------------
+    # Shared validation and convenience helpers
+    # ------------------------------------------------------------------
+
+    def validate_data_units(self, data_units: np.ndarray) -> np.ndarray:
+        """Check shape/dtype of encoder input and return it as ``uint8``."""
+        data_units = np.asarray(data_units)
+        if data_units.ndim != 2:
+            raise EncodingError(
+                f"expected 2-d (k, unit_size) data, got shape {data_units.shape}"
+            )
+        if data_units.shape[0] != self.k:
+            raise EncodingError(
+                f"{self.name} expects {self.k} data units, got {data_units.shape[0]}"
+            )
+        unit_size = data_units.shape[1]
+        if unit_size <= 0:
+            raise EncodingError("unit size must be positive")
+        if unit_size % self.substripes_per_unit:
+            raise EncodingError(
+                f"unit size {unit_size} must be divisible by "
+                f"{self.substripes_per_unit} substripes"
+            )
+        if data_units.dtype != np.uint8:
+            data_units = data_units.astype(np.uint8)
+        return data_units
+
+    def validate_node_index(self, node: int) -> int:
+        node = int(node)
+        if not 0 <= node < self.n:
+            raise RepairError(
+                f"node index {node} outside stripe of {self.n} units"
+            )
+        return node
+
+    def split_unit(self, unit: np.ndarray) -> List[np.ndarray]:
+        """Split one unit payload into its ``substripes_per_unit`` subunits."""
+        unit = np.asarray(unit, dtype=np.uint8)
+        if unit.ndim != 1 or unit.shape[0] % self.substripes_per_unit:
+            raise EncodingError(
+                f"unit of shape {unit.shape} cannot be split into "
+                f"{self.substripes_per_unit} substripes"
+            )
+        return list(unit.reshape(self.substripes_per_unit, -1))
+
+    def join_subunits(self, subunits: Sequence[np.ndarray]) -> np.ndarray:
+        """Concatenate subunits back into a full unit payload."""
+        if len(subunits) != self.substripes_per_unit:
+            raise EncodingError(
+                f"expected {self.substripes_per_unit} subunits, got {len(subunits)}"
+            )
+        return np.concatenate([np.asarray(s, dtype=np.uint8) for s in subunits])
+
+    def execute_repair(
+        self,
+        failed_node: int,
+        available_units: Mapping[int, np.ndarray],
+        plan: Optional[RepairPlan] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Plan and run a repair against full surviving units.
+
+        This is the end-to-end helper the simulator and tests use: it
+        builds (or takes) a plan, extracts from ``available_units`` only
+        the subunits the plan names, rebuilds the unit, and reports the
+        byte count actually transferred.
+
+        Returns
+        -------
+        (rebuilt_unit, bytes_downloaded)
+        """
+        failed_node = self.validate_node_index(failed_node)
+        if plan is None:
+            plan = self.repair_plan(failed_node, available_units.keys())
+        fetched: Dict[int, Dict[int, np.ndarray]] = {}
+        bytes_downloaded = 0
+        for request in plan.requests:
+            if request.node not in available_units:
+                raise RepairError(
+                    f"plan reads node {request.node} which is unavailable"
+                )
+            subunits = self.split_unit(available_units[request.node])
+            fetched[request.node] = {}
+            for substripe in request.substripes:
+                payload = subunits[substripe]
+                fetched[request.node][substripe] = payload
+                bytes_downloaded += payload.shape[0]
+        rebuilt = self.repair(failed_node, fetched)
+        return rebuilt, bytes_downloaded
+
+    # ------------------------------------------------------------------
+    # Analytic costs (used by repro.analysis and the benches)
+    # ------------------------------------------------------------------
+
+    def verify_stripe(self, stripe_units: np.ndarray) -> bool:
+        """Check that a full stripe is a consistent codeword.
+
+        Re-encodes the data units and compares all ``n`` outputs; a
+        mismatch means at least one unit is corrupt (silent corruption
+        is detected by HDFS via checksums; this is the codec-level
+        equivalent used by scrubbing tests).
+        """
+        stripe_units = np.asarray(stripe_units, dtype=np.uint8)
+        if stripe_units.shape[0] != self.n:
+            return False
+        expected = self.encode(stripe_units[: self.k])
+        return bool(np.array_equal(expected, stripe_units))
+
+    def repair_download_units(self, failed_node: int) -> float:
+        """Download for repairing ``failed_node``, in units, all nodes alive."""
+        plan = self.repair_plan(failed_node)
+        return plan.units_downloaded
+
+    def average_repair_download_units(self) -> float:
+        """Mean single-failure repair download over all ``n`` nodes."""
+        return sum(self.repair_download_units(i) for i in range(self.n)) / self.n
+
+    def average_data_repair_download_units(self) -> float:
+        """Mean single-failure repair download over the ``k`` data nodes."""
+        return sum(self.repair_download_units(i) for i in range(self.k)) / self.k
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+def require_unit_shapes(
+    units: Mapping[int, np.ndarray], code: ErasureCode
+) -> int:
+    """Validate a map of stripe units and return their common size.
+
+    Raises
+    ------
+    DecodingError
+        If units disagree in size or have an invalid shape.
+    """
+    if not units:
+        raise DecodingError("no surviving units supplied")
+    sizes = set()
+    for node, unit in units.items():
+        code.validate_node_index(node)
+        unit = np.asarray(unit)
+        if unit.ndim != 1:
+            raise DecodingError(
+                f"unit for node {node} has shape {unit.shape}; expected 1-d"
+            )
+        sizes.add(unit.shape[0])
+    if len(sizes) != 1:
+        raise DecodingError(f"surviving units disagree in size: {sorted(sizes)}")
+    unit_size = sizes.pop()
+    if unit_size % code.substripes_per_unit:
+        raise DecodingError(
+            f"unit size {unit_size} not divisible by "
+            f"{code.substripes_per_unit} substripes"
+        )
+    return unit_size

@@ -1,0 +1,192 @@
+"""Cauchy Reed-Solomon over bit matrices (pure-XOR codec).
+
+The same (k, r) MDS code as :class:`~repro.codes.rs.ReedSolomonCode`,
+implemented the way high-throughput production codecs do it: the Cauchy
+generator matrix is expanded over GF(2)
+(:mod:`repro.gf.bitmatrix`), each unit is split into 8 bit strips, and
+every operation is an XOR of strips -- no field multiplications on the
+data path.
+
+Repair economics are identical to RS (``k`` units for any single
+failure); the codec exists as an alternative *backend*: the tests assert
+it is byte-for-byte self-consistent and MDS, and the throughput bench
+compares it with the table-based codec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.codes.base import (
+    ErasureCode,
+    RepairPlan,
+    SymbolRequest,
+    require_unit_shapes,
+)
+from repro.errors import CodeConstructionError, DecodingError, RepairError
+from repro.gf import GF256, DEFAULT_FIELD
+from repro.gf.bitmatrix import W, expand_generator, xor_encode_strips
+from repro.gf.linalg import gf_inv_matrix
+from repro.gf.matrices import systematic_generator_from_cauchy
+
+
+class CauchyBitmatrixRSCode(ErasureCode):
+    """(k, r) Cauchy-RS with bit-matrix (XOR-only) encoding.
+
+    Units must be a multiple of 8 bytes (8 strips per unit).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> code = CauchyBitmatrixRSCode(4, 2)
+    >>> data = np.arange(4 * 16, dtype=np.uint8).reshape(4, 16)
+    >>> stripe = code.encode(data)
+    >>> survivors = {i: stripe[i] for i in (1, 3, 4, 5)}
+    >>> bool(np.array_equal(code.decode(survivors), data))
+    True
+    """
+
+    substripes_per_unit = 1
+
+    def __init__(self, k: int, r: int, field: Optional[GF256] = None):
+        if k < 1 or r < 1:
+            raise CodeConstructionError(f"invalid parameters k={k}, r={r}")
+        if k + r > 256:
+            raise CodeConstructionError(
+                f"GF(256) supports k + r <= 256, got {k + r}"
+            )
+        self.k = k
+        self.r = r
+        self.field = field if field is not None else DEFAULT_FIELD
+        self.generator = systematic_generator_from_cauchy(k, r, self.field)
+        #: (8n, 8k) binary expansion; parities use rows 8k..8n.
+        self.expanded = expand_generator(self.generator, self.field)
+
+    @property
+    def name(self) -> str:
+        return f"CauchyBitmatrixRS({self.k},{self.r})"
+
+    @property
+    def unit_alignment(self) -> int:
+        """Units are bit-sliced into 8 strips, so sizes align to 8."""
+        return W
+
+    # ------------------------------------------------------------------
+    # Strip plumbing
+    # ------------------------------------------------------------------
+
+    def _to_strips(self, units: np.ndarray) -> np.ndarray:
+        """(count, size) units -> (count * 8, size / 8) strips."""
+        count, size = units.shape
+        if size % W:
+            raise DecodingError(
+                f"{self.name} needs unit sizes divisible by {W}, got {size}"
+            )
+        return units.reshape(count * W, size // W)
+
+    def _from_strips(self, strips: np.ndarray, count: int) -> np.ndarray:
+        return strips.reshape(count, -1)
+
+    # ------------------------------------------------------------------
+    # Encode / decode
+    # ------------------------------------------------------------------
+
+    def encode(self, data_units: np.ndarray) -> np.ndarray:
+        data_units = self.validate_data_units(data_units)
+        if data_units.shape[1] % W:
+            raise CodeConstructionError(
+                f"{self.name} needs unit sizes divisible by {W}, "
+                f"got {data_units.shape[1]}"
+            )
+        data_strips = self._to_strips(data_units)
+        parity_strips = xor_encode_strips(
+            self.expanded[self.k * W :], data_strips
+        )
+        parity_units = self._from_strips(parity_strips, self.r)
+        return np.vstack([data_units, parity_units])
+
+    def decode(self, available_units: Mapping[int, np.ndarray]) -> np.ndarray:
+        unit_size = require_unit_shapes(available_units, self)
+        if unit_size % W:
+            raise DecodingError(
+                f"{self.name} needs unit sizes divisible by {W}, got {unit_size}"
+            )
+        available = {
+            int(node): np.asarray(unit, dtype=np.uint8)
+            for node, unit in available_units.items()
+        }
+        if all(node in available for node in range(self.k)):
+            return np.vstack([available[node] for node in range(self.k)])
+        chosen = sorted(available)[: self.k]
+        if len(chosen) < self.k:
+            raise DecodingError(
+                f"{self.name} needs {self.k} surviving units, got {len(chosen)}"
+            )
+        # Binary decoding matrix: the chosen nodes' strip rows.
+        rows = np.concatenate(
+            [np.arange(node * W, (node + 1) * W) for node in chosen]
+        )
+        matrix = self.expanded[rows]
+        # GF(2) inversion: reuse the GF(256) kernel -- on {0,1} entries
+        # its multiply degenerates to AND and its addition to XOR.
+        inverse = gf_inv_matrix(matrix, self.field)
+        stacked = self._to_strips(
+            np.vstack([available[node] for node in chosen])
+        )
+        data_strips = xor_encode_strips(inverse, stacked)
+        return self._from_strips(data_strips, self.k)
+
+    # ------------------------------------------------------------------
+    # Repair (same economics as RS)
+    # ------------------------------------------------------------------
+
+    def repair_plan(
+        self,
+        failed_node: int,
+        available_nodes: Optional[Iterable[int]] = None,
+    ) -> RepairPlan:
+        failed_node = self.validate_node_index(failed_node)
+        if available_nodes is None:
+            survivors = [n for n in range(self.n) if n != failed_node]
+        else:
+            survivors = sorted(
+                {self.validate_node_index(n) for n in available_nodes}
+                - {failed_node}
+            )
+        if len(survivors) < self.k:
+            raise RepairError(
+                f"{self.name} repair needs {self.k} survivors, "
+                f"got {len(survivors)}"
+            )
+        requests = tuple(
+            SymbolRequest(node, (0,)) for node in survivors[: self.k]
+        )
+        return RepairPlan(
+            failed_node=failed_node,
+            requests=requests,
+            substripes_per_unit=self.substripes_per_unit,
+        )
+
+    def repair(
+        self,
+        failed_node: int,
+        fetched: Mapping[int, Mapping[int, np.ndarray]],
+    ) -> np.ndarray:
+        failed_node = self.validate_node_index(failed_node)
+        units: Dict[int, np.ndarray] = {}
+        for node, substripes in fetched.items():
+            if set(substripes) != {0}:
+                raise RepairError(
+                    f"{self.name} units have a single substripe 0"
+                )
+            units[int(node)] = np.asarray(substripes[0], dtype=np.uint8)
+        data = self.decode(units)
+        if failed_node < self.k:
+            return data[failed_node]
+        strips = xor_encode_strips(
+            self.expanded[failed_node * W : (failed_node + 1) * W],
+            self._to_strips(data),
+        )
+        return strips.reshape(-1)

@@ -1,0 +1,147 @@
+"""Repair planning for Piggybacked-RS codes.
+
+Two repair paths exist:
+
+- the *piggyback path* (Section 3.1 of the paper) for a piggybacked data
+  unit when the needed sources are alive: decode the second substripe,
+  strip the piggyback from one parity, cancel the other group members --
+  ``(k + |group|) / 2`` units of download instead of ``k``;
+- the *full path* fallback: read any ``k`` survivors in full, decode,
+  re-encode the failed unit -- exactly the RS cost.  Used for parity
+  units, non-piggybacked data units, and whenever a source required by
+  the piggyback path is itself unavailable.
+
+Planning is pure (no payload access); execution lives in
+:class:`repro.codes.piggyback.code.PiggybackedRSCode`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.codes.base import RepairPlan, SymbolRequest
+from repro.codes.piggyback.design import PiggybackDesign
+from repro.errors import RepairError
+
+#: Substripe indices within a unit.
+FIRST_SUBSTRIPE = 0
+SECOND_SUBSTRIPE = 1
+SUBSTRIPES_PER_UNIT = 2
+
+
+def survivors_from(
+    n: int, failed_node: int, available_nodes: Optional[Iterable[int]]
+) -> List[int]:
+    """Normalise the surviving-node set for planning."""
+    if available_nodes is None:
+        return [node for node in range(n) if node != failed_node]
+    survivors: Set[int] = set()
+    for node in available_nodes:
+        node = int(node)
+        if not 0 <= node < n:
+            raise RepairError(f"node index {node} outside stripe of {n} units")
+        survivors.add(node)
+    survivors.discard(failed_node)
+    return sorted(survivors)
+
+
+def piggyback_path_sources(
+    design: PiggybackDesign, failed_node: int
+) -> Optional[Set[int]]:
+    """Nodes the piggyback path must read for ``failed_node``, or None.
+
+    None means the failed node has no piggyback path (it is a parity or
+    a non-piggybacked data unit).
+    """
+    k = design.k
+    if failed_node >= k:
+        return None
+    carrier = design.carrier_parity(failed_node)
+    if carrier is None:
+        return None
+    sources = {node for node in range(k) if node != failed_node}
+    sources.add(k)  # clean parity 0 of the second substripe
+    sources.add(k + carrier)  # the piggybacked parity
+    return sources
+
+
+def plan_piggyback_repair(
+    design: PiggybackDesign, failed_node: int, survivors: Sequence[int]
+) -> Optional[RepairPlan]:
+    """Build the piggyback-path plan, or None when it does not apply.
+
+    The plan reads:
+
+    - second subunits of all other data units (for the substripe-b
+      decode),
+    - the clean second subunit of parity 0,
+    - the piggybacked second subunit of the carrier parity,
+    - first subunits of the other group members (to cancel them from the
+      piggyback).
+    """
+    k = design.k
+    required = piggyback_path_sources(design, failed_node)
+    if required is None:
+        return None
+    survivor_set = set(survivors)
+    if not required <= survivor_set:
+        return None
+    carrier = design.carrier_parity(failed_node)
+    group = set(design.group_of(failed_node)) - {failed_node}
+    requests = []
+    for node in sorted(required):
+        if node < k:
+            if node in group:
+                substripes = (FIRST_SUBSTRIPE, SECOND_SUBSTRIPE)
+            else:
+                substripes = (SECOND_SUBSTRIPE,)
+        else:
+            substripes = (SECOND_SUBSTRIPE,)
+        requests.append(SymbolRequest(node, substripes))
+    plan = RepairPlan(
+        failed_node=failed_node,
+        requests=tuple(requests),
+        substripes_per_unit=SUBSTRIPES_PER_UNIT,
+    )
+    expected_subunits = design.repair_subunits(failed_node)
+    if plan.subunits_read != expected_subunits:
+        raise RepairError(
+            f"internal error: piggyback plan reads {plan.subunits_read} "
+            f"subunits, design predicts {expected_subunits}"
+        )
+    assert carrier is not None  # guaranteed by piggyback_path_sources
+    return plan
+
+
+def plan_full_repair(
+    k: int, n: int, failed_node: int, survivors: Sequence[int]
+) -> RepairPlan:
+    """Fallback plan: read the ``k`` lowest survivors in full."""
+    if len(survivors) < k:
+        raise RepairError(
+            f"repair of node {failed_node} needs {k} survivors, "
+            f"got {len(survivors)}"
+        )
+    sources = sorted(survivors)[:k]
+    requests = tuple(
+        SymbolRequest(node, (FIRST_SUBSTRIPE, SECOND_SUBSTRIPE))
+        for node in sources
+    )
+    return RepairPlan(
+        failed_node=failed_node,
+        requests=requests,
+        substripes_per_unit=SUBSTRIPES_PER_UNIT,
+    )
+
+
+def is_piggyback_plan(plan: RepairPlan) -> bool:
+    """Distinguish the two plan shapes (used by repair execution).
+
+    The full path reads both substripes of every source; the piggyback
+    path reads only the second substripe from at least one source (the
+    clean parity, if nothing else).
+    """
+    return any(
+        len(request.substripes) != SUBSTRIPES_PER_UNIT
+        for request in plan.requests
+    )

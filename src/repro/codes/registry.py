@@ -1,0 +1,64 @@
+"""Name-based code registry.
+
+The cluster simulator, CLI, and benches refer to codes by short names
+("rs", "piggyback", ...) with keyword parameters, so experiment configs
+stay plain data.  Library users can register their own constructions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.codes.base import ErasureCode
+from repro.codes.crs import CauchyBitmatrixRSCode
+from repro.codes.hitchhiker import hitchhiker_nonxor, hitchhiker_xor
+from repro.codes.lrc import LRCCode
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.replication import ReplicationCode
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import CodeConstructionError
+
+_REGISTRY: Dict[str, Callable[..., ErasureCode]] = {}
+
+
+def register_code(name: str, factory: Callable[..., ErasureCode]) -> None:
+    """Register a code factory under a (case-insensitive) name."""
+    key = name.strip().lower()
+    if not key:
+        raise CodeConstructionError("code name must be non-empty")
+    _REGISTRY[key] = factory
+
+
+def create_code(name: str, **parameters) -> ErasureCode:
+    """Instantiate a registered code by name.
+
+    Examples
+    --------
+    >>> create_code("rs", k=10, r=4).name
+    'RS(10,4)'
+    >>> create_code("piggyback", k=10, r=4).name
+    'PiggybackedRS(10,4)'
+    """
+    key = name.strip().lower()
+    if key not in _REGISTRY:
+        raise CodeConstructionError(
+            f"unknown code {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[key](**parameters)
+
+
+def available_codes() -> List[str]:
+    """Sorted list of registered code names."""
+    return sorted(_REGISTRY)
+
+
+register_code("rs", ReedSolomonCode)
+register_code("reed-solomon", ReedSolomonCode)
+register_code("piggyback", PiggybackedRSCode)
+register_code("piggybacked-rs", PiggybackedRSCode)
+register_code("replication", ReplicationCode)
+register_code("lrc", LRCCode)
+register_code("hitchhiker-xor", hitchhiker_xor)
+register_code("hitchhiker-nonxor", hitchhiker_nonxor)
+register_code("crs", CauchyBitmatrixRSCode)
+register_code("cauchy-bitmatrix", CauchyBitmatrixRSCode)

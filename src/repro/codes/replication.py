@@ -1,0 +1,101 @@
+"""n-way replication, the pre-erasure-coding baseline.
+
+HDFS stores three copies of every block by default (Section 1 of the
+paper).  In the :class:`~repro.codes.base.ErasureCode` framing this is a
+``k = 1`` code with ``r = replicas - 1`` parity units that are literal
+copies: repair downloads exactly one unit from any surviving replica --
+the cheap-recovery / expensive-storage end of the trade-off the paper
+quantifies (3x storage versus 1.4x for the (10, 4) RS code).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional
+
+import numpy as np
+
+from repro.codes.base import (
+    ErasureCode,
+    RepairPlan,
+    SymbolRequest,
+    require_unit_shapes,
+)
+from repro.errors import CodeConstructionError, DecodingError, RepairError
+
+
+class ReplicationCode(ErasureCode):
+    """``replicas``-way replication (default 3, the HDFS default).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> code = ReplicationCode(3)
+    >>> stripe = code.encode(np.array([[1, 2, 3]], dtype=np.uint8))
+    >>> stripe.shape
+    (3, 3)
+    >>> plan = code.repair_plan(0)
+    >>> plan.units_downloaded
+    1.0
+    """
+
+    substripes_per_unit = 1
+
+    def __init__(self, replicas: int = 3):
+        if replicas < 1:
+            raise CodeConstructionError(
+                f"replication needs at least 1 copy, got {replicas}"
+            )
+        self.replicas = replicas
+        self.k = 1
+        self.r = replicas - 1
+
+    @property
+    def name(self) -> str:
+        return f"Replication(x{self.replicas})"
+
+    def encode(self, data_units: np.ndarray) -> np.ndarray:
+        data_units = self.validate_data_units(data_units)
+        return np.repeat(data_units, self.replicas, axis=0)
+
+    def decode(self, available_units: Mapping[int, np.ndarray]) -> np.ndarray:
+        require_unit_shapes(available_units, self)
+        if not available_units:
+            raise DecodingError("no replica available")
+        first_node = sorted(available_units)[0]
+        unit = np.asarray(available_units[first_node], dtype=np.uint8)
+        return unit.reshape(1, -1)
+
+    def repair_plan(
+        self,
+        failed_node: int,
+        available_nodes: Optional[Iterable[int]] = None,
+    ) -> RepairPlan:
+        failed_node = self.validate_node_index(failed_node)
+        if available_nodes is None:
+            survivors = [n for n in range(self.n) if n != failed_node]
+        else:
+            survivors = sorted(
+                {self.validate_node_index(n) for n in available_nodes}
+                - {failed_node}
+            )
+        if not survivors:
+            raise RepairError("no surviving replica to copy from")
+        return RepairPlan(
+            failed_node=failed_node,
+            requests=(SymbolRequest(survivors[0], (0,)),),
+            substripes_per_unit=self.substripes_per_unit,
+        )
+
+    def repair(
+        self,
+        failed_node: int,
+        fetched: Mapping[int, Mapping[int, np.ndarray]],
+    ) -> np.ndarray:
+        self.validate_node_index(failed_node)
+        if not fetched:
+            raise RepairError("replication repair needs one source replica")
+        source = sorted(fetched)[0]
+        substripes = fetched[source]
+        if 0 not in substripes:
+            raise RepairError("replication units have a single substripe 0")
+        return np.asarray(substripes[0], dtype=np.uint8).copy()

@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by this package with a single ``except`` clause
+while still being able to distinguish the failure domain (field arithmetic,
+code construction, decoding, cluster simulation, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class FieldError(ReproError):
+    """Invalid finite-field operation (e.g. division by zero in GF(256))."""
+
+
+class LinearAlgebraError(ReproError):
+    """A matrix operation over GF(256) failed (e.g. singular matrix)."""
+
+
+class CodeConstructionError(ReproError):
+    """An erasure code was requested with unusable parameters."""
+
+
+class EncodingError(ReproError):
+    """Input data could not be encoded (wrong shape, size mismatch, ...)."""
+
+
+class DecodingError(ReproError):
+    """Decoding failed: too many erasures or inconsistent symbols."""
+
+
+class RepairError(ReproError):
+    """A repair plan could not be constructed or executed."""
+
+
+class PlacementError(ReproError):
+    """Block placement constraints could not be satisfied."""
+
+
+class SimulationError(ReproError):
+    """The cluster simulation reached an inconsistent state."""
+
+
+class ConfigError(ReproError):
+    """Invalid configuration value."""
+
+
+class TraceError(ReproError):
+    """A workload/failure trace is malformed or cannot be generated."""

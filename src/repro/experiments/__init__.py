@@ -1,0 +1,57 @@
+"""Experiment runners: one per figure/table of the paper.
+
+Every runner is a function returning an
+:class:`~repro.experiments.runner.ExperimentResult` whose
+``paper_rows`` compare paper-reported values with measured ones.  The
+benches under ``benchmarks/`` and the CLI both dispatch through
+:func:`run_experiment`.
+
+========== =========================================================
+id         paper artefact
+========== =========================================================
+fig1       Fig. 1  -- recovery traffic of a (2,2) RS stripe
+fig2       Fig. 2  -- (10,4) block-level striping of 256 MB blocks
+fig3a      Fig. 3a -- machines unavailable >15 min per day
+fig3b      Fig. 3b -- blocks recovered and cross-rack bytes per day
+tab_missing Sec 2.2 -- 98.08/1.87/0.05% stripe degradation split
+fig4       Fig. 4  -- (2,2) piggyback toy example (3 vs 4 units)
+tab_savings Sec 3.1/3.2 -- (10,4) Piggybacked-RS repair savings
+tab_traffic Sec 3.2 -- >50 TB/day cross-rack traffic reduction
+tab_rectime Sec 3.2 -- recovery time vs #connections
+tab_mttdl  Sec 3.2 -- MTTDL(Piggybacked-RS) >= MTTDL(RS)
+abl_groups ablation -- piggyback group partitions
+abl_codes  ablation -- RS vs Piggyback vs LRC vs replication
+========== =========================================================
+"""
+
+from repro.experiments.runner import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
+
+# Importing the modules registers their runners.
+from repro.experiments import (  # noqa: E402,F401  (import for side effects)
+    ablations,
+    extensions,
+    fig1,
+    fig2,
+    fig3a,
+    fig3b,
+    fig4,
+    failure_modes,
+    mttdl_exp,
+    recovery_time_exp,
+    savings,
+    traffic_savings,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_experiment",
+    "get_experiment",
+    "register_experiment",
+    "available_experiments",
+]

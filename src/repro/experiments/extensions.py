@@ -1,0 +1,380 @@
+"""Extension experiments beyond the paper's figures.
+
+- ``ext_bound``: where the codes sit against the regenerating-codes
+  cut-set lower bound the paper cites in Section 5;
+- ``ext_capacity``: Section 3.2's closing argument quantified -- how
+  much more data the saved network lets the cluster erasure-code;
+- ``ext_degraded``: foreground degraded reads during outages, showing
+  the repair saving also applies to the read path;
+- ``ext_raiding``: the §2.1 growth pipeline -- converting "a few
+  petabytes every week" of cooling data to erasure-coded form is itself
+  a cross-rack network load, compared here with the recovery load;
+- ``ext_latency``: §3.2's "time taken for recovery" measured inside the
+  DES -- recoveries drain through a bandwidth-limited shared pipe, and
+  the per-block flag-to-completion latency is compared across codes;
+- ``ext_uplink``: §2.1's "heavily oversubscribed" framing -- recovery
+  traffic expressed as TOR-uplink utilisation, per day, RS vs
+  Piggybacked-RS.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.bounds import (
+    best_cutset_bound_units,
+    repair_optimality_table,
+)
+from repro.analysis.capacity import OperatingPoint, codable_capacity_table
+from repro.analysis.growth import RaidConversionModel, weekly_growth_report
+from repro.analysis.oversubscription import UplinkModel
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+from repro.codes.hitchhiker import hitchhiker_xor
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.experiments.runner import ExperimentResult, register_experiment
+
+
+def run_bound() -> ExperimentResult:
+    """Repair download vs the MSR cut-set bound at (10,4)."""
+    rs = ReedSolomonCode(10, 4)
+    piggyback = PiggybackedRSCode(10, 4)
+    rows = repair_optimality_table([rs, piggyback, hitchhiker_xor(10, 4)])
+    bound = best_cutset_bound_units(10, 14)
+    table = [
+        {
+            "code": row.code_name,
+            "avg_data_repair_units": round(row.average_data_repair_units, 2),
+            "cutset_bound_units": round(row.bound_units, 2),
+            "gap_to_bound": f"{row.gap_to_bound:.2f}x",
+            "closes_of_RS_gap": f"{row.fraction_of_possible_saving:.0%}",
+        }
+        for row in rows
+    ]
+    piggyback_row = rows[1]
+    result = ExperimentResult(
+        experiment_id="ext_bound",
+        title="repair download vs the regenerating-codes cut-set bound",
+        paper_rows=[
+            {
+                "metric": "cut-set optimum at (10,4), d=13 helpers (units)",
+                "paper": "d/(d-k+1) [Dimakis et al., cited as [9]]",
+                "measured": round(bound, 2),
+            },
+            {
+                "metric": "piggyback closes part of the RS-to-optimum gap",
+                "paper": "existing MSR codes impractical at these parameters",
+                "measured": f"{piggyback_row.fraction_of_possible_saving:.0%}",
+                "note": "with no restriction on (k, r)",
+            },
+        ],
+        tables={"repair optimality": table},
+        data={
+            "bound_units": bound,
+            "piggyback_gap": piggyback_row.gap_to_bound,
+        },
+    )
+    return result
+
+
+def run_capacity() -> ExperimentResult:
+    """How much data each code can protect in the same network budget."""
+    rs = ReedSolomonCode(10, 4)
+    piggyback = PiggybackedRSCode(10, 4)
+    point = OperatingPoint(coded_bytes=10e15, recovery_bytes_per_day=180e12)
+    rows = codable_capacity_table([rs, piggyback], baseline=rs,
+                                  operating_point=point)
+    table = [
+        {
+            "code": row.code_name,
+            "traffic_per_coded_byte": f"{row.relative_traffic_per_byte:.3f}x RS",
+            "codable_PB_at_180TB_per_day": round(row.codable_bytes / 1e15, 2),
+            "disk_saved_vs_3x_PB": round(
+                row.disk_bytes_saved_vs_replication / 1e15, 2
+            ),
+        }
+        for row in rows
+    ]
+    rs_row, pb_row = rows
+    gain = pb_row.codable_bytes / rs_row.codable_bytes - 1
+    result = ExperimentResult(
+        experiment_id="ext_capacity",
+        title="codable data within the recovery-network budget",
+        paper_rows=[
+            {
+                "metric": "more data codable under Piggybacked-RS",
+                "paper": "\"allow for storing a greater fraction of data "
+                         "using erasure codes\" (Section 3.2)",
+                "measured": f"+{gain:.0%}",
+                "note": "same 180 TB/day cross-rack budget",
+            },
+            {
+                "metric": "extra disk saved vs 3x replication (PB)",
+                "paper": "(not quantified)",
+                "measured": round(
+                    (pb_row.disk_bytes_saved_vs_replication
+                     - rs_row.disk_bytes_saved_vs_replication) / 1e15,
+                    2,
+                ),
+            },
+        ],
+        tables={"codable capacity": table},
+        data={"gain_fraction": gain},
+    )
+    return result
+
+
+def run_degraded(
+    days: float = 8.0,
+    seed: int = 20130901,
+    reads_per_stripe_per_day: float = 1.0,
+    config: Optional[ClusterConfig] = None,
+) -> ExperimentResult:
+    """Foreground degraded reads under RS vs Piggybacked-RS."""
+    if config is None:
+        config = ClusterConfig(
+            days=days,
+            seed=seed,
+            stripes_per_node=30.0,
+            reads_per_stripe_per_day=reads_per_stripe_per_day,
+        )
+    rs_result = WarehouseSimulation(config).run()
+    pb_result = WarehouseSimulation(config.with_code("piggyback")).run()
+    rs_reads, pb_reads = rs_result.read_stats, pb_result.read_stats
+    assert rs_reads is not None and pb_reads is not None
+    saving = (
+        1 - pb_reads.degraded_bytes / rs_reads.degraded_bytes
+        if rs_reads.degraded_bytes
+        else 0.0
+    )
+    table = [
+        {
+            "code": result.code_name,
+            "reads": stats.reads,
+            "degraded_reads": stats.degraded_reads,
+            "degraded_fraction": f"{stats.degraded_fraction:.3%}",
+            "degraded_GB": round(stats.degraded_bytes / 1e9, 2),
+            "amplification_x": round(stats.degraded_read_amplification, 2),
+        }
+        for result, stats in ((rs_result, rs_reads), (pb_result, pb_reads))
+    ]
+    result = ExperimentResult(
+        experiment_id="ext_degraded",
+        title="degraded reads during outages: RS vs Piggybacked-RS",
+        paper_rows=[
+            {
+                "metric": "degraded-read bytes saved by piggybacking",
+                "paper": "~30% for data blocks (Section 3.1 applies to reads)",
+                "measured": f"{saving:.0%}",
+                "note": "degraded reads always target data blocks",
+            },
+            {
+                "metric": "same reads served under both codes",
+                "paper": True,
+                "measured": rs_reads.reads == pb_reads.reads,
+            },
+        ],
+        tables={"read workload": table},
+        data={
+            "saving": saving,
+            "rs_degraded_bytes": rs_reads.degraded_bytes,
+            "pb_degraded_bytes": pb_reads.degraded_bytes,
+        },
+    )
+    return result
+
+
+def run_raiding(
+    growth_bytes_per_week: float = 2e15,
+    recovery_bytes_per_day: float = 180e12,
+) -> ExperimentResult:
+    """Raid-conversion traffic for the weekly cold-data cohort (§2.1)."""
+    rs = ReedSolomonCode(10, 4)
+    piggyback = PiggybackedRSCode(10, 4)
+    model = RaidConversionModel()
+    reports = [
+        weekly_growth_report(
+            code, growth_bytes_per_week, recovery_bytes_per_day, model
+        )
+        for code in (rs, piggyback)
+    ]
+    table = [
+        {
+            "code": report.code_name,
+            "conversion_TB_per_day": round(
+                report.conversion_bytes_per_day / 1e12, 1
+            ),
+            "recovery_TB_per_day": round(
+                report.recovery_bytes_per_day / 1e12, 1
+            ),
+            "total_TB_per_day": round(
+                report.total_network_bytes_per_day / 1e12, 1
+            ),
+            "disk_freed_PB_per_week": round(
+                report.storage_released_per_week / 1e15, 2
+            ),
+        }
+        for report in reports
+    ]
+    # Piggybacking changes recovery, not conversion; reflect that by
+    # scaling the recovery column with the exact plan-weighted fraction.
+    table[1]["recovery_TB_per_day"] = round(
+        recovery_bytes_per_day * (107 / 140) / 1e12, 1
+    )
+    table[1]["total_TB_per_day"] = (
+        table[1]["conversion_TB_per_day"] + table[1]["recovery_TB_per_day"]
+    )
+    conversion_tb = reports[0].conversion_bytes_per_day / 1e12
+    result = ExperimentResult(
+        experiment_id="ext_raiding",
+        title="raid-conversion vs recovery network load (Section 2.1 growth)",
+        paper_rows=[
+            {
+                "metric": "cold-data growth raided per week",
+                "paper": "\"a few petabytes every week\"",
+                "measured": f"{growth_bytes_per_week / 1e15:.0f} PB",
+            },
+            {
+                "metric": "conversion traffic (TB/day)",
+                "paper": "(not measured; competes for the same TOR links)",
+                "measured": round(conversion_tb, 1),
+                "note": "1.4 bytes moved per logical byte raided",
+            },
+            {
+                "metric": "conversion cost identical for Piggybacked-RS",
+                "paper": "piggybacks are free at encode time",
+                "measured": table[0]["conversion_TB_per_day"]
+                == table[1]["conversion_TB_per_day"],
+            },
+            {
+                "metric": "disk freed per week (PB)",
+                "paper": "3x -> 1.4x on the raided cohort",
+                "measured": table[0]["disk_freed_PB_per_week"],
+            },
+        ],
+        tables={"weekly growth pipeline": table},
+        data={"reports": table},
+    )
+    return result
+
+
+def run_latency(
+    days: float = 8.0,
+    seed: int = 20130901,
+    bandwidth_bytes_per_sec: float = 20e9,
+    config: Optional[ClusterConfig] = None,
+) -> ExperimentResult:
+    """Per-block recovery latency through a shared bandwidth pipe."""
+    import numpy as np
+
+    if config is None:
+        config = ClusterConfig(
+            days=days,
+            seed=seed,
+            stripes_per_node=25.0,
+            recovery_bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
+        )
+    rs_result = WarehouseSimulation(config).run()
+    pb_result = WarehouseSimulation(config.with_code("piggyback")).run()
+    rows = []
+    latencies = {}
+    for result in (rs_result, pb_result):
+        lat = np.asarray(result.stats.repair_latencies)
+        latencies[result.code_name] = lat
+        rows.append(
+            {
+                "code": result.code_name,
+                "blocks": int(lat.size),
+                "mean_s": round(float(lat.mean()), 3),
+                "median_s": round(float(np.median(lat)), 3),
+                "p99_s": round(float(np.percentile(lat, 99)), 2),
+                "cancelled": result.stats.cancelled_recoveries,
+            }
+        )
+    rs_mean = rows[0]["mean_s"]
+    pb_mean = rows[1]["mean_s"]
+    speedup = 1 - pb_mean / rs_mean if rs_mean else 0.0
+    result = ExperimentResult(
+        experiment_id="ext_latency",
+        title="recovery latency through a shared bandwidth pipe (DES)",
+        paper_rows=[
+            {
+                "metric": "piggyback recovery completes faster",
+                "paper": "\"expected to lower the recovery times\" (Section 3.2)",
+                "measured": pb_mean < rs_mean,
+                "note": f"mean {pb_mean:.2f}s vs {rs_mean:.2f}s",
+            },
+            {
+                "metric": "latency reduction",
+                "paper": "tracks the download reduction",
+                "measured": f"{speedup:.0%}",
+            },
+            {
+                "metric": "same blocks recovered",
+                "paper": True,
+                "measured": rows[0]["blocks"] == rows[1]["blocks"],
+            },
+        ],
+        tables={"recovery latency": rows},
+        data={
+            "speedup": speedup,
+            "rs_mean": rs_mean,
+            "pb_mean": pb_mean,
+        },
+    )
+    return result
+
+
+def run_uplink(
+    days: float = 12.0,
+    seed: int = 20130901,
+    uplink_gbps: float = 40.0,
+    config: Optional[ClusterConfig] = None,
+) -> ExperimentResult:
+    """Recovery traffic as TOR-uplink utilisation, RS vs Piggybacked-RS."""
+    if config is None:
+        config = ClusterConfig(days=days, seed=seed, stripes_per_node=30.0)
+    rs_result = WarehouseSimulation(config).run()
+    pb_result = WarehouseSimulation(config.with_code("piggyback")).run()
+    model = UplinkModel(racks=config.num_racks, uplink_gbps=uplink_gbps)
+    rows = [
+        model.report(
+            rs_result.code_name, rs_result.cross_rack_bytes_per_day_scaled
+        ),
+        model.report(
+            pb_result.code_name, pb_result.cross_rack_bytes_per_day_scaled
+        ),
+    ]
+    rs_peak = rows[0]["peak_uplink_util_%"]
+    pb_peak = rows[1]["peak_uplink_util_%"]
+    result = ExperimentResult(
+        experiment_id="ext_uplink",
+        title="recovery traffic as TOR-uplink utilisation",
+        paper_rows=[
+            {
+                "metric": "recovery consumes oversubscribed uplink capacity",
+                "paper": "\"precious cross-rack bandwidth that is heavily "
+                         "oversubscribed\" (Section 2.1)",
+                "measured": f"median {rows[0]['median_uplink_util_%']}% "
+                            f"of {uplink_gbps:.0f} Gb/s uplinks (RS)",
+            },
+            {
+                "metric": "piggybacking frees uplink headroom",
+                "paper": "implied by the traffic saving",
+                "measured": pb_peak < rs_peak,
+                "note": f"peak {pb_peak}% vs {rs_peak}%",
+            },
+        ],
+        tables={"uplink utilisation": rows},
+        data={"rs": rows[0], "pb": rows[1]},
+    )
+    return result
+
+
+register_experiment("ext_uplink", run_uplink)
+register_experiment("ext_latency", run_latency)
+register_experiment("ext_bound", run_bound)
+register_experiment("ext_capacity", run_capacity)
+register_experiment("ext_degraded", run_degraded)
+register_experiment("ext_raiding", run_raiding)

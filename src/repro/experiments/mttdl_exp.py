@@ -1,0 +1,73 @@
+"""Section 3.2 -- reliability: MTTDL(Piggybacked-RS) >= MTTDL(RS).
+
+"The Piggybacked-RS code reduces the total amount of data read and
+downloaded, and thus is expected to lower the recovery times.
+Consequently, we believe that the mean time to data loss (MTTDL) of the
+resulting system will be higher than that under RS codes."
+
+We compute exact Markov-chain MTTDLs with repair rates derived from each
+code's own repair plans, and include 3x replication for context.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.mttdl import mttdl_comparison
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.replication import ReplicationCode
+from repro.codes.rs import ReedSolomonCode
+from repro.experiments.runner import ExperimentResult, register_experiment
+
+
+def run(
+    unit_size: int = 256 * 1024 * 1024,
+    unit_mtbf_hours: float = 8_760.0,
+) -> ExperimentResult:
+    codes = [
+        ReedSolomonCode(10, 4),
+        PiggybackedRSCode(10, 4),
+        ReplicationCode(3),
+    ]
+    results = mttdl_comparison(
+        codes, unit_size=unit_size, unit_mtbf_hours=unit_mtbf_hours
+    )
+    rs = results["RS(10,4)"]
+    pb = results["PiggybackedRS(10,4)"]
+
+    rows = [
+        {
+            "code": name,
+            "repair_time_h": round(res.single_failure_repair_hours, 4),
+            "mttdl_years": f"{res.mttdl_years:.3e}",
+        }
+        for name, res in results.items()
+    ]
+    result = ExperimentResult(
+        experiment_id="tab_mttdl",
+        title="mean time to data loss (stripe-level Markov model)",
+        paper_rows=[
+            {
+                "metric": "MTTDL(Piggybacked-RS) > MTTDL(RS)",
+                "paper": True,
+                "measured": pb.mttdl_hours > rs.mttdl_hours,
+                "note": f"ratio {pb.mttdl_hours / rs.mttdl_hours:.3f}x",
+            },
+            {
+                "metric": "single-failure repair faster under piggyback",
+                "paper": True,
+                "measured": pb.single_failure_repair_hours
+                < rs.single_failure_repair_hours,
+            },
+            {
+                "metric": "(10,4) codes far outlast 3x replication",
+                "paper": "implied by deployment",
+                "measured": rs.mttdl_hours
+                > results["Replication(x3)"].mttdl_hours,
+            },
+        ],
+        tables={"per-code MTTDL": rows},
+        data={name: res.mttdl_hours for name, res in results.items()},
+    )
+    return result
+
+
+register_experiment("tab_mttdl", run)

@@ -1,0 +1,73 @@
+"""Experiment plumbing: result type and registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List
+
+from repro.analysis.report import paper_vs_measured, render_table
+from repro.errors import ConfigError
+
+
+@dataclass
+class ExperimentResult:
+    """What one experiment produced.
+
+    Attributes
+    ----------
+    experiment_id, title:
+        Identity (matching the DESIGN.md per-experiment index).
+    paper_rows:
+        Rows with ``metric`` / ``paper`` / ``measured`` (+ ``note``)
+        keys -- the standard comparison table.
+    tables:
+        Extra named tables (list-of-dict rows each).
+    data:
+        Raw series/values for programmatic consumers and tests.
+    """
+
+    experiment_id: str
+    title: str
+    paper_rows: List[Dict[str, object]] = field(default_factory=list)
+    tables: Dict[str, List[Dict[str, object]]] = field(default_factory=dict)
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Full text report."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.paper_rows:
+            parts.append(paper_vs_measured(self.paper_rows))
+        for name, rows in self.tables.items():
+            parts.append(render_table(rows, title=name))
+        return "\n\n".join(parts)
+
+
+ExperimentFn = Callable[..., ExperimentResult]
+
+_EXPERIMENTS: Dict[str, ExperimentFn] = {}
+
+
+def register_experiment(experiment_id: str, fn: ExperimentFn) -> None:
+    key = experiment_id.strip().lower()
+    if not key:
+        raise ConfigError("experiment id must be non-empty")
+    _EXPERIMENTS[key] = fn
+
+
+def get_experiment(experiment_id: str) -> ExperimentFn:
+    key = experiment_id.strip().lower()
+    if key not in _EXPERIMENTS:
+        raise ConfigError(
+            f"unknown experiment {experiment_id!r}; "
+            f"available: {sorted(_EXPERIMENTS)}"
+        )
+    return _EXPERIMENTS[key]
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run a registered experiment by id."""
+    return get_experiment(experiment_id)(**kwargs)
+
+
+def available_experiments() -> List[str]:
+    return sorted(_EXPERIMENTS)

@@ -1,0 +1,97 @@
+"""Section 3.1/3.2 -- repair-download savings of (10,4) Piggybacked-RS.
+
+"This code, in theory, saves around 30% on average in the amount of read
+and download for recovery of single block failures", while staying MDS
+and storage-optimal.  The experiment executes every single-node repair
+of both codes on real payloads, reports the per-node download table, and
+compares the averages.  Data-block repairs (10 of 14 units; 33% saving
+with the default design) are what the 30% figure refers to; the all-node
+average, which includes the 4 parity units repaired at full RS cost
+under design 1, is reported alongside.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.repair_cost import repair_cost_profile, savings_vs_rs
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.experiments.runner import ExperimentResult, register_experiment
+
+
+def run(k: int = 10, r: int = 4, unit_size: int = 1 << 14, seed: int = 0) -> ExperimentResult:
+    piggyback = PiggybackedRSCode(k, r)
+    rs = ReedSolomonCode(k, r)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, unit_size), dtype=np.uint8)
+    pb_stripe = piggyback.encode(data)
+    rs_stripe = rs.encode(data)
+
+    # Execute all n repairs on real bytes; assert plan == actual bytes.
+    per_node_rows = []
+    for node in range(piggyback.n):
+        pb_unit, pb_bytes = piggyback.execute_repair(
+            node, {i: pb_stripe[i] for i in range(piggyback.n) if i != node}
+        )
+        rs_unit, rs_bytes = rs.execute_repair(
+            node, {i: rs_stripe[i] for i in range(rs.n) if i != node}
+        )
+        assert np.array_equal(pb_unit, pb_stripe[node])
+        assert np.array_equal(rs_unit, rs_stripe[node])
+        per_node_rows.append(
+            {
+                "node": node,
+                "kind": "data" if node < k else "parity",
+                "rs_download_units": rs_bytes / unit_size,
+                "piggyback_download_units": pb_bytes / unit_size,
+                "saving_%": round(100 * (1 - pb_bytes / rs_bytes), 1),
+            }
+        )
+
+    savings = savings_vs_rs(piggyback, rs)
+    profile = repair_cost_profile(piggyback)
+    result = ExperimentResult(
+        experiment_id="tab_savings",
+        title="(10,4) Piggybacked-RS repair download vs RS",
+        paper_rows=[
+            {
+                "metric": "average saving, single-block recovery (%)",
+                "paper": "~30",
+                "measured": round(100 * savings["data_nodes"], 1),
+                "note": "data blocks (the dominant recovery case)",
+            },
+            {
+                "metric": "average saving over all 14 blocks (%)",
+                "paper": "(not broken out)",
+                "measured": round(100 * savings["all_nodes"], 1),
+                "note": "parity repairs stay at RS cost under design 1",
+            },
+            {
+                "metric": "storage optimal (MDS)",
+                "paper": True,
+                "measured": piggyback.is_mds,
+            },
+            {
+                "metric": "tolerates any r=4 failures",
+                "paper": True,
+                "measured": True,
+                "note": "verified exhaustively in tests",
+            },
+            {
+                "metric": "storage overhead",
+                "paper": 1.4,
+                "measured": piggyback.storage_overhead,
+            },
+        ],
+        tables={"per-node repair download": per_node_rows},
+        data={
+            "savings": savings,
+            "per_node_units": list(profile.per_node_units),
+            "design_groups": [list(g) for g in piggyback.design.groups],
+        },
+    )
+    return result
+
+
+register_experiment("tab_savings", run)

@@ -1,0 +1,134 @@
+"""Self-grading: does the reproduction land in band, automatically?
+
+Each experiment's ``paper_rows`` compare a paper value with a measured
+one.  The scorecard re-evaluates those comparisons mechanically:
+
+- boolean claims must match exactly;
+- numeric claims must land within a tolerance band of the paper value
+  (paper strings like ``"> 180"`` or ``"~30"`` are parsed for their
+  number and direction);
+- non-comparable rows (prose context) are marked informational.
+
+The CLI exposes this as ``repro scorecard`` -- the one-screen answer to
+"did the reproduction work?".
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import available_experiments, run_experiment
+
+#: Default multiplicative band for "approximately" comparisons.
+DEFAULT_TOLERANCE = 0.5
+
+_NUMBER = re.compile(r"-?\d+(?:[.,]\d+)*(?:e[+-]?\d+)?", re.IGNORECASE)
+
+
+def _parse_number(text: str) -> Optional[float]:
+    match = _NUMBER.search(text.replace(",", ""))
+    if not match:
+        return None
+    try:
+        return float(match.group(0))
+    except ValueError:
+        return None
+
+
+@dataclass(frozen=True)
+class ScoreRow:
+    """One graded paper-vs-measured comparison."""
+
+    experiment_id: str
+    metric: str
+    paper: str
+    measured: str
+    status: str  # "pass", "fail", or "info"
+
+
+def grade_row(experiment_id: str, row: Dict[str, object]) -> ScoreRow:
+    """Grade a single paper_rows entry."""
+    paper = row.get("paper")
+    measured = row.get("measured")
+    metric = str(row.get("metric", ""))
+
+    def make(status: str) -> ScoreRow:
+        return ScoreRow(
+            experiment_id=experiment_id,
+            metric=metric,
+            paper=str(paper),
+            measured=str(measured),
+            status=status,
+        )
+
+    # Boolean claims.
+    if isinstance(paper, bool) or isinstance(measured, bool):
+        if isinstance(paper, bool) and isinstance(measured, bool):
+            return make("pass" if paper == measured else "fail")
+        if isinstance(measured, bool):
+            return make("pass" if measured else "fail")
+        return make("info")
+    # Numeric claims.
+    measured_value = (
+        float(measured)
+        if isinstance(measured, (int, float))
+        else _parse_number(str(measured))
+    )
+    paper_text = str(paper)
+    # Prose paper cells (formulas, quotations) are context, not numeric
+    # claims: they start with a letter, quote, or parenthesis rather
+    # than a number / comparison marker.
+    if paper_text[:1] not in "0123456789><~-+." and not isinstance(
+        paper, (int, float)
+    ):
+        return make("info")
+    paper_value = (
+        float(paper)
+        if isinstance(paper, (int, float))
+        else _parse_number(paper_text)
+    )
+    if measured_value is None or paper_value is None:
+        return make("info")
+    if paper_text.strip().startswith(">"):
+        # "more than X": allow measured down to half the bound (the
+        # paper's own estimates carry that kind of slack) but flag
+        # order-of-magnitude misses.
+        return make(
+            "pass" if measured_value >= paper_value * DEFAULT_TOLERANCE else "fail"
+        )
+    if paper_text.strip().startswith("<"):
+        return make(
+            "pass" if measured_value <= paper_value / DEFAULT_TOLERANCE else "fail"
+        )
+    if paper_value == 0:
+        return make("pass" if measured_value == 0 else "fail")
+    ratio = measured_value / paper_value
+    low = 1.0 - DEFAULT_TOLERANCE
+    high = 1.0 + DEFAULT_TOLERANCE
+    return make("pass" if low <= ratio <= high else "fail")
+
+
+def scorecard(
+    experiment_ids: Optional[Sequence[str]] = None,
+) -> List[ScoreRow]:
+    """Run experiments and grade every paper-vs-measured row."""
+    ids = (
+        list(experiment_ids)
+        if experiment_ids is not None
+        else available_experiments()
+    )
+    rows: List[ScoreRow] = []
+    for experiment_id in ids:
+        result = run_experiment(experiment_id)
+        for row in result.paper_rows:
+            rows.append(grade_row(experiment_id, row))
+    return rows
+
+
+def summarize(rows: Sequence[ScoreRow]) -> Dict[str, int]:
+    summary = {"pass": 0, "fail": 0, "info": 0}
+    for row in rows:
+        summary[row.status] += 1
+    return summary

@@ -1,0 +1,106 @@
+"""Section 3.2 -- projected cross-rack traffic reduction (> 50 TB/day).
+
+The paper's arithmetic: 98% of recoveries are single-block; the
+Piggybacked-RS code cuts their read/download by ~30%; applied to the
+measured 180+ TB/day this projects to >50 TB/day saved.  We reproduce
+the projection two ways:
+
+1. *measured*: replay the identical simulated failure history under the
+   RS code and the Piggybacked-RS code and subtract the metered
+   cross-rack bytes;
+2. *analytic*: the paper's own flat-fraction method, plus the exact
+   plan-weighted fraction, applied to the simulated RS baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.analysis.traffic import estimate_cross_rack_savings
+from repro.cluster.config import PAPER_TARGETS, ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.experiments.runner import ExperimentResult, register_experiment
+
+
+def run(
+    days: float = 24.0,
+    seed: int = 20130901,
+    config: Optional[ClusterConfig] = None,
+) -> ExperimentResult:
+    if config is None:
+        config = ClusterConfig(days=days, seed=seed, code_name="rs")
+    rs_result = WarehouseSimulation(config).run()
+    pb_result = WarehouseSimulation(config.with_code("piggyback")).run()
+
+    rs_median = rs_result.median_cross_rack_bytes_scaled
+    pb_median = pb_result.median_cross_rack_bytes_scaled
+    measured_saving = rs_median - pb_median
+
+    estimate = estimate_cross_rack_savings(
+        PiggybackedRSCode(10, 4),
+        baseline_bytes_per_day=rs_median,
+        paper_fraction=PAPER_TARGETS.projected_savings_fraction,
+    )
+
+    result = ExperimentResult(
+        experiment_id="tab_traffic",
+        title="cross-rack recovery traffic: RS vs Piggybacked-RS",
+        paper_rows=[
+            {
+                "metric": "RS cross-rack TB/day (median)",
+                "paper": "> 180",
+                "measured": rs_median / 1e12,
+            },
+            {
+                "metric": "saving, measured replay (TB/day)",
+                "paper": "> 50 (paper: 30% x measured)",
+                "measured": measured_saving / 1e12,
+                "note": "identical failure history under both codes",
+            },
+            {
+                "metric": "saving, paper's flat-30% method (TB/day)",
+                "paper": "> 50",
+                "measured": estimate.paper_method_savings_bytes_per_day / 1e12,
+            },
+            {
+                "metric": "saving, exact plan-weighted fraction (TB/day)",
+                "paper": "(not broken out)",
+                "measured": estimate.exact_savings_bytes_per_day / 1e12,
+                "note": f"exact fraction {estimate.exact_fraction:.1%} over all 14 blocks",
+            },
+            {
+                "metric": "blocks recovered/day unchanged",
+                "paper": True,
+                "measured": rs_result.median_blocks_recovered
+                == pb_result.median_blocks_recovered,
+                "note": "the code changes bytes, not which blocks fail",
+            },
+        ],
+        tables={
+            "daily cross-rack TB (scaled)": [
+                {
+                    "day": day,
+                    "rs_TB": round(rs_bytes / 1e12, 2),
+                    "piggyback_TB": round(pb_bytes / 1e12, 2),
+                    "saving_TB": round((rs_bytes - pb_bytes) / 1e12, 2),
+                }
+                for day, (rs_bytes, pb_bytes) in enumerate(
+                    zip(
+                        rs_result.cross_rack_bytes_per_day_scaled,
+                        pb_result.cross_rack_bytes_per_day_scaled,
+                    )
+                )
+            ]
+        },
+        data={
+            "rs_median_bytes": rs_median,
+            "pb_median_bytes": pb_median,
+            "measured_saving_bytes": measured_saving,
+            "estimate": estimate.as_dict(),
+        },
+    )
+    return result
+
+
+register_experiment("tab_traffic", run)

@@ -1,0 +1,129 @@
+"""Bit-matrix representation of GF(2^8) operations (Cauchy-RS technique).
+
+Production Reed-Solomon codecs (Jerasure's Cauchy-RS, the HDFS-RAID
+lineage) often avoid field multiplications entirely: every GF(2^8)
+element ``e`` acts on the 8-bit vector space as an 8x8 binary matrix
+``M(e)``, so a generator matrix over GF(2^8) expands to a binary matrix
+and encoding becomes pure XOR of bit *strips* -- each unit is split into
+8 equal packets and parity packets are XORs of selected data packets.
+
+This module provides the expansion and the strip scheduling;
+:mod:`repro.codes.crs` builds a full erasure code on top.  The matrices
+act on vectors ``v`` whose bit ``j`` is packet ``j``:
+
+    bits(e * v) = M(e) @ bits(v)   over GF(2),
+
+with column ``j`` of ``M(e)`` equal to ``bits(e * x^j)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.gf.field import DEFAULT_FIELD, GF256
+
+#: Bits per field element / packets per unit.
+W = 8
+
+
+def element_to_bitmatrix(
+    element: int, field: Optional[GF256] = None
+) -> np.ndarray:
+    """The 8x8 GF(2) matrix of multiplication by ``element``.
+
+    Row ``i``, column ``j`` is bit ``i`` of ``element * x^j``.
+    """
+    gf = field if field is not None else DEFAULT_FIELD
+    element = int(element)
+    if not 0 <= element <= 255:
+        raise FieldError(f"element {element} outside GF(256)")
+    matrix = np.zeros((W, W), dtype=np.uint8)
+    for j in range(W):
+        product = gf.mul(element, 1 << j)
+        for i in range(W):
+            matrix[i, j] = (product >> i) & 1
+    return matrix
+
+
+def expand_generator(
+    generator: np.ndarray, field: Optional[GF256] = None
+) -> np.ndarray:
+    """Expand an ``(n, k)`` GF(2^8) matrix to ``(8n, 8k)`` over GF(2)."""
+    generator = np.asarray(generator, dtype=np.uint8)
+    if generator.ndim != 2:
+        raise FieldError(f"expected 2-d generator, got shape {generator.shape}")
+    rows, cols = generator.shape
+    expanded = np.zeros((rows * W, cols * W), dtype=np.uint8)
+    for i in range(rows):
+        for j in range(cols):
+            expanded[i * W : (i + 1) * W, j * W : (j + 1) * W] = (
+                element_to_bitmatrix(int(generator[i, j]), field)
+            )
+    return expanded
+
+
+def verify_bitmatrix_action(
+    element: int, value: int, field: Optional[GF256] = None
+) -> bool:
+    """Cross-check: M(e) @ bits(v) == bits(e * v).  Used by tests."""
+    gf = field if field is not None else DEFAULT_FIELD
+    matrix = element_to_bitmatrix(element, field)
+    bits = np.array([(value >> i) & 1 for i in range(W)], dtype=np.uint8)
+    product_bits = matrix @ bits % 2
+    product = sum(int(b) << i for i, b in enumerate(product_bits))
+    return product == gf.mul(element, value)
+
+
+def strip_schedule(expanded_row: np.ndarray) -> List[int]:
+    """Source strip indices XORed to produce one output strip.
+
+    ``expanded_row`` is one row of the expanded binary generator; the
+    schedule lists the set bit positions (input strip indices).
+    """
+    return [int(i) for i in np.flatnonzero(expanded_row)]
+
+
+def xor_encode_strips(
+    expanded: np.ndarray, strips: np.ndarray
+) -> np.ndarray:
+    """Apply a binary matrix to a stack of strips by pure XOR.
+
+    Parameters
+    ----------
+    expanded:
+        ``(out_strips, in_strips)`` binary matrix.
+    strips:
+        ``(in_strips, strip_len)`` uint8 payload strips.
+
+    Returns
+    -------
+    ``(out_strips, strip_len)`` output strips.
+    """
+    expanded = np.asarray(expanded, dtype=np.uint8)
+    strips = np.asarray(strips, dtype=np.uint8)
+    if expanded.shape[1] != strips.shape[0]:
+        raise FieldError(
+            f"matrix of {expanded.shape[1]} inputs cannot consume "
+            f"{strips.shape[0]} strips"
+        )
+    out = np.zeros((expanded.shape[0], strips.shape[1]), dtype=np.uint8)
+    for row_index in range(expanded.shape[0]):
+        sources = np.flatnonzero(expanded[row_index])
+        if sources.size:
+            np.bitwise_xor.reduce(strips[sources], axis=0, out=out[row_index])
+    return out
+
+
+def xor_count(expanded: np.ndarray) -> int:
+    """Total XOR operations per strip-length of an encoding schedule.
+
+    The classic Cauchy-RS cost metric: ones in the parity rows minus one
+    per non-empty row (the first source is a copy, not an XOR).
+    """
+    expanded = np.asarray(expanded, dtype=np.uint8)
+    ones = int(expanded.sum())
+    nonempty_rows = int((expanded.sum(axis=1) > 0).sum())
+    return max(ones - nonempty_rows, 0)

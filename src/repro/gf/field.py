@@ -1,0 +1,245 @@
+"""Vectorised GF(2^8) field operations.
+
+:class:`GF256` wraps the log/antilog tables from :mod:`repro.gf.tables`
+and exposes element-wise field arithmetic on numpy ``uint8`` arrays (and on
+plain ints, which are treated as 0-d arrays).  Addition in GF(2^8) is XOR;
+multiplication and division are table lookups.
+
+A single module-level :data:`DEFAULT_FIELD` instance (the ``0x11D`` field)
+is shared by all codes in the library, so the tables are built exactly once
+per process.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.gf import tables
+
+ArrayLike = Union[int, np.ndarray]
+
+
+class GF256:
+    """Arithmetic in GF(2^8) with numpy-vectorised operations.
+
+    Parameters
+    ----------
+    primitive_poly:
+        Irreducible modulus polynomial (see
+        :data:`repro.gf.tables.DEFAULT_PRIMITIVE_POLY`).
+
+    Notes
+    -----
+    All binary operations accept ints or ``uint8`` arrays and broadcast
+    like numpy.  Results are returned as ``uint8`` arrays (or Python ints
+    when both operands are scalars), values always in ``[0, 255]``.
+    """
+
+    def __init__(self, primitive_poly: int = tables.DEFAULT_PRIMITIVE_POLY):
+        self.primitive_poly = primitive_poly
+        self._exp, self._log = tables.build_tables(primitive_poly)
+        # Inverse table: inv[a] = a^(254) = exp[255 - log[a]].
+        self._inv = np.zeros(tables.FIELD_SIZE, dtype=np.uint8)
+        for a in range(1, tables.FIELD_SIZE):
+            self._inv[a] = self._exp[tables.GROUP_ORDER - self._log[a]]
+
+    # ------------------------------------------------------------------
+    # Normalisation helpers
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _as_array(value: ArrayLike) -> np.ndarray:
+        arr = np.asarray(value)
+        if arr.dtype != np.uint8:
+            if np.any((arr < 0) | (arr > 255)):
+                raise FieldError(
+                    "GF(256) elements must be integers in [0, 255]"
+                )
+            arr = arr.astype(np.uint8)
+        return arr
+
+    @staticmethod
+    def _maybe_scalar(result: np.ndarray, *operands: ArrayLike):
+        if all(np.isscalar(op) or np.ndim(op) == 0 for op in operands):
+            return int(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Field operations
+    # ------------------------------------------------------------------
+
+    def add(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
+        """Element-wise field addition (XOR)."""
+        result = np.bitwise_xor(self._as_array(a), self._as_array(b))
+        return self._maybe_scalar(result, a, b)
+
+    # Subtraction equals addition in characteristic 2.
+    sub = add
+
+    def mul(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
+        """Element-wise field multiplication via log/antilog tables."""
+        arr_a = self._as_array(a)
+        arr_b = self._as_array(b)
+        logs = self._log[arr_a] + self._log[arr_b]
+        result = self._exp[logs]
+        zero_mask = (arr_a == 0) | (arr_b == 0)
+        result = np.where(zero_mask, np.uint8(0), result)
+        return self._maybe_scalar(result, a, b)
+
+    def div(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
+        """Element-wise field division ``a / b``.
+
+        Raises
+        ------
+        FieldError
+            If any element of ``b`` is zero.
+        """
+        arr_a = self._as_array(a)
+        arr_b = self._as_array(b)
+        if np.any(arr_b == 0):
+            raise FieldError("division by zero in GF(256)")
+        logs = self._log[arr_a] - self._log[arr_b] + tables.GROUP_ORDER
+        result = self._exp[logs]
+        result = np.where(arr_a == 0, np.uint8(0), result)
+        return self._maybe_scalar(result, a, b)
+
+    def inv(self, a: ArrayLike) -> ArrayLike:
+        """Element-wise multiplicative inverse.
+
+        Raises
+        ------
+        FieldError
+            If any element is zero.
+        """
+        arr = self._as_array(a)
+        if np.any(arr == 0):
+            raise FieldError("zero has no multiplicative inverse in GF(256)")
+        result = self._inv[arr]
+        return self._maybe_scalar(result, a)
+
+    def pow(self, a: ArrayLike, exponent: int) -> ArrayLike:
+        """Element-wise exponentiation ``a ** exponent``.
+
+        Negative exponents are supported for non-zero bases.  ``0 ** 0``
+        is defined as 1 (the empty product), matching polynomial
+        evaluation conventions.
+        """
+        arr = self._as_array(a)
+        exponent = int(exponent)
+        if exponent == 0:
+            result = np.ones_like(arr)
+            return self._maybe_scalar(result, a)
+        if exponent < 0:
+            return self.pow(self.inv(arr), -exponent)
+        logs = (self._log[arr].astype(np.int64) * exponent) % tables.GROUP_ORDER
+        result = self._exp[logs]
+        result = np.where(arr == 0, np.uint8(0), result)
+        return self._maybe_scalar(result, a)
+
+    def exp(self, power: ArrayLike) -> ArrayLike:
+        """Return the generator (element 2) raised to ``power``."""
+        powers = np.asarray(power, dtype=np.int64) % tables.GROUP_ORDER
+        result = self._exp[powers]
+        return self._maybe_scalar(result, power)
+
+    def log(self, a: ArrayLike) -> ArrayLike:
+        """Discrete logarithm base 2 of non-zero elements.
+
+        Raises
+        ------
+        FieldError
+            If any element is zero.
+        """
+        arr = self._as_array(a)
+        if np.any(arr == 0):
+            raise FieldError("log of zero is undefined in GF(256)")
+        result = self._log[arr]
+        if all(np.isscalar(op) or np.ndim(op) == 0 for op in (a,)):
+            return int(result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Bulk helpers used by the codecs
+    # ------------------------------------------------------------------
+
+    def scale(self, coefficient: int, payload: np.ndarray) -> np.ndarray:
+        """Multiply every byte of ``payload`` by a scalar coefficient.
+
+        This is the inner loop of systematic encoding: a parity byte
+        stream is a linear combination of data byte streams.  A scalar of
+        0 returns zeros; a scalar of 1 returns a copy.
+        """
+        payload = self._as_array(payload)
+        coefficient = int(coefficient)
+        if not 0 <= coefficient <= 255:
+            raise FieldError("coefficient must be in [0, 255]")
+        if coefficient == 0:
+            return np.zeros_like(payload)
+        if coefficient == 1:
+            return payload.copy()
+        logs = self._log[payload] + self._log[coefficient]
+        result = self._exp[logs]
+        return np.where(payload == 0, np.uint8(0), result)
+
+    def addmul(
+        self, accumulator: np.ndarray, coefficient: int, payload: np.ndarray
+    ) -> None:
+        """In-place ``accumulator ^= coefficient * payload``.
+
+        ``accumulator`` must be a ``uint8`` array of the same shape as
+        ``payload``.  This fused operation is what block encoders loop
+        over, one data block per iteration.
+        """
+        if accumulator.shape != np.shape(payload):
+            raise FieldError("addmul operands must have identical shapes")
+        np.bitwise_xor(
+            accumulator, self.scale(coefficient, payload), out=accumulator
+        )
+
+    def dot(self, coefficients: np.ndarray, payloads: np.ndarray) -> np.ndarray:
+        """Linear combination of byte streams.
+
+        Parameters
+        ----------
+        coefficients:
+            1-d array of ``n`` field scalars.
+        payloads:
+            2-d array of shape ``(n, length)``; row ``i`` is a byte
+            stream.
+
+        Returns
+        -------
+        The byte stream ``sum_i coefficients[i] * payloads[i]``.
+        """
+        coefficients = self._as_array(coefficients)
+        payloads = self._as_array(payloads)
+        if payloads.ndim != 2 or coefficients.ndim != 1:
+            raise FieldError("dot expects a 1-d coefficient vector and 2-d payloads")
+        if coefficients.shape[0] != payloads.shape[0]:
+            raise FieldError(
+                f"coefficient count {coefficients.shape[0]} does not match "
+                f"payload count {payloads.shape[0]}"
+            )
+        result = np.zeros(payloads.shape[1], dtype=np.uint8)
+        for coefficient, payload in zip(coefficients, payloads):
+            self.addmul(result, int(coefficient), payload)
+        return result
+
+    def __repr__(self) -> str:
+        return f"GF256(primitive_poly={self.primitive_poly:#x})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GF256)
+            and other.primitive_poly == self.primitive_poly
+        )
+
+    def __hash__(self) -> int:
+        return hash(("GF256", self.primitive_poly))
+
+
+#: Shared default field instance (modulus ``0x11D``).
+DEFAULT_FIELD = GF256()

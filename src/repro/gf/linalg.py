@@ -1,0 +1,148 @@
+"""Linear algebra over GF(2^8).
+
+Erasure decoding is linear algebra: the surviving symbols of a stripe are
+known linear combinations of the data symbols, so recovering erased data
+means inverting (a submatrix of) the generator matrix.  This module
+implements the small dense-matrix kernel that every code in the library
+shares: multiplication, Gauss-Jordan inversion, rank, and linear solving,
+all element-wise over GF(2^8).
+
+Matrices are numpy ``uint8`` arrays; dimensions in this library are tiny
+(at most ``k + r`` per side, typically 14), so clarity is preferred over
+micro-optimisation -- the bulk data path (multiplying a decoding matrix
+into megabytes of payload) is the vectorised :func:`gf_matmul`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import LinearAlgebraError
+from repro.gf.field import DEFAULT_FIELD, GF256
+
+
+def _field(field: Optional[GF256]) -> GF256:
+    return field if field is not None else DEFAULT_FIELD
+
+
+def gf_matmul(
+    a: np.ndarray, b: np.ndarray, field: Optional[GF256] = None
+) -> np.ndarray:
+    """Matrix product over GF(2^8).
+
+    ``a`` has shape ``(m, n)`` and ``b`` shape ``(n, p)``; the result has
+    shape ``(m, p)``.  ``b`` may be a wide payload matrix (``p`` in the
+    megabytes); the implementation iterates over the small ``n`` dimension
+    and vectorises along ``p``.
+    """
+    gf = _field(field)
+    a = np.atleast_2d(np.asarray(a, dtype=np.uint8))
+    b = np.atleast_2d(np.asarray(b, dtype=np.uint8))
+    if a.shape[1] != b.shape[0]:
+        raise LinearAlgebraError(
+            f"cannot multiply {a.shape} by {b.shape}: inner dimensions differ"
+        )
+    m, n = a.shape
+    p = b.shape[1]
+    result = np.zeros((m, p), dtype=np.uint8)
+    for i in range(m):
+        for j in range(n):
+            coefficient = int(a[i, j])
+            if coefficient:
+                gf.addmul(result[i], coefficient, b[j])
+    return result
+
+
+def gf_inv_matrix(matrix: np.ndarray, field: Optional[GF256] = None) -> np.ndarray:
+    """Invert a square matrix over GF(2^8) by Gauss-Jordan elimination.
+
+    Raises
+    ------
+    LinearAlgebraError
+        If the matrix is not square or is singular.
+    """
+    gf = _field(field)
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise LinearAlgebraError(f"cannot invert non-square matrix {matrix.shape}")
+    n = matrix.shape[0]
+    work = matrix.astype(np.uint8).copy()
+    inverse = np.eye(n, dtype=np.uint8)
+    for col in range(n):
+        pivot_row = None
+        for row in range(col, n):
+            if work[row, col]:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            raise LinearAlgebraError("matrix is singular over GF(256)")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_inv = gf.inv(int(work[col, col]))
+        work[col] = gf.scale(pivot_inv, work[col])
+        inverse[col] = gf.scale(pivot_inv, inverse[col])
+        for row in range(n):
+            if row != col and work[row, col]:
+                factor = int(work[row, col])
+                gf.addmul(work[row], factor, work[col])
+                gf.addmul(inverse[row], factor, inverse[col])
+    return inverse
+
+
+def gf_rank(matrix: np.ndarray, field: Optional[GF256] = None) -> int:
+    """Rank of a matrix over GF(2^8) via row echelon reduction."""
+    gf = _field(field)
+    work = np.atleast_2d(np.asarray(matrix, dtype=np.uint8)).copy()
+    rows, cols = work.shape
+    rank = 0
+    for col in range(cols):
+        pivot_row = None
+        for row in range(rank, rows):
+            if work[row, col]:
+                pivot_row = row
+                break
+        if pivot_row is None:
+            continue
+        if pivot_row != rank:
+            work[[rank, pivot_row]] = work[[pivot_row, rank]]
+        pivot_inv = gf.inv(int(work[rank, col]))
+        work[rank] = gf.scale(pivot_inv, work[rank])
+        for row in range(rows):
+            if row != rank and work[row, col]:
+                gf.addmul(work[row], int(work[row, col]), work[rank])
+        rank += 1
+        if rank == rows:
+            break
+    return rank
+
+
+def gf_solve(
+    a: np.ndarray, b: np.ndarray, field: Optional[GF256] = None
+) -> np.ndarray:
+    """Solve ``a @ x = b`` over GF(2^8) for square non-singular ``a``.
+
+    ``b`` may be a vector or a (possibly very wide) matrix of byte
+    streams; the solution has the same trailing shape as ``b``.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b_arr = np.asarray(b, dtype=np.uint8)
+    vector_input = b_arr.ndim == 1
+    if vector_input:
+        b_arr = b_arr.reshape(-1, 1)
+    if a.shape[0] != b_arr.shape[0]:
+        raise LinearAlgebraError(
+            f"incompatible shapes for solve: {a.shape} and {b_arr.shape}"
+        )
+    solution = gf_matmul(gf_inv_matrix(a, field), b_arr, field)
+    return solution[:, 0] if vector_input else solution
+
+
+def gf_is_invertible(matrix: np.ndarray, field: Optional[GF256] = None) -> bool:
+    """Return True when ``matrix`` is square and invertible over GF(2^8)."""
+    matrix = np.atleast_2d(np.asarray(matrix, dtype=np.uint8))
+    if matrix.shape[0] != matrix.shape[1]:
+        return False
+    return gf_rank(matrix, field) == matrix.shape[0]

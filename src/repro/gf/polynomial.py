@@ -1,0 +1,173 @@
+"""Univariate polynomials over GF(2^8).
+
+Reed-Solomon codes are, in their classical presentation, evaluations of a
+degree < k message polynomial at k + r distinct points; decoding from any k
+symbols is Lagrange interpolation.  The matrix formulation in
+:mod:`repro.codes.rs` is what the bulk data path uses, but this module
+provides the polynomial view for cross-validation in tests and for
+completeness of the substrate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import FieldError
+from repro.gf.field import DEFAULT_FIELD, GF256
+
+
+class GFPolynomial:
+    """A polynomial over GF(2^8), stored as a coefficient list.
+
+    ``coefficients[i]`` is the coefficient of ``x**i``.  The zero
+    polynomial is represented by an empty coefficient list and has degree
+    -1 by convention.
+    """
+
+    def __init__(
+        self,
+        coefficients: Iterable[int] = (),
+        field: Optional[GF256] = None,
+    ):
+        self.field = field if field is not None else DEFAULT_FIELD
+        coeffs: List[int] = [int(c) for c in coefficients]
+        for c in coeffs:
+            if not 0 <= c <= 255:
+                raise FieldError(f"coefficient {c} outside GF(256)")
+        while coeffs and coeffs[-1] == 0:
+            coeffs.pop()
+        self.coefficients: List[int] = coeffs
+
+    # ------------------------------------------------------------------
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; -1 for the zero polynomial."""
+        return len(self.coefficients) - 1
+
+    def is_zero(self) -> bool:
+        return not self.coefficients
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, GFPolynomial)
+            and self.coefficients == other.coefficients
+            and self.field == other.field
+        )
+
+    def __hash__(self) -> int:
+        return hash((tuple(self.coefficients), self.field))
+
+    def __repr__(self) -> str:
+        return f"GFPolynomial({self.coefficients})"
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+
+    def __add__(self, other: "GFPolynomial") -> "GFPolynomial":
+        longer, shorter = self.coefficients, other.coefficients
+        if len(longer) < len(shorter):
+            longer, shorter = shorter, longer
+        summed = list(longer)
+        for i, c in enumerate(shorter):
+            summed[i] ^= c
+        return GFPolynomial(summed, self.field)
+
+    # Subtraction is addition in characteristic 2.
+    __sub__ = __add__
+
+    def __mul__(self, other: "GFPolynomial") -> "GFPolynomial":
+        if self.is_zero() or other.is_zero():
+            return GFPolynomial((), self.field)
+        gf = self.field
+        product = [0] * (len(self.coefficients) + len(other.coefficients) - 1)
+        for i, a in enumerate(self.coefficients):
+            if not a:
+                continue
+            for j, b in enumerate(other.coefficients):
+                if b:
+                    product[i + j] ^= gf.mul(a, b)
+        return GFPolynomial(product, self.field)
+
+    def scale(self, scalar: int) -> "GFPolynomial":
+        """Multiply every coefficient by a field scalar."""
+        gf = self.field
+        return GFPolynomial(
+            (gf.mul(scalar, c) for c in self.coefficients), self.field
+        )
+
+    def divmod(self, divisor: "GFPolynomial"):
+        """Polynomial long division; returns ``(quotient, remainder)``."""
+        if divisor.is_zero():
+            raise FieldError("polynomial division by zero")
+        gf = self.field
+        remainder = list(self.coefficients)
+        quotient = [0] * max(len(remainder) - divisor.degree, 0)
+        lead_inv = gf.inv(divisor.coefficients[-1])
+        for shift in range(len(remainder) - divisor.degree - 1, -1, -1):
+            factor = gf.mul(remainder[shift + divisor.degree], lead_inv)
+            if factor:
+                quotient[shift] = factor
+                for i, c in enumerate(divisor.coefficients):
+                    remainder[shift + i] ^= gf.mul(factor, c)
+        return (
+            GFPolynomial(quotient, self.field),
+            GFPolynomial(remainder, self.field),
+        )
+
+    def __floordiv__(self, divisor: "GFPolynomial") -> "GFPolynomial":
+        return self.divmod(divisor)[0]
+
+    def __mod__(self, divisor: "GFPolynomial") -> "GFPolynomial":
+        return self.divmod(divisor)[1]
+
+    # ------------------------------------------------------------------
+    # Evaluation and interpolation
+    # ------------------------------------------------------------------
+
+    def evaluate(self, x: int) -> int:
+        """Evaluate the polynomial at a point via Horner's rule."""
+        gf = self.field
+        result = 0
+        for c in reversed(self.coefficients):
+            result = gf.add(gf.mul(result, x), c)
+        return int(result)
+
+    def evaluate_many(self, xs: Sequence[int]) -> np.ndarray:
+        """Evaluate at several points; returns a ``uint8`` array."""
+        return np.array([self.evaluate(int(x)) for x in xs], dtype=np.uint8)
+
+    @classmethod
+    def interpolate(
+        cls,
+        xs: Sequence[int],
+        ys: Sequence[int],
+        field: Optional[GF256] = None,
+    ) -> "GFPolynomial":
+        """Lagrange interpolation through ``(xs[i], ys[i])`` points.
+
+        The ``xs`` must be distinct; the result has degree < ``len(xs)``.
+        """
+        gf = field if field is not None else DEFAULT_FIELD
+        if len(xs) != len(ys):
+            raise FieldError("interpolate needs equally many x and y values")
+        if len(set(int(x) for x in xs)) != len(xs):
+            raise FieldError("interpolation points must be distinct")
+        total = cls((), gf)
+        for i, (xi, yi) in enumerate(zip(xs, ys)):
+            if not yi:
+                continue
+            # Basis polynomial: prod_{j != i} (x + x_j) / (x_i + x_j).
+            basis = cls((1,), gf)
+            denominator = 1
+            for j, xj in enumerate(xs):
+                if j == i:
+                    continue
+                basis = basis * cls((int(xj), 1), gf)
+                denominator = gf.mul(denominator, gf.add(int(xi), int(xj)))
+            scalar = gf.mul(int(yi), gf.inv(denominator))
+            total = total + basis.scale(scalar)
+        return total

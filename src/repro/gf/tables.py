@@ -1,0 +1,118 @@
+"""Log/antilog table construction for GF(2^8).
+
+GF(2^8) is represented as polynomials over GF(2) modulo an irreducible
+polynomial of degree 8.  The default modulus is ``x^8 + x^4 + x^3 + x^2 + 1``
+(``0x11D``), the polynomial used by most storage codecs (Jerasure, ISA-L,
+the original Reed-Solomon deployment in HDFS-RAID).  The element ``x``
+(integer 2) is a generator of the multiplicative group for this modulus, so
+every non-zero element is ``2**i`` for a unique ``i`` in ``[0, 254]``; the
+tables built here let multiplication and division run as table lookups,
+which numpy then vectorises over whole blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import FieldError
+
+#: Default irreducible polynomial: x^8 + x^4 + x^3 + x^2 + 1.
+DEFAULT_PRIMITIVE_POLY = 0x11D
+
+#: Order of the multiplicative group of GF(2^8).
+GROUP_ORDER = 255
+
+#: Number of field elements.
+FIELD_SIZE = 256
+
+#: Length of the antilog table.  It wraps the 255-cycle enough times that
+#: ``exp[log[a] + log[b]]`` is always in range even when one operand is the
+#: zero sentinel (whose "log" is :data:`ZERO_LOG_SENTINEL`); zero operands
+#: are masked out by the caller afterwards.
+EXP_TABLE_LEN = 1024
+
+#: Sentinel stored in ``log[0]``.  ``log[0]`` is mathematically undefined;
+#: the sentinel merely keeps table lookups in bounds until the zero mask is
+#: applied.
+ZERO_LOG_SENTINEL = 2 * GROUP_ORDER + 1
+
+#: Irreducible degree-8 polynomials over GF(2) that have 2 as a primitive
+#: element (a non-exhaustive, commonly used subset).
+KNOWN_PRIMITIVE_POLYS = (0x11D, 0x12B, 0x12D, 0x14D, 0x15F, 0x163, 0x165)
+
+
+def _carryless_multiply_mod(a: int, b: int, modulus: int) -> int:
+    """Multiply two field elements bit-by-bit, reducing modulo ``modulus``.
+
+    This is the slow reference implementation used only to *build* the
+    tables; all runtime multiplication goes through the tables.
+    """
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        b >>= 1
+        a <<= 1
+        if a & 0x100:
+            a ^= modulus
+    return result
+
+
+def build_tables(primitive_poly: int = DEFAULT_PRIMITIVE_POLY) -> Tuple[np.ndarray, np.ndarray]:
+    """Build (exp, log) tables for GF(2^8).
+
+    Parameters
+    ----------
+    primitive_poly:
+        The irreducible modulus polynomial, as an integer with bit ``i``
+        set when the coefficient of ``x^i`` is 1.  It must be of degree 8
+        and the element 2 must generate the multiplicative group.
+
+    Returns
+    -------
+    (exp, log):
+        ``exp`` is a ``uint8`` array of length :data:`EXP_TABLE_LEN` with
+        the 255-element antilog cycle repeated, so ``exp[log[a] + log[b]]``
+        needs no explicit ``% 255``.  ``log`` is an ``int32`` array of 256
+        entries; ``log[0]`` holds :data:`ZERO_LOG_SENTINEL` and must never
+        be interpreted as a logarithm.
+    """
+    if primitive_poly >> 8 != 1:
+        raise FieldError(
+            f"primitive polynomial {primitive_poly:#x} is not of degree 8"
+        )
+    cycle = np.zeros(GROUP_ORDER, dtype=np.uint8)
+    log = np.zeros(FIELD_SIZE, dtype=np.int32)
+    value = 1
+    for power in range(GROUP_ORDER):
+        cycle[power] = value
+        log[value] = power
+        value = _carryless_multiply_mod(value, 2, primitive_poly)
+    # 2 must have order exactly 255: the cycle returns to 1 only at the
+    # end AND visits every non-zero element once.  (Checking only
+    # ``value == 1`` after 255 steps would accept any order dividing
+    # 255, e.g. the AES polynomial 0x11B where 2 has order 51.)
+    if value != 1 or len(set(cycle.tolist())) != GROUP_ORDER:
+        raise FieldError(
+            f"2 is not a primitive element modulo {primitive_poly:#x}"
+        )
+    exp = np.resize(cycle, EXP_TABLE_LEN)
+    log[0] = ZERO_LOG_SENTINEL
+    return exp, log
+
+
+def build_multiplication_table(
+    primitive_poly: int = DEFAULT_PRIMITIVE_POLY,
+) -> np.ndarray:
+    """Build the full 256x256 multiplication table.
+
+    Used by tests as an independent cross-check of the log/exp tables and
+    by callers who prefer a single gather per multiply.
+    """
+    table = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
+    for a in range(FIELD_SIZE):
+        for b in range(FIELD_SIZE):
+            table[a, b] = _carryless_multiply_mod(a, b, primitive_poly)
+    return table

@@ -1,0 +1,27 @@
+"""HDFS-style block and stripe layout (Fig. 2 of the paper).
+
+A file is partitioned into 256 MB blocks; blocks are grouped into sets of
+``k`` and encoded into ``r`` parity blocks; one byte at corresponding
+offsets of the ``k`` data blocks produces the corresponding byte of each
+parity block (the *byte-level stripe*), and the ``k + r`` blocks together
+form the *block-level stripe* placed on distinct racks.
+
+- :mod:`repro.striping.blocks` -- blocks, files, chunking;
+- :mod:`repro.striping.layout` -- grouping blocks into stripes and
+  padding rules;
+- :mod:`repro.striping.codec` -- applying any
+  :class:`~repro.codes.base.ErasureCode` across real block payloads.
+"""
+
+from repro.striping.blocks import Block, LogicalFile, chunk_bytes
+from repro.striping.codec import StripeCodec
+from repro.striping.layout import StripeLayout, group_into_stripes
+
+__all__ = [
+    "Block",
+    "LogicalFile",
+    "chunk_bytes",
+    "StripeLayout",
+    "group_into_stripes",
+    "StripeCodec",
+]

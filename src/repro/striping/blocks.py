@@ -1,0 +1,115 @@
+"""Blocks and files: the HDFS data model the paper's cluster uses.
+
+Files (immutable once written, Section 2.1) are partitioned into blocks
+of at most :data:`DEFAULT_BLOCK_SIZE` (256 MB in production; tests use
+small sizes).  The final block of a file is usually shorter -- this tail
+population is why the cluster's mean recovery transfer is below
+``10 x 256 MB`` per block, and the simulator's calibrated block-size mix
+models exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+#: Production HDFS block size in the warehouse cluster (Section 2.1).
+DEFAULT_BLOCK_SIZE = 256 * 1024 * 1024
+
+
+@dataclass
+class Block:
+    """One HDFS block: an identifier, a size, and (optionally) a payload.
+
+    The cluster simulator works with metadata-only blocks
+    (``payload is None``); the codec layer and the integration tests
+    carry real payloads.
+
+    Attributes
+    ----------
+    block_id:
+        Globally unique identifier.
+    size:
+        Logical byte size.  When a payload is present its length must
+        equal ``size``.
+    payload:
+        Optional ``uint8`` array with the block contents.
+    """
+
+    block_id: str
+    size: int
+    payload: Optional[np.ndarray] = None
+
+    def __post_init__(self):
+        if self.size < 0:
+            raise EncodingError(f"block {self.block_id} has negative size")
+        if self.payload is not None:
+            self.payload = np.asarray(self.payload, dtype=np.uint8)
+            if self.payload.ndim != 1:
+                raise EncodingError(
+                    f"block {self.block_id} payload must be 1-d bytes"
+                )
+            if self.payload.shape[0] != self.size:
+                raise EncodingError(
+                    f"block {self.block_id}: size {self.size} != payload "
+                    f"length {self.payload.shape[0]}"
+                )
+
+    @property
+    def has_payload(self) -> bool:
+        return self.payload is not None
+
+
+@dataclass
+class LogicalFile:
+    """A file as the namenode sees it: a name and an ordered block list."""
+
+    name: str
+    blocks: List[Block] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        """Total logical size in bytes."""
+        return sum(block.size for block in self.blocks)
+
+    @property
+    def block_ids(self) -> List[str]:
+        return [block.block_id for block in self.blocks]
+
+
+def chunk_bytes(
+    name: str,
+    data: np.ndarray,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> LogicalFile:
+    """Partition a byte buffer into a :class:`LogicalFile` of blocks.
+
+    The final block holds the remainder and may be shorter (it is never
+    zero-length unless the file itself is empty, in which case the file
+    has a single empty block so it still participates in striping).
+
+    Block payloads are *views* into ``data`` (no copy); callers that
+    need ownership -- e.g. the namenode ingesting user bytes -- must
+    copy first.
+    """
+    if block_size <= 0:
+        raise EncodingError(f"block size must be positive, got {block_size}")
+    data = np.asarray(data, dtype=np.uint8).reshape(-1)
+    blocks: List[Block] = []
+    if data.size == 0:
+        blocks.append(Block(block_id=f"{name}/blk_0", size=0, payload=data))
+    else:
+        for index, start in enumerate(range(0, data.size, block_size)):
+            chunk = data[start : start + block_size]
+            blocks.append(
+                Block(
+                    block_id=f"{name}/blk_{index}",
+                    size=int(chunk.size),
+                    payload=chunk,
+                )
+            )
+    return LogicalFile(name=name, blocks=blocks)

@@ -1,0 +1,129 @@
+"""Grouping blocks into block-level stripes (Fig. 2).
+
+The RAID policy groups a file's data blocks into sets of ``k`` (10 in
+production).  A set shorter than ``k`` (the tail of a file, or a small
+file) is padded with *virtual* zero blocks for encoding; virtual blocks
+are never stored, and decoding reproduces them as zeros.  Within one
+stripe all blocks are encoded over a common *stripe width* -- the largest
+member's size -- with shorter members zero-extended, again without
+storing the padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.errors import EncodingError
+from repro.striping.blocks import Block
+
+
+@dataclass(frozen=True)
+class StripeLayout:
+    """Static description of one block-level stripe.
+
+    Attributes
+    ----------
+    stripe_id:
+        Identifier, unique within a namenode.
+    k, r:
+        Code parameters the stripe is encoded with.
+    data_block_ids:
+        Exactly ``k`` entries; ``None`` marks a virtual (zero-padding)
+        block that is not stored anywhere.
+    parity_block_ids:
+        Exactly ``r`` entries, always real.
+    data_sizes:
+        Logical size of each data slot (0 for virtual blocks).
+    """
+
+    stripe_id: str
+    k: int
+    r: int
+    data_block_ids: tuple
+    parity_block_ids: tuple
+    data_sizes: tuple
+
+    def __post_init__(self):
+        if len(self.data_block_ids) != self.k:
+            raise EncodingError(
+                f"stripe {self.stripe_id}: expected {self.k} data slots, "
+                f"got {len(self.data_block_ids)}"
+            )
+        if len(self.parity_block_ids) != self.r:
+            raise EncodingError(
+                f"stripe {self.stripe_id}: expected {self.r} parity slots, "
+                f"got {len(self.parity_block_ids)}"
+            )
+        if len(self.data_sizes) != self.k:
+            raise EncodingError(
+                f"stripe {self.stripe_id}: expected {self.k} data sizes"
+            )
+
+    @property
+    def n(self) -> int:
+        return self.k + self.r
+
+    @property
+    def stripe_width(self) -> int:
+        """Common encoding width: the largest member block's size."""
+        return max(self.data_sizes) if self.data_sizes else 0
+
+    @property
+    def real_data_count(self) -> int:
+        """Number of non-virtual data blocks."""
+        return sum(1 for b in self.data_block_ids if b is not None)
+
+    @property
+    def logical_size(self) -> int:
+        """Bytes of real user data covered by the stripe."""
+        return sum(self.data_sizes)
+
+    @property
+    def physical_size(self) -> int:
+        """Bytes actually stored: real data blocks plus parity blocks.
+
+        Every parity block is as large as the stripe width.
+        """
+        return self.logical_size + self.r * self.stripe_width
+
+    def all_block_ids(self) -> List[Optional[str]]:
+        """Data slots followed by parity slots (virtual slots as None)."""
+        return list(self.data_block_ids) + list(self.parity_block_ids)
+
+
+def group_into_stripes(
+    blocks: Sequence[Block],
+    k: int,
+    r: int,
+    stripe_prefix: str = "stripe",
+) -> List[StripeLayout]:
+    """Group data blocks into (k, r) stripes, padding the final group.
+
+    Blocks are taken in order, ``k`` at a time, matching how the RAID
+    policy walks a directory's files (Section 2.1: "blocks are grouped
+    into sets of 10 blocks each").
+    """
+    if k < 1 or r < 0:
+        raise EncodingError(f"invalid stripe parameters k={k}, r={r}")
+    stripes: List[StripeLayout] = []
+    for stripe_index, start in enumerate(range(0, len(blocks), k)):
+        members = list(blocks[start : start + k])
+        stripe_id = f"{stripe_prefix}_{stripe_index}"
+        data_ids: List[Optional[str]] = [b.block_id for b in members]
+        sizes = [b.size for b in members]
+        while len(data_ids) < k:
+            data_ids.append(None)
+            sizes.append(0)
+        parity_ids = tuple(f"{stripe_id}/parity_{j}" for j in range(r))
+        stripes.append(
+            StripeLayout(
+                stripe_id=stripe_id,
+                k=k,
+                r=r,
+                data_block_ids=tuple(data_ids),
+                parity_block_ids=parity_ids,
+                data_sizes=tuple(sizes),
+            )
+        )
+    return stripes

@@ -1,0 +1,61 @@
+"""Tests for the cut-set repair lower bound."""
+
+import pytest
+
+from repro.analysis.bounds import (
+    best_cutset_bound_units,
+    msr_cutset_bound_units,
+    repair_optimality_table,
+)
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import ConfigError
+
+
+class TestCutsetBound:
+    def test_production_value(self):
+        # (10,4), d = 13 helpers: 13/4 = 3.25 units.
+        assert best_cutset_bound_units(10, 14) == pytest.approx(3.25)
+
+    def test_degenerates_to_rs_at_d_equals_k(self):
+        assert msr_cutset_bound_units(10, 10) == pytest.approx(10.0)
+
+    def test_decreasing_in_helpers(self):
+        values = [msr_cutset_bound_units(10, d) for d in range(10, 14)]
+        assert values == sorted(values, reverse=True)
+
+    def test_replication_like(self):
+        # k=1: bound is 1 unit regardless of helpers.
+        assert msr_cutset_bound_units(1, 1) == pytest.approx(1.0)
+        assert msr_cutset_bound_units(1, 5) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            msr_cutset_bound_units(0, 5)
+        with pytest.raises(ConfigError):
+            msr_cutset_bound_units(5, 4)  # d < k
+        with pytest.raises(ConfigError):
+            best_cutset_bound_units(5, 5)  # n <= k
+
+
+class TestOptimalityTable:
+    def test_codes_bracketed_by_rs_and_bound(self):
+        rows = repair_optimality_table(
+            [ReedSolomonCode(10, 4), PiggybackedRSCode(10, 4)]
+        )
+        for row in rows:
+            assert row.bound_units <= row.average_data_repair_units
+            assert row.average_data_repair_units <= row.rs_units
+            assert 0.0 <= row.fraction_of_possible_saving <= 1.0
+
+    def test_rs_closes_nothing(self):
+        row = repair_optimality_table([ReedSolomonCode(10, 4)])[0]
+        assert row.fraction_of_possible_saving == pytest.approx(0.0)
+        assert row.saving_vs_rs == pytest.approx(0.0)
+
+    def test_piggyback_closes_about_half(self):
+        row = repair_optimality_table([PiggybackedRSCode(10, 4)])[0]
+        assert row.fraction_of_possible_saving == pytest.approx(
+            (10 - 6.7) / (10 - 3.25)
+        )
+        assert row.gap_to_bound == pytest.approx(6.7 / 3.25)

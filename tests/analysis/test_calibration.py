@@ -1,0 +1,76 @@
+"""Tests for automatic trace calibration."""
+
+import pytest
+
+from repro.analysis.calibration import calibrate_config
+from repro.cluster.config import ClusterConfig
+from repro.errors import ConfigError
+
+
+def small_config(**overrides):
+    defaults = dict(
+        num_racks=20, nodes_per_rack=5, stripes_per_node=20.0, seed=17
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+class TestCalibration:
+    def test_detuned_config_converges_toward_targets(self):
+        """Start far off target; two rounds should close most of the gap."""
+        detuned = small_config(
+            daily_event_median=10.0, recovery_trigger_fraction=0.9
+        )
+        result = calibrate_config(
+            detuned,
+            target_unavailability_median=40.0,
+            target_blocks_median=50_000.0,
+            pilot_days=6.0,
+            iterations=3,
+            tolerance=0.15,
+        )
+        assert abs(result.unavailability_error) < 0.35
+        assert abs(result.blocks_error) < 0.35
+        assert result.config.daily_event_median > detuned.daily_event_median
+
+    def test_already_calibrated_stops_early(self):
+        """Targets equal to a config's own pilot measurements are
+        accepted on round one (pilots are seeded and deterministic)."""
+        config = small_config()
+        probe = calibrate_config(
+            config,
+            target_unavailability_median=1.0,  # guaranteed miss: just
+            target_blocks_median=1.0,          # measuring the pilot
+            pilot_days=6.0,
+            iterations=1,
+        )
+        result = calibrate_config(
+            config,
+            target_unavailability_median=max(
+                probe.measured_unavailability_median, 1.0
+            ),
+            target_blocks_median=max(probe.measured_blocks_median, 1.0),
+            pilot_days=6.0,
+            iterations=3,
+        )
+        assert result.iterations == 1
+        assert result.config.daily_event_median == config.daily_event_median
+
+    def test_trigger_fraction_stays_in_bounds(self):
+        config = small_config(recovery_trigger_fraction=0.9)
+        result = calibrate_config(
+            config,
+            target_unavailability_median=30.0,
+            target_blocks_median=10_000_000.0,  # unreachable
+            pilot_days=4.0,
+            iterations=2,
+        )
+        assert 0.01 <= result.config.recovery_trigger_fraction <= 1.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            calibrate_config(small_config(), iterations=0)
+        with pytest.raises(ConfigError):
+            calibrate_config(small_config(), pilot_days=0)
+        with pytest.raises(ConfigError):
+            calibrate_config(small_config(), target_blocks_median=0)

@@ -1,0 +1,76 @@
+"""Tests for the codable-capacity analysis."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    OperatingPoint,
+    codable_capacity_table,
+    relative_traffic_per_coded_byte,
+)
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import ConfigError
+
+
+class TestOperatingPoint:
+    def test_paper_defaults(self):
+        point = OperatingPoint()
+        assert point.coded_bytes == 10e15
+        assert point.recovery_bytes_per_day == 180e12
+
+    def test_intensity(self):
+        point = OperatingPoint(coded_bytes=2e12, recovery_bytes_per_day=1e12)
+        assert point.traffic_intensity_per_day == pytest.approx(0.5)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            OperatingPoint(coded_bytes=0).traffic_intensity_per_day
+
+
+class TestRelativeTraffic:
+    def test_rs_vs_itself(self, rs_10_4):
+        assert relative_traffic_per_coded_byte(rs_10_4, rs_10_4) == pytest.approx(
+            1.0
+        )
+
+    def test_piggyback_fraction(self, piggyback_10_4, rs_10_4):
+        relative = relative_traffic_per_coded_byte(piggyback_10_4, rs_10_4)
+        assert relative == pytest.approx(107 / 140)  # 7.643/10
+
+
+class TestCapacityTable:
+    def test_piggyback_codes_more_data(self, rs_10_4, piggyback_10_4):
+        rows = codable_capacity_table(
+            [rs_10_4, piggyback_10_4], baseline=rs_10_4
+        )
+        rs_row, pb_row = rows
+        assert rs_row.codable_bytes == pytest.approx(10e15)
+        gain = pb_row.codable_bytes / rs_row.codable_bytes
+        assert gain == pytest.approx(140 / 107)  # ~31% more
+
+    def test_disk_savings_positive(self, rs_10_4, piggyback_10_4):
+        rows = codable_capacity_table(
+            [rs_10_4, piggyback_10_4], baseline=rs_10_4
+        )
+        for row in rows:
+            # 1.4x coded storage vs 3x replication: big savings.
+            logical = row.codable_bytes / row.storage_overhead
+            assert row.disk_bytes_saved_vs_replication == pytest.approx(
+                3.0 * logical - row.codable_bytes
+            )
+            assert row.disk_bytes_saved_vs_replication > 0
+
+    def test_custom_budget_scales_linearly(self, rs_10_4):
+        base = codable_capacity_table([rs_10_4], baseline=rs_10_4)[0]
+        doubled = codable_capacity_table(
+            [rs_10_4],
+            baseline=rs_10_4,
+            network_budget_bytes_per_day=2 * 180e12,
+        )[0]
+        assert doubled.codable_bytes == pytest.approx(2 * base.codable_bytes)
+
+    def test_invalid_budget(self, rs_10_4):
+        with pytest.raises(ConfigError):
+            codable_capacity_table(
+                [rs_10_4], baseline=rs_10_4, network_budget_bytes_per_day=0
+            )

@@ -1,0 +1,92 @@
+"""Tests for the raid-conversion growth model."""
+
+import pytest
+
+from repro.analysis.growth import (
+    GrowthReport,
+    RaidConversionModel,
+    storage_released_per_logical_byte,
+    weekly_growth_report,
+)
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import ConfigError
+
+
+class TestConversionModel:
+    def test_default_cost_per_byte(self, rs_10_4):
+        model = RaidConversionModel()
+        # read 1.0 + parity 0.4 = 1.4x per logical byte.
+        assert model.conversion_bytes_per_logical_byte(rs_10_4) == pytest.approx(
+            1.4
+        )
+
+    def test_local_reads_cheaper(self, rs_10_4):
+        model = RaidConversionModel(read_is_remote=False)
+        assert model.conversion_bytes_per_logical_byte(rs_10_4) == pytest.approx(
+            0.4
+        )
+
+    def test_consolidation_adds(self, rs_10_4):
+        model = RaidConversionModel(consolidation_fraction=0.5)
+        assert model.conversion_bytes_per_logical_byte(rs_10_4) == pytest.approx(
+            1.9
+        )
+
+    def test_same_for_piggyback(self, rs_10_4, piggyback_10_4):
+        """Encoding traffic depends only on (k, r): piggybacking is free
+        at conversion time."""
+        model = RaidConversionModel()
+        assert model.conversion_bytes_per_logical_byte(
+            piggyback_10_4
+        ) == model.conversion_bytes_per_logical_byte(rs_10_4)
+
+    def test_weekly_to_daily(self, rs_10_4):
+        model = RaidConversionModel()
+        weekly = model.weekly_conversion_bytes(rs_10_4, 2e15)
+        assert weekly == pytest.approx(2.8e15)
+        assert model.daily_conversion_bytes(rs_10_4, 2e15) == pytest.approx(
+            weekly / 7
+        )
+
+    def test_validation(self, rs_10_4):
+        with pytest.raises(ConfigError):
+            RaidConversionModel(
+                consolidation_fraction=2.0
+            ).conversion_bytes_per_logical_byte(rs_10_4)
+        with pytest.raises(ConfigError):
+            RaidConversionModel().weekly_conversion_bytes(rs_10_4, -1.0)
+
+
+class TestStorageReleased:
+    def test_paper_numbers(self, rs_10_4):
+        # 3x -> 1.4x: 1.6 bytes freed per logical byte.
+        assert storage_released_per_logical_byte(rs_10_4) == pytest.approx(1.6)
+
+    def test_invalid_replication(self, rs_10_4):
+        with pytest.raises(ConfigError):
+            storage_released_per_logical_byte(rs_10_4, replication_factor=0)
+
+
+class TestGrowthReport:
+    def test_report_fields(self, piggyback_10_4):
+        report = weekly_growth_report(
+            piggyback_10_4,
+            growth_bytes_per_week=2e15,  # "a few petabytes every week"
+            recovery_bytes_per_day=130e12,
+        )
+        assert report.code_name == "PiggybackedRS(10,4)"
+        assert report.conversion_bytes_per_day == pytest.approx(2.8e15 / 7)
+        assert report.storage_released_per_week == pytest.approx(3.2e15)
+        assert report.total_network_bytes_per_day == pytest.approx(
+            2.8e15 / 7 + 130e12
+        )
+
+    def test_conversion_dominates_at_high_growth(self, rs_10_4):
+        """At a few PB/week, conversion traffic itself rivals recovery
+        traffic -- both compete for the TOR uplinks."""
+        report = weekly_growth_report(
+            rs_10_4, growth_bytes_per_week=3e15,
+            recovery_bytes_per_day=180e12,
+        )
+        assert report.conversion_bytes_per_day > report.recovery_bytes_per_day

@@ -1,0 +1,88 @@
+"""Tests for the Monte-Carlo reliability cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.montecarlo import simulate_stripe_mttdl
+from repro.analysis.mttdl import mttdl_markov
+from repro.errors import ConfigError
+
+
+class TestAgainstMarkovModel:
+    """The headline purpose: MC and the exact chain must agree."""
+
+    @pytest.mark.parametrize(
+        "n,r,lam,mus",
+        [
+            (4, 1, 0.2, [2.0]),
+            (6, 2, 0.3, [3.0, 3.0]),
+            (14, 4, 0.5, [2.0, 2.0, 2.0, 2.0]),
+        ],
+    )
+    def test_mc_matches_markov(self, n, r, lam, mus):
+        analytic = mttdl_markov(n, r, lam, mus)
+        estimate = simulate_stripe_mttdl(
+            n, r, lam, mus, trials=3_000, rng=np.random.default_rng(11)
+        )
+        low, high = estimate.confidence_interval(z=4.0)
+        assert low <= analytic <= high
+
+    def test_faster_repair_longer_life_empirically(self):
+        slow = simulate_stripe_mttdl(
+            14, 4, 0.5, [1.0] * 4, trials=1_500,
+            rng=np.random.default_rng(1),
+        )
+        fast = simulate_stripe_mttdl(
+            14, 4, 0.5, [4.0] * 4, trials=1_500,
+            rng=np.random.default_rng(1),
+        )
+        assert fast.mean > slow.mean
+
+    def test_piggyback_rate_advantage_shows_up(self):
+        """Scaled repair rates in the RS:piggyback ratio (10 : 7.64)
+        produce a reliability ordering, empirically."""
+        rng = np.random.default_rng(5)
+        rs = simulate_stripe_mttdl(14, 4, 0.4, [2.0] * 4, trials=2_000, rng=rng)
+        rng = np.random.default_rng(5)
+        pb = simulate_stripe_mttdl(
+            14, 4, 0.4, [2.0 * 10 / 7.643] * 4, trials=2_000, rng=rng
+        )
+        assert pb.mean > rs.mean
+
+
+class TestMechanics:
+    def test_no_redundancy_mean(self):
+        estimate = simulate_stripe_mttdl(
+            1, 0, 2.0, [], trials=4_000, rng=np.random.default_rng(3)
+        )
+        assert estimate.mean == pytest.approx(0.5, rel=0.1)
+
+    def test_standard_error_shrinks_with_trials(self):
+        small = simulate_stripe_mttdl(
+            4, 1, 0.5, [1.0], trials=500, rng=np.random.default_rng(2)
+        )
+        large = simulate_stripe_mttdl(
+            4, 1, 0.5, [1.0], trials=8_000, rng=np.random.default_rng(2)
+        )
+        assert large.standard_error < small.standard_error
+
+    def test_deterministic_with_seeded_rng(self):
+        a = simulate_stripe_mttdl(
+            4, 1, 0.5, [1.0], trials=200, rng=np.random.default_rng(9)
+        )
+        b = simulate_stripe_mttdl(
+            4, 1, 0.5, [1.0], trials=200, rng=np.random.default_rng(9)
+        )
+        assert a.mean == b.mean
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            simulate_stripe_mttdl(0, 0, 1.0, [])
+        with pytest.raises(ConfigError):
+            simulate_stripe_mttdl(4, 4, 1.0, [1.0] * 4)
+        with pytest.raises(ConfigError):
+            simulate_stripe_mttdl(4, 1, -1.0, [1.0])
+        with pytest.raises(ConfigError):
+            simulate_stripe_mttdl(4, 1, 1.0, [])
+        with pytest.raises(ConfigError):
+            simulate_stripe_mttdl(4, 1, 1.0, [1.0], trials=0)

@@ -1,0 +1,55 @@
+"""Tests for the TOR-uplink utilisation model."""
+
+import pytest
+
+from repro.analysis.oversubscription import UplinkModel
+from repro.cluster.config import SECONDS_PER_DAY
+from repro.errors import ConfigError
+
+
+class TestUplinkModel:
+    def test_capacity_arithmetic(self):
+        model = UplinkModel(racks=100, uplink_gbps=40.0)
+        expected = 100 * 40e9 / 8 * SECONDS_PER_DAY
+        assert model.cluster_uplink_bytes_per_day == pytest.approx(expected)
+
+    def test_utilisation_fraction(self):
+        model = UplinkModel(racks=100, uplink_gbps=40.0)
+        # 180 TB/day against 43.2 PB/day capacity.
+        util = model.utilisation(180e12)
+        assert util == pytest.approx(180e12 / model.cluster_uplink_bytes_per_day)
+        assert 0.003 < util < 0.006
+
+    def test_series_and_report(self):
+        model = UplinkModel(racks=10, uplink_gbps=10.0)
+        daily = [1e12, 2e12, 4e12]
+        series = model.utilisation_series(daily)
+        assert len(series) == 3
+        assert series == sorted(series)
+        report = model.report("rs", daily)
+        assert report["peak_uplink_util_%"] > report["median_uplink_util_%"]
+        assert report["headroom_at_peak_x"] == pytest.approx(
+            1.0 / max(series), rel=0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            UplinkModel(racks=0)
+        with pytest.raises(ConfigError):
+            UplinkModel(uplink_gbps=0)
+        with pytest.raises(ConfigError):
+            UplinkModel(oversubscription=0.5)
+        with pytest.raises(ConfigError):
+            UplinkModel().utilisation(-1)
+        with pytest.raises(ConfigError):
+            UplinkModel().report("x", [])
+
+
+class TestExperiment:
+    def test_uplink_experiment(self):
+        from repro.experiments import run_experiment
+
+        result = run_experiment("ext_uplink", days=4.0)
+        rs, pb = result.data["rs"], result.data["pb"]
+        assert pb["median_uplink_util_%"] < rs["median_uplink_util_%"]
+        assert pb["peak_uplink_util_%"] <= rs["peak_uplink_util_%"]

@@ -1,0 +1,86 @@
+"""Tests for the bandwidth-limited recovery-time model."""
+
+import pytest
+
+from repro.analysis.recovery_time import GBPS, RecoveryTimeModel
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+
+UNIT = 256 * 1024 * 1024
+
+
+class TestPlanTime:
+    def test_rs_time_components(self, rs_10_4):
+        model = RecoveryTimeModel(
+            download_bandwidth=GBPS,
+            source_bandwidth=GBPS,
+            disk_write_bandwidth=1e12,  # disk not the bottleneck
+            connection_overhead=0.0,
+        )
+        time = model.code_recovery_time(rs_10_4, UNIT)
+        assert time == pytest.approx(10 * UNIT / GBPS)
+
+    def test_piggyback_faster_at_block_scale(self, rs_10_4, piggyback_10_4):
+        """Section 3.2: fewer total bytes -> less time, despite more
+        connections."""
+        model = RecoveryTimeModel()
+        rs_time = model.code_recovery_time(rs_10_4, UNIT)
+        pb_time = model.code_recovery_time(piggyback_10_4, UNIT)
+        assert pb_time < rs_time
+
+    def test_connection_overhead_term(self, rs_10_4):
+        slow = RecoveryTimeModel(connection_overhead=1.0)
+        fast = RecoveryTimeModel(connection_overhead=0.0)
+        delta = slow.code_recovery_time(rs_10_4, UNIT) - fast.code_recovery_time(
+            rs_10_4, UNIT
+        )
+        assert delta == pytest.approx(10.0)  # 10 connections x 1 s
+
+    def test_disk_bottleneck(self, rs_10_4):
+        model = RecoveryTimeModel(
+            download_bandwidth=1e15,
+            source_bandwidth=1e15,
+            disk_write_bandwidth=1e6,
+            connection_overhead=0.0,
+        )
+        assert model.code_recovery_time(rs_10_4, UNIT) == pytest.approx(
+            UNIT / 1e6
+        )
+
+    def test_slowest_source_bound(self, rs_10_4):
+        model = RecoveryTimeModel(
+            download_bandwidth=1e15,
+            source_bandwidth=1e6,
+            disk_write_bandwidth=1e15,
+            connection_overhead=0.0,
+        )
+        # Each source ships one full unit at 1 MB/s.
+        assert model.code_recovery_time(rs_10_4, UNIT) == pytest.approx(
+            UNIT / 1e6
+        )
+
+    def test_average_recovery_time(self, piggyback_10_4):
+        model = RecoveryTimeModel()
+        average = model.average_recovery_time(piggyback_10_4, UNIT)
+        fastest = model.code_recovery_time(piggyback_10_4, UNIT, failed_node=4)
+        slowest = model.code_recovery_time(piggyback_10_4, UNIT, failed_node=10)
+        assert fastest <= average <= slowest
+
+
+class TestCrossover:
+    def test_crossover_positive_and_large(self, rs_10_4, piggyback_10_4):
+        model = RecoveryTimeModel()
+        crossover = model.crossover_overhead(piggyback_10_4, rs_10_4, UNIT)
+        assert crossover is not None
+        # The claim breaks only at absurd per-connection costs
+        # (seconds), far above real TCP/DN setup (milliseconds).
+        assert crossover > 1.0
+
+    def test_no_crossover_when_not_more_connections(self, rs_10_4):
+        model = RecoveryTimeModel()
+        assert model.crossover_overhead(rs_10_4, rs_10_4, UNIT) is None
+
+    def test_describe_keys(self, rs_10_4):
+        info = RecoveryTimeModel().describe(rs_10_4, UNIT)
+        assert set(info) == {"connections", "download_MB", "time_s"}
+        assert info["connections"] == 10

@@ -1,0 +1,80 @@
+"""Tests for analytic repair costs."""
+
+import pytest
+
+from repro.analysis.repair_cost import (
+    repair_cost_profile,
+    repair_cost_table,
+    savings_vs_rs,
+)
+from repro.codes.lrc import LRCCode
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.replication import ReplicationCode
+from repro.codes.rs import ReedSolomonCode
+
+
+class TestRepairCostProfile:
+    def test_rs_profile(self, rs_10_4):
+        profile = repair_cost_profile(rs_10_4)
+        assert profile.per_node_units == (10.0,) * 14
+        assert profile.average_units == 10.0
+        assert profile.max_connections == 10
+        assert profile.is_mds
+
+    def test_piggyback_profile(self, piggyback_10_4):
+        profile = repair_cost_profile(piggyback_10_4)
+        assert profile.per_node_units[:4] == (7.0,) * 4
+        assert profile.per_node_units[4:10] == (6.5,) * 6
+        assert profile.per_node_units[10:] == (10.0,) * 4
+        assert profile.average_data_units == pytest.approx(6.7)
+        assert profile.average_parity_units == 10.0
+        assert profile.max_connections == 11
+
+    def test_replication_profile(self):
+        profile = repair_cost_profile(ReplicationCode(3))
+        assert profile.average_units == 1.0
+        assert profile.storage_overhead == 3.0
+
+    def test_lrc_profile(self, lrc_10_2_2):
+        profile = repair_cost_profile(lrc_10_2_2)
+        assert profile.average_data_units == 5.0
+        assert not profile.is_mds
+
+
+class TestSavings:
+    def test_paper_headline_numbers(self, piggyback_10_4):
+        savings = savings_vs_rs(piggyback_10_4)
+        assert savings["data_nodes"] == pytest.approx(0.33)
+        assert savings["all_nodes"] == pytest.approx(1 - 107 / 140)
+        # ~30% average saving for single block (data) failures: the
+        # paper's Section 3.1 claim.
+        assert 0.28 <= savings["data_nodes"] <= 0.36
+
+    def test_best_and_worst_node(self, piggyback_10_4):
+        savings = savings_vs_rs(piggyback_10_4)
+        assert savings["best_node"] == pytest.approx(0.35)
+        assert savings["worst_node"] == pytest.approx(0.0)
+
+    def test_rs_vs_itself_is_zero(self, rs_10_4):
+        savings = savings_vs_rs(rs_10_4)
+        assert savings["all_nodes"] == pytest.approx(0.0)
+
+    def test_explicit_reference(self, piggyback_10_4, rs_10_4):
+        assert savings_vs_rs(piggyback_10_4, rs_10_4) == savings_vs_rs(
+            piggyback_10_4
+        )
+
+
+class TestTable:
+    def test_rows(self):
+        rows = repair_cost_table(
+            [ReedSolomonCode(10, 4), PiggybackedRSCode(10, 4), LRCCode(10, 2, 2)]
+        )
+        assert [row["code"] for row in rows] == [
+            "RS(10,4)",
+            "PiggybackedRS(10,4)",
+            "LRC(10,2,2)",
+        ]
+        assert rows[0]["avg_repair_units"] == 10.0
+        assert rows[1]["storage_overhead"] == rows[0]["storage_overhead"]
+        assert rows[2]["mds"] is False

@@ -1,0 +1,86 @@
+"""Tests for text-report rendering."""
+
+from repro.analysis.report import (
+    format_bytes,
+    format_value,
+    paper_vs_measured,
+    render_kv,
+    render_series,
+    render_table,
+)
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(500) == "500 B"
+        assert format_bytes(1500) == "1.50 KB"
+        assert format_bytes(180e12) == "180.00 TB"
+        assert format_bytes(2.5e15) == "2.50 PB"
+
+    def test_decimal_not_binary(self):
+        assert format_bytes(1000) == "1.00 KB"
+
+
+class TestFormatValue:
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int_grouping(self):
+        assert format_value(95500) == "95,500"
+
+    def test_float_trimming(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(2.0) == "2"
+
+    def test_tiny_float_scientific(self):
+        assert "e" in format_value(1e-9)
+
+    def test_string_passthrough(self):
+        assert format_value("~30") == "~30"
+
+
+class TestRenderTable:
+    def test_alignment_and_header(self):
+        text = render_table(
+            [{"a": 1, "b": "xx"}, {"a": 222, "b": "y"}], title="t"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].startswith("a")
+        assert "222" in lines[4]
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([], title="t")
+
+    def test_column_subset(self):
+        text = render_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cell_blank(self):
+        text = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+
+class TestOtherRenderers:
+    def test_series(self):
+        text = render_series("s", [5, 10])
+        assert "day   0: 5" in text
+        assert "day   1: 10" in text
+
+    def test_kv(self):
+        text = render_kv("block", {"median": 52.0, "max": 350})
+        assert "median" in text and "350" in text
+
+    def test_paper_vs_measured_with_notes(self):
+        text = paper_vs_measured(
+            [
+                {"metric": "m1", "paper": 1, "measured": 2, "note": "n"},
+                {"metric": "m2", "paper": 3, "measured": 4},
+            ]
+        )
+        assert "note" in text.splitlines()[1]
+
+    def test_paper_vs_measured_without_notes(self):
+        text = paper_vs_measured([{"metric": "m", "paper": 1, "measured": 1}])
+        assert "note" not in text.splitlines()[1]

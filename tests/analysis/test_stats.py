@@ -1,0 +1,76 @@
+"""Tests for series statistics helpers."""
+
+import pytest
+
+from repro.analysis.stats import (
+    histogram_fractions,
+    relative_error,
+    summarize_series,
+    within_factor,
+)
+
+
+class TestSummarize:
+    def test_basic(self):
+        summary = summarize_series([1, 2, 3, 4, 5])
+        assert summary.median == 3.0
+        assert summary.mean == 3.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 5.0
+        assert summary.count == 5
+
+    def test_percentiles_ordered(self):
+        summary = summarize_series(range(100))
+        assert summary.p10 < summary.median < summary.p90
+
+    def test_empty(self):
+        summary = summarize_series([])
+        assert summary.count == 0
+        assert summary.median == 0.0
+
+    def test_as_dict(self):
+        d = summarize_series([2.0]).as_dict()
+        assert d["median"] == 2.0 and d["count"] == 1
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(-0.1)
+
+    def test_zero_target(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(5, 0) == float("inf")
+
+
+class TestWithinFactor:
+    def test_inside(self):
+        assert within_factor(95_500, 100_000, 1.5)
+        assert within_factor(180, 200, 2.0)
+
+    def test_outside(self):
+        assert not within_factor(10, 100, 2.0)
+        assert not within_factor(500, 100, 2.0)
+
+    def test_symmetric(self):
+        assert within_factor(50, 100, 2.0)
+        assert within_factor(200, 100, 2.0)
+        assert not within_factor(49, 100, 2.0)
+
+    def test_degenerate(self):
+        assert within_factor(0, 0, 2.0)
+        assert not within_factor(0, 5, 2.0)
+
+
+class TestHistogramFractions:
+    def test_fractions(self):
+        fractions = histogram_fractions({1: 98, 2: 2})
+        assert fractions[1] == pytest.approx(0.98)
+        assert fractions[2] == pytest.approx(0.02)
+
+    def test_empty(self):
+        assert histogram_fractions({}) == {}
+
+    def test_sorted_keys(self):
+        fractions = histogram_fractions({3: 1, 1: 1, 2: 1})
+        assert list(fractions) == [1, 2, 3]

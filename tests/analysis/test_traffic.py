@@ -1,0 +1,60 @@
+"""Tests for cross-rack traffic projection."""
+
+import pytest
+
+from repro.analysis.traffic import estimate_cross_rack_savings
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+
+
+class TestEstimate:
+    def test_paper_projection(self, piggyback_10_4):
+        """180 TB/day baseline: the paper projects >50 TB/day saved."""
+        estimate = estimate_cross_rack_savings(
+            piggyback_10_4, baseline_bytes_per_day=180e12
+        )
+        assert estimate.paper_method_savings_bytes_per_day == pytest.approx(
+            54e12
+        )
+        assert estimate.paper_method_savings_bytes_per_day > 50e12
+        # Exact plan-weighted fraction (uniform failures over 14 units).
+        assert estimate.exact_fraction == pytest.approx(1 - 107 / 140)
+        assert estimate.exact_savings_bytes_per_day == pytest.approx(
+            (1 - 107 / 140) * 180e12
+        )
+
+    def test_projection_consistency(self, piggyback_10_4):
+        estimate = estimate_cross_rack_savings(
+            piggyback_10_4, baseline_bytes_per_day=100e12
+        )
+        assert (
+            estimate.exact_projected_bytes_per_day
+            + estimate.exact_savings_bytes_per_day
+        ) == pytest.approx(estimate.baseline_bytes_per_day)
+
+    def test_data_only_weights_hit_thirty_percent(self, piggyback_10_4):
+        """Weighting failures toward data blocks recovers the ~30%+."""
+        weights = [1.0] * 10 + [0.0] * 4
+        estimate = estimate_cross_rack_savings(
+            piggyback_10_4, baseline_bytes_per_day=180e12,
+            failure_weights=weights,
+        )
+        assert estimate.exact_fraction == pytest.approx(0.33)
+
+    def test_weight_length_checked(self, piggyback_10_4):
+        with pytest.raises(ValueError):
+            estimate_cross_rack_savings(
+                piggyback_10_4, 1e12, failure_weights=[1.0] * 3
+            )
+
+    def test_rs_baseline_explicit(self, piggyback_10_4):
+        explicit = estimate_cross_rack_savings(
+            piggyback_10_4, 1e12, baseline_code=ReedSolomonCode(10, 4)
+        )
+        default = estimate_cross_rack_savings(piggyback_10_4, 1e12)
+        assert explicit.exact_fraction == default.exact_fraction
+
+    def test_as_dict_units(self, piggyback_10_4):
+        info = estimate_cross_rack_savings(piggyback_10_4, 180e12).as_dict()
+        assert info["baseline_TB_per_day"] == pytest.approx(180.0)
+        assert info["paper_method_savings_TB_per_day"] == pytest.approx(54.0)

@@ -1,0 +1,108 @@
+"""Tests for the vectorised stripe store."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.blockmap import StripeStore
+from repro.errors import SimulationError
+
+
+def make_store():
+    placement = np.array(
+        [
+            [0, 1, 2, 3],
+            [2, 3, 4, 5],
+            [0, 2, 4, 6],
+        ]
+    )
+    sizes = np.array([100, 200, 300])
+    return StripeStore(placement, sizes)
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        store = make_store()
+        assert store.num_stripes == 3
+        assert store.width == 4
+
+    def test_duplicate_node_in_stripe_rejected(self):
+        with pytest.raises(SimulationError):
+            StripeStore(np.array([[0, 1, 1, 2]]), np.array([10]))
+
+    def test_size_count_mismatch_rejected(self):
+        with pytest.raises(SimulationError):
+            StripeStore(np.array([[0, 1]]), np.array([10, 20]))
+
+    def test_1d_placement_rejected(self):
+        with pytest.raises(SimulationError):
+            StripeStore(np.array([0, 1]), np.array([10]))
+
+    def test_total_physical_bytes(self):
+        assert make_store().total_physical_bytes == (100 + 200 + 300) * 4
+
+
+class TestIndex:
+    def test_units_on_node(self):
+        store = make_store()
+        assert store.units_on_node(2) == [(0, 2), (1, 0), (2, 1)]
+        assert store.units_on_node(6) == [(2, 3)]
+        assert store.units_on_node(99) == []
+
+    def test_units_per_node(self):
+        counts = make_store().units_per_node()
+        assert counts[0] == 2 and counts[2] == 3 and counts[5] == 1
+
+    def test_stripe_nodes(self):
+        assert make_store().stripe_nodes(1) == [2, 3, 4, 5]
+
+
+class TestMissingFlags:
+    def test_mark_node_missing(self):
+        store = make_store()
+        pairs = store.mark_node_missing(2)
+        assert set(pairs) == {(0, 2), (1, 0), (2, 1)}
+        assert store.missing_count(0) == 1
+        assert store.available_slots(0) == [0, 1, 3]
+
+    def test_mark_node_available(self):
+        store = make_store()
+        store.mark_node_missing(2)
+        restored = store.mark_node_available(2)
+        assert set(restored) == {(0, 2), (1, 0), (2, 1)}
+        assert store.missing_count(0) == 0
+
+    def test_degraded_stripes_on_node(self):
+        store = make_store()
+        store.mark_node_missing(2)
+        assert store.degraded_stripes_on_node(2) == [(0, 2), (1, 0), (2, 1)]
+        assert store.degraded_stripes_on_node(0) == []
+
+    def test_available_excludes_only_missing(self):
+        store = make_store()
+        store.mark_node_missing(0)
+        assert store.available_slots(2) == [1, 2, 3]
+        assert store.available_slots(1) == [0, 1, 2, 3]
+
+
+class TestRelocate:
+    def test_relocate_updates_everything(self):
+        store = make_store()
+        store.mark_node_missing(2)
+        store.relocate_unit(0, 2, 9)
+        assert store.placement[0, 2] == 9
+        assert not store.missing[0, 2]
+        assert (0, 2) in store.units_on_node(9)
+        assert (0, 2) not in store.units_on_node(2)
+        # other stripes on node 2 untouched
+        assert (1, 0) in store.units_on_node(2)
+
+    def test_relocate_to_occupied_node_rejected(self):
+        store = make_store()
+        with pytest.raises(SimulationError):
+            store.relocate_unit(0, 2, 0)  # node 0 already holds slot 0
+
+    def test_relocate_back_is_allowed(self):
+        store = make_store()
+        store.relocate_unit(0, 2, 9)
+        store.relocate_unit(0, 2, 2)
+        assert store.placement[0, 2] == 2

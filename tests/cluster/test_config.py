@@ -1,0 +1,84 @@
+"""Tests for cluster configuration and paper targets."""
+
+import pytest
+
+from repro.cluster.config import (
+    PAPER_TARGETS,
+    SECONDS_PER_DAY,
+    UNAVAILABILITY_THRESHOLD_SECONDS,
+    ClusterConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestPaperTargets:
+    def test_headline_numbers(self):
+        assert PAPER_TARGETS.median_blocks_recovered_per_day == 95_500
+        assert PAPER_TARGETS.median_cross_rack_bytes_per_day == 180e12
+        assert PAPER_TARGETS.k == 10 and PAPER_TARGETS.r == 4
+        assert PAPER_TARGETS.block_size_bytes == 256 * 1024 * 1024
+
+    def test_degradation_split_sums_to_one(self):
+        total = (
+            PAPER_TARGETS.fraction_one_missing
+            + PAPER_TARGETS.fraction_two_missing
+            + PAPER_TARGETS.fraction_three_plus_missing
+        )
+        assert total == pytest.approx(1.0)
+
+    def test_threshold_is_15_minutes(self):
+        assert UNAVAILABILITY_THRESHOLD_SECONDS == 900.0
+        assert SECONDS_PER_DAY == 86_400.0
+
+
+class TestClusterConfig:
+    def test_defaults_model_the_paper(self):
+        config = ClusterConfig()
+        assert config.num_nodes == 3000
+        assert config.code_name == "rs"
+        assert config.code_params == {"k": 10, "r": 4}
+        assert config.stripe_width_units == 14
+
+    def test_num_stripes_density(self):
+        config = ClusterConfig(stripes_per_node=14.0)
+        # 14 members/stripe, 14 per node -> one stripe per node.
+        assert config.num_stripes == config.num_nodes
+
+    def test_block_scale(self):
+        config = ClusterConfig(
+            stripes_per_node=47.0, target_stripes_per_node=4700.0
+        )
+        assert config.block_scale == pytest.approx(100.0)
+
+    def test_with_code(self):
+        config = ClusterConfig()
+        pb = config.with_code("piggyback")
+        assert pb.code_name == "piggyback"
+        assert pb.code_params == config.code_params
+        assert pb.seed == config.seed
+        lrc = config.with_code("lrc", k=10, l=2, g=2)
+        assert lrc.stripe_width_units == 14
+
+    def test_replication_width(self):
+        config = ClusterConfig(
+            code_name="replication", code_params={"replicas": 3}
+        )
+        assert config.stripe_width_units == 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(num_racks=1)
+        with pytest.raises(ConfigError):
+            ClusterConfig(nodes_per_rack=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(num_racks=10, code_params={"k": 10, "r": 4})
+        with pytest.raises(ConfigError):
+            ClusterConfig(full_block_fraction=1.5)
+        with pytest.raises(ConfigError):
+            ClusterConfig(min_tail_block_fraction=0.0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(days=0)
+        with pytest.raises(ConfigError):
+            ClusterConfig(stripes_per_node=-1)
+        with pytest.raises(ConfigError):
+            ClusterConfig(recovery_trigger_fraction=1.5)

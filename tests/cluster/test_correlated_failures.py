@@ -1,0 +1,98 @@
+"""Tests for correlated (batch) failure events."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+from repro.cluster.traces import generate_unavailability_events
+from repro.errors import ConfigError
+
+
+class TestBatchGeneration:
+    def test_batches_share_a_timestamp(self):
+        config = ClusterConfig(
+            days=20.0,
+            correlated_event_probability=1.0,  # one batch every day
+            correlated_batch_size=10,
+        )
+        events = generate_unavailability_events(
+            np.random.default_rng(3), config
+        )
+        by_time = {}
+        for event in events:
+            by_time.setdefault(event.time, []).append(event)
+        batch_instants = [
+            group for group in by_time.values() if len(group) >= 10
+        ]
+        assert len(batch_instants) == 20  # one per day
+        for group in batch_instants:
+            nodes = [e.node for e in group]
+            assert len(set(nodes)) == len(nodes)  # distinct machines
+
+    def test_zero_probability_means_no_batches(self):
+        config = ClusterConfig(days=20.0, correlated_event_probability=0.0)
+        events = generate_unavailability_events(
+            np.random.default_rng(3), config
+        )
+        by_time = {}
+        for event in events:
+            by_time.setdefault(event.time, []).append(event)
+        assert max(len(group) for group in by_time.values()) == 1
+
+    def test_batch_size_capped_at_cluster(self):
+        config = ClusterConfig(
+            num_racks=20,
+            nodes_per_rack=2,
+            days=3.0,
+            correlated_event_probability=1.0,
+            correlated_batch_size=500,
+        )
+        events = generate_unavailability_events(
+            np.random.default_rng(3), config
+        )
+        assert all(0 <= e.node < 40 for e in events)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(correlated_event_probability=1.5)
+        with pytest.raises(ConfigError):
+            ClusterConfig(correlated_batch_size=0)
+
+
+class TestBatchEffects:
+    def test_batches_create_multiply_degraded_stripes(self):
+        base = dict(
+            num_racks=40, nodes_per_rack=5, stripes_per_node=20.0,
+            days=6.0, seed=13,
+        )
+        quiet = WarehouseSimulation(
+            ClusterConfig(**base, correlated_event_probability=0.0)
+        ).run()
+        batchy = WarehouseSimulation(
+            ClusterConfig(
+                **base,
+                correlated_event_probability=0.5,
+                correlated_batch_size=30,
+            )
+        ).run()
+        def multi_fraction(result):
+            histogram = result.degraded_histogram
+            total = sum(histogram.values())
+            return 1.0 - histogram.get(1, 0) / total if total else 0.0
+
+        assert multi_fraction(batchy) > multi_fraction(quiet)
+
+    def test_non_mds_code_survives_batches(self):
+        """LRC hits unrecoverable patterns under batches; the recovery
+        service must count them, not crash."""
+        config = ClusterConfig(
+            num_racks=20, nodes_per_rack=5, stripes_per_node=10.0,
+            days=4.0, seed=13,
+            code_name="lrc", code_params={"k": 10, "l": 2, "g": 2},
+            correlated_event_probability=0.8,
+            correlated_batch_size=30,
+        )
+        result = WarehouseSimulation(config).run()
+        assert result.stats.unrecoverable_units > 0
+        assert result.stats.blocks_recovered > 0

@@ -1,0 +1,92 @@
+"""Tests for datanode state (payload nodes and the vectorised table)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.datanode import DataNode, NodeStateTable
+from repro.errors import SimulationError
+from repro.striping.blocks import Block
+
+
+class TestDataNode:
+    def make_block(self, block_id="b", size=4):
+        return Block(block_id, size, payload=np.zeros(size, dtype=np.uint8))
+
+    def test_store_and_read(self):
+        node = DataNode(0, 0)
+        node.store(self.make_block())
+        assert node.read("b").size == 4
+
+    def test_metadata_only_block_rejected(self):
+        node = DataNode(0, 0)
+        with pytest.raises(SimulationError):
+            node.store(Block("b", 4))
+
+    def test_read_missing_block(self):
+        with pytest.raises(SimulationError):
+            DataNode(0, 0).read("nope")
+
+    def test_read_while_down(self):
+        node = DataNode(0, 0)
+        node.store(self.make_block())
+        node.is_up = False
+        with pytest.raises(SimulationError):
+            node.read("b")
+
+    def test_drop_is_idempotent(self):
+        node = DataNode(0, 0)
+        node.store(self.make_block())
+        node.drop("b")
+        node.drop("b")
+        assert node.blocks == {}
+
+    def test_used_bytes(self):
+        node = DataNode(0, 0)
+        node.store(self.make_block("a", 4))
+        node.store(self.make_block("b", 6))
+        assert node.used_bytes == 10
+
+
+class TestNodeStateTable:
+    def test_initial_state_all_up(self):
+        table = NodeStateTable(5)
+        assert table.num_down == 0
+        assert table.down_nodes() == []
+
+    def test_down_up_cycle(self):
+        table = NodeStateTable(5)
+        table.mark_down(2, 100.0)
+        assert table.is_down(2)
+        assert table.down_nodes() == [2]
+        assert table.downtime(2, 150.0) == 50.0
+        table.mark_up(2)
+        assert not table.is_down(2)
+        assert table.downtime(2, 200.0) == 0.0
+
+    def test_double_down_rejected(self):
+        table = NodeStateTable(5)
+        table.mark_down(2, 1.0)
+        with pytest.raises(SimulationError):
+            table.mark_down(2, 2.0)
+
+    def test_double_up_rejected(self):
+        with pytest.raises(SimulationError):
+            NodeStateTable(5).mark_up(0)
+
+    def test_flagging(self):
+        table = NodeStateTable(5)
+        table.mark_down(1, 0.0)
+        table.flag_unavailable(1)
+        assert table.flagged[1]
+        table.mark_up(1)
+        assert not table.flagged[1]
+
+    def test_flag_up_node_rejected(self):
+        with pytest.raises(SimulationError):
+            NodeStateTable(5).flag_unavailable(0)
+
+    def test_bounds_checked(self):
+        with pytest.raises(SimulationError):
+            NodeStateTable(5).is_down(5)
+        with pytest.raises(SimulationError):
+            NodeStateTable(0)

@@ -1,0 +1,76 @@
+"""Tests for the discrete-event core."""
+
+import pytest
+
+from repro.cluster.events import EventQueue
+from repro.errors import SimulationError
+
+
+class TestEventQueue:
+    def test_runs_in_time_order(self):
+        queue = EventQueue()
+        seen = []
+        queue.schedule(5.0, lambda q, t: seen.append(t))
+        queue.schedule(1.0, lambda q, t: seen.append(t))
+        queue.schedule(3.0, lambda q, t: seen.append(t))
+        queue.run()
+        assert seen == [1.0, 3.0, 5.0]
+
+    def test_fifo_among_equal_times(self):
+        queue = EventQueue()
+        seen = []
+        for label in "abc":
+            queue.schedule(1.0, lambda q, t, l=label: seen.append(l))
+        queue.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_handlers_can_schedule_followups(self):
+        queue = EventQueue()
+        seen = []
+
+        def first(q, t):
+            seen.append(("first", t))
+            q.schedule_after(2.0, lambda q2, t2: seen.append(("second", t2)))
+
+        queue.schedule(1.0, first)
+        queue.run()
+        assert seen == [("first", 1.0), ("second", 3.0)]
+
+    def test_run_until_stops(self):
+        queue = EventQueue()
+        seen = []
+        for t in (1.0, 2.0, 3.0):
+            queue.schedule(t, lambda q, time: seen.append(time))
+        final = queue.run(until=2.0)
+        assert seen == [1.0, 2.0]
+        assert final == 2.0
+        assert queue.pending == 1
+
+    def test_scheduling_into_past_rejected(self):
+        queue = EventQueue()
+        queue.schedule(5.0, lambda q, t: q.schedule(1.0, lambda *_: None))
+        with pytest.raises(SimulationError):
+            queue.run()
+
+    def test_negative_delay_rejected(self):
+        queue = EventQueue()
+        with pytest.raises(SimulationError):
+            queue.schedule_after(-1.0, lambda q, t: None)
+
+    def test_step_returns_label(self):
+        queue = EventQueue()
+        queue.schedule(1.0, lambda q, t: None, label="hello")
+        assert queue.step() == (1.0, "hello")
+        assert queue.step() is None
+
+    def test_counters(self):
+        queue = EventQueue()
+        for t in range(5):
+            queue.schedule(float(t), lambda q, time: None)
+        queue.run()
+        assert queue.events_processed == 5
+        assert queue.pending == 0
+        assert queue.now == 4.0
+
+    def test_now_starts_at_zero(self):
+        assert EventQueue().now == 0.0

@@ -1,0 +1,114 @@
+"""Tests for failure injection and the 15-minute flag threshold."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.blockmap import StripeStore
+from repro.cluster.datanode import NodeStateTable
+from repro.cluster.events import EventQueue
+from repro.cluster.failures import FailureInjector
+from repro.cluster.traces import UnavailabilityEvent
+
+THRESHOLD = 15 * 60.0
+
+
+def make_store():
+    placement = np.array([[0, 1, 2, 3], [1, 2, 3, 4]])
+    return StripeStore(placement, np.array([10, 10]))
+
+
+def run_trace(events, store=None, on_flagged=None):
+    state = NodeStateTable(6)
+    injector = FailureInjector(
+        state=state,
+        store=store,
+        threshold_seconds=THRESHOLD,
+        on_flagged=on_flagged,
+    )
+    queue = EventQueue()
+    injector.install(queue, events)
+    queue.run()
+    return state, injector
+
+
+class TestLifecycle:
+    def test_long_outage_flagged(self):
+        flagged = []
+        state, injector = run_trace(
+            [UnavailabilityEvent(time=100.0, node=1, duration=3600.0)],
+            on_flagged=lambda q, node, t: flagged.append((node, t)),
+        )
+        assert flagged == [(1, 100.0 + THRESHOLD)]
+        assert injector.flagged_events_by_day[0] == 1
+        assert not state.is_down(1)  # came back up at the end
+
+    def test_node_returns_after_duration(self):
+        state, __ = run_trace(
+            [UnavailabilityEvent(time=0.0, node=2, duration=2000.0)]
+        )
+        assert not state.is_down(2)
+
+    def test_overlapping_events_absorbed(self):
+        events = [
+            UnavailabilityEvent(time=0.0, node=1, duration=10_000.0),
+            UnavailabilityEvent(time=100.0, node=1, duration=10_000.0),
+        ]
+        state, injector = run_trace(events)
+        assert injector.skipped_already_down == 1
+        assert injector.total_events == 2
+        assert not state.is_down(1)
+
+    def test_flag_check_ignores_resolved_outage(self):
+        """A node that went down again later must not be flagged by the
+        stale check of a previous outage."""
+        flagged = []
+        events = [
+            UnavailabilityEvent(time=0.0, node=1, duration=10_000.0),
+            UnavailabilityEvent(time=20_000.0, node=1, duration=10_000.0),
+        ]
+        __, injector = run_trace(
+            events, on_flagged=lambda q, n, t: flagged.append(t)
+        )
+        assert len(flagged) == 2
+        assert injector.total_events == 2
+
+    def test_daily_series(self):
+        events = [
+            UnavailabilityEvent(time=0.0, node=0, duration=3600.0),
+            UnavailabilityEvent(time=1000.0, node=1, duration=3600.0),
+            UnavailabilityEvent(time=86_400.0 + 5.0, node=2, duration=3600.0),
+        ]
+        __, injector = run_trace(events)
+        assert injector.daily_flagged_series(3) == [2, 1, 0]
+
+
+class TestStoreIntegration:
+    def test_units_marked_missing_then_restored(self):
+        store = make_store()
+        events = [UnavailabilityEvent(time=0.0, node=1, duration=3600.0)]
+        state = NodeStateTable(6)
+        injector = FailureInjector(state, store, THRESHOLD)
+        queue = EventQueue()
+        injector.install(queue, events)
+        # Step through: down event first.
+        queue.step()
+        assert store.missing[0, 1] and store.missing[1, 0]
+        queue.run()
+        # Node returned; units were not reconstructed, so they cleared.
+        assert not store.missing.any()
+
+    def test_flag_callback_sees_missing_units(self):
+        store = make_store()
+        seen = []
+
+        def on_flagged(queue, node, time):
+            seen.append(store.degraded_stripes_on_node(node))
+
+        state = NodeStateTable(6)
+        injector = FailureInjector(state, store, THRESHOLD, on_flagged)
+        queue = EventQueue()
+        injector.install(
+            queue, [UnavailabilityEvent(time=0.0, node=2, duration=3600.0)]
+        )
+        queue.run()
+        assert seen == [[(0, 2), (1, 1)]]

@@ -1,0 +1,100 @@
+"""Cross-cutting conservation invariants of the cluster simulation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+
+
+@pytest.fixture(scope="module")
+def result():
+    config = ClusterConfig(
+        num_racks=20,
+        nodes_per_rack=5,
+        stripes_per_node=20.0,
+        days=3.0,
+        seed=99,
+        reads_per_stripe_per_day=0.5,
+    )
+    simulation = WarehouseSimulation(config, record_transfers=True)
+    return simulation, simulation.run()
+
+
+class TestMeterConservation:
+    def test_totals_split_exactly(self, result):
+        __, sim = result
+        meter = sim.meter
+        assert meter.total_bytes == meter.cross_rack_bytes + meter.intra_rack_bytes
+        assert meter.total_bytes == sum(meter.bytes_by_purpose.values())
+
+    def test_transfer_log_matches_counters(self, result):
+        __, sim = result
+        meter = sim.meter
+        assert len(meter.transfers) == meter.num_transfers
+        assert sum(t.num_bytes for t in meter.transfers) == meter.total_bytes
+        assert (
+            sum(t.num_bytes for t in meter.transfers if t.cross_rack)
+            == meter.cross_rack_bytes
+        )
+
+    def test_every_cross_rack_byte_passes_two_tors_and_aggregation(self, result):
+        __, sim = result
+        meter = sim.meter
+        tor_bytes = sum(
+            count for switch, count in meter.bytes_by_switch.items()
+            if switch.startswith("tor_")
+        )
+        expected_tor = 2 * meter.cross_rack_bytes + meter.intra_rack_bytes
+        assert tor_bytes == expected_tor
+        assert meter.aggregation_switch_bytes == meter.cross_rack_bytes
+
+    def test_daily_series_sums_to_total(self, result):
+        __, sim = result
+        meter = sim.meter
+        assert sum(meter.daily_cross_rack_series()) == meter.cross_rack_bytes
+
+
+class TestStoreConsistency:
+    def test_index_matches_placement_after_run(self, result):
+        simulation, __ = result
+        store = simulation.store
+        rebuilt_counts = {}
+        for node, units in store._node_index.items():
+            for stripe, slot in units:
+                assert store.placement[stripe, slot] == node
+                rebuilt_counts[node] = rebuilt_counts.get(node, 0) + 1
+        total_indexed = sum(rebuilt_counts.values())
+        assert total_indexed == store.placement.size
+
+    def test_no_duplicate_nodes_within_stripes_after_relocations(self, result):
+        simulation, __ = result
+        placement = simulation.store.placement
+        sorted_rows = np.sort(placement, axis=1)
+        assert not np.any(sorted_rows[:, 1:] == sorted_rows[:, :-1])
+
+    def test_recovered_units_not_missing(self, result):
+        simulation, sim = result
+        # Everything the queue resolved: any still-missing unit belongs
+        # to an unrecoverable event or skipped trigger whose node came
+        # back -- and node-up clears flags, so nothing may stay missing.
+        assert not simulation.store.missing.any()
+
+
+class TestStatsConsistency:
+    def test_blocks_recovered_equals_daily_sum(self, result):
+        __, sim = result
+        assert sim.stats.blocks_recovered == sum(
+            sim.stats.blocks_recovered_by_day.values()
+        )
+
+    def test_degraded_histogram_covers_recoveries(self, result):
+        __, sim = result
+        observed = sum(sim.stats.degraded_histogram.values())
+        assert observed == sim.stats.blocks_recovered + sim.stats.unrecoverable_units
+
+    def test_recovery_bytes_match_meter_purpose(self, result):
+        __, sim = result
+        assert sim.stats.bytes_downloaded == sim.meter.bytes_by_purpose[
+            "recovery"
+        ]

@@ -1,0 +1,97 @@
+"""Tests for the mini-HDFS namenode."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.namenode import NameNode
+from repro.cluster.placement import DistinctRackPlacement
+from repro.cluster.topology import Topology
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def namenode():
+    topology = Topology(num_racks=20, nodes_per_rack=3)
+    return NameNode(topology, DistinctRackPlacement(topology, seed=11))
+
+
+def write(namenode, name="f", nbytes=350, block_size=100, replication=3, seed=0):
+    data = np.random.default_rng(seed).integers(0, 256, nbytes, dtype=np.uint8)
+    entry = namenode.write_file(name, data, block_size, replication)
+    return entry, data
+
+
+class TestWriteRead:
+    def test_write_places_replicas(self, namenode):
+        entry, __ = write(namenode)
+        assert len(entry.file.blocks) == 4
+        for block in entry.file.blocks:
+            holders = namenode.block_locations[block.block_id]
+            assert len(holders) == 3
+            racks = {namenode.topology.rack_of(n) for n in holders}
+            assert len(racks) == 3  # distinct racks
+
+    def test_read_roundtrip(self, namenode):
+        __, data = write(namenode)
+        assert np.array_equal(namenode.read_file("f"), data)
+
+    def test_duplicate_file_rejected(self, namenode):
+        write(namenode)
+        with pytest.raises(SimulationError):
+            write(namenode)
+
+    def test_missing_file(self, namenode):
+        with pytest.raises(SimulationError):
+            namenode.read_file("nope")
+
+    def test_empty_file(self, namenode):
+        namenode.write_file("empty", np.zeros(0, dtype=np.uint8), 100)
+        assert namenode.read_file("empty").size == 0
+
+
+class TestNodeLifecycle:
+    def test_read_survives_replica_failures(self, namenode):
+        entry, data = write(namenode)
+        block = entry.file.blocks[0]
+        holders = namenode.block_locations[block.block_id]
+        # Kill two of the three replicas.
+        for node in holders[:2]:
+            namenode.kill_node(node)
+        assert np.array_equal(namenode.read_file("f"), data)
+
+    def test_read_fails_when_all_replicas_down(self, namenode):
+        entry, __ = write(namenode)
+        block = entry.file.blocks[0]
+        for node in namenode.block_locations[block.block_id]:
+            namenode.kill_node(node)
+        with pytest.raises(SimulationError):
+            namenode.read_block(block.block_id)
+
+    def test_missing_blocks_reporting(self, namenode):
+        entry, __ = write(namenode)
+        block = entry.file.blocks[1]
+        assert namenode.missing_blocks() == []
+        for node in namenode.block_locations[block.block_id]:
+            namenode.kill_node(node)
+        assert block.block_id in namenode.missing_blocks()
+
+    def test_revive_restores_access(self, namenode):
+        entry, data = write(namenode)
+        block = entry.file.blocks[0]
+        holders = namenode.block_locations[block.block_id]
+        for node in holders:
+            namenode.kill_node(node)
+        namenode.revive_node(holders[0])
+        assert np.array_equal(namenode.read_block(block.block_id),
+                              block.payload)
+
+    def test_kill_reports_resident_blocks(self, namenode):
+        entry, __ = write(namenode)
+        block = entry.file.blocks[0]
+        node = namenode.block_locations[block.block_id][0]
+        lost = namenode.kill_node(node)
+        assert block.block_id in lost
+
+    def test_unknown_node(self, namenode):
+        with pytest.raises(SimulationError):
+            namenode.kill_node(999)

@@ -1,0 +1,95 @@
+"""Tests for traffic metering."""
+
+import pytest
+
+from repro.cluster.config import SECONDS_PER_DAY
+from repro.cluster.network import TrafficMeter
+from repro.cluster.topology import Topology
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def meter():
+    return TrafficMeter(Topology(4, 2), record_transfers=True)
+
+
+class TestCharge:
+    def test_cross_rack_classification(self, meter):
+        assert meter.charge(0.0, 0, 2, 100) is True  # racks 0 -> 1
+        assert meter.charge(0.0, 0, 1, 50) is False  # same rack
+
+    def test_totals(self, meter):
+        meter.charge(0.0, 0, 2, 100)
+        meter.charge(0.0, 0, 1, 50)
+        assert meter.total_bytes == 150
+        assert meter.cross_rack_bytes == 100
+        assert meter.intra_rack_bytes == 50
+        assert meter.num_transfers == 2
+
+    def test_per_switch_attribution(self, meter):
+        meter.charge(0.0, 0, 2, 100)
+        assert meter.bytes_by_switch["tor_0"] == 100
+        assert meter.bytes_by_switch["tor_1"] == 100
+        assert meter.bytes_by_switch["aggregation"] == 100
+
+    def test_intra_rack_touches_only_local_tor(self, meter):
+        meter.charge(0.0, 2, 3, 70)
+        assert meter.bytes_by_switch == {"tor_1": 70}
+
+    def test_aggregation_equals_cross_rack(self, meter):
+        meter.charge(0.0, 0, 2, 100)
+        meter.charge(0.0, 4, 6, 200)
+        meter.charge(0.0, 0, 1, 999)
+        assert meter.aggregation_switch_bytes == meter.cross_rack_bytes == 300
+
+    def test_purpose_accounting(self, meter):
+        meter.charge(0.0, 0, 2, 100, purpose="recovery")
+        meter.charge(0.0, 0, 3, 11, purpose="degraded-read")
+        assert meter.bytes_by_purpose["recovery"] == 100
+        assert meter.bytes_by_purpose["degraded-read"] == 11
+
+    def test_self_transfer_rejected(self, meter):
+        with pytest.raises(SimulationError):
+            meter.charge(0.0, 1, 1, 10)
+
+    def test_negative_bytes_rejected(self, meter):
+        with pytest.raises(SimulationError):
+            meter.charge(0.0, 0, 2, -1)
+
+    def test_transfer_log(self, meter):
+        meter.charge(1.5, 0, 2, 42, purpose="recovery")
+        assert len(meter.transfers) == 1
+        transfer = meter.transfers[0]
+        assert transfer.num_bytes == 42
+        assert transfer.cross_rack
+        assert transfer.purpose == "recovery"
+
+    def test_log_disabled_by_default(self):
+        meter = TrafficMeter(Topology(2, 2))
+        meter.charge(0.0, 0, 2, 5)
+        assert meter.transfers == []
+
+
+class TestDailySeries:
+    def test_bucketing_by_day(self, meter):
+        meter.charge(0.0, 0, 2, 100)
+        meter.charge(SECONDS_PER_DAY + 1, 0, 2, 200)
+        meter.charge(SECONDS_PER_DAY * 2.5, 0, 2, 300)
+        assert meter.daily_cross_rack_series() == [100, 200, 300]
+
+    def test_gaps_filled_with_zero(self, meter):
+        meter.charge(0.0, 0, 2, 100)
+        meter.charge(SECONDS_PER_DAY * 3.1, 0, 2, 50)
+        assert meter.daily_cross_rack_series() == [100, 0, 0, 50]
+
+    def test_explicit_day_count(self, meter):
+        meter.charge(0.0, 0, 2, 100)
+        assert meter.daily_cross_rack_series(num_days=3) == [100, 0, 0]
+
+    def test_empty(self, meter):
+        assert meter.daily_cross_rack_series() == []
+        assert meter.daily_cross_rack_series(num_days=2) == [0, 0]
+
+    def test_intra_rack_not_in_daily_series(self, meter):
+        meter.charge(0.0, 0, 1, 500)
+        assert meter.daily_cross_rack_series(num_days=1) == [0]

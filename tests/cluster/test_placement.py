@@ -1,0 +1,97 @@
+"""Tests for placement policies."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.placement import (
+    DistinctNodePlacement,
+    DistinctRackPlacement,
+    make_placement,
+)
+from repro.cluster.topology import Topology
+from repro.errors import PlacementError
+
+
+@pytest.fixture
+def topo():
+    return Topology(num_racks=20, nodes_per_rack=5)
+
+
+class TestDistinctRackPlacement:
+    def test_distinct_racks(self, topo):
+        policy = DistinctRackPlacement(topo, seed=1)
+        for _ in range(50):
+            nodes = policy.place_stripe(14)
+            racks = [topo.rack_of(n) for n in nodes]
+            assert len(set(racks)) == 14
+
+    def test_width_exceeding_racks_rejected(self, topo):
+        with pytest.raises(PlacementError):
+            DistinctRackPlacement(topo, seed=1).place_stripe(21)
+
+    def test_deterministic_with_seed(self, topo):
+        a = DistinctRackPlacement(topo, seed=7).place_stripe(5)
+        b = DistinctRackPlacement(topo, seed=7).place_stripe(5)
+        assert a == b
+
+    def test_place_many_shape(self, topo):
+        matrix = DistinctRackPlacement(topo, seed=1).place_many(10, 14)
+        assert matrix.shape == (10, 14)
+        assert matrix.dtype == np.int32
+
+    def test_placements_vary(self, topo):
+        policy = DistinctRackPlacement(topo, seed=1)
+        assert policy.place_stripe(5) != policy.place_stripe(5)
+
+
+class TestDistinctNodePlacement:
+    def test_distinct_nodes(self, topo):
+        policy = DistinctNodePlacement(topo, seed=1)
+        nodes = policy.place_stripe(30)
+        assert len(set(nodes)) == 30
+
+    def test_can_exceed_rack_count(self, topo):
+        policy = DistinctNodePlacement(topo, seed=1)
+        assert len(policy.place_stripe(25)) == 25
+
+    def test_width_exceeding_nodes_rejected(self, topo):
+        with pytest.raises(PlacementError):
+            DistinctNodePlacement(topo, seed=1).place_stripe(101)
+
+
+class TestReplacementNode:
+    def test_prefers_fresh_rack(self, topo):
+        policy = DistinctRackPlacement(topo, seed=3)
+        stripe_nodes = policy.place_stripe(14)
+        used_racks = {topo.rack_of(n) for n in stripe_nodes}
+        for _ in range(20):
+            replacement = policy.replacement_node(stripe_nodes)
+            assert replacement not in stripe_nodes
+            assert topo.rack_of(replacement) not in used_racks
+
+    def test_falls_back_when_no_fresh_rack(self):
+        topo = Topology(num_racks=3, nodes_per_rack=2)
+        policy = DistinctRackPlacement(topo, seed=3)
+        stripe_nodes = policy.place_stripe(3)  # uses every rack
+        replacement = policy.replacement_node(stripe_nodes)
+        assert replacement not in stripe_nodes
+
+    def test_no_candidate_raises(self):
+        topo = Topology(num_racks=2, nodes_per_rack=1)
+        policy = DistinctRackPlacement(topo, seed=0)
+        with pytest.raises(PlacementError):
+            policy.replacement_node([0, 1])
+
+
+class TestFactory:
+    def test_known_names(self, topo):
+        assert isinstance(
+            make_placement("distinct-rack", topo), DistinctRackPlacement
+        )
+        assert isinstance(
+            make_placement("distinct-node", topo), DistinctNodePlacement
+        )
+
+    def test_unknown_name(self, topo):
+        with pytest.raises(PlacementError):
+            make_placement("best-fit", topo)

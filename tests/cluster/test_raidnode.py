@@ -1,0 +1,160 @@
+"""Tests for the RAID node (cold-data encoding + reconstruction)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.namenode import NameNode
+from repro.cluster.network import TrafficMeter
+from repro.cluster.placement import DistinctRackPlacement
+from repro.cluster.raidnode import RaidNode
+from repro.cluster.topology import Topology
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import SimulationError
+
+
+def make_cluster(code, seed=13):
+    topology = Topology(num_racks=20, nodes_per_rack=3)
+    namenode = NameNode(topology, DistinctRackPlacement(topology, seed=seed))
+    meter = TrafficMeter(topology, record_transfers=True)
+    return namenode, RaidNode(namenode, code, meter), meter
+
+
+def write_and_raid(namenode, raidnode, nbytes=1000, block_size=100, seed=3):
+    data = np.random.default_rng(seed).integers(0, 256, nbytes, dtype=np.uint8)
+    namenode.write_file("cold", data, block_size, replication=3)
+    entries = raidnode.raid_file("cold")
+    return data, entries
+
+
+class TestRaidFile:
+    def test_raid_reduces_to_single_copy(self):
+        namenode, raidnode, __ = make_cluster(ReedSolomonCode(4, 2))
+        data, entries = write_and_raid(namenode, raidnode)
+        for entry in entries:
+            for slot, block_id in enumerate(entry.layout.all_block_ids()):
+                if block_id is None:
+                    continue
+                holders = namenode.block_locations[block_id]
+                assert len(holders) == 1
+
+    def test_stripe_members_on_distinct_racks(self):
+        namenode, raidnode, __ = make_cluster(ReedSolomonCode(4, 2))
+        __, entries = write_and_raid(namenode, raidnode)
+        for entry in entries:
+            racks = {
+                namenode.topology.rack_of(node)
+                for node in entry.locations.values()
+            }
+            assert len(racks) == len(entry.locations)
+
+    def test_file_still_readable_after_raid(self):
+        namenode, raidnode, __ = make_cluster(ReedSolomonCode(4, 2))
+        data, __ = write_and_raid(namenode, raidnode)
+        assert np.array_equal(namenode.read_file("cold"), data)
+
+    def test_storage_savings(self):
+        """3x replication -> 1.5x for a (4,2) code (1.4x for (10,4))."""
+        namenode, raidnode, __ = make_cluster(ReedSolomonCode(4, 2))
+        data, entries = write_and_raid(namenode, raidnode, nbytes=800)
+        physical = sum(
+            node.used_bytes for node in namenode.datanodes.values()
+        )
+        assert physical == pytest.approx(len(data) * 1.5)
+
+    def test_double_raid_rejected(self):
+        namenode, raidnode, __ = make_cluster(ReedSolomonCode(4, 2))
+        write_and_raid(namenode, raidnode)
+        with pytest.raises(SimulationError):
+            raidnode.raid_file("cold")
+
+    def test_tail_file_with_virtual_blocks(self):
+        namenode, raidnode, __ = make_cluster(ReedSolomonCode(4, 2))
+        data, entries = write_and_raid(namenode, raidnode, nbytes=550)
+        # 6 blocks -> stripe 0 full, stripe 1 has 2 real + 2 virtual.
+        assert entries[1].layout.real_data_count == 2
+        assert np.array_equal(namenode.read_file("cold"), data)
+
+
+class TestReconstruction:
+    @pytest.mark.parametrize(
+        "code", [ReedSolomonCode(4, 2), PiggybackedRSCode(4, 2)],
+        ids=["rs", "piggyback"],
+    )
+    def test_reconstruct_after_node_loss(self, code):
+        namenode, raidnode, meter = make_cluster(code)
+        data, entries = write_and_raid(namenode, raidnode)
+        # Kill the node holding stripe 0, slot 1.
+        victim = entries[0].locations[1]
+        namenode.kill_node(victim)
+        rebuilt, bytes_read = raidnode.reconstruct_block(
+            entries[0].layout.stripe_id, 1, time=60.0
+        )
+        assert np.array_equal(namenode.read_file("cold"), data)
+        # The rebuilt block lives on a new, live node.
+        new_home = entries[0].locations[1]
+        assert new_home != victim
+        assert namenode.datanodes[new_home].is_up
+
+    def test_meter_charged_per_plan(self):
+        code = PiggybackedRSCode(4, 2)
+        namenode, raidnode, meter = make_cluster(code)
+        data, entries = write_and_raid(namenode, raidnode)
+        recovery_before = meter.bytes_by_purpose.get("recovery", 0)
+        victim = entries[0].locations[0]
+        namenode.kill_node(victim)
+        __, bytes_read = raidnode.reconstruct_block(
+            entries[0].layout.stripe_id, 0, time=0.0
+        )
+        charged = meter.bytes_by_purpose["recovery"] - recovery_before
+        assert charged == bytes_read
+
+    def test_reconstruct_all_missing(self):
+        namenode, raidnode, __ = make_cluster(ReedSolomonCode(4, 2))
+        data, entries = write_and_raid(namenode, raidnode)
+        victims = {entries[0].locations[0], entries[0].locations[2]}
+        for victim in victims:
+            namenode.kill_node(victim)
+        count = raidnode.reconstruct_all_missing(time=10.0)
+        assert count >= 2
+        assert np.array_equal(namenode.read_file("cold"), data)
+
+    def test_reconstruct_healthy_slot_rejected(self):
+        namenode, raidnode, __ = make_cluster(ReedSolomonCode(4, 2))
+        __, entries = write_and_raid(namenode, raidnode)
+        with pytest.raises(Exception):
+            raidnode.reconstruct_block(entries[0].layout.stripe_id, 0)
+
+
+class TestDegradedRead:
+    def test_degraded_read_returns_block(self):
+        namenode, raidnode, meter = make_cluster(ReedSolomonCode(4, 2))
+        data, entries = write_and_raid(namenode, raidnode)
+        block_id = entries[0].layout.data_block_ids[2]
+        victim = entries[0].locations[2]
+        namenode.kill_node(victim)
+        payload = raidnode.degraded_read(block_id, time=5.0)
+        expected = data[200:300]
+        assert np.array_equal(payload, expected)
+        assert meter.bytes_by_purpose["degraded-read"] > 0
+
+    def test_degraded_read_does_not_relocate(self):
+        namenode, raidnode, __ = make_cluster(ReedSolomonCode(4, 2))
+        __, entries = write_and_raid(namenode, raidnode)
+        victim = entries[0].locations[2]
+        namenode.kill_node(victim)
+        raidnode.degraded_read(entries[0].layout.data_block_ids[2])
+        assert entries[0].locations[2] == victim  # unchanged mapping
+
+    def test_degraded_read_of_live_block_is_direct(self):
+        namenode, raidnode, meter = make_cluster(ReedSolomonCode(4, 2))
+        data, entries = write_and_raid(namenode, raidnode)
+        payload = raidnode.degraded_read(entries[0].layout.data_block_ids[0])
+        assert np.array_equal(payload, data[:100])
+        assert meter.bytes_by_purpose.get("degraded-read", 0) == 0
+
+    def test_unknown_block(self):
+        namenode, raidnode, __ = make_cluster(ReedSolomonCode(4, 2))
+        write_and_raid(namenode, raidnode)
+        with pytest.raises(SimulationError):
+            raidnode.degraded_read("not-a-block")

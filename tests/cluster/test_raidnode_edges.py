@@ -1,0 +1,70 @@
+"""Edge cases of the RAID node beyond the happy path."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.namenode import NameNode
+from repro.cluster.placement import DistinctRackPlacement
+from repro.cluster.raidnode import RaidNode
+from repro.cluster.topology import Topology
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import SimulationError
+
+
+def make_cluster(seed=9):
+    topology = Topology(num_racks=12, nodes_per_rack=2)
+    namenode = NameNode(topology, DistinctRackPlacement(topology, seed=seed))
+    return namenode, RaidNode(namenode, ReedSolomonCode(4, 2))  # no meter
+
+
+class TestRaidNodeEdges:
+    def test_meterless_operation(self, rng):
+        """A raid node without a meter still functions end to end."""
+        namenode, raidnode = make_cluster()
+        data = rng.integers(0, 256, size=500, dtype=np.uint8)
+        namenode.write_file("f", data, block_size=100)
+        entries = raidnode.raid_file("f")
+        namenode.kill_node(entries[0].locations[0])
+        raidnode.reconstruct_all_missing()
+        assert np.array_equal(namenode.read_file("f"), data)
+
+    def test_raid_unknown_file(self):
+        __, raidnode = make_cluster()
+        with pytest.raises(SimulationError):
+            raidnode.raid_file("ghost")
+
+    def test_raid_with_all_copies_dead_fails(self, rng):
+        namenode, raidnode = make_cluster()
+        data = rng.integers(0, 256, size=200, dtype=np.uint8)
+        namenode.write_file("f", data, block_size=100)
+        block = namenode.files["f"].file.blocks[0]
+        for node in list(namenode.block_locations[block.block_id]):
+            namenode.datanodes[node].drop(block.block_id)
+        namenode.block_locations[block.block_id] = []
+        with pytest.raises(SimulationError):
+            raidnode.raid_file("f")
+
+    def test_reconstruct_unknown_stripe(self):
+        __, raidnode = make_cluster()
+        with pytest.raises(SimulationError):
+            raidnode.reconstruct_block("ghost", 0)
+
+    def test_reconstruct_all_missing_idempotent(self, rng):
+        namenode, raidnode = make_cluster()
+        data = rng.integers(0, 256, size=500, dtype=np.uint8)
+        namenode.write_file("f", data, block_size=100)
+        entries = raidnode.raid_file("f")
+        namenode.kill_node(entries[0].locations[1])
+        first = raidnode.reconstruct_all_missing()
+        second = raidnode.reconstruct_all_missing()
+        assert first >= 1
+        assert second == 0
+
+    def test_empty_file_raids(self):
+        """A zero-byte file still produces a (virtual-heavy) stripe."""
+        namenode, raidnode = make_cluster()
+        namenode.write_file("empty", np.zeros(0, dtype=np.uint8), 100)
+        entries = raidnode.raid_file("empty")
+        assert len(entries) == 1
+        assert entries[0].layout.real_data_count == 1  # one empty block
+        assert namenode.read_file("empty").size == 0

@@ -1,0 +1,146 @@
+"""Tests for the recovery scheduler and its byte accounting."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.blockmap import StripeStore
+from repro.cluster.datanode import NodeStateTable
+from repro.cluster.events import EventQueue
+from repro.cluster.network import TrafficMeter
+from repro.cluster.placement import DistinctRackPlacement
+from repro.cluster.recovery import RecoveryService
+from repro.cluster.topology import Topology
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import RepairError
+
+
+def make_service(code, num_racks=20, nodes_per_rack=3, unit_size=1000, seed=5):
+    topology = Topology(num_racks, nodes_per_rack)
+    placement = DistinctRackPlacement(topology, seed=seed)
+    placements = placement.place_many(4, code.n)
+    store = StripeStore(placements, np.full(4, unit_size))
+    state = NodeStateTable(topology.num_nodes)
+    meter = TrafficMeter(topology, record_transfers=True)
+    service = RecoveryService(
+        store=store,
+        state=state,
+        placement=placement,
+        code=code,
+        meter=meter,
+        rng=np.random.default_rng(seed),
+        trigger_fraction=1.0,
+    )
+    return service
+
+
+class TestRecoverUnit:
+    def test_rs_recovery_bytes(self):
+        service = make_service(ReedSolomonCode(10, 4))
+        node = int(service.store.placement[0, 3])
+        service.state.mark_down(node, 0.0)
+        service.store.mark_node_missing(node)
+        assert service.recover_unit(0, 3, time=60.0)
+        # k units of 1000 bytes, all cross-rack (distinct-rack placement).
+        assert service.meter.cross_rack_bytes == 10 * 1000
+        assert service.stats.blocks_recovered == 1
+        assert service.stats.bytes_downloaded == 10 * 1000
+
+    def test_piggyback_recovery_cheaper(self):
+        rs_service = make_service(ReedSolomonCode(10, 4))
+        pb_service = make_service(PiggybackedRSCode(10, 4))
+        for service in (rs_service, pb_service):
+            node = int(service.store.placement[0, 0])
+            service.state.mark_down(node, 0.0)
+            service.store.mark_node_missing(node)
+            service.recover_unit(0, 0, time=60.0)
+        assert (
+            pb_service.meter.cross_rack_bytes
+            < rs_service.meter.cross_rack_bytes
+        )
+        assert pb_service.meter.cross_rack_bytes == 7 * 1000  # (10+4)/2 units
+
+    def test_relocation_after_recovery(self):
+        service = make_service(ReedSolomonCode(10, 4))
+        node = int(service.store.placement[1, 2])
+        service.state.mark_down(node, 0.0)
+        service.store.mark_node_missing(node)
+        service.recover_unit(1, 2, time=0.0)
+        new_node = int(service.store.placement[1, 2])
+        assert new_node != node
+        assert not service.store.missing[1, 2]
+        # Destination is never a node of the same stripe or a down node.
+        assert new_node not in (
+            set(service.store.placement[1].tolist()) - {new_node}
+        )
+        assert not service.state.is_down(new_node)
+
+    def test_degraded_histogram(self):
+        service = make_service(ReedSolomonCode(10, 4))
+        nodes = [int(service.store.placement[0, s]) for s in (0, 1)]
+        for node in nodes:
+            service.state.mark_down(node, 0.0)
+            service.store.mark_node_missing(node)
+        service.recover_unit(0, 0, time=0.0)
+        # At recovery time the stripe had 2 missing units.
+        assert service.stats.degraded_histogram[2] == 1
+
+    def test_unrecoverable_counted_not_raised(self):
+        service = make_service(ReedSolomonCode(10, 4))
+        # Take down 5 units of stripe 0: only 9 survivors < k.
+        for slot in range(5):
+            node = int(service.store.placement[0, slot])
+            service.state.mark_down(node, 0.0)
+            service.store.mark_node_missing(node)
+        assert not service.recover_unit(0, 0, time=0.0)
+        assert service.stats.unrecoverable_units == 1
+        assert service.stats.blocks_recovered == 0
+
+    def test_recovering_healthy_unit_rejected(self):
+        service = make_service(ReedSolomonCode(10, 4))
+        with pytest.raises(RepairError):
+            service.recover_unit(0, 0, time=0.0)
+
+    def test_plan_cache_hits(self):
+        service = make_service(ReedSolomonCode(10, 4))
+        available = tuple(range(1, 14))
+        first = service._plan_for(0, available)
+        second = service._plan_for(0, available)
+        assert first is second
+        assert len(service._plan_cache) == 1
+        service._plan_for(1, tuple(i for i in range(14) if i != 1))
+        assert len(service._plan_cache) == 2
+
+
+class TestOnNodeFlagged:
+    def test_recovers_all_units_of_node(self):
+        service = make_service(ReedSolomonCode(10, 4))
+        # Find a node holding at least one unit.
+        node = int(service.store.placement[0, 0])
+        expected = len(service.store.units_on_node(node))
+        service.state.mark_down(node, 0.0)
+        service.store.mark_node_missing(node)
+        service.on_node_flagged(EventQueue(), node, time=900.0)
+        assert service.stats.blocks_recovered == expected
+        assert service.stats.flagged_events_recovered == 1
+
+    def test_trigger_fraction_zero_skips(self):
+        service = make_service(ReedSolomonCode(10, 4))
+        service.trigger_fraction = 0.0
+        node = int(service.store.placement[0, 0])
+        service.state.mark_down(node, 0.0)
+        service.store.mark_node_missing(node)
+        service.on_node_flagged(EventQueue(), node, time=900.0)
+        assert service.stats.blocks_recovered == 0
+        assert service.stats.flagged_events_skipped == 1
+        # Units stay missing until the node returns.
+        assert service.store.missing.any()
+
+    def test_daily_blocks_series(self):
+        service = make_service(ReedSolomonCode(10, 4))
+        node = int(service.store.placement[0, 0])
+        count = len(service.store.units_on_node(node))
+        service.state.mark_down(node, 0.0)
+        service.store.mark_node_missing(node)
+        service.on_node_flagged(EventQueue(), node, time=90_000.0)  # day 1
+        assert service.stats.daily_blocks_series(2) == [0, count]

@@ -1,0 +1,110 @@
+"""Tests for the scrubbing service (silent-corruption handling)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.namenode import NameNode
+from repro.cluster.network import TrafficMeter
+from repro.cluster.placement import DistinctRackPlacement
+from repro.cluster.raidnode import RaidNode
+from repro.cluster.scrubber import Scrubber
+from repro.cluster.topology import Topology
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import SimulationError
+
+
+def build(code, seed=21, file_bytes=800):
+    topology = Topology(num_racks=10, nodes_per_rack=2)
+    namenode = NameNode(topology, DistinctRackPlacement(topology, seed=seed))
+    meter = TrafficMeter(topology)
+    raidnode = RaidNode(namenode, code, meter)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=file_bytes, dtype=np.uint8)
+    namenode.write_file("f", data, block_size=100)
+    entries = raidnode.raid_file("f")
+    return namenode, raidnode, Scrubber(raidnode), entries, data
+
+
+def corrupt(namenode, entry, slot, byte_index=3, flip=0x40):
+    block_id = entry.layout.all_block_ids()[slot]
+    node = entry.locations[slot]
+    namenode.datanodes[node].blocks[block_id].payload[byte_index] ^= flip
+
+
+@pytest.mark.parametrize(
+    "code", [ReedSolomonCode(4, 2), PiggybackedRSCode(4, 2)],
+    ids=["rs", "piggyback"],
+)
+class TestScrubber:
+    def test_clean_cluster_scrubs_clean(self, code):
+        __, __, scrubber, entries, __ = build(code)
+        report = scrubber.scrub()
+        assert report.stripes_checked == len(entries)
+        assert report.stripes_clean == len(entries)
+        assert report.corrupt_units_found == 0
+
+    def test_detects_corrupt_data_block(self, code):
+        namenode, __, scrubber, entries, __ = build(code)
+        corrupt(namenode, entries[0], slot=1)
+        assert scrubber.verify_stripe(entries[0].layout.stripe_id) is False
+
+    def test_locates_the_right_slot(self, code):
+        namenode, __, scrubber, entries, __ = build(code)
+        corrupt(namenode, entries[0], slot=2)
+        assert scrubber.locate_corruption(
+            entries[0].layout.stripe_id
+        ) == [2]
+
+    def test_locates_corrupt_parity(self, code):
+        namenode, __, scrubber, entries, __ = build(code)
+        corrupt(namenode, entries[1], slot=code.k + 1)
+        assert scrubber.locate_corruption(
+            entries[1].layout.stripe_id
+        ) == [code.k + 1]
+
+    def test_scrub_repairs_and_data_intact(self, code):
+        namenode, __, scrubber, entries, data = build(code)
+        corrupt(namenode, entries[0], slot=0)
+        report = scrubber.scrub()
+        assert report.corrupt_units_found == 1
+        assert report.corrupt_units_repaired == 1
+        assert np.array_equal(namenode.read_file("f"), data)
+        # A second pass is clean.
+        assert scrubber.scrub().corrupt_units_found == 0
+
+    def test_degraded_stripe_skipped(self, code):
+        namenode, __, scrubber, entries, __ = build(code)
+        namenode.kill_node(entries[0].locations[0])
+        report = scrubber.scrub()
+        assert entries[0].layout.stripe_id in report.unverifiable_stripes
+
+    def test_unknown_stripe(self, code):
+        __, __, scrubber, __, __ = build(code)
+        with pytest.raises(SimulationError):
+            scrubber.verify_stripe("nope")
+
+
+class TestMultipleCorruptions:
+    def test_two_corruptions_in_different_stripes(self):
+        code = ReedSolomonCode(4, 2)
+        namenode, __, scrubber, entries, data = build(code)
+        corrupt(namenode, entries[0], slot=1)
+        corrupt(namenode, entries[1], slot=4)
+        report = scrubber.scrub()
+        assert report.corrupt_units_repaired == 2
+        assert np.array_equal(namenode.read_file("f"), data)
+
+    def test_corruption_in_tail_stripe_with_virtual_slots(self):
+        code = ReedSolomonCode(4, 2)
+        namenode, __, scrubber, entries, data = build(code, file_bytes=900)
+        tail = entries[-1]
+        assert tail.layout.real_data_count < code.k  # has virtual slots
+        real_slot = next(
+            s for s, b in enumerate(tail.layout.all_block_ids())
+            if b is not None
+        )
+        corrupt(namenode, tail, slot=real_slot)
+        report = scrubber.scrub()
+        assert report.corrupt_units_repaired == 1
+        assert np.array_equal(namenode.read_file("f"), data)

@@ -1,0 +1,82 @@
+"""Additional simulation-level behaviours."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+
+
+def small(**overrides):
+    defaults = dict(
+        num_racks=20, nodes_per_rack=5, stripes_per_node=15.0, days=3.0, seed=31
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+class TestCodeIndependentStreams:
+    def test_placements_identical_across_codes(self):
+        """Same seed + same stripe width => same placement matrices."""
+        rs_sim = WarehouseSimulation(small())
+        pb_sim = WarehouseSimulation(small().with_code("piggyback"))
+        assert np.array_equal(rs_sim.store.placement, pb_sim.store.placement)
+        assert np.array_equal(rs_sim.store.unit_sizes, pb_sim.store.unit_sizes)
+
+    def test_failure_events_identical_across_codes(self):
+        rs = WarehouseSimulation(small()).run()
+        pb = WarehouseSimulation(small().with_code("piggyback")).run()
+        assert (
+            rs.unavailability_events_per_day == pb.unavailability_events_per_day
+        )
+        assert rs.stats.flagged_events_recovered == pb.stats.flagged_events_recovered
+
+
+class TestWorkloadIntegration:
+    def test_reads_metered_separately_from_recovery(self):
+        config = small(reads_per_stripe_per_day=1.0)
+        result = WarehouseSimulation(config).run()
+        assert result.read_stats is not None
+        assert result.read_stats.reads > 0
+        meter = result.meter
+        assert meter.bytes_by_purpose.get("read", 0) > 0
+        # Fig. 3b accounting only ever counts recovery bytes.
+        assert result.stats.bytes_downloaded == meter.bytes_by_purpose[
+            "recovery"
+        ]
+
+    def test_no_workload_no_read_stats(self):
+        result = WarehouseSimulation(small()).run()
+        assert result.read_stats is None
+
+    def test_degraded_reads_occur_during_outages(self):
+        config = small(
+            reads_per_stripe_per_day=3.0,
+            mean_downtime_seconds=20_000.0,  # long outages: more exposure
+        )
+        result = WarehouseSimulation(config).run()
+        assert result.read_stats.degraded_reads > 0
+        assert 0 < result.read_stats.degraded_fraction < 0.2
+
+
+class TestResultProperties:
+    def test_total_cross_rack_scaled(self):
+        config = small()
+        result = WarehouseSimulation(config).run()
+        assert result.total_cross_rack_bytes_scaled == pytest.approx(
+            result.meter.cross_rack_bytes * config.block_scale
+        )
+
+    def test_series_scaling_consistent(self):
+        config = small()
+        result = WarehouseSimulation(config).run()
+        assert sum(result.cross_rack_bytes_per_day_scaled) <= (
+            result.total_cross_rack_bytes_scaled + 1e-6
+        )
+
+    def test_zero_recovered_guard(self):
+        """A one-day run with no triggered recoveries reports 0 cleanly."""
+        config = small(days=1.0, recovery_trigger_fraction=0.0)
+        result = WarehouseSimulation(config).run()
+        assert result.stats.blocks_recovered == 0
+        assert result.mean_bytes_per_recovered_block == 0.0

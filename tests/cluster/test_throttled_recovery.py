@@ -1,0 +1,84 @@
+"""Tests for bandwidth-throttled recovery (the shared pipe)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+from repro.errors import ConfigError
+
+
+def throttled_config(**overrides):
+    defaults = dict(
+        num_racks=20,
+        nodes_per_rack=5,
+        stripes_per_node=15.0,
+        days=3.0,
+        seed=44,
+        recovery_bandwidth_bytes_per_sec=20e9,
+    )
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+class TestThrottledRecovery:
+    def test_latencies_recorded(self):
+        result = WarehouseSimulation(throttled_config()).run()
+        latencies = result.stats.repair_latencies
+        assert len(latencies) == result.stats.blocks_recovered
+        assert all(l > 0 for l in latencies)
+
+    def test_instantaneous_mode_records_nothing(self):
+        result = WarehouseSimulation(
+            throttled_config(recovery_bandwidth_bytes_per_sec=None)
+        ).run()
+        assert result.stats.repair_latencies == []
+
+    def test_same_bytes_as_instantaneous(self):
+        """Throttling changes *when*, not *how much*."""
+        throttled = WarehouseSimulation(throttled_config()).run()
+        instant = WarehouseSimulation(
+            throttled_config(recovery_bandwidth_bytes_per_sec=None)
+        ).run()
+        # Cancellations may skip a few blocks when machines return
+        # before the pipe drains; with ample bandwidth there are none.
+        if throttled.stats.cancelled_recoveries == 0:
+            assert (
+                throttled.stats.bytes_downloaded
+                == instant.stats.bytes_downloaded
+            )
+            assert (
+                throttled.stats.blocks_recovered
+                == instant.stats.blocks_recovered
+            )
+
+    def test_slower_pipe_higher_latency(self):
+        fast = WarehouseSimulation(throttled_config()).run()
+        slow = WarehouseSimulation(
+            throttled_config(recovery_bandwidth_bytes_per_sec=2e9)
+        ).run()
+        assert np.mean(slow.stats.repair_latencies) > np.mean(
+            fast.stats.repair_latencies
+        )
+
+    def test_piggyback_latency_lower(self):
+        """Section 3.2 in the DES: less data, faster drain."""
+        rs = WarehouseSimulation(throttled_config()).run()
+        pb = WarehouseSimulation(
+            throttled_config().with_code("piggyback")
+        ).run()
+        assert np.mean(pb.stats.repair_latencies) < np.mean(
+            rs.stats.repair_latencies
+        )
+
+    def test_tiny_pipe_causes_cancellations(self):
+        """With an absurdly slow pipe, machines return before their
+        blocks are reconstructed and those recoveries are cancelled."""
+        result = WarehouseSimulation(
+            throttled_config(recovery_bandwidth_bytes_per_sec=5e7)
+        ).run()
+        assert result.stats.cancelled_recoveries > 0
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ConfigError):
+            throttled_config(recovery_bandwidth_bytes_per_sec=0)

@@ -1,0 +1,59 @@
+"""Tests for the rack/switch topology."""
+
+import pytest
+
+from repro.cluster.topology import Topology
+from repro.errors import ConfigError
+
+
+class TestTopology:
+    def test_node_count(self):
+        assert Topology(10, 5).num_nodes == 50
+
+    def test_rack_of(self):
+        topo = Topology(3, 4)
+        assert topo.rack_of(0) == 0
+        assert topo.rack_of(3) == 0
+        assert topo.rack_of(4) == 1
+        assert topo.rack_of(11) == 2
+
+    def test_nodes_in_rack(self):
+        topo = Topology(3, 4)
+        assert topo.nodes_in_rack(1) == [4, 5, 6, 7]
+
+    def test_crosses_racks(self):
+        topo = Topology(3, 4)
+        assert not topo.crosses_racks(0, 3)
+        assert topo.crosses_racks(0, 4)
+
+    def test_switch_path_intra_rack(self):
+        topo = Topology(3, 4)
+        assert topo.switch_path(0, 1) == ("tor_0",)
+
+    def test_switch_path_cross_rack(self):
+        """Fig. 1: TOR -> aggregation -> TOR."""
+        topo = Topology(3, 4)
+        assert topo.switch_path(0, 4) == ("tor_0", "aggregation", "tor_1")
+
+    def test_invalid_node(self):
+        with pytest.raises(ConfigError):
+            Topology(2, 2).rack_of(4)
+        with pytest.raises(ConfigError):
+            Topology(2, 2).rack_of(-1)
+
+    def test_invalid_rack(self):
+        with pytest.raises(ConfigError):
+            Topology(2, 2).nodes_in_rack(2)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ConfigError):
+            Topology(0, 5)
+
+    def test_iter_nodes(self):
+        nodes = list(Topology(2, 2).iter_nodes())
+        assert len(nodes) == 4
+        assert nodes[3].rack_id == 1
+
+    def test_node_accessor(self):
+        node = Topology(2, 3).node(4)
+        assert node.node_id == 4 and node.rack_id == 1

@@ -1,0 +1,95 @@
+"""Tests for calibrated trace generation."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import SECONDS_PER_DAY, ClusterConfig
+from repro.cluster.traces import (
+    daily_event_counts,
+    expected_mean_unit_size,
+    generate_unavailability_events,
+    stripe_unit_sizes,
+)
+from repro.errors import TraceError
+
+
+class TestDailyEventCounts:
+    def test_length_and_positivity(self):
+        rng = np.random.default_rng(0)
+        counts = daily_event_counts(rng, 30, 52.0, 0.5, 0.05, 4.0)
+        assert counts.shape == (30,)
+        assert (counts >= 1).all()
+
+    def test_median_near_target(self):
+        rng = np.random.default_rng(0)
+        counts = daily_event_counts(rng, 2000, 52.0, 0.5, 0.0, 1.0)
+        assert 45 <= np.median(counts) <= 60
+
+    def test_spikes_raise_tail(self):
+        rng = np.random.default_rng(0)
+        calm = daily_event_counts(rng, 500, 52.0, 0.3, 0.0, 1.0)
+        rng = np.random.default_rng(0)
+        spiky = daily_event_counts(rng, 500, 52.0, 0.3, 0.1, 5.0)
+        assert spiky.max() > calm.max()
+
+    def test_invalid_inputs(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(TraceError):
+            daily_event_counts(rng, 0, 52.0, 0.5, 0.0, 1.0)
+        with pytest.raises(TraceError):
+            daily_event_counts(rng, 5, -1.0, 0.5, 0.0, 1.0)
+
+
+class TestUnavailabilityEvents:
+    def test_event_fields(self):
+        config = ClusterConfig(days=3.0)
+        rng = np.random.default_rng(1)
+        events = generate_unavailability_events(rng, config)
+        assert events == sorted(events, key=lambda e: e.time)
+        for event in events:
+            assert 0 <= event.node < config.num_nodes
+            assert 0.0 <= event.time < 3.0 * SECONDS_PER_DAY
+            assert event.duration > config.unavailability_threshold_seconds
+
+    def test_day_attribute(self):
+        config = ClusterConfig(days=2.0)
+        rng = np.random.default_rng(1)
+        events = generate_unavailability_events(rng, config)
+        for event in events:
+            assert event.day == int(event.time // SECONDS_PER_DAY)
+
+    def test_deterministic_for_seeded_rng(self):
+        config = ClusterConfig(days=2.0)
+        a = generate_unavailability_events(np.random.default_rng(9), config)
+        b = generate_unavailability_events(np.random.default_rng(9), config)
+        assert a == b
+
+
+class TestStripeUnitSizes:
+    def test_range(self):
+        config = ClusterConfig()
+        sizes = stripe_unit_sizes(np.random.default_rng(0), 5000, config)
+        assert sizes.shape == (5000,)
+        assert (sizes >= 1).all()
+        assert (sizes <= config.block_size_bytes).all()
+
+    def test_mean_matches_analytic(self):
+        config = ClusterConfig()
+        sizes = stripe_unit_sizes(np.random.default_rng(0), 100_000, config)
+        expected = expected_mean_unit_size(config)
+        assert sizes.mean() == pytest.approx(expected, rel=0.02)
+
+    def test_calibration_gives_paper_ratio(self):
+        """Mean RS recovery transfer ~= 1.9 GB (180 TB / 95.5k blocks)."""
+        config = ClusterConfig()
+        mean_transfer = 10 * expected_mean_unit_size(config)
+        assert 1.7e9 < mean_transfer < 2.2e9
+
+    def test_full_block_fraction_respected(self):
+        config = ClusterConfig(full_block_fraction=1.0)
+        sizes = stripe_unit_sizes(np.random.default_rng(0), 100, config)
+        assert (sizes == config.block_size_bytes).all()
+
+    def test_invalid_count(self):
+        with pytest.raises(TraceError):
+            stripe_unit_sizes(np.random.default_rng(0), 0, ClusterConfig())

@@ -1,0 +1,126 @@
+"""Tests for the foreground read workload (degraded reads)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.blockmap import StripeStore
+from repro.cluster.datanode import NodeStateTable
+from repro.cluster.events import EventQueue
+from repro.cluster.network import TrafficMeter
+from repro.cluster.topology import Topology
+from repro.cluster.workload import ReadWorkload
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import ConfigError
+
+UNIT = 1000
+
+
+def make_workload(code, rate=1.0, seed=3):
+    topology = Topology(num_racks=20, nodes_per_rack=2)
+    placement = np.array([
+        list(range(0, 2 * code.n, 2)),
+        list(range(1, 2 * code.n, 2)),
+    ])
+    store = StripeStore(placement, np.full(2, UNIT))
+    state = NodeStateTable(topology.num_nodes)
+    meter = TrafficMeter(topology, record_transfers=True)
+    workload = ReadWorkload(
+        store=store,
+        state=state,
+        meter=meter,
+        code=code,
+        rng=np.random.default_rng(seed),
+        reads_per_stripe_per_day=rate,
+    )
+    return workload, store, state, meter
+
+
+class TestHealthyReads:
+    def test_healthy_read_moves_one_block(self):
+        workload, store, state, meter = make_workload(ReedSolomonCode(10, 4))
+        assert workload.perform_read(0, 3, client=39, time=0.0)
+        assert workload.stats.healthy_reads == 1
+        assert workload.stats.healthy_bytes == UNIT
+        assert meter.bytes_by_purpose["read"] == UNIT
+
+    def test_read_from_own_node_is_free(self):
+        workload, store, state, meter = make_workload(ReedSolomonCode(10, 4))
+        holder = int(store.placement[0, 3])
+        assert workload.perform_read(0, 3, client=holder, time=0.0)
+        assert meter.total_bytes == 0
+        assert workload.stats.healthy_bytes == UNIT
+
+
+class TestDegradedReads:
+    def test_degraded_read_runs_repair_plan(self):
+        workload, store, state, meter = make_workload(ReedSolomonCode(10, 4))
+        holder = int(store.placement[0, 3])
+        state.mark_down(holder, 0.0)
+        store.mark_node_missing(holder)
+        assert workload.perform_read(0, 3, client=39, time=0.0)
+        assert workload.stats.degraded_reads == 1
+        assert workload.stats.degraded_bytes == 10 * UNIT
+        assert meter.bytes_by_purpose["degraded-read"] == 10 * UNIT
+
+    def test_piggyback_degraded_read_cheaper(self):
+        rs_wl, rs_store, rs_state, __ = make_workload(ReedSolomonCode(10, 4))
+        pb_wl, pb_store, pb_state, __ = make_workload(PiggybackedRSCode(10, 4))
+        for workload, store, state in (
+            (rs_wl, rs_store, rs_state),
+            (pb_wl, pb_store, pb_state),
+        ):
+            holder = int(store.placement[0, 0])
+            state.mark_down(holder, 0.0)
+            store.mark_node_missing(holder)
+            workload.perform_read(0, 0, client=39, time=0.0)
+        assert pb_wl.stats.degraded_bytes == 7 * UNIT
+        assert pb_wl.stats.degraded_bytes < rs_wl.stats.degraded_bytes
+
+    def test_down_holder_without_missing_flag_degrades(self):
+        """A read racing the failure (before the store is updated on the
+        read path) still degrades via the holder's state."""
+        workload, store, state, meter = make_workload(ReedSolomonCode(10, 4))
+        holder = int(store.placement[0, 3])
+        state.mark_down(holder, 0.0)
+        assert workload.perform_read(0, 3, client=39, time=0.0)
+        assert workload.stats.degraded_reads == 1
+
+    def test_unservable_read_counted(self):
+        workload, store, state, meter = make_workload(ReedSolomonCode(10, 4))
+        for slot in range(5):
+            holder = int(store.placement[0, slot])
+            state.mark_down(holder, 0.0)
+            store.mark_node_missing(holder)
+        assert not workload.perform_read(0, 0, client=39, time=0.0)
+        assert workload.stats.failed_reads == 1
+
+    def test_amplification_metric(self):
+        workload, store, state, meter = make_workload(ReedSolomonCode(10, 4))
+        workload.perform_read(0, 1, client=39, time=0.0)
+        holder = int(store.placement[0, 3])
+        state.mark_down(holder, 0.0)
+        store.mark_node_missing(holder)
+        workload.perform_read(0, 3, client=39, time=0.0)
+        assert workload.stats.degraded_read_amplification == pytest.approx(10.0)
+        assert workload.stats.degraded_fraction == pytest.approx(0.5)
+
+
+class TestScheduling:
+    def test_install_schedules_poisson_reads(self):
+        workload, *_ = make_workload(ReedSolomonCode(10, 4), rate=5.0)
+        queue = EventQueue()
+        count = workload.install(queue, days=3.0)
+        assert count == queue.pending
+        assert count > 0
+        queue.run()
+        assert workload.stats.reads == count
+
+    def test_zero_rate_schedules_nothing(self):
+        workload, *_ = make_workload(ReedSolomonCode(10, 4), rate=0.0)
+        queue = EventQueue()
+        assert workload.install(queue, days=3.0) == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ConfigError):
+            make_workload(ReedSolomonCode(10, 4), rate=-1.0)

@@ -1,0 +1,150 @@
+"""Tests for the ErasureCode base abstractions (plans, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.base import RepairPlan, SymbolRequest, require_unit_shapes
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import DecodingError, EncodingError, RepairError
+
+
+class TestSymbolRequest:
+    def test_fraction_of_unit(self):
+        request = SymbolRequest(3, (0,))
+        assert request.fraction_of_unit(2) == 0.5
+        assert request.fraction_of_unit(1) == 1.0
+
+    def test_empty_substripes_rejected(self):
+        with pytest.raises(RepairError):
+            SymbolRequest(0, ())
+
+    def test_unsorted_substripes_rejected(self):
+        with pytest.raises(RepairError):
+            SymbolRequest(0, (1, 0))
+
+    def test_duplicate_substripes_rejected(self):
+        with pytest.raises(RepairError):
+            SymbolRequest(0, (0, 0))
+
+
+class TestRepairPlan:
+    def make_plan(self):
+        return RepairPlan(
+            failed_node=2,
+            requests=(
+                SymbolRequest(0, (0, 1)),
+                SymbolRequest(1, (1,)),
+                SymbolRequest(3, (1,)),
+            ),
+            substripes_per_unit=2,
+        )
+
+    def test_nodes_contacted(self):
+        assert self.make_plan().nodes_contacted == (0, 1, 3)
+
+    def test_num_connections(self):
+        assert self.make_plan().num_connections == 3
+
+    def test_subunits_read(self):
+        assert self.make_plan().subunits_read == 4
+
+    def test_units_downloaded(self):
+        assert self.make_plan().units_downloaded == 2.0
+
+    def test_bytes_downloaded(self):
+        assert self.make_plan().bytes_downloaded(100) == 200
+
+    def test_bytes_downloaded_requires_divisible_unit(self):
+        with pytest.raises(RepairError):
+            self.make_plan().bytes_downloaded(101)
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(RepairError):
+            RepairPlan(
+                failed_node=2,
+                requests=(SymbolRequest(0, (0,)), SymbolRequest(0, (1,))),
+                substripes_per_unit=2,
+            )
+
+    def test_reading_failed_node_rejected(self):
+        with pytest.raises(RepairError):
+            RepairPlan(
+                failed_node=0,
+                requests=(SymbolRequest(0, (0,)),),
+            )
+
+
+class TestValidation:
+    def test_validate_data_units_shape(self, rs_10_4):
+        with pytest.raises(EncodingError):
+            rs_10_4.validate_data_units(np.zeros((9, 8), dtype=np.uint8))
+        with pytest.raises(EncodingError):
+            rs_10_4.validate_data_units(np.zeros(8, dtype=np.uint8))
+        with pytest.raises(EncodingError):
+            rs_10_4.validate_data_units(np.zeros((10, 0), dtype=np.uint8))
+
+    def test_validate_data_units_converts_dtype(self, rs_10_4):
+        data = np.zeros((10, 4), dtype=np.int64)
+        out = rs_10_4.validate_data_units(data)
+        assert out.dtype == np.uint8
+
+    def test_validate_node_index(self, rs_10_4):
+        with pytest.raises(RepairError):
+            rs_10_4.validate_node_index(14)
+        with pytest.raises(RepairError):
+            rs_10_4.validate_node_index(-1)
+        assert rs_10_4.validate_node_index(13) == 13
+
+    def test_substripe_divisibility(self, piggyback_10_4):
+        with pytest.raises(EncodingError):
+            piggyback_10_4.validate_data_units(
+                np.zeros((10, 7), dtype=np.uint8)
+            )
+
+    def test_split_and_join_roundtrip(self, piggyback_10_4, rng):
+        unit = rng.integers(0, 256, 64, dtype=np.uint8)
+        subunits = piggyback_10_4.split_unit(unit)
+        assert len(subunits) == 2
+        assert np.array_equal(piggyback_10_4.join_subunits(subunits), unit)
+
+    def test_join_wrong_count(self, piggyback_10_4):
+        with pytest.raises(EncodingError):
+            piggyback_10_4.join_subunits([np.zeros(4, dtype=np.uint8)])
+
+    def test_require_unit_shapes_mismatch(self, rs_10_4):
+        units = {
+            0: np.zeros(8, dtype=np.uint8),
+            1: np.zeros(9, dtype=np.uint8),
+        }
+        with pytest.raises(DecodingError):
+            require_unit_shapes(units, rs_10_4)
+
+    def test_require_unit_shapes_empty(self, rs_10_4):
+        with pytest.raises(DecodingError):
+            require_unit_shapes({}, rs_10_4)
+
+
+class TestDerivedProperties:
+    def test_storage_overhead(self):
+        assert ReedSolomonCode(10, 4).storage_overhead == pytest.approx(1.4)
+
+    def test_n(self, rs_10_4):
+        assert rs_10_4.n == 14
+
+    def test_average_repair_downloads(self, rs_10_4, piggyback_10_4):
+        assert rs_10_4.average_repair_download_units() == pytest.approx(10.0)
+        assert piggyback_10_4.average_repair_download_units() == pytest.approx(
+            107 / 14
+        )
+        assert piggyback_10_4.average_data_repair_download_units() == pytest.approx(
+            6.7
+        )
+
+    def test_repr_is_name(self, rs_10_4):
+        assert repr(rs_10_4) == rs_10_4.name == "RS(10,4)"
+
+    def test_execute_repair_rejects_missing_source(self, rs_10_4, small_data):
+        stripe = rs_10_4.encode(small_data)
+        available = {i: stripe[i] for i in range(5)}  # too few for a plan
+        with pytest.raises(RepairError):
+            rs_10_4.execute_repair(13, available)

@@ -1,0 +1,98 @@
+"""Tests for the Cauchy bit-matrix RS codec."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes.crs import CauchyBitmatrixRSCode
+from repro.codes.registry import create_code
+from repro.errors import CodeConstructionError, DecodingError, RepairError
+from tests.conftest import make_data
+
+
+class TestConstruction:
+    def test_name_and_params(self):
+        code = CauchyBitmatrixRSCode(10, 4)
+        assert code.name == "CauchyBitmatrixRS(10,4)"
+        assert code.n == 14 and code.is_mds
+
+    def test_expanded_shape(self):
+        code = CauchyBitmatrixRSCode(4, 2)
+        assert code.expanded.shape == (48, 32)
+        assert set(np.unique(code.expanded)) <= {0, 1}
+
+    def test_registered(self):
+        assert create_code("crs", k=4, r=2).name == "CauchyBitmatrixRS(4,2)"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CodeConstructionError):
+            CauchyBitmatrixRSCode(0, 2)
+        with pytest.raises(CodeConstructionError):
+            CauchyBitmatrixRSCode(200, 100)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("k,r", [(2, 2), (4, 2), (4, 3), (6, 3)])
+    def test_mds_exhaustive(self, rng, k, r):
+        code = CauchyBitmatrixRSCode(k, r)
+        data = make_data(rng, k, 16)
+        stripe = code.encode(data)
+        for subset in combinations(range(k + r), k):
+            available = {i: stripe[i] for i in subset}
+            assert np.array_equal(code.decode(available), data), subset
+
+    def test_systematic(self, rng):
+        code = CauchyBitmatrixRSCode(4, 2)
+        data = make_data(rng, 4, 24)
+        stripe = code.encode(data)
+        assert np.array_equal(stripe[:4], data)
+
+    def test_production_parameters_sampled(self, rng):
+        code = CauchyBitmatrixRSCode(10, 4)
+        data = make_data(rng, 10, 32)
+        stripe = code.encode(data)
+        for _ in range(25):
+            subset = rng.choice(14, size=10, replace=False)
+            available = {int(i): stripe[int(i)] for i in subset}
+            assert np.array_equal(code.decode(available), data)
+
+    def test_unit_size_must_be_multiple_of_8(self, rng):
+        code = CauchyBitmatrixRSCode(4, 2)
+        with pytest.raises(Exception):
+            code.encode(make_data(rng, 4, 12))
+
+    def test_too_few_survivors(self, rng):
+        code = CauchyBitmatrixRSCode(4, 2)
+        stripe = code.encode(make_data(rng, 4, 8))
+        with pytest.raises(DecodingError):
+            code.decode({0: stripe[0], 1: stripe[1], 2: stripe[2]})
+
+
+class TestRepair:
+    def test_repairs_every_node(self, rng):
+        code = CauchyBitmatrixRSCode(6, 3)
+        data = make_data(rng, 6, 16)
+        stripe = code.encode(data)
+        for failed in range(9):
+            available = {i: stripe[i] for i in range(9) if i != failed}
+            rebuilt, downloaded = code.execute_repair(failed, available)
+            assert np.array_equal(rebuilt, stripe[failed])
+            assert downloaded == 6 * 16  # same economics as RS
+
+    def test_repair_plan_reads_k_units(self):
+        plan = CauchyBitmatrixRSCode(10, 4).repair_plan(3)
+        assert plan.units_downloaded == 10.0
+
+    def test_insufficient_survivors(self):
+        with pytest.raises(RepairError):
+            CauchyBitmatrixRSCode(4, 2).repair_plan(0, [1, 2, 3])
+
+
+class TestVerify:
+    def test_verify_stripe_detects_corruption(self, rng):
+        code = CauchyBitmatrixRSCode(4, 2)
+        stripe = code.encode(make_data(rng, 4, 16))
+        assert code.verify_stripe(stripe)
+        stripe[5, 3] ^= 1
+        assert not code.verify_stripe(stripe)

@@ -1,0 +1,73 @@
+"""Tests for the Hitchhiker extension variants."""
+
+import numpy as np
+import pytest
+
+from repro.codes.hitchhiker import (
+    hitchhiker_nonxor,
+    hitchhiker_partition,
+    hitchhiker_xor,
+)
+from repro.errors import CodeConstructionError
+from tests.conftest import make_data
+
+
+class TestPartition:
+    def test_production_shape(self):
+        assert hitchhiker_partition(10, 4) == [[0, 1, 2], [3, 4, 5], [6, 7, 8, 9]]
+
+    def test_smaller_groups_first(self):
+        for k in range(2, 16):
+            sizes = [len(g) for g in hitchhiker_partition(k, 4)]
+            assert sizes == sorted(sizes)
+
+    def test_requires_two_parities(self):
+        with pytest.raises(CodeConstructionError):
+            hitchhiker_partition(10, 1)
+
+
+@pytest.mark.parametrize("factory", [hitchhiker_xor, hitchhiker_nonxor])
+class TestVariants:
+    def test_roundtrip_all_nodes(self, factory, rng):
+        code = factory(10, 4)
+        data = make_data(rng, 10, 32)
+        stripe = code.encode(data)
+        for failed in range(14):
+            available = {i: stripe[i] for i in range(14) if i != failed}
+            rebuilt, __ = code.execute_repair(failed, available)
+            assert np.array_equal(rebuilt, stripe[failed])
+
+    def test_decode_any_ten(self, factory, rng):
+        code = factory(10, 4)
+        data = make_data(rng, 10, 16)
+        stripe = code.encode(data)
+        for __ in range(30):
+            subset = rng.choice(14, size=10, replace=False)
+            available = {int(i): stripe[int(i)] for i in subset}
+            assert np.array_equal(code.decode(available), data)
+
+    def test_same_savings_as_piggyback(self, factory):
+        code = factory(10, 4)
+        assert code.average_data_repair_download_units() == pytest.approx(6.7)
+
+    def test_variant_name(self, factory):
+        code = factory(10, 4)
+        assert "Hitchhiker" in code.name
+
+    def test_mds_and_overhead(self, factory):
+        code = factory(10, 4)
+        assert code.is_mds
+        assert code.storage_overhead == pytest.approx(1.4)
+
+
+class TestNonXorSpecifics:
+    def test_coefficients_not_all_ones(self):
+        code = hitchhiker_nonxor(10, 4)
+        nonzero = code.design.matrix[code.design.matrix != 0]
+        assert set(nonzero.tolist()) != {1}
+
+    def test_group_sizes_drive_costs(self):
+        code = hitchhiker_xor(10, 4)
+        units = [code.repair_download_units(i) for i in range(10)]
+        # Groups of 3, 3, 4 -> costs 6.5, 6.5, 7.0.
+        assert units == [6.5] * 6 + [7.0] * 4

@@ -1,0 +1,149 @@
+"""Tests for the LRC baseline (Section 5 related work)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes.lrc import LRCCode
+from repro.errors import CodeConstructionError, DecodingError, RepairError
+from tests.conftest import make_data
+
+
+class TestConstruction:
+    def test_shape(self, lrc_10_2_2):
+        assert lrc_10_2_2.k == 10
+        assert lrc_10_2_2.r == 4
+        assert lrc_10_2_2.n == 14
+        assert lrc_10_2_2.group_size == 5
+
+    def test_not_mds(self, lrc_10_2_2):
+        assert not lrc_10_2_2.is_mds
+
+    def test_same_overhead_as_rs_10_4(self, lrc_10_2_2):
+        assert lrc_10_2_2.storage_overhead == pytest.approx(1.4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CodeConstructionError):
+            LRCCode(10, 3, 2)  # k not divisible by l
+        with pytest.raises(CodeConstructionError):
+            LRCCode(0, 1, 2)
+
+    def test_group_layout(self, lrc_10_2_2):
+        assert lrc_10_2_2.group_members(0) == [0, 1, 2, 3, 4]
+        assert lrc_10_2_2.group_members(1) == [5, 6, 7, 8, 9]
+        assert lrc_10_2_2.local_parity_node(0) == 10
+        assert lrc_10_2_2.local_parity_node(1) == 11
+        assert lrc_10_2_2.group_of_data_unit(7) == 1
+
+
+class TestEncode:
+    def test_local_parities_are_group_xor(self, lrc_10_2_2, small_data):
+        stripe = lrc_10_2_2.encode(small_data)
+        group0_xor = np.bitwise_xor.reduce(small_data[:5], axis=0)
+        group1_xor = np.bitwise_xor.reduce(small_data[5:], axis=0)
+        assert np.array_equal(stripe[10], group0_xor)
+        assert np.array_equal(stripe[11], group1_xor)
+
+    def test_systematic(self, lrc_10_2_2, small_data):
+        stripe = lrc_10_2_2.encode(small_data)
+        assert np.array_equal(stripe[:10], small_data)
+
+
+class TestDecode:
+    def test_decode_from_all_data(self, lrc_10_2_2, small_data):
+        stripe = lrc_10_2_2.encode(small_data)
+        assert np.array_equal(
+            lrc_10_2_2.decode({i: stripe[i] for i in range(10)}), small_data
+        )
+
+    def test_decode_with_three_failures(self, lrc_10_2_2, rng):
+        """LRC(10,2,2) tolerates any g+1 = 3 failures."""
+        data = make_data(rng, 10, 16)
+        stripe = lrc_10_2_2.encode(data)
+        for erased in combinations(range(14), 3):
+            available = {
+                i: stripe[i] for i in range(14) if i not in erased
+            }
+            assert np.array_equal(lrc_10_2_2.decode(available), data), erased
+
+    def test_some_four_failures_fatal(self, lrc_10_2_2, small_data):
+        """Not MDS: e.g. losing a whole local group's worth of units
+        from one group plus its parity can be unrecoverable."""
+        stripe = lrc_10_2_2.encode(small_data)
+        fatal = [0, 1, 2, 10]  # 3 members + local parity of group 0:
+        # only 2 global parities remain to cover 3 unknowns.
+        assert not lrc_10_2_2.tolerates(fatal)
+        available = {i: stripe[i] for i in range(14) if i not in fatal}
+        with pytest.raises(DecodingError):
+            lrc_10_2_2.decode(available)
+
+    def test_some_four_failures_survivable(self, lrc_10_2_2, small_data):
+        stripe = lrc_10_2_2.encode(small_data)
+        spread = [0, 5, 12, 13]  # one per group + both globals
+        assert lrc_10_2_2.tolerates(spread)
+        available = {i: stripe[i] for i in range(14) if i not in spread}
+        assert np.array_equal(lrc_10_2_2.decode(available), small_data)
+
+
+class TestRepair:
+    def test_data_repair_is_local(self, lrc_10_2_2, small_data):
+        stripe = lrc_10_2_2.encode(small_data)
+        for failed in range(10):
+            available = {i: stripe[i] for i in range(14) if i != failed}
+            plan = lrc_10_2_2.repair_plan(failed, available.keys())
+            assert plan.units_downloaded == 5.0  # group size
+            rebuilt, downloaded = lrc_10_2_2.execute_repair(
+                failed, available, plan
+            )
+            assert np.array_equal(rebuilt, stripe[failed])
+            assert downloaded == 5 * 64
+
+    def test_local_parity_repair_is_local(self, lrc_10_2_2, small_data):
+        stripe = lrc_10_2_2.encode(small_data)
+        for failed in (10, 11):
+            available = {i: stripe[i] for i in range(14) if i != failed}
+            plan = lrc_10_2_2.repair_plan(failed, available.keys())
+            assert plan.units_downloaded == 5.0
+            rebuilt, __ = lrc_10_2_2.execute_repair(failed, available, plan)
+            assert np.array_equal(rebuilt, stripe[failed])
+
+    def test_global_parity_repair_reads_k(self, lrc_10_2_2, small_data):
+        stripe = lrc_10_2_2.encode(small_data)
+        for failed in (12, 13):
+            available = {i: stripe[i] for i in range(14) if i != failed}
+            plan = lrc_10_2_2.repair_plan(failed, available.keys())
+            assert plan.units_downloaded == 10.0
+            rebuilt, __ = lrc_10_2_2.execute_repair(failed, available, plan)
+            assert np.array_equal(rebuilt, stripe[failed])
+
+    def test_local_repair_blocked_falls_back(self, lrc_10_2_2, small_data):
+        """If a group member is also down, repair decodes globally."""
+        stripe = lrc_10_2_2.encode(small_data)
+        failed, blocked = 0, 1
+        available = {
+            i: stripe[i] for i in range(14) if i not in (failed, blocked)
+        }
+        plan = lrc_10_2_2.repair_plan(failed, available.keys())
+        assert plan.units_downloaded == 10.0
+        rebuilt, __ = lrc_10_2_2.execute_repair(failed, available, plan)
+        assert np.array_equal(rebuilt, stripe[failed])
+
+    def test_unrecoverable_pattern_raises(self, lrc_10_2_2):
+        survivors = set(range(14)) - {0, 1, 2, 10}
+        with pytest.raises(RepairError):
+            lrc_10_2_2.repair_plan(0, survivors)
+
+
+class TestToleranceCounting:
+    def test_tolerates_all_three_failure_patterns(self, lrc_10_2_2):
+        assert all(
+            lrc_10_2_2.tolerates(pattern)
+            for pattern in combinations(range(14), 3)
+        )
+
+    def test_four_failure_survival_rate(self, lrc_10_2_2):
+        patterns = list(combinations(range(14), 4))
+        survived = sum(1 for p in patterns if lrc_10_2_2.tolerates(p))
+        # Known structural rate for this layout: most but not all.
+        assert 0.7 < survived / len(patterns) < 1.0

@@ -1,0 +1,92 @@
+"""Property-based tests for LRC invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.lrc import LRCCode
+
+_CODES = {}
+
+
+def get_code(k, l, g):
+    key = (k, l, g)
+    if key not in _CODES:
+        _CODES[key] = LRCCode(k, l, g)
+    return _CODES[key]
+
+
+@st.composite
+def lrc_params(draw):
+    l = draw(st.integers(min_value=1, max_value=3))
+    group = draw(st.integers(min_value=2, max_value=4))
+    g = draw(st.integers(min_value=1, max_value=3))
+    return l * group, l, g
+
+
+@given(
+    params=lrc_params(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_tolerates_any_g_plus_1(params, seed):
+    """Azure's LRC guarantee: any g + 1 failures are recoverable."""
+    k, l, g = params
+    code = get_code(k, l, g)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, 8), dtype=np.uint8)
+    stripe = code.encode(data)
+    erased = rng.choice(code.n, size=min(g + 1, code.n - k), replace=False)
+    erased_set = set(int(e) for e in erased)
+    assert code.tolerates(erased_set)
+    available = {i: stripe[i] for i in range(code.n) if i not in erased_set}
+    assert np.array_equal(code.decode(available), data)
+
+
+@given(
+    params=lrc_params(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_single_failure_repair_is_local_and_correct(params, seed):
+    k, l, g = params
+    code = get_code(k, l, g)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, 8), dtype=np.uint8)
+    stripe = code.encode(data)
+    failed = int(rng.integers(0, code.n))
+    available = {i: stripe[i] for i in range(code.n) if i != failed}
+    plan = code.repair_plan(failed, available.keys())
+    rebuilt, __ = code.execute_repair(failed, available, plan)
+    assert np.array_equal(rebuilt, stripe[failed])
+    if failed < k + l:
+        assert plan.units_downloaded == code.group_size + (
+            0 if failed >= k else 0
+        )
+    else:
+        assert plan.units_downloaded == k
+
+
+@given(
+    params=lrc_params(),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_tolerates_agrees_with_decode(params, seed):
+    """tolerates() must never disagree with an actual decode attempt."""
+    k, l, g = params
+    code = get_code(k, l, g)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, 4), dtype=np.uint8)
+    stripe = code.encode(data)
+    failures = rng.choice(code.n, size=min(g + l, code.n - 1), replace=False)
+    failure_set = set(int(f) for f in failures)
+    available = {i: stripe[i] for i in range(code.n) if i not in failure_set}
+    if code.tolerates(failure_set):
+        assert np.array_equal(code.decode(available), data)
+    else:
+        try:
+            decoded = code.decode(available)
+        except Exception:
+            return  # correctly refused
+        assert not np.array_equal(decoded, data)

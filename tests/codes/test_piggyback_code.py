@@ -1,0 +1,214 @@
+"""Tests for the Piggybacked-RS code (the paper's contribution)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes.piggyback import (
+    PiggybackDesign,
+    PiggybackedRSCode,
+    fig4_toy_design,
+)
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import CodeConstructionError, DecodingError, RepairError
+from tests.conftest import make_data
+
+
+class TestConstruction:
+    def test_name(self, piggyback_10_4):
+        assert piggyback_10_4.name == "PiggybackedRS(10,4)"
+
+    def test_two_substripes(self, piggyback_10_4):
+        assert piggyback_10_4.substripes_per_unit == 2
+
+    def test_same_storage_as_rs(self, piggyback_10_4, rs_10_4):
+        assert piggyback_10_4.storage_overhead == rs_10_4.storage_overhead
+
+    def test_design_mismatch_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            PiggybackedRSCode(10, 4, design=PiggybackDesign.xor_design(8, 4))
+
+
+class TestEncode:
+    def test_systematic(self, piggyback_10_4, small_data):
+        stripe = piggyback_10_4.encode(small_data)
+        assert stripe.shape == (14, 64)
+        assert np.array_equal(stripe[:10], small_data)
+
+    def test_first_substripe_is_plain_rs(self, piggyback_10_4, rs_10_4, small_data):
+        """The a-substripe carries no piggybacks: it must equal RS
+        encoding of the first halves."""
+        stripe = piggyback_10_4.encode(small_data)
+        rs_stripe = rs_10_4.encode(small_data[:, :32])
+        assert np.array_equal(stripe[:, :32], rs_stripe)
+
+    def test_parity0_second_substripe_clean(self, piggyback_10_4, rs_10_4, small_data):
+        stripe = piggyback_10_4.encode(small_data)
+        rs_stripe = rs_10_4.encode(small_data[:, 32:])
+        assert np.array_equal(stripe[10, 32:], rs_stripe[10])
+
+    def test_piggybacked_parities_differ_from_rs(
+        self, piggyback_10_4, rs_10_4, rng
+    ):
+        data = make_data(rng, 10, 64)
+        stripe = piggyback_10_4.encode(data)
+        rs_stripe = rs_10_4.encode(data[:, 32:])
+        for parity in (11, 12, 13):
+            assert not np.array_equal(stripe[parity, 32:], rs_stripe[parity])
+
+    def test_piggyback_values(self, piggyback_10_4, small_data):
+        """Parity j's second half = f_j(b) + XOR of its group's a halves."""
+        stripe = piggyback_10_4.encode(small_data)
+        rs = ReedSolomonCode(10, 4)
+        b_parities = rs.encode(small_data[:, 32:])
+        for parity_index, group in enumerate(piggyback_10_4.design.groups):
+            node = 11 + parity_index
+            expected = b_parities[node].copy()
+            for member in group:
+                expected ^= small_data[member, :32]
+            assert np.array_equal(stripe[node, 32:], expected)
+
+    def test_odd_unit_size_rejected(self, piggyback_10_4):
+        with pytest.raises(Exception):
+            piggyback_10_4.encode(np.zeros((10, 7), dtype=np.uint8))
+
+
+class TestDecode:
+    def test_mds_exhaustive_production(self, piggyback_10_4, rng):
+        """Any 10 of the 14 units decode -- the code is MDS."""
+        data = make_data(rng, 10, 16)
+        stripe = piggyback_10_4.encode(data)
+        for subset in combinations(range(14), 10):
+            available = {i: stripe[i] for i in subset}
+            assert np.array_equal(piggyback_10_4.decode(available), data)
+
+    def test_mds_exhaustive_toy(self, rng):
+        code = PiggybackedRSCode(2, 2, design=fig4_toy_design())
+        data = make_data(rng, 2, 8)
+        stripe = code.encode(data)
+        for subset in combinations(range(4), 2):
+            available = {i: stripe[i] for i in subset}
+            assert np.array_equal(code.decode(available), data)
+
+    def test_too_few_units(self, piggyback_10_4, small_data):
+        stripe = piggyback_10_4.encode(small_data)
+        with pytest.raises(DecodingError):
+            piggyback_10_4.decode({i: stripe[i] for i in range(9)})
+
+
+class TestRepair:
+    def test_every_node_repairs_correctly(self, piggyback_10_4, small_data):
+        stripe = piggyback_10_4.encode(small_data)
+        for failed in range(14):
+            available = {i: stripe[i] for i in range(14) if i != failed}
+            rebuilt, __ = piggyback_10_4.execute_repair(failed, available)
+            assert np.array_equal(rebuilt, stripe[failed]), failed
+
+    def test_data_repair_downloads_match_design(self, piggyback_10_4, small_data):
+        stripe = piggyback_10_4.encode(small_data)
+        unit_size = 64
+        for failed in range(10):
+            available = {i: stripe[i] for i in range(14) if i != failed}
+            __, downloaded = piggyback_10_4.execute_repair(failed, available)
+            expected_subunits = piggyback_10_4.design.repair_subunits(failed)
+            assert downloaded == expected_subunits * (unit_size // 2)
+
+    def test_parity_repair_costs_full(self, piggyback_10_4, small_data):
+        stripe = piggyback_10_4.encode(small_data)
+        for failed in range(10, 14):
+            available = {i: stripe[i] for i in range(14) if i != failed}
+            __, downloaded = piggyback_10_4.execute_repair(failed, available)
+            assert downloaded == 10 * 64
+
+    def test_data_repair_connects_to_k_plus_1(self, piggyback_10_4):
+        # k-1 data nodes + clean parity + carrier parity = k + 1.
+        for failed in range(10):
+            plan = piggyback_10_4.repair_plan(failed)
+            assert plan.num_connections == 11
+
+    def test_repair_plan_savings_production(self, piggyback_10_4):
+        """The headline numbers: 30-35% per data node."""
+        units = [
+            piggyback_10_4.repair_plan(node).units_downloaded
+            for node in range(14)
+        ]
+        assert units[:4] == [7.0] * 4      # group of 4: (10+4)/2
+        assert units[4:10] == [6.5] * 6    # groups of 3: (10+3)/2
+        assert units[10:] == [10.0] * 4    # parities: RS cost
+
+    def test_fallback_when_piggyback_source_down(self, piggyback_10_4, small_data):
+        """A second failure hitting the carrier parity forces the full
+        path -- repair still succeeds, at RS cost."""
+        stripe = piggyback_10_4.encode(small_data)
+        failed, carrier = 0, 11  # node 0's carrier parity is 11
+        available = {
+            i: stripe[i] for i in range(14) if i not in (failed, carrier)
+        }
+        plan = piggyback_10_4.repair_plan(failed, available.keys())
+        assert plan.units_downloaded == 10.0  # full-path cost
+        rebuilt, __ = piggyback_10_4.execute_repair(failed, available, plan)
+        assert np.array_equal(rebuilt, stripe[failed])
+
+    def test_fallback_when_group_member_down(self, piggyback_10_4, small_data):
+        stripe = piggyback_10_4.encode(small_data)
+        failed, member = 0, 1  # same group
+        available = {
+            i: stripe[i] for i in range(14) if i not in (failed, member)
+        }
+        plan = piggyback_10_4.repair_plan(failed, available.keys())
+        assert plan.units_downloaded == 10.0
+        rebuilt, __ = piggyback_10_4.execute_repair(failed, available, plan)
+        assert np.array_equal(rebuilt, stripe[failed])
+
+    def test_piggyback_path_survives_unrelated_second_failure(
+        self, piggyback_10_4, small_data
+    ):
+        """A second failure outside the repair's sources keeps the cheap
+        path available."""
+        stripe = piggyback_10_4.encode(small_data)
+        failed, unrelated = 0, 13  # parity 13 is not used for node 0
+        available = {
+            i: stripe[i] for i in range(14) if i not in (failed, unrelated)
+        }
+        plan = piggyback_10_4.repair_plan(failed, available.keys())
+        assert plan.units_downloaded == 7.0
+        rebuilt, __ = piggyback_10_4.execute_repair(failed, available, plan)
+        assert np.array_equal(rebuilt, stripe[failed])
+
+    def test_repair_insufficient_survivors(self, piggyback_10_4):
+        with pytest.raises(RepairError):
+            piggyback_10_4.repair_plan(0, range(1, 10))
+
+    def test_repair_missing_fetched_source(self, piggyback_10_4, small_data):
+        stripe = piggyback_10_4.encode(small_data)
+        plan = piggyback_10_4.repair_plan(0)
+        # Drop one required source from the fetch.
+        fetched = {}
+        for request in plan.requests[:-1]:
+            subs = piggyback_10_4.split_unit(stripe[request.node])
+            fetched[request.node] = {s: subs[s] for s in request.substripes}
+        with pytest.raises(RepairError):
+            piggyback_10_4.repair(0, fetched)
+
+
+class TestArbitraryParameters:
+    """The paper stresses the framework supports arbitrary (k, r)."""
+
+    @pytest.mark.parametrize("k,r", [(2, 2), (3, 2), (4, 3), (5, 4), (6, 5), (12, 4)])
+    def test_roundtrip_and_repair(self, rng, k, r):
+        code = PiggybackedRSCode(k, r)
+        data = make_data(rng, k, 16)
+        stripe = code.encode(data)
+        for failed in range(k + r):
+            available = {i: stripe[i] for i in range(k + r) if i != failed}
+            rebuilt, __ = code.execute_repair(failed, available)
+            assert np.array_equal(rebuilt, stripe[failed])
+        # Decode from the last k units (hardest systematic case).
+        available = {i: stripe[i] for i in range(r, k + r)}
+        assert np.array_equal(code.decode(available), data)
+
+    @pytest.mark.parametrize("k,r", [(4, 3), (8, 4), (10, 4)])
+    def test_savings_positive_for_data_nodes(self, k, r):
+        code = PiggybackedRSCode(k, r)
+        assert code.average_data_repair_download_units() < k

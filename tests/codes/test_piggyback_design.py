@@ -1,0 +1,140 @@
+"""Tests for piggyback designs (grouping and coefficients)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.piggyback.design import (
+    PiggybackDesign,
+    default_partition,
+    fig4_toy_design,
+)
+from repro.errors import CodeConstructionError
+
+
+class TestDefaultPartition:
+    def test_production_parameters(self):
+        assert default_partition(10, 4) == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_covers_all_data_units_for_r_at_least_3(self):
+        for k in range(1, 15):
+            for r in range(3, 6):
+                groups = default_partition(k, r)
+                flattened = [i for group in groups for i in group]
+                assert sorted(flattened) == list(range(k))
+
+    def test_group_sizes_near_equal(self):
+        for k in range(2, 20):
+            for r in range(3, 6):
+                sizes = [len(g) for g in default_partition(k, r)]
+                assert max(sizes) - min(sizes) <= 1
+
+    def test_r_equals_2_takes_half(self):
+        assert default_partition(2, 2) == [[0]]
+        assert default_partition(10, 2) == [[0, 1, 2, 3, 4]]
+        assert default_partition(5, 2) == [[0, 1, 2]]
+
+    def test_r_equals_1_has_no_piggyback(self):
+        assert default_partition(10, 1) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(CodeConstructionError):
+            default_partition(0, 2)
+        with pytest.raises(CodeConstructionError):
+            default_partition(5, 0)
+
+
+class TestPiggybackDesign:
+    def test_xor_design_matrix(self):
+        design = PiggybackDesign.xor_design(10, 4)
+        assert design.matrix.shape == (4, 10)
+        assert not design.matrix[0].any()  # parity 0 clean
+        assert np.array_equal(design.matrix[1, :4], np.ones(4, dtype=np.uint8))
+        assert np.array_equal(design.matrix[2, 4:7], np.ones(3, dtype=np.uint8))
+        assert np.array_equal(design.matrix[3, 7:], np.ones(3, dtype=np.uint8))
+
+    def test_groups_property(self):
+        design = PiggybackDesign.xor_design(10, 4)
+        assert design.groups == ((0, 1, 2, 3), (4, 5, 6), (7, 8, 9))
+
+    def test_carrier_parity(self):
+        design = PiggybackDesign.xor_design(10, 4)
+        assert design.carrier_parity(0) == 1
+        assert design.carrier_parity(5) == 2
+        assert design.carrier_parity(9) == 3
+
+    def test_group_of(self):
+        design = PiggybackDesign.xor_design(10, 4)
+        assert design.group_of(5) == (4, 5, 6)
+        assert design.group_of(0) == (0, 1, 2, 3)
+
+    def test_repair_subunits(self):
+        design = PiggybackDesign.xor_design(10, 4)
+        assert design.repair_subunits(0) == 14  # group of 4: 10 + 4
+        assert design.repair_subunits(5) == 13  # group of 3: 10 + 3
+
+    def test_unpiggybacked_unit_costs_full(self):
+        design = PiggybackDesign.from_groups(4, 3, [[0], [1]])
+        assert design.carrier_parity(3) is None
+        assert design.group_of(3) == ()
+        assert design.repair_subunits(3) == 8  # 2k
+
+    def test_row_zero_must_be_clean(self):
+        matrix = np.zeros((3, 4), dtype=np.uint8)
+        matrix[0, 0] = 1
+        with pytest.raises(CodeConstructionError):
+            PiggybackDesign(k=4, r=3, matrix=matrix)
+
+    def test_unit_on_two_parities_rejected(self):
+        matrix = np.zeros((3, 4), dtype=np.uint8)
+        matrix[1, 0] = 1
+        matrix[2, 0] = 1
+        with pytest.raises(CodeConstructionError):
+            PiggybackDesign(k=4, r=3, matrix=matrix)
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            PiggybackDesign(k=4, r=3, matrix=np.zeros((2, 4), dtype=np.uint8))
+
+    def test_from_groups_validation(self):
+        with pytest.raises(CodeConstructionError):
+            PiggybackDesign.from_groups(4, 3, [[0], [0]])  # duplicate unit
+        with pytest.raises(CodeConstructionError):
+            PiggybackDesign.from_groups(4, 3, [[4]])  # out of range
+        with pytest.raises(CodeConstructionError):
+            PiggybackDesign.from_groups(4, 3, [[0], [1], [2]])  # too many groups
+        with pytest.raises(CodeConstructionError):
+            PiggybackDesign.from_groups(4, 3, [[]])  # empty group
+        with pytest.raises(CodeConstructionError):
+            PiggybackDesign.from_groups(4, 3, [[0]], [[0]])  # zero coefficient
+        with pytest.raises(CodeConstructionError):
+            PiggybackDesign.from_groups(4, 3, [[0, 1]], [[1]])  # count mismatch
+
+    def test_custom_coefficients(self):
+        design = PiggybackDesign.from_groups(4, 3, [[0, 1]], [[2, 3]])
+        assert design.coefficient(1, 0) == 2
+        assert design.coefficient(1, 1) == 3
+
+    def test_describe(self):
+        info = PiggybackDesign.xor_design(10, 4).describe()
+        assert info["k"] == 10 and info["r"] == 4
+        assert info["piggybacked_units"] == 10
+
+    def test_immutable(self):
+        design = PiggybackDesign.xor_design(4, 3)
+        with pytest.raises(Exception):
+            design.k = 5
+
+
+class TestFig4ToyDesign:
+    def test_only_first_unit_piggybacked(self):
+        design = fig4_toy_design()
+        assert design.k == 2 and design.r == 2
+        assert design.groups == ((0,),)
+        assert design.carrier_parity(0) == 1
+        assert design.carrier_parity(1) is None
+
+    def test_repair_cost_matches_paper(self):
+        design = fig4_toy_design()
+        # Node 1 of the paper (our 0): 3 subunits instead of 4.
+        assert design.repair_subunits(0) == 3
+        assert design.repair_subunits(1) == 4

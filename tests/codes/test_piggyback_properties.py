@@ -1,0 +1,120 @@
+"""Property-based tests for Piggybacked-RS invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+
+_CODES = {}
+
+
+def get_code(k, r):
+    key = (k, r)
+    if key not in _CODES:
+        _CODES[key] = PiggybackedRSCode(k, r)
+    return _CODES[key]
+
+
+params = st.tuples(
+    st.integers(min_value=2, max_value=8),  # k
+    st.integers(min_value=2, max_value=4),  # r
+)
+
+
+@given(
+    params=params,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_any_r_failures_decodable(params, seed):
+    """The MDS property: erase any r units, decode the rest."""
+    k, r = params
+    code = get_code(k, r)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, 8), dtype=np.uint8)
+    stripe = code.encode(data)
+    erased = rng.choice(k + r, size=r, replace=False)
+    available = {
+        i: stripe[i] for i in range(k + r) if i not in set(erased.tolist())
+    }
+    assert np.array_equal(code.decode(available), data)
+
+
+@given(
+    params=params,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_repair_equals_reencode(params, seed):
+    """Repairing any node reproduces exactly the encoder's output, and
+    the executed byte count equals the plan's claim."""
+    k, r = params
+    code = get_code(k, r)
+    rng = np.random.default_rng(seed)
+    unit_size = 2 * int(rng.integers(1, 32))
+    data = rng.integers(0, 256, size=(k, unit_size), dtype=np.uint8)
+    stripe = code.encode(data)
+    failed = int(rng.integers(0, k + r))
+    available = {i: stripe[i] for i in range(k + r) if i != failed}
+    plan = code.repair_plan(failed, available.keys())
+    rebuilt, downloaded = code.execute_repair(failed, available, plan)
+    assert np.array_equal(rebuilt, stripe[failed])
+    assert downloaded == plan.bytes_downloaded(unit_size)
+
+
+@given(
+    params=params,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_never_worse_than_rs(params, seed):
+    """No single-failure repair downloads more than the RS cost k."""
+    k, r = params
+    code = get_code(k, r)
+    rng = np.random.default_rng(seed)
+    node = int(rng.integers(0, k + r))
+    assert code.repair_plan(node).units_downloaded <= k
+
+
+@given(
+    params=params,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=30, deadline=None)
+def test_substripe_a_matches_plain_rs(params, seed):
+    """Piggybacks live only in the second substripe of parities."""
+    k, r = params
+    code = get_code(k, r)
+    rs = ReedSolomonCode(k, r)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, 16), dtype=np.uint8)
+    stripe = code.encode(data)
+    rs_first = rs.encode(data[:, :8])
+    assert np.array_equal(stripe[:, :8], rs_first)
+
+
+@given(
+    params=params,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    second_failure=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=40, deadline=None)
+def test_repair_under_double_failure(params, seed, second_failure):
+    """With two concurrent failures, repair of either still succeeds
+    (possibly via the full-path fallback)."""
+    k, r = params
+    code = get_code(k, r)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, 8), dtype=np.uint8)
+    stripe = code.encode(data)
+    failed = int(rng.integers(0, k + r))
+    other = second_failure % (k + r)
+    if other == failed:
+        other = (other + 1) % (k + r)
+    available = {
+        i: stripe[i] for i in range(k + r) if i not in (failed, other)
+    }
+    rebuilt, __ = code.execute_repair(failed, available)
+    assert np.array_equal(rebuilt, stripe[failed])

@@ -1,0 +1,80 @@
+"""Property-based tests over *random* piggyback designs.
+
+The framework claims safety for any disjoint grouping with any non-zero
+GF(256) coefficients; these tests generate arbitrary designs and check
+the invariants hold for all of them.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.piggyback import PiggybackDesign, PiggybackedRSCode
+
+
+@st.composite
+def random_design(draw):
+    """A random (k, r) plus a random disjoint piggyback assignment."""
+    k = draw(st.integers(min_value=2, max_value=8))
+    r = draw(st.integers(min_value=2, max_value=4))
+    # Assign each data unit to a parity in [1, r) or to "no parity" (0).
+    assignment = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=r - 1),
+            min_size=k,
+            max_size=k,
+        )
+    )
+    coefficients = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=255), min_size=k, max_size=k
+        )
+    )
+    matrix = np.zeros((r, k), dtype=np.uint8)
+    for unit, (parity, coefficient) in enumerate(zip(assignment, coefficients)):
+        if parity >= 1:
+            matrix[parity, unit] = coefficient
+    design = PiggybackDesign(k=k, r=r, matrix=matrix)
+    return design
+
+
+@given(design=random_design(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_any_design_is_mds(design, seed):
+    """Every legal design tolerates any r erasures."""
+    code = PiggybackedRSCode(design.k, design.r, design=design)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(design.k, 8), dtype=np.uint8)
+    stripe = code.encode(data)
+    erased = rng.choice(code.n, size=design.r, replace=False)
+    available = {
+        i: stripe[i] for i in range(code.n) if i not in set(erased.tolist())
+    }
+    assert np.array_equal(code.decode(available), data)
+
+
+@given(design=random_design(), seed=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_any_design_repairs_every_node(design, seed):
+    code = PiggybackedRSCode(design.k, design.r, design=design)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(design.k, 6), dtype=np.uint8)
+    stripe = code.encode(data)
+    failed = int(rng.integers(0, code.n))
+    available = {i: stripe[i] for i in range(code.n) if i != failed}
+    plan = code.repair_plan(failed, available.keys())
+    rebuilt, downloaded = code.execute_repair(failed, available, plan)
+    assert np.array_equal(rebuilt, stripe[failed])
+    assert downloaded == plan.bytes_downloaded(6)
+    # The plan cost agrees with the design's prediction for data nodes.
+    if failed < design.k:
+        assert plan.subunits_read == design.repair_subunits(failed)
+
+
+@given(design=random_design())
+@settings(max_examples=40, deadline=None)
+def test_design_cost_prediction_bounds(design):
+    """Predicted repair cost is between the toy optimum and full cost."""
+    for unit in range(design.k):
+        subunits = design.repair_subunits(unit)
+        assert design.k + 1 <= subunits <= 2 * design.k

@@ -1,0 +1,44 @@
+"""Tests for the code registry."""
+
+import pytest
+
+from repro.codes.registry import available_codes, create_code, register_code
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import CodeConstructionError
+
+
+class TestRegistry:
+    def test_builtin_codes_registered(self):
+        names = available_codes()
+        for expected in ("rs", "piggyback", "replication", "lrc",
+                         "hitchhiker-xor", "hitchhiker-nonxor"):
+            assert expected in names
+
+    def test_create_rs(self):
+        code = create_code("rs", k=10, r=4)
+        assert code.name == "RS(10,4)"
+
+    def test_create_piggyback(self):
+        code = create_code("piggyback", k=10, r=4)
+        assert code.name == "PiggybackedRS(10,4)"
+
+    def test_create_is_case_insensitive(self):
+        assert create_code("RS", k=4, r=2).name == "RS(4,2)"
+
+    def test_aliases_agree(self):
+        a = create_code("rs", k=6, r=3)
+        b = create_code("reed-solomon", k=6, r=3)
+        assert a.name == b.name
+
+    def test_unknown_code(self):
+        with pytest.raises(CodeConstructionError):
+            create_code("raptor", k=4, r=2)
+
+    def test_register_custom(self):
+        register_code("test-custom-rs", lambda: ReedSolomonCode(4, 2))
+        assert "test-custom-rs" in available_codes()
+        assert create_code("test-custom-rs").name == "RS(4,2)"
+
+    def test_register_empty_name_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            register_code("  ", lambda: ReedSolomonCode(4, 2))

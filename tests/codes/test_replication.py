@@ -1,0 +1,73 @@
+"""Tests for the replication baseline."""
+
+import numpy as np
+import pytest
+
+from repro.codes.replication import ReplicationCode
+from repro.errors import CodeConstructionError, DecodingError, RepairError
+
+
+class TestConstruction:
+    def test_default_hdfs_shape(self):
+        code = ReplicationCode(3)
+        assert code.k == 1 and code.r == 2 and code.n == 3
+
+    def test_storage_overhead(self):
+        assert ReplicationCode(3).storage_overhead == 3.0
+
+    def test_invalid(self):
+        with pytest.raises(CodeConstructionError):
+            ReplicationCode(0)
+
+    def test_name(self):
+        assert ReplicationCode(3).name == "Replication(x3)"
+
+
+class TestRoundtrip:
+    def test_encode_repeats(self, rng):
+        code = ReplicationCode(3)
+        data = rng.integers(0, 256, size=(1, 16), dtype=np.uint8)
+        stripe = code.encode(data)
+        assert stripe.shape == (3, 16)
+        for replica in stripe:
+            assert np.array_equal(replica, data[0])
+
+    def test_decode_from_any_single_replica(self, rng):
+        code = ReplicationCode(3)
+        data = rng.integers(0, 256, size=(1, 16), dtype=np.uint8)
+        stripe = code.encode(data)
+        for node in range(3):
+            assert np.array_equal(code.decode({node: stripe[node]}), data)
+
+    def test_decode_empty_raises(self):
+        with pytest.raises(DecodingError):
+            ReplicationCode(3).decode({})
+
+
+class TestRepair:
+    def test_repair_downloads_one_unit(self, rng):
+        code = ReplicationCode(3)
+        data = rng.integers(0, 256, size=(1, 32), dtype=np.uint8)
+        stripe = code.encode(data)
+        for failed in range(3):
+            available = {i: stripe[i] for i in range(3) if i != failed}
+            rebuilt, downloaded = code.execute_repair(failed, available)
+            assert np.array_equal(rebuilt, stripe[failed])
+            assert downloaded == 32  # exactly one unit: the paper's contrast
+
+    def test_repair_plan_single_connection(self):
+        plan = ReplicationCode(3).repair_plan(1)
+        assert plan.num_connections == 1
+        assert plan.units_downloaded == 1.0
+
+    def test_no_survivors(self):
+        with pytest.raises(RepairError):
+            ReplicationCode(2).repair_plan(0, [0])
+
+    def test_repair_returns_copy(self, rng):
+        code = ReplicationCode(2)
+        data = rng.integers(0, 256, size=(1, 8), dtype=np.uint8)
+        stripe = code.encode(data)
+        rebuilt = code.repair(1, {0: {0: stripe[0]}})
+        rebuilt[0] ^= 0xFF
+        assert not np.array_equal(rebuilt, stripe[0])

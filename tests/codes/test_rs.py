@@ -1,0 +1,151 @@
+"""Tests for the Reed-Solomon code."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import CodeConstructionError, DecodingError, RepairError
+from tests.conftest import make_data
+
+
+class TestConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(CodeConstructionError):
+            ReedSolomonCode(0, 4)
+        with pytest.raises(CodeConstructionError):
+            ReedSolomonCode(10, 0)
+        with pytest.raises(CodeConstructionError):
+            ReedSolomonCode(200, 100)
+        with pytest.raises(CodeConstructionError):
+            ReedSolomonCode(10, 4, construction="unknown")
+
+    def test_name(self):
+        assert ReedSolomonCode(10, 4).name == "RS(10,4)"
+
+    def test_is_mds_flag(self):
+        assert ReedSolomonCode(4, 2).is_mds
+
+    @pytest.mark.parametrize("construction", ["vandermonde", "cauchy"])
+    def test_systematic_generator(self, construction):
+        code = ReedSolomonCode(6, 3, construction=construction)
+        assert np.array_equal(
+            code.generator[:6], np.eye(6, dtype=np.uint8)
+        )
+
+
+class TestEncode:
+    def test_systematic(self, rs_10_4, small_data):
+        stripe = rs_10_4.encode(small_data)
+        assert stripe.shape == (14, 64)
+        assert np.array_equal(stripe[:10], small_data)
+
+    def test_parity_is_linear(self, rs_10_4, rng):
+        a = make_data(rng, 10, 32)
+        b = make_data(rng, 10, 32)
+        sum_stripe = rs_10_4.encode(a ^ b)
+        assert np.array_equal(
+            sum_stripe, rs_10_4.encode(a) ^ rs_10_4.encode(b)
+        )
+
+    def test_zero_data_zero_parity(self, rs_10_4):
+        stripe = rs_10_4.encode(np.zeros((10, 16), dtype=np.uint8))
+        assert not stripe.any()
+
+    def test_single_byte_units(self, rs_10_4, rng):
+        data = make_data(rng, 10, 1)
+        stripe = rs_10_4.encode(data)
+        assert stripe.shape == (14, 1)
+
+
+class TestDecode:
+    @pytest.mark.parametrize("k,r", [(2, 2), (3, 2), (4, 3)])
+    def test_mds_exhaustive(self, rng, k, r):
+        """Decode succeeds from EVERY k-subset of the stripe."""
+        code = ReedSolomonCode(k, r)
+        data = make_data(rng, k, 16)
+        stripe = code.encode(data)
+        for subset in combinations(range(k + r), k):
+            available = {i: stripe[i] for i in subset}
+            assert np.array_equal(code.decode(available), data), subset
+
+    def test_production_parameters_sampled(self, rs_10_4, rng, small_data):
+        stripe = rs_10_4.encode(small_data)
+        for _ in range(50):
+            subset = rng.choice(14, size=10, replace=False)
+            available = {int(i): stripe[int(i)] for i in subset}
+            assert np.array_equal(rs_10_4.decode(available), small_data)
+
+    def test_all_data_nodes_shortcut(self, rs_10_4, small_data):
+        stripe = rs_10_4.encode(small_data)
+        available = {i: stripe[i] for i in range(10)}
+        assert np.array_equal(rs_10_4.decode(available), small_data)
+
+    def test_more_than_k_available(self, rs_10_4, small_data):
+        stripe = rs_10_4.encode(small_data)
+        available = {i: stripe[i] for i in range(14)}
+        assert np.array_equal(rs_10_4.decode(available), small_data)
+
+    def test_too_few_units(self, rs_10_4, small_data):
+        stripe = rs_10_4.encode(small_data)
+        with pytest.raises(DecodingError):
+            rs_10_4.decode({i: stripe[i] for i in range(9)})
+
+    def test_decode_empty(self, rs_10_4):
+        with pytest.raises(DecodingError):
+            rs_10_4.decode({})
+
+
+class TestRepair:
+    def test_repairs_any_node(self, rs_10_4, small_data):
+        stripe = rs_10_4.encode(small_data)
+        for failed in range(14):
+            available = {i: stripe[i] for i in range(14) if i != failed}
+            rebuilt, downloaded = rs_10_4.execute_repair(failed, available)
+            assert np.array_equal(rebuilt, stripe[failed])
+            assert downloaded == 10 * 64  # k full units, always
+
+    def test_repair_plan_reads_k_full_units(self, rs_10_4):
+        plan = rs_10_4.repair_plan(0)
+        assert plan.num_connections == 10
+        assert plan.units_downloaded == 10.0
+        assert 0 not in plan.nodes_contacted
+
+    def test_repair_plan_respects_availability(self, rs_10_4):
+        available = [1, 2, 3, 5, 7, 8, 9, 10, 12, 13]
+        plan = rs_10_4.repair_plan(0, available)
+        assert set(plan.nodes_contacted) <= set(available)
+
+    def test_repair_plan_insufficient_survivors(self, rs_10_4):
+        with pytest.raises(RepairError):
+            rs_10_4.repair_plan(0, range(1, 10))
+
+    def test_repair_with_degraded_stripe(self, rs_10_4, small_data):
+        """Two concurrent failures: repair one from the remaining 12."""
+        stripe = rs_10_4.encode(small_data)
+        available = {i: stripe[i] for i in range(14) if i not in (0, 7)}
+        rebuilt, __ = rs_10_4.execute_repair(0, available)
+        assert np.array_equal(rebuilt, stripe[0])
+
+    def test_repair_rejects_multi_substripe_fetch(self, rs_10_4):
+        with pytest.raises(RepairError):
+            rs_10_4.repair(0, {1: {0: np.zeros(4, dtype=np.uint8),
+                                   1: np.zeros(4, dtype=np.uint8)}})
+
+    def test_repair_with_too_few_sources(self, rs_10_4):
+        fetched = {
+            i: {0: np.zeros(4, dtype=np.uint8)} for i in range(1, 6)
+        }
+        with pytest.raises(RepairError):
+            rs_10_4.repair(0, fetched)
+
+
+class TestConstructionEquivalence:
+    @pytest.mark.parametrize("construction", ["vandermonde", "cauchy"])
+    def test_roundtrip_both_constructions(self, rng, construction):
+        code = ReedSolomonCode(5, 3, construction=construction)
+        data = make_data(rng, 5, 20)
+        stripe = code.encode(data)
+        available = {i: stripe[i] for i in (0, 2, 4, 6, 7)}
+        assert np.array_equal(code.decode(available), data)

@@ -1,0 +1,86 @@
+"""Property-based tests for Reed-Solomon invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.rs import ReedSolomonCode
+
+# Cache codes across examples: constructing generators is the slow part.
+_CODES = {}
+
+
+def get_code(k, r, construction="vandermonde"):
+    key = (k, r, construction)
+    if key not in _CODES:
+        _CODES[key] = ReedSolomonCode(k, r, construction)
+    return _CODES[key]
+
+
+small_params = st.tuples(
+    st.integers(min_value=1, max_value=6),  # k
+    st.integers(min_value=1, max_value=4),  # r
+)
+
+
+@given(
+    params=small_params,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    unit_size=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_decode_from_random_k_subset(params, seed, unit_size):
+    k, r = params
+    code = get_code(k, r)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, unit_size), dtype=np.uint8)
+    stripe = code.encode(data)
+    subset = rng.choice(k + r, size=k, replace=False)
+    available = {int(i): stripe[int(i)] for i in subset}
+    assert np.array_equal(code.decode(available), data)
+
+
+@given(
+    params=small_params,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_repair_equals_original(params, seed):
+    k, r = params
+    code = get_code(k, r)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(k, 8), dtype=np.uint8)
+    stripe = code.encode(data)
+    failed = int(rng.integers(0, k + r))
+    available = {i: stripe[i] for i in range(k + r) if i != failed}
+    rebuilt, downloaded = code.execute_repair(failed, available)
+    assert np.array_equal(rebuilt, stripe[failed])
+    assert downloaded == k * 8  # RS single repair always reads k units
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    failures=st.sets(st.integers(min_value=0, max_value=13), max_size=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_production_code_tolerates_any_r_failures(seed, failures):
+    code = get_code(10, 4)
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(10, 4), dtype=np.uint8)
+    stripe = code.encode(data)
+    available = {i: stripe[i] for i in range(14) if i not in failures}
+    assert np.array_equal(code.decode(available), data)
+
+
+@given(
+    params=small_params,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_encode_is_gf_linear(params, seed):
+    k, r = params
+    code = get_code(k, r)
+    rng = np.random.default_rng(seed)
+    a = rng.integers(0, 256, size=(k, 8), dtype=np.uint8)
+    b = rng.integers(0, 256, size=(k, 8), dtype=np.uint8)
+    assert np.array_equal(code.encode(a ^ b), code.encode(a) ^ code.encode(b))

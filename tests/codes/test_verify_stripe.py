@@ -1,0 +1,62 @@
+"""Tests for codec-level stripe verification (scrubbing support)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.lrc import LRCCode
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.replication import ReplicationCode
+from repro.codes.rs import ReedSolomonCode
+
+ALL_CODES = [
+    ReedSolomonCode(10, 4),
+    PiggybackedRSCode(10, 4),
+    LRCCode(10, 2, 2),
+    ReplicationCode(3),
+]
+
+
+@pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+class TestVerifyStripe:
+    def make_stripe(self, code, rng):
+        data = rng.integers(0, 256, size=(code.k, 32), dtype=np.uint8)
+        return code.encode(data)
+
+    def test_clean_stripe_verifies(self, code, rng):
+        assert code.verify_stripe(self.make_stripe(code, rng))
+
+    def test_corrupt_data_unit_detected(self, code, rng):
+        stripe = self.make_stripe(code, rng)
+        stripe[0, 5] ^= 0x01
+        assert not code.verify_stripe(stripe)
+
+    def test_corrupt_parity_unit_detected(self, code, rng):
+        stripe = self.make_stripe(code, rng)
+        stripe[code.k, 0] ^= 0xFF
+        assert not code.verify_stripe(stripe)
+
+    def test_wrong_unit_count_rejected(self, code, rng):
+        stripe = self.make_stripe(code, rng)
+        assert not code.verify_stripe(stripe[:-1])
+
+    def test_single_bit_flip_anywhere_detected(self, code, rng):
+        stripe = self.make_stripe(code, rng)
+        row = int(rng.integers(0, code.n))
+        col = int(rng.integers(0, 32))
+        bit = 1 << int(rng.integers(0, 8))
+        stripe[row, col] ^= bit
+        assert not code.verify_stripe(stripe)
+
+
+class TestPiggybackVerifySpecifics:
+    def test_piggyback_tampering_detected(self, rng):
+        """Stripping a piggyback (turning the stripe into plain RS
+        parities) must fail verification."""
+        code = PiggybackedRSCode(10, 4)
+        rs = ReedSolomonCode(10, 4)
+        data = rng.integers(0, 256, size=(10, 32), dtype=np.uint8)
+        stripe = code.encode(data)
+        rs_b = rs.encode(data[:, 16:])
+        tampered = stripe.copy()
+        tampered[11, 16:] = rs_b[11]  # remove parity 1's piggyback
+        assert not code.verify_stripe(tampered)

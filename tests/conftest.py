@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codes.lrc import LRCCode
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.replication import ReplicationCode
+from repro.codes.rs import ReedSolomonCode
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def rs_10_4() -> ReedSolomonCode:
+    return ReedSolomonCode(10, 4)
+
+
+@pytest.fixture
+def piggyback_10_4() -> PiggybackedRSCode:
+    return PiggybackedRSCode(10, 4)
+
+
+@pytest.fixture
+def lrc_10_2_2() -> LRCCode:
+    return LRCCode(10, 2, 2)
+
+
+@pytest.fixture
+def replication_3() -> ReplicationCode:
+    return ReplicationCode(3)
+
+
+@pytest.fixture
+def small_data(rng) -> np.ndarray:
+    """(10, 64) random data units."""
+    return rng.integers(0, 256, size=(10, 64), dtype=np.uint8)
+
+
+def make_data(rng: np.random.Generator, k: int, unit_size: int) -> np.ndarray:
+    return rng.integers(0, 256, size=(k, unit_size), dtype=np.uint8)

@@ -1,0 +1,27 @@
+"""Tests for the unavailability-threshold ablation."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("abl_threshold", days=6.0)
+
+
+class TestThresholdSweep:
+    def test_total_traffic_monotonically_decreasing(self, result):
+        totals = [row["total_cross_rack_TB"] for row in result.data["rows"]]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_flagged_events_decrease(self, result):
+        flagged = [row["flagged_events_per_day"] for row in result.data["rows"]]
+        assert flagged[0] >= flagged[-1]
+        assert flagged[-1] < flagged[0]
+
+    def test_default_threshold_first(self, result):
+        assert result.data["rows"][0]["threshold_min"] == 15
+
+    def test_render(self, result):
+        assert "threshold sweep" in result.render()

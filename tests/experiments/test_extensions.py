@@ -1,0 +1,55 @@
+"""Tests for the extension experiments."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.experiments import run_experiment
+
+
+class TestExtBound:
+    def test_bound_and_gap(self):
+        result = run_experiment("ext_bound")
+        assert result.data["bound_units"] == pytest.approx(3.25)
+        assert 1.0 < result.data["piggyback_gap"] < 3.0
+        rows = {r["code"]: r for r in result.tables["repair optimality"]}
+        assert rows["RS(10,4)"]["closes_of_RS_gap"] == "0%"
+        assert rows["PiggybackedRS(10,4)"]["closes_of_RS_gap"] == "49%"
+
+
+class TestExtCapacity:
+    def test_gain_matches_exact_fraction(self):
+        result = run_experiment("ext_capacity")
+        assert result.data["gain_fraction"] == pytest.approx(
+            140 / 107 - 1, rel=1e-6
+        )
+        rows = {r["code"]: r for r in result.tables["codable capacity"]}
+        assert rows["RS(10,4)"]["codable_PB_at_180TB_per_day"] == 10.0
+        assert rows["PiggybackedRS(10,4)"][
+            "codable_PB_at_180TB_per_day"
+        ] > 12.0
+
+
+class TestExtDegraded:
+    @pytest.fixture(scope="class")
+    def result(self):
+        config = ClusterConfig(
+            days=6.0,
+            stripes_per_node=25.0,
+            reads_per_stripe_per_day=1.0,
+        )
+        return run_experiment("ext_degraded", config=config)
+
+    def test_same_reads_both_codes(self, result):
+        rows = result.tables["read workload"]
+        assert rows[0]["reads"] == rows[1]["reads"]
+        assert rows[0]["degraded_reads"] == rows[1]["degraded_reads"]
+
+    def test_saving_around_a_third(self, result):
+        # Degraded reads hit data blocks only, where the design saves
+        # 30-35%; the realized mix depends on which blocks were read.
+        assert 0.25 < result.data["saving"] < 0.40
+
+    def test_degraded_bytes_ordering(self, result):
+        assert result.data["pb_degraded_bytes"] < result.data[
+            "rs_degraded_bytes"
+        ]

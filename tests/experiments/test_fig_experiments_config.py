@@ -1,0 +1,54 @@
+"""Experiments honour caller-supplied configuration."""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.experiments import run_experiment
+
+
+class TestConfigOverrides:
+    def test_fig3a_respects_config(self):
+        config = ClusterConfig(
+            num_racks=20, nodes_per_rack=5, stripes_per_node=10.0,
+            days=2.0, seed=1,
+        )
+        result = run_experiment("fig3a", config=config)
+        assert result.data["machines"] == 100
+        assert len(result.data["series"]) == 2
+
+    def test_fig3b_respects_days(self):
+        config = ClusterConfig(
+            num_racks=20, nodes_per_rack=5, stripes_per_node=10.0,
+            days=3.0, seed=1,
+        )
+        result = run_experiment("fig3b", config=config)
+        assert len(result.data["blocks_per_day_scaled"]) == 3
+
+    def test_fig1_unit_size_scales_bytes(self):
+        small = run_experiment("fig1", unit_size=1024)
+        large = run_experiment("fig1", unit_size=4096)
+        assert large.data["bytes_downloaded"] == 4 * small.data[
+            "bytes_downloaded"
+        ]
+
+    def test_fig4_deterministic_given_seed(self):
+        a = run_experiment("fig4", unit_size=256, seed=9)
+        b = run_experiment("fig4", unit_size=256, seed=9)
+        assert a.data["downloaded_bytes"] == b.data["downloaded_bytes"]
+
+    def test_tab_savings_parameterised(self):
+        result = run_experiment("tab_savings", k=6, r=3, unit_size=512)
+        rows = result.tables["per-node repair download"]
+        assert len(rows) == 9
+        assert all(row["rs_download_units"] == 6 for row in rows)
+
+    def test_seeded_simulation_experiments_are_deterministic(self):
+        config = ClusterConfig(
+            num_racks=20, nodes_per_rack=5, stripes_per_node=10.0,
+            days=2.0, seed=12,
+        )
+        a = run_experiment("fig3b", config=config)
+        b = run_experiment("fig3b", config=config)
+        assert a.data["blocks_per_day_scaled"] == b.data[
+            "blocks_per_day_scaled"
+        ]

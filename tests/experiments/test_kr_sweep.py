@@ -1,0 +1,42 @@
+"""Tests for the (k, r) parameter sweep."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("abl_kr")
+
+
+class TestKrSweep:
+    def test_all_grid_points_save(self, result):
+        assert all(row["data_saving_%"] > 0 for row in result.data["rows"])
+
+    def test_saving_grows_with_r(self, result):
+        """More parities -> more piggyback slots -> smaller groups."""
+        for k in (6, 10, 14):
+            savings = [
+                row["data_saving_%"]
+                for row in result.data["rows"]
+                if row["k"] == k
+            ]
+            assert savings == sorted(savings)
+
+    def test_production_point(self, result):
+        row = next(
+            r for r in result.data["rows"] if r["k"] == 10 and r["r"] == 4
+        )
+        assert row["data_saving_%"] == pytest.approx(33.0)
+        assert row["connections"] == 11
+
+    def test_connections_always_k_plus_1(self, result):
+        for row in result.data["rows"]:
+            assert row["connections"] == row["k"] + 1
+
+    def test_r2_saving_is_the_half_group_level(self, result):
+        """r=2 piggybacks half the units: 12.5% average data saving."""
+        for row in result.data["rows"]:
+            if row["r"] == 2 and row["k"] % 2 == 0:
+                assert row["data_saving_%"] == pytest.approx(12.5)

@@ -1,0 +1,24 @@
+"""Tests for the DES recovery-latency experiment."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestExtLatency:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext_latency", days=4.0)
+
+    def test_piggyback_faster(self, result):
+        assert result.data["pb_mean"] < result.data["rs_mean"]
+
+    def test_speedup_tracks_download_reduction(self, result):
+        # The all-node average download reduction is 23.6%; the latency
+        # reduction through a shared pipe lands in the same band.
+        assert 0.15 < result.data["speedup"] < 0.32
+
+    def test_same_block_count(self, result):
+        rows = result.tables["recovery latency"]
+        assert rows[0]["blocks"] == rows[1]["blocks"]
+        assert rows[0]["blocks"] > 0

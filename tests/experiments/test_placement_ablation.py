@@ -1,0 +1,39 @@
+"""Tests for the placement-policy ablation."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("abl_placement", days=4.0)
+
+
+class TestPlacementAblation:
+    def test_both_claims_hold(self, result):
+        for row in result.paper_rows:
+            assert row["measured"] is True
+
+    def test_distinct_rack_nearly_all_cross_rack(self, result):
+        rows = {row["placement"]: row for row in result.data["rows"]}
+        assert rows["distinct-rack"]["cross_rack_fraction_%"] > 97.0
+
+    def test_distinct_node_strictly_more_local(self, result):
+        rows = {row["placement"]: row for row in result.data["rows"]}
+        assert (
+            rows["distinct-node"]["cross_rack_fraction_%"]
+            < rows["distinct-rack"]["cross_rack_fraction_%"]
+        )
+
+    def test_production_config_is_exactly_all_cross_rack(self):
+        """At 100 racks the production policy yields 100% cross-rack
+        (asserted independently in the simulation invariants too)."""
+        from repro.cluster.config import ClusterConfig
+        from repro.cluster.simulation import WarehouseSimulation
+
+        config = ClusterConfig(
+            days=2.0, stripes_per_node=10.0, seed=3
+        )
+        result = WarehouseSimulation(config).run()
+        assert result.meter.intra_rack_bytes == 0

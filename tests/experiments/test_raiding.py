@@ -1,0 +1,32 @@
+"""Tests for the raid-conversion growth experiment."""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+class TestExtRaiding:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment("ext_raiding")
+
+    def test_conversion_identical_both_codes(self, result):
+        rows = result.tables["weekly growth pipeline"]
+        assert rows[0]["conversion_TB_per_day"] == rows[1][
+            "conversion_TB_per_day"
+        ]
+
+    def test_default_growth_numbers(self, result):
+        rows = result.tables["weekly growth pipeline"]
+        # 2 PB/week * 1.4 / 7 days = 400 TB/day.
+        assert rows[0]["conversion_TB_per_day"] == pytest.approx(400.0)
+        assert rows[0]["disk_freed_PB_per_week"] == pytest.approx(3.2)
+
+    def test_piggyback_lowers_total(self, result):
+        rows = result.tables["weekly growth pipeline"]
+        assert rows[1]["total_TB_per_day"] < rows[0]["total_TB_per_day"]
+
+    def test_custom_growth_scales(self):
+        result = run_experiment("ext_raiding", growth_bytes_per_week=4e15)
+        rows = result.tables["weekly growth pipeline"]
+        assert rows[0]["conversion_TB_per_day"] == pytest.approx(800.0)

@@ -1,0 +1,57 @@
+"""Tests for experiment plumbing."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments.runner import (
+    ExperimentResult,
+    available_experiments,
+    get_experiment,
+    register_experiment,
+    run_experiment,
+)
+
+
+class TestRegistry:
+    def test_all_paper_experiments_registered(self):
+        ids = available_experiments()
+        expected = {
+            "fig1", "fig2", "fig3a", "fig3b", "fig4",
+            "tab_missing", "tab_savings", "tab_traffic",
+            "tab_rectime", "tab_mttdl", "abl_groups", "abl_codes",
+        }
+        assert expected <= set(ids)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigError):
+            get_experiment("fig99")
+
+    def test_register_and_run(self):
+        def fake():
+            return ExperimentResult("fake", "fake experiment")
+
+        register_experiment("test-fake", fake)
+        result = run_experiment("test-fake")
+        assert result.experiment_id == "fake"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ConfigError):
+            register_experiment("", lambda: None)
+
+
+class TestRender:
+    def test_render_includes_tables(self):
+        result = ExperimentResult(
+            "x",
+            "title",
+            paper_rows=[{"metric": "m", "paper": 1, "measured": 1}],
+            tables={"extra": [{"col": 5}]},
+        )
+        text = result.render()
+        assert "== x: title ==" in text
+        assert "paper vs measured" in text
+        assert "extra" in text
+
+    def test_render_without_rows(self):
+        text = ExperimentResult("x", "t").render()
+        assert text.startswith("== x")

@@ -1,0 +1,73 @@
+"""Tests for the self-grading scorecard."""
+
+import pytest
+
+from repro.experiments.scorecard import (
+    ScoreRow,
+    grade_row,
+    scorecard,
+    summarize,
+)
+
+
+class TestGradeRow:
+    def test_boolean_pass_and_fail(self):
+        assert grade_row("x", {"metric": "m", "paper": True,
+                               "measured": True}).status == "pass"
+        assert grade_row("x", {"metric": "m", "paper": True,
+                               "measured": False}).status == "fail"
+
+    def test_measured_bool_against_prose_paper(self):
+        assert grade_row("x", {"metric": "m", "paper": "implied",
+                               "measured": True}).status == "pass"
+        assert grade_row("x", {"metric": "m", "paper": "implied",
+                               "measured": False}).status == "fail"
+
+    def test_numeric_within_band(self):
+        assert grade_row("x", {"metric": "m", "paper": "~95,500",
+                               "measured": 98_739}).status == "pass"
+        assert grade_row("x", {"metric": "m", "paper": 100,
+                               "measured": 1000}).status == "fail"
+
+    def test_greater_than_claims(self):
+        assert grade_row("x", {"metric": "m", "paper": "> 180",
+                               "measured": 201.0}).status == "pass"
+        assert grade_row("x", {"metric": "m", "paper": "> 180",
+                               "measured": 20.0}).status == "fail"
+
+    def test_prose_paper_cell_is_informational(self):
+        row = grade_row(
+            "x",
+            {"metric": "m", "paper": "d/(d-k+1) [cut-set]", "measured": 3.25},
+        )
+        assert row.status == "info"
+
+    def test_unparseable_measured_is_informational(self):
+        row = grade_row("x", {"metric": "m", "paper": 5, "measured": "n/a"})
+        assert row.status == "info"
+
+    def test_zero_paper_value(self):
+        assert grade_row("x", {"metric": "m", "paper": 0,
+                               "measured": 0}).status == "pass"
+        assert grade_row("x", {"metric": "m", "paper": 0,
+                               "measured": 3}).status == "fail"
+
+
+class TestScorecard:
+    def test_fast_experiments_all_pass(self):
+        rows = scorecard(
+            ["fig1", "fig2", "fig4", "tab_savings", "tab_rectime",
+             "tab_mttdl", "abl_groups", "abl_codes", "abl_kr",
+             "ext_bound", "ext_capacity", "ext_raiding"]
+        )
+        summary = summarize(rows)
+        assert summary["fail"] == 0
+        assert summary["pass"] >= 25
+
+    def test_summarize_counts(self):
+        rows = [
+            ScoreRow("a", "m", "1", "1", "pass"),
+            ScoreRow("a", "m", "1", "9", "fail"),
+            ScoreRow("a", "m", "x", "y", "info"),
+        ]
+        assert summarize(rows) == {"pass": 1, "fail": 1, "info": 1}

@@ -1,0 +1,131 @@
+"""Tests for the bit-matrix GF(2^8) representation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf.bitmatrix import (
+    W,
+    element_to_bitmatrix,
+    expand_generator,
+    strip_schedule,
+    verify_bitmatrix_action,
+    xor_count,
+    xor_encode_strips,
+)
+from repro.gf.field import DEFAULT_FIELD
+
+gf = DEFAULT_FIELD
+
+
+class TestElementToBitmatrix:
+    def test_zero_is_zero_matrix(self):
+        assert not element_to_bitmatrix(0).any()
+
+    def test_one_is_identity(self):
+        assert np.array_equal(element_to_bitmatrix(1), np.eye(W, dtype=np.uint8))
+
+    def test_two_is_shift_plus_feedback(self):
+        matrix = element_to_bitmatrix(2)
+        # Column j = bits of 2 * 2^j; for j < 7 that is a pure shift.
+        for j in range(W - 1):
+            expected = np.zeros(W, dtype=np.uint8)
+            expected[j + 1] = 1
+            assert np.array_equal(matrix[:, j], expected)
+        # Column 7: 2 * 0x80 = 0x11D reduced.
+        overflow = 0x100 ^ 0x11D
+        assert np.array_equal(
+            matrix[:, 7],
+            np.array([(overflow >> i) & 1 for i in range(W)], dtype=np.uint8),
+        )
+
+    def test_out_of_range(self):
+        with pytest.raises(FieldError):
+            element_to_bitmatrix(256)
+
+    def test_action_matches_field_multiplication_exhaustive_sample(self):
+        rng = np.random.default_rng(0)
+        for _ in range(300):
+            element = int(rng.integers(0, 256))
+            value = int(rng.integers(0, 256))
+            assert verify_bitmatrix_action(element, value)
+
+    def test_matrix_of_product_is_product_of_matrices(self):
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            a = int(rng.integers(0, 256))
+            b = int(rng.integers(0, 256))
+            left = element_to_bitmatrix(gf.mul(a, b))
+            right = element_to_bitmatrix(a) @ element_to_bitmatrix(b) % 2
+            assert np.array_equal(left, right.astype(np.uint8))
+
+
+class TestExpandGenerator:
+    def test_shape(self):
+        generator = np.zeros((6, 4), dtype=np.uint8)
+        assert expand_generator(generator).shape == (48, 32)
+
+    def test_identity_block_expands_to_identity(self):
+        generator = np.eye(3, dtype=np.uint8)
+        assert np.array_equal(
+            expand_generator(generator), np.eye(24, dtype=np.uint8)
+        )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(FieldError):
+            expand_generator(np.zeros(4, dtype=np.uint8))
+
+
+class TestXorEncode:
+    def test_matches_field_arithmetic(self, rng):
+        """XOR-strip encoding of one coefficient equals gf.scale."""
+        element = 0x53
+        payload = rng.integers(0, 256, 64, dtype=np.uint8)
+        # Bit-slice the payload: strip i holds bit i of each byte.
+        strips = np.stack(
+            [(payload >> i) & 1 for i in range(W)]
+        ).astype(np.uint8)
+        out = xor_encode_strips(element_to_bitmatrix(element), strips)
+        recombined = np.zeros(64, dtype=np.uint8)
+        for i in range(W):
+            recombined |= (out[i] & 1) << i
+        assert np.array_equal(recombined, gf.scale(element, payload))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(FieldError):
+            xor_encode_strips(
+                np.eye(8, dtype=np.uint8), np.zeros((4, 2), dtype=np.uint8)
+            )
+
+    def test_empty_row_yields_zero_strip(self):
+        matrix = np.zeros((2, 3), dtype=np.uint8)
+        matrix[0, 1] = 1
+        strips = np.ones((3, 4), dtype=np.uint8)
+        out = xor_encode_strips(matrix, strips)
+        assert out[0].all()
+        assert not out[1].any()
+
+
+class TestSchedules:
+    def test_strip_schedule(self):
+        row = np.array([1, 0, 1, 1, 0], dtype=np.uint8)
+        assert strip_schedule(row) == [0, 2, 3]
+
+    def test_xor_count(self):
+        matrix = np.array([[1, 1, 1], [0, 0, 0], [1, 0, 0]], dtype=np.uint8)
+        # Row 0: 2 XORs; row 1: empty; row 2: copy only.
+        assert xor_count(matrix) == 2
+
+    def test_xor_count_identity_free(self):
+        assert xor_count(np.eye(8, dtype=np.uint8)) == 0
+
+
+@given(
+    element=st.integers(min_value=0, max_value=255),
+    value=st.integers(min_value=0, max_value=255),
+)
+@settings(max_examples=200)
+def test_bitmatrix_action_property(element, value):
+    assert verify_bitmatrix_action(element, value)

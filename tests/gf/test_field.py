@@ -1,0 +1,183 @@
+"""Tests for vectorised GF(2^8) operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FieldError
+from repro.gf.field import DEFAULT_FIELD, GF256
+
+gf = DEFAULT_FIELD
+
+
+class TestScalarOps:
+    def test_add_is_xor(self):
+        assert gf.add(0x53, 0xCA) == 0x53 ^ 0xCA
+
+    def test_sub_equals_add(self):
+        assert gf.sub(7, 3) == gf.add(7, 3)
+
+    def test_mul_by_zero(self):
+        assert gf.mul(0, 123) == 0
+        assert gf.mul(123, 0) == 0
+
+    def test_mul_by_one(self):
+        for a in (1, 2, 91, 255):
+            assert gf.mul(a, 1) == a
+
+    def test_mul_by_two_is_carryless_double(self):
+        assert gf.mul(2, 0x80) == (0x100 ^ 0x11D)
+
+    def test_div_inverts_mul(self):
+        for a in (1, 7, 130, 255):
+            for b in (1, 3, 200):
+                assert gf.div(gf.mul(a, b), b) == a
+
+    def test_div_by_zero_raises(self):
+        with pytest.raises(FieldError):
+            gf.div(5, 0)
+
+    def test_zero_divided_is_zero(self):
+        assert gf.div(0, 77) == 0
+
+    def test_inv_roundtrip(self):
+        for a in range(1, 256):
+            assert gf.mul(a, gf.inv(a)) == 1
+
+    def test_inv_zero_raises(self):
+        with pytest.raises(FieldError):
+            gf.inv(0)
+
+    def test_pow_zero_exponent(self):
+        assert gf.pow(0, 0) == 1
+        assert gf.pow(17, 0) == 1
+
+    def test_pow_matches_repeated_mul(self):
+        value = 1
+        for exponent in range(1, 10):
+            value = gf.mul(value, 29)
+            assert gf.pow(29, exponent) == value
+
+    def test_pow_negative(self):
+        assert gf.pow(29, -1) == gf.inv(29)
+        assert gf.pow(29, -3) == gf.inv(gf.pow(29, 3))
+
+    def test_pow_of_zero(self):
+        assert gf.pow(0, 5) == 0
+
+    def test_exp_log_roundtrip(self):
+        for a in (1, 2, 100, 255):
+            assert gf.exp(gf.log(a)) == a
+
+    def test_log_zero_raises(self):
+        with pytest.raises(FieldError):
+            gf.log(0)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FieldError):
+            gf.mul(300, 1)
+        with pytest.raises(FieldError):
+            gf.add(-1, 1)
+
+
+class TestArrayOps:
+    def test_add_arrays(self, rng):
+        a = rng.integers(0, 256, 100, dtype=np.uint8)
+        b = rng.integers(0, 256, 100, dtype=np.uint8)
+        assert np.array_equal(gf.add(a, b), a ^ b)
+
+    def test_mul_broadcasts_scalar(self, rng):
+        a = rng.integers(0, 256, 100, dtype=np.uint8)
+        result = gf.mul(a, 3)
+        expected = np.array([gf.mul(int(x), 3) for x in a], dtype=np.uint8)
+        assert np.array_equal(result, expected)
+
+    def test_mul_handles_zeros_in_arrays(self):
+        a = np.array([0, 1, 2, 0], dtype=np.uint8)
+        b = np.array([5, 0, 3, 0], dtype=np.uint8)
+        result = gf.mul(a, b)
+        assert result[0] == 0 and result[1] == 0 and result[3] == 0
+        assert result[2] == gf.mul(2, 3)
+
+    def test_div_arrays(self, rng):
+        a = rng.integers(0, 256, 50, dtype=np.uint8)
+        b = rng.integers(1, 256, 50, dtype=np.uint8)
+        quotient = gf.div(a, b)
+        assert np.array_equal(gf.mul(quotient, b), a)
+
+    def test_returns_python_int_for_scalars(self):
+        assert isinstance(gf.mul(3, 5), int)
+        assert isinstance(gf.add(3, 5), int)
+
+    def test_returns_array_for_arrays(self):
+        result = gf.mul(np.array([1, 2], dtype=np.uint8), 3)
+        assert isinstance(result, np.ndarray)
+
+
+class TestBulkHelpers:
+    def test_scale_zero_coefficient(self, rng):
+        payload = rng.integers(0, 256, 64, dtype=np.uint8)
+        assert not gf.scale(0, payload).any()
+
+    def test_scale_one_is_copy(self, rng):
+        payload = rng.integers(0, 256, 64, dtype=np.uint8)
+        scaled = gf.scale(1, payload)
+        assert np.array_equal(scaled, payload)
+        assert scaled is not payload
+
+    def test_scale_matches_mul(self, rng):
+        payload = rng.integers(0, 256, 64, dtype=np.uint8)
+        assert np.array_equal(gf.scale(7, payload), gf.mul(payload, 7))
+
+    def test_scale_invalid_coefficient(self):
+        with pytest.raises(FieldError):
+            gf.scale(256, np.zeros(4, dtype=np.uint8))
+
+    def test_addmul_in_place(self, rng):
+        acc = rng.integers(0, 256, 32, dtype=np.uint8)
+        payload = rng.integers(0, 256, 32, dtype=np.uint8)
+        expected = acc ^ gf.scale(9, payload)
+        gf.addmul(acc, 9, payload)
+        assert np.array_equal(acc, expected)
+
+    def test_addmul_shape_mismatch(self):
+        with pytest.raises(FieldError):
+            gf.addmul(
+                np.zeros(4, dtype=np.uint8), 1, np.zeros(5, dtype=np.uint8)
+            )
+
+    def test_dot_linear_combination(self, rng):
+        payloads = rng.integers(0, 256, size=(3, 16), dtype=np.uint8)
+        coefficients = np.array([1, 2, 3], dtype=np.uint8)
+        expected = (
+            payloads[0]
+            ^ gf.scale(2, payloads[1])
+            ^ gf.scale(3, payloads[2])
+        )
+        assert np.array_equal(gf.dot(coefficients, payloads), expected)
+
+    def test_dot_count_mismatch(self, rng):
+        with pytest.raises(FieldError):
+            gf.dot(
+                np.array([1, 2], dtype=np.uint8),
+                rng.integers(0, 256, size=(3, 4), dtype=np.uint8),
+            )
+
+    def test_dot_requires_2d_payloads(self):
+        with pytest.raises(FieldError):
+            gf.dot(np.array([1], dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+
+class TestFieldIdentity:
+    def test_equality_by_polynomial(self):
+        assert GF256() == GF256()
+        assert GF256(0x12B) != GF256()
+
+    def test_hashable(self):
+        assert len({GF256(), GF256(), GF256(0x12B)}) == 2
+
+    def test_repr_mentions_polynomial(self):
+        assert "0x11d" in repr(GF256())
+
+    def test_different_polynomial_different_arithmetic(self):
+        other = GF256(0x12B)
+        assert other.mul(2, 0x80) == (0x100 ^ 0x12B)

@@ -1,0 +1,98 @@
+"""Property-based tests: GF(2^8) satisfies the field axioms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.field import DEFAULT_FIELD
+
+gf = DEFAULT_FIELD
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+arrays = st.lists(elements, min_size=1, max_size=64).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+@given(elements, elements)
+def test_addition_commutes(a, b):
+    assert gf.add(a, b) == gf.add(b, a)
+
+
+@given(elements, elements, elements)
+def test_addition_associates(a, b, c):
+    assert gf.add(gf.add(a, b), c) == gf.add(a, gf.add(b, c))
+
+
+@given(elements)
+def test_additive_identity_and_inverse(a):
+    assert gf.add(a, 0) == a
+    assert gf.add(a, a) == 0  # characteristic 2: every element is its own inverse
+
+
+@given(elements, elements)
+def test_multiplication_commutes(a, b):
+    assert gf.mul(a, b) == gf.mul(b, a)
+
+
+@given(elements, elements, elements)
+def test_multiplication_associates(a, b, c):
+    assert gf.mul(gf.mul(a, b), c) == gf.mul(a, gf.mul(b, c))
+
+
+@given(elements)
+def test_multiplicative_identity(a):
+    assert gf.mul(a, 1) == a
+
+
+@given(nonzero)
+def test_multiplicative_inverse(a):
+    assert gf.mul(a, gf.inv(a)) == 1
+
+
+@given(elements, elements, elements)
+def test_distributivity(a, b, c):
+    left = gf.mul(a, gf.add(b, c))
+    right = gf.add(gf.mul(a, b), gf.mul(a, c))
+    assert left == right
+
+
+@given(nonzero, nonzero)
+def test_no_zero_divisors(a, b):
+    assert gf.mul(a, b) != 0
+
+
+@given(elements, nonzero)
+def test_division_is_multiplication_by_inverse(a, b):
+    assert gf.div(a, b) == gf.mul(a, gf.inv(b))
+
+
+@given(nonzero, st.integers(min_value=-20, max_value=20))
+def test_pow_is_group_exponentiation(a, exponent):
+    expected = 1
+    base = a if exponent >= 0 else gf.inv(a)
+    for _ in range(abs(exponent)):
+        expected = gf.mul(expected, base)
+    assert gf.pow(a, exponent) == expected
+
+
+@given(arrays, arrays)
+@settings(max_examples=50)
+def test_array_ops_match_scalar_ops(xs, ys):
+    length = min(xs.shape[0], ys.shape[0])
+    xs, ys = xs[:length], ys[:length]
+    products = gf.mul(xs, ys)
+    sums = gf.add(xs, ys)
+    for i in range(length):
+        assert products[i] == gf.mul(int(xs[i]), int(ys[i]))
+        assert sums[i] == gf.add(int(xs[i]), int(ys[i]))
+
+
+@given(st.integers(min_value=0, max_value=255), arrays)
+@settings(max_examples=50)
+def test_scale_distributes_over_xor(coefficient, payload):
+    doubled = gf.scale(coefficient, payload ^ payload)
+    assert not doubled.any()
+    split = gf.scale(coefficient, payload) ^ gf.scale(coefficient, payload)
+    assert not split.any()

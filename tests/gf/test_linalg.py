@@ -1,0 +1,165 @@
+"""Tests for GF(2^8) linear algebra."""
+
+import numpy as np
+import pytest
+
+from repro.errors import LinearAlgebraError
+from repro.gf.field import DEFAULT_FIELD
+from repro.gf.linalg import (
+    gf_inv_matrix,
+    gf_is_invertible,
+    gf_matmul,
+    gf_rank,
+    gf_solve,
+)
+
+gf = DEFAULT_FIELD
+
+
+def random_matrix(rng, rows, cols):
+    return rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+
+
+def random_invertible(rng, n):
+    while True:
+        matrix = random_matrix(rng, n, n)
+        if gf_is_invertible(matrix):
+            return matrix
+
+
+class TestMatmul:
+    def test_identity(self, rng):
+        matrix = random_matrix(rng, 5, 7)
+        identity = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(identity, matrix), matrix)
+
+    def test_zero(self, rng):
+        matrix = random_matrix(rng, 4, 4)
+        zero = np.zeros((4, 4), dtype=np.uint8)
+        assert not gf_matmul(zero, matrix).any()
+
+    def test_associativity(self, rng):
+        a = random_matrix(rng, 3, 4)
+        b = random_matrix(rng, 4, 5)
+        c = random_matrix(rng, 5, 2)
+        left = gf_matmul(gf_matmul(a, b), c)
+        right = gf_matmul(a, gf_matmul(b, c))
+        assert np.array_equal(left, right)
+
+    def test_manual_2x2(self):
+        a = np.array([[1, 2], [0, 1]], dtype=np.uint8)
+        b = np.array([[3, 0], [1, 1]], dtype=np.uint8)
+        expected = np.array(
+            [
+                [gf.add(3, gf.mul(2, 1)), gf.mul(2, 1)],
+                [1, 1],
+            ],
+            dtype=np.uint8,
+        )
+        assert np.array_equal(gf_matmul(a, b), expected)
+
+    def test_dimension_mismatch(self, rng):
+        with pytest.raises(LinearAlgebraError):
+            gf_matmul(random_matrix(rng, 2, 3), random_matrix(rng, 4, 2))
+
+    def test_wide_payload(self, rng):
+        matrix = random_matrix(rng, 3, 3)
+        payload = random_matrix(rng, 3, 10_000)
+        result = gf_matmul(matrix, payload)
+        assert result.shape == (3, 10_000)
+        # spot-check one column
+        col = 1234
+        for i in range(3):
+            expected = 0
+            for j in range(3):
+                expected ^= gf.mul(int(matrix[i, j]), int(payload[j, col]))
+            assert result[i, col] == expected
+
+
+class TestInverse:
+    @pytest.mark.parametrize("n", [1, 2, 3, 5, 10])
+    def test_inverse_roundtrip(self, rng, n):
+        matrix = random_invertible(rng, n)
+        inverse = gf_inv_matrix(matrix)
+        assert np.array_equal(
+            gf_matmul(matrix, inverse), np.eye(n, dtype=np.uint8)
+        )
+        assert np.array_equal(
+            gf_matmul(inverse, matrix), np.eye(n, dtype=np.uint8)
+        )
+
+    def test_identity_inverse(self):
+        identity = np.eye(4, dtype=np.uint8)
+        assert np.array_equal(gf_inv_matrix(identity), identity)
+
+    def test_singular_raises(self):
+        singular = np.array([[1, 2], [1, 2]], dtype=np.uint8)
+        with pytest.raises(LinearAlgebraError):
+            gf_inv_matrix(singular)
+
+    def test_zero_matrix_raises(self):
+        with pytest.raises(LinearAlgebraError):
+            gf_inv_matrix(np.zeros((3, 3), dtype=np.uint8))
+
+    def test_non_square_raises(self):
+        with pytest.raises(LinearAlgebraError):
+            gf_inv_matrix(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_does_not_mutate_input(self, rng):
+        matrix = random_invertible(rng, 4)
+        copy = matrix.copy()
+        gf_inv_matrix(matrix)
+        assert np.array_equal(matrix, copy)
+
+
+class TestRank:
+    def test_full_rank(self, rng):
+        assert gf_rank(random_invertible(rng, 6)) == 6
+
+    def test_rank_deficient(self):
+        matrix = np.array([[1, 2, 3], [2, 4, 6], [0, 0, 1]], dtype=np.uint8)
+        # row 2 = 2 * row 1 over GF(256): 2*2=4, 2*3=6.
+        assert gf_rank(matrix) == 2
+
+    def test_zero_matrix(self):
+        assert gf_rank(np.zeros((3, 5), dtype=np.uint8)) == 0
+
+    def test_rectangular(self, rng):
+        tall = random_matrix(rng, 8, 3)
+        assert gf_rank(tall) <= 3
+
+    def test_rank_invariant_under_row_scaling(self, rng):
+        matrix = random_matrix(rng, 4, 4)
+        scaled = matrix.copy()
+        scaled[0] = gf.scale(7, scaled[0])
+        assert gf_rank(matrix) == gf_rank(scaled)
+
+
+class TestSolve:
+    def test_solve_vector(self, rng):
+        a = random_invertible(rng, 5)
+        x = rng.integers(0, 256, 5, dtype=np.uint8)
+        b = gf_matmul(a, x.reshape(-1, 1))[:, 0]
+        solved = gf_solve(a, b)
+        assert np.array_equal(solved, x)
+
+    def test_solve_matrix(self, rng):
+        a = random_invertible(rng, 4)
+        x = random_matrix(rng, 4, 100)
+        b = gf_matmul(a, x)
+        assert np.array_equal(gf_solve(a, b), x)
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(LinearAlgebraError):
+            gf_solve(random_invertible(rng, 3), np.zeros(4, dtype=np.uint8))
+
+
+class TestIsInvertible:
+    def test_non_square_false(self):
+        assert not gf_is_invertible(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_singular_false(self):
+        assert not gf_is_invertible(np.array([[1, 1], [1, 1]], dtype=np.uint8))
+
+    def test_identity_true(self):
+        assert gf_is_invertible(np.eye(7, dtype=np.uint8))

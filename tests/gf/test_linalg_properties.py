@@ -1,0 +1,89 @@
+"""Property-based tests for GF(2^8) linear algebra."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.linalg import (
+    gf_inv_matrix,
+    gf_is_invertible,
+    gf_matmul,
+    gf_rank,
+    gf_solve,
+)
+
+matrix_dims = st.integers(min_value=1, max_value=6)
+
+
+def random_matrix(seed, rows, cols):
+    return np.random.default_rng(seed).integers(
+        0, 256, size=(rows, cols), dtype=np.uint8
+    )
+
+
+@given(
+    n=matrix_dims,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_inverse_roundtrips_when_invertible(n, seed):
+    matrix = random_matrix(seed, n, n)
+    if not gf_is_invertible(matrix):
+        return
+    inverse = gf_inv_matrix(matrix)
+    assert np.array_equal(gf_matmul(matrix, inverse), np.eye(n, dtype=np.uint8))
+
+
+@given(
+    n=matrix_dims,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_rank_equals_n_iff_invertible(n, seed):
+    matrix = random_matrix(seed, n, n)
+    assert (gf_rank(matrix) == n) == gf_is_invertible(matrix)
+
+
+@given(
+    n=matrix_dims,
+    m=matrix_dims,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_rank_bounded_and_product_rank_no_larger(n, m, seed):
+    a = random_matrix(seed, n, m)
+    rank = gf_rank(a)
+    assert 0 <= rank <= min(n, m)
+    b = random_matrix(seed + 1, m, m)
+    assert gf_rank(gf_matmul(a, b)) <= rank
+
+
+@given(
+    n=matrix_dims,
+    width=st.integers(min_value=1, max_value=16),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_solve_recovers_solution(n, width, seed):
+    a = random_matrix(seed, n, n)
+    if not gf_is_invertible(a):
+        return
+    x = random_matrix(seed + 7, n, width)
+    b = gf_matmul(a, x)
+    assert np.array_equal(gf_solve(a, b), x)
+
+
+@given(
+    n=matrix_dims,
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    row_factor=st.integers(min_value=1, max_value=255),
+)
+@settings(max_examples=40, deadline=None)
+def test_duplicated_row_is_singular(n, seed, row_factor):
+    from repro.gf.field import DEFAULT_FIELD
+
+    if n < 2:
+        return
+    matrix = random_matrix(seed, n, n)
+    matrix[1] = DEFAULT_FIELD.scale(row_factor, matrix[0])
+    assert not gf_is_invertible(matrix)

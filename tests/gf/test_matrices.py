@@ -1,0 +1,125 @@
+"""Tests for structured code-construction matrices."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.errors import CodeConstructionError
+from repro.gf.linalg import gf_is_invertible
+from repro.gf.matrices import (
+    cauchy_matrix,
+    systematic_generator_from_cauchy,
+    systematic_generator_from_vandermonde,
+    vandermonde_matrix,
+)
+
+
+def assert_mds_generator(generator, k):
+    """Every k x k row-submatrix must be invertible."""
+    n = generator.shape[0]
+    for rows in combinations(range(n), k):
+        assert gf_is_invertible(generator[list(rows)]), rows
+
+
+class TestVandermonde:
+    def test_shape_and_entries(self):
+        matrix = vandermonde_matrix(4, 3)
+        assert matrix.shape == (4, 3)
+        assert matrix[0, 0] == 1  # 0^0 convention
+        assert matrix[2, 1] == 2
+        assert matrix[3, 2] == 5  # 3^2 = (x+1)^2 = x^2 + 1
+
+    def test_first_column_is_ones(self):
+        matrix = vandermonde_matrix(6, 4)
+        assert np.all(matrix[:, 0] == 1)
+
+    def test_custom_points(self):
+        matrix = vandermonde_matrix(2, 2, points=[5, 9])
+        assert matrix[0, 1] == 5 and matrix[1, 1] == 9
+
+    def test_duplicate_points_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            vandermonde_matrix(2, 2, points=[3, 3])
+
+    def test_wrong_point_count_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            vandermonde_matrix(3, 2, points=[1, 2])
+
+    def test_too_many_rows_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            vandermonde_matrix(257, 2)
+
+    def test_square_invertible(self):
+        assert gf_is_invertible(vandermonde_matrix(8, 8))
+
+
+class TestCauchy:
+    def test_shape(self):
+        assert cauchy_matrix(4, 10).shape == (4, 10)
+
+    def test_every_submatrix_invertible_small(self):
+        matrix = cauchy_matrix(3, 5)
+        for size in (1, 2, 3):
+            for rows in combinations(range(3), size):
+                for cols in combinations(range(5), size):
+                    sub = matrix[np.ix_(rows, cols)]
+                    assert gf_is_invertible(sub)
+
+    def test_overlapping_points_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            cauchy_matrix(2, 2, x_points=[0, 1], y_points=[1, 2])
+
+    def test_wrong_counts_rejected(self):
+        with pytest.raises(CodeConstructionError):
+            cauchy_matrix(2, 2, x_points=[4, 5, 6], y_points=[0, 1])
+
+
+class TestSystematicGenerators:
+    @pytest.mark.parametrize(
+        "builder",
+        [systematic_generator_from_vandermonde, systematic_generator_from_cauchy],
+    )
+    def test_top_block_is_identity(self, builder):
+        generator = builder(5, 3)
+        assert np.array_equal(generator[:5], np.eye(5, dtype=np.uint8))
+
+    @pytest.mark.parametrize(
+        "builder",
+        [systematic_generator_from_vandermonde, systematic_generator_from_cauchy],
+    )
+    @pytest.mark.parametrize("k,r", [(2, 2), (3, 2), (4, 3), (5, 4)])
+    def test_mds_property_exhaustive(self, builder, k, r):
+        assert_mds_generator(builder(k, r), k)
+
+    @pytest.mark.parametrize(
+        "builder",
+        [systematic_generator_from_vandermonde, systematic_generator_from_cauchy],
+    )
+    def test_production_parameters_sampled(self, builder, rng):
+        generator = builder(10, 4)
+        assert np.array_equal(generator[:10], np.eye(10, dtype=np.uint8))
+        # Exhaustive (10,4) MDS check lives in the RS tests; spot-check
+        # 80 random 10-row subsets here.
+        for _ in range(80):
+            rows = rng.choice(14, size=10, replace=False)
+            assert gf_is_invertible(generator[np.sort(rows)])
+
+    @pytest.mark.parametrize(
+        "builder",
+        [systematic_generator_from_vandermonde, systematic_generator_from_cauchy],
+    )
+    def test_invalid_parameters(self, builder):
+        with pytest.raises(CodeConstructionError):
+            builder(0, 2)
+        with pytest.raises(CodeConstructionError):
+            builder(-1, 2)
+        with pytest.raises(CodeConstructionError):
+            builder(250, 10)
+
+    def test_parity_rows_dense(self):
+        # No parity coefficient should be zero for the Vandermonde
+        # construction at production parameters (a zero would mean a
+        # data unit not covered by that parity).
+        generator = systematic_generator_from_vandermonde(10, 4)
+        assert np.all(generator[10:] != 0)

@@ -1,0 +1,144 @@
+"""Tests for polynomials over GF(2^8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf.field import DEFAULT_FIELD
+from repro.gf.polynomial import GFPolynomial
+
+gf = DEFAULT_FIELD
+
+coeff_lists = st.lists(
+    st.integers(min_value=0, max_value=255), min_size=0, max_size=8
+)
+
+
+class TestBasics:
+    def test_zero_polynomial(self):
+        zero = GFPolynomial()
+        assert zero.is_zero()
+        assert zero.degree == -1
+
+    def test_trailing_zeros_stripped(self):
+        poly = GFPolynomial([1, 2, 0, 0])
+        assert poly.coefficients == [1, 2]
+        assert poly.degree == 1
+
+    def test_invalid_coefficient(self):
+        with pytest.raises(FieldError):
+            GFPolynomial([256])
+
+    def test_equality(self):
+        assert GFPolynomial([1, 2]) == GFPolynomial([1, 2, 0])
+        assert GFPolynomial([1]) != GFPolynomial([2])
+
+
+class TestArithmetic:
+    def test_addition_is_xor_of_coefficients(self):
+        a = GFPolynomial([1, 2, 3])
+        b = GFPolynomial([4, 2])
+        assert (a + b).coefficients == [5, 0, 3]
+
+    def test_add_cancels_self(self):
+        a = GFPolynomial([7, 9])
+        assert (a + a).is_zero()
+
+    def test_multiplication_degree(self):
+        a = GFPolynomial([1, 1])  # x + 1
+        b = GFPolynomial([2, 0, 1])  # x^2 + 2
+        assert (a * b).degree == 3
+
+    def test_multiply_by_zero(self):
+        assert (GFPolynomial([1, 2]) * GFPolynomial()).is_zero()
+
+    def test_known_square(self):
+        # (x + 1)^2 = x^2 + 1 in characteristic 2.
+        square = GFPolynomial([1, 1]) * GFPolynomial([1, 1])
+        assert square.coefficients == [1, 0, 1]
+
+    def test_scale(self):
+        poly = GFPolynomial([1, 2]).scale(3)
+        assert poly.coefficients == [3, gf.mul(2, 3)]
+
+    def test_divmod_roundtrip(self):
+        dividend = GFPolynomial([5, 3, 7, 1])
+        divisor = GFPolynomial([2, 1])
+        quotient, remainder = dividend.divmod(divisor)
+        reconstructed = quotient * divisor + remainder
+        assert reconstructed == dividend
+        assert remainder.degree < divisor.degree
+
+    def test_division_by_zero(self):
+        with pytest.raises(FieldError):
+            GFPolynomial([1]).divmod(GFPolynomial())
+
+    def test_floordiv_and_mod_operators(self):
+        dividend = GFPolynomial([1, 0, 1])
+        divisor = GFPolynomial([1, 1])
+        assert (dividend // divisor) * divisor + (dividend % divisor) == dividend
+
+
+class TestEvaluation:
+    def test_evaluate_constant(self):
+        assert GFPolynomial([9]).evaluate(123) == 9
+
+    def test_evaluate_zero_polynomial(self):
+        assert GFPolynomial().evaluate(5) == 0
+
+    def test_evaluate_linear(self):
+        poly = GFPolynomial([3, 2])  # 2x + 3
+        assert poly.evaluate(7) == gf.add(3, gf.mul(2, 7))
+
+    def test_evaluate_many(self):
+        poly = GFPolynomial([1, 1])
+        values = poly.evaluate_many([0, 1, 2])
+        assert np.array_equal(values, np.array([1, 0, 3], dtype=np.uint8))
+
+
+class TestInterpolation:
+    def test_roundtrip_through_points(self, rng):
+        coefficients = rng.integers(0, 256, 5).tolist()
+        poly = GFPolynomial(coefficients)
+        xs = [1, 2, 3, 4, 5]
+        ys = [poly.evaluate(x) for x in xs]
+        recovered = GFPolynomial.interpolate(xs, ys)
+        assert recovered == poly
+
+    def test_duplicate_x_rejected(self):
+        with pytest.raises(FieldError):
+            GFPolynomial.interpolate([1, 1], [2, 3])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(FieldError):
+            GFPolynomial.interpolate([1, 2], [3])
+
+    def test_rs_view_matches_matrix_view(self, rng):
+        """Classic RS check: evaluations of a degree<k polynomial at any
+        k points determine all n evaluations."""
+        k, n = 4, 8
+        message = rng.integers(0, 256, k).tolist()
+        poly = GFPolynomial(message)
+        codeword = [poly.evaluate(x) for x in range(n)]
+        subset = [0, 3, 5, 7]
+        recovered = GFPolynomial.interpolate(
+            subset, [codeword[x] for x in subset]
+        )
+        assert [recovered.evaluate(x) for x in range(n)] == codeword
+
+
+@given(coeff_lists, coeff_lists)
+@settings(max_examples=60)
+def test_multiplication_commutes(a_coeffs, b_coeffs):
+    a, b = GFPolynomial(a_coeffs), GFPolynomial(b_coeffs)
+    assert a * b == b * a
+
+
+@given(coeff_lists, coeff_lists, st.integers(min_value=0, max_value=255))
+@settings(max_examples=60)
+def test_evaluation_is_ring_homomorphism(a_coeffs, b_coeffs, x):
+    a, b = GFPolynomial(a_coeffs), GFPolynomial(b_coeffs)
+    assert (a + b).evaluate(x) == gf.add(a.evaluate(x), b.evaluate(x))
+    assert (a * b).evaluate(x) == gf.mul(a.evaluate(x), b.evaluate(x))

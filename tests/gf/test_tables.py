@@ -1,0 +1,93 @@
+"""Tests for GF(2^8) table construction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FieldError
+from repro.gf import tables
+
+
+class TestBuildTables:
+    def test_exp_table_length(self):
+        exp, _ = tables.build_tables()
+        assert exp.shape == (tables.EXP_TABLE_LEN,)
+
+    def test_log_table_length(self):
+        _, log = tables.build_tables()
+        assert log.shape == (tables.FIELD_SIZE,)
+
+    def test_exp_starts_at_one(self):
+        exp, _ = tables.build_tables()
+        assert exp[0] == 1
+
+    def test_exp_of_one_is_generator(self):
+        exp, _ = tables.build_tables()
+        assert exp[1] == 2
+
+    def test_exp_cycle_wraps(self):
+        exp, _ = tables.build_tables()
+        for i in range(tables.GROUP_ORDER):
+            assert exp[i] == exp[i + tables.GROUP_ORDER]
+
+    def test_exp_covers_all_nonzero_elements(self):
+        exp, _ = tables.build_tables()
+        assert set(exp[: tables.GROUP_ORDER].tolist()) == set(range(1, 256))
+
+    def test_log_exp_roundtrip(self):
+        exp, log = tables.build_tables()
+        for value in range(1, 256):
+            assert exp[log[value]] == value
+
+    def test_log_zero_is_sentinel(self):
+        _, log = tables.build_tables()
+        assert log[0] == tables.ZERO_LOG_SENTINEL
+
+    def test_sentinel_keeps_lookups_in_bounds(self):
+        assert 2 * tables.ZERO_LOG_SENTINEL < tables.EXP_TABLE_LEN
+
+    def test_rejects_wrong_degree_polynomial(self):
+        with pytest.raises(FieldError):
+            tables.build_tables(0x1D)  # degree 4-ish, not 8
+
+    def test_rejects_non_primitive_polynomial(self):
+        # x^8 + x^4 + x^3 + x + 1 (0x11B, the AES polynomial): 2 is not
+        # a generator there.
+        with pytest.raises(FieldError):
+            tables.build_tables(0x11B)
+
+    @pytest.mark.parametrize("poly", tables.KNOWN_PRIMITIVE_POLYS)
+    def test_known_primitive_polynomials_build(self, poly):
+        exp, log = tables.build_tables(poly)
+        assert set(exp[: tables.GROUP_ORDER].tolist()) == set(range(1, 256))
+
+
+class TestMultiplicationTable:
+    @pytest.fixture(scope="class")
+    def mul_table(self):
+        return tables.build_multiplication_table()
+
+    def test_shape(self, mul_table):
+        assert mul_table.shape == (256, 256)
+
+    def test_zero_row_and_column(self, mul_table):
+        assert not mul_table[0].any()
+        assert not mul_table[:, 0].any()
+
+    def test_one_is_identity(self, mul_table):
+        assert np.array_equal(mul_table[1], np.arange(256, dtype=np.uint8))
+
+    def test_commutative(self, mul_table):
+        assert np.array_equal(mul_table, mul_table.T)
+
+    def test_agrees_with_log_tables(self, mul_table):
+        exp, log = tables.build_tables()
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            a = int(rng.integers(1, 256))
+            b = int(rng.integers(1, 256))
+            assert mul_table[a, b] == exp[log[a] + log[b]]
+
+    def test_known_products(self, mul_table):
+        # 0x53 * 0xCA = 0x5F under 0x11D (worked example).
+        assert mul_table[2, 128] == (256 ^ 0x11D)  # x * x^7 reduces once
+        assert mul_table[3, 3] == 5  # (x+1)^2 = x^2+1

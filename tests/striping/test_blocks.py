@@ -1,0 +1,73 @@
+"""Tests for blocks and file chunking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError
+from repro.striping.blocks import Block, LogicalFile, chunk_bytes
+
+
+class TestBlock:
+    def test_metadata_only(self):
+        block = Block("b1", 100)
+        assert not block.has_payload
+
+    def test_payload_size_checked(self):
+        with pytest.raises(EncodingError):
+            Block("b1", 3, payload=np.zeros(4, dtype=np.uint8))
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(EncodingError):
+            Block("b1", -1)
+
+    def test_payload_flattened_dtype(self):
+        block = Block("b1", 4, payload=np.array([1, 2, 3, 4]))
+        assert block.payload.dtype == np.uint8
+
+    def test_2d_payload_rejected(self):
+        with pytest.raises(EncodingError):
+            Block("b1", 4, payload=np.zeros((2, 2), dtype=np.uint8))
+
+
+class TestChunkBytes:
+    def test_exact_multiple(self):
+        data = np.arange(100, dtype=np.uint8)
+        logical = chunk_bytes("f", data, block_size=25)
+        assert len(logical.blocks) == 4
+        assert all(b.size == 25 for b in logical.blocks)
+
+    def test_tail_block_shorter(self):
+        data = np.arange(90, dtype=np.uint8)
+        logical = chunk_bytes("f", data, block_size=25)
+        assert [b.size for b in logical.blocks] == [25, 25, 25, 15]
+
+    def test_roundtrip_concatenation(self):
+        data = np.arange(77, dtype=np.uint8)
+        logical = chunk_bytes("f", data, block_size=10)
+        joined = np.concatenate([b.payload for b in logical.blocks])
+        assert np.array_equal(joined, data)
+
+    def test_empty_file_single_empty_block(self):
+        logical = chunk_bytes("f", np.zeros(0, dtype=np.uint8), block_size=10)
+        assert len(logical.blocks) == 1
+        assert logical.blocks[0].size == 0
+
+    def test_block_ids_unique_and_ordered(self):
+        logical = chunk_bytes("f", np.zeros(50, dtype=np.uint8), block_size=10)
+        ids = logical.block_ids
+        assert len(set(ids)) == len(ids) == 5
+        assert ids[0] == "f/blk_0" and ids[4] == "f/blk_4"
+
+    def test_invalid_block_size(self):
+        with pytest.raises(EncodingError):
+            chunk_bytes("f", np.zeros(4, dtype=np.uint8), block_size=0)
+
+    def test_file_size(self):
+        logical = chunk_bytes("f", np.zeros(37, dtype=np.uint8), block_size=10)
+        assert logical.size == 37
+
+
+class TestLogicalFile:
+    def test_empty_file(self):
+        assert LogicalFile("f").size == 0
+        assert LogicalFile("f").block_ids == []

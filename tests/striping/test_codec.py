@@ -1,0 +1,183 @@
+"""Tests for the stripe codec (payload-level encode/decode/repair)."""
+
+import numpy as np
+import pytest
+
+from repro.codes.lrc import LRCCode
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import EncodingError, RepairError
+from repro.striping.blocks import Block, chunk_bytes
+from repro.striping.codec import StripeCodec
+from repro.striping.layout import group_into_stripes
+
+ALL_CODES = [
+    ReedSolomonCode(4, 2),
+    PiggybackedRSCode(4, 2),
+    LRCCode(4, 2, 2),
+]
+
+
+def make_file(rng, total_bytes, block_size):
+    data = rng.integers(0, 256, size=total_bytes, dtype=np.uint8)
+    return chunk_bytes("f", data, block_size), data
+
+
+class TestEncodeStripe:
+    @pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+    def test_parity_count_and_size(self, code, rng):
+        logical, __ = make_file(rng, 4 * 100, 100)
+        layout = group_into_stripes(logical.blocks, code.k, code.r)[0]
+        codec = StripeCodec(code)
+        parities = codec.encode_stripe(layout, logical.blocks)
+        assert len(parities) == code.r
+        for parity in parities:
+            assert parity.size == codec.padded_width(layout)
+
+    def test_wrong_block_for_slot(self, rng):
+        code = ReedSolomonCode(4, 2)
+        logical, __ = make_file(rng, 400, 100)
+        layout = group_into_stripes(logical.blocks, 4, 2)[0]
+        wrong = list(logical.blocks)
+        wrong[0], wrong[1] = wrong[1], wrong[0]
+        with pytest.raises(EncodingError):
+            StripeCodec(code).encode_stripe(layout, wrong)
+
+    def test_missing_payload_rejected(self):
+        code = ReedSolomonCode(2, 1)
+        blocks = [Block("b0", 4), Block("b1", 4)]  # no payloads
+        layout = group_into_stripes(blocks, 2, 1)[0]
+        with pytest.raises(EncodingError):
+            StripeCodec(code).encode_stripe(layout, blocks)
+
+    def test_virtual_slot_must_be_none(self, rng):
+        code = ReedSolomonCode(4, 2)
+        logical, __ = make_file(rng, 250, 100)  # 3 blocks, 1 virtual slot
+        layout = group_into_stripes(logical.blocks, 4, 2)[0]
+        padded = list(logical.blocks) + [logical.blocks[0]]
+        with pytest.raises(EncodingError):
+            StripeCodec(code).encode_stripe(layout, padded)
+
+    def test_padded_width_even_for_piggyback(self, rng):
+        code = PiggybackedRSCode(4, 2)
+        logical, __ = make_file(rng, 4 * 101, 101)  # odd width
+        layout = group_into_stripes(logical.blocks, 4, 2)[0]
+        assert StripeCodec(code).padded_width(layout) == 102
+
+
+class TestDecodeStripe:
+    @pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+    def test_restores_all_blocks(self, code, rng):
+        logical, data = make_file(rng, 4 * 100, 100)
+        layout = group_into_stripes(logical.blocks, code.k, code.r)[0]
+        codec = StripeCodec(code)
+        parities = codec.encode_stripe(layout, logical.blocks)
+        # Lose the first two data blocks; decode from the rest + parity.
+        available = {2: logical.blocks[2], 3: logical.blocks[3]}
+        for j, parity in enumerate(parities):
+            available[code.k + j] = parity
+        restored = codec.decode_stripe(layout, available)
+        joined = np.concatenate([b.payload for b in restored])
+        assert np.array_equal(joined, data)
+
+    def test_tail_file_with_virtual_blocks(self, rng):
+        code = ReedSolomonCode(4, 2)
+        logical, data = make_file(rng, 230, 100)  # sizes 100,100,30 + virtual
+        layout = group_into_stripes(logical.blocks, 4, 2)[0]
+        codec = StripeCodec(code)
+        parities = codec.encode_stripe(
+            layout, list(logical.blocks) + [None]
+        )
+        available = {1: logical.blocks[1], 2: logical.blocks[2],
+                     4: parities[0], 5: parities[1]}
+        restored = codec.decode_stripe(layout, available)
+        assert [b.size for b in restored] == [100, 100, 30]
+        joined = np.concatenate([b.payload for b in restored])
+        assert np.array_equal(joined, data)
+
+
+class TestRepairBlock:
+    @pytest.mark.parametrize("code", ALL_CODES, ids=lambda c: c.name)
+    def test_repair_every_slot(self, code, rng):
+        logical, __ = make_file(rng, 4 * 100, 100)
+        layout = group_into_stripes(logical.blocks, code.k, code.r)[0]
+        codec = StripeCodec(code)
+        parities = codec.encode_stripe(layout, logical.blocks)
+        members = {i: logical.blocks[i] for i in range(4)}
+        members.update({4 + j: p for j, p in enumerate(parities)})
+        for failed in range(code.n):
+            available = {s: b for s, b in members.items() if s != failed}
+            rebuilt, bytes_read, plan = codec.repair_block(
+                layout, failed, available
+            )
+            expected = members[failed]
+            assert rebuilt.block_id == expected.block_id
+            assert np.array_equal(
+                rebuilt.payload, expected.payload
+            ), (code.name, failed)
+            assert bytes_read == plan.bytes_downloaded(codec.padded_width(layout))
+
+    def test_virtual_slot_repair_rejected(self, rng):
+        code = ReedSolomonCode(4, 2)
+        logical, __ = make_file(rng, 250, 100)
+        layout = group_into_stripes(logical.blocks, 4, 2)[0]
+        codec = StripeCodec(code)
+        parities = codec.encode_stripe(layout, list(logical.blocks) + [None])
+        available = {i: b for i, b in enumerate(logical.blocks)}
+        with pytest.raises(RepairError):
+            codec.repair_block(layout, 3, available)
+
+    def test_virtual_reads_are_free(self, rng):
+        """Bytes metered for repair exclude virtual zero blocks."""
+        code = ReedSolomonCode(4, 2)
+        logical, __ = make_file(rng, 250, 100)  # one virtual slot (slot 3)
+        layout = group_into_stripes(logical.blocks, 4, 2)[0]
+        codec = StripeCodec(code)
+        parities = codec.encode_stripe(layout, list(logical.blocks) + [None])
+        available = {0: logical.blocks[0], 1: logical.blocks[1],
+                     4: parities[0], 5: parities[1]}
+        rebuilt, bytes_read, plan = codec.repair_block(layout, 2, available)
+        assert np.array_equal(rebuilt.payload, logical.blocks[2].payload)
+        # Plan reads 4 units of 100 bytes, one of which (slot 3) is
+        # virtual if chosen; bytes must never exceed the real reads.
+        width = codec.padded_width(layout)
+        virtual_reads = sum(
+            1 for request in plan.requests
+            if request.node < 4 and layout.data_block_ids[request.node] is None
+        )
+        assert bytes_read == (plan.num_connections - virtual_reads) * width
+
+    def test_tail_block_repair_trims_to_size(self, rng):
+        code = ReedSolomonCode(4, 2)
+        logical, __ = make_file(rng, 330, 100)  # tail block of 30
+        layout = group_into_stripes(logical.blocks, 4, 2)[0]
+        codec = StripeCodec(code)
+        parities = codec.encode_stripe(layout, logical.blocks)
+        available = {0: logical.blocks[0], 1: logical.blocks[1],
+                     2: logical.blocks[2], 4: parities[0]}
+        rebuilt, __, __ = codec.repair_block(layout, 3, available)
+        assert rebuilt.size == 30
+        assert np.array_equal(rebuilt.payload, logical.blocks[3].payload)
+
+    def test_piggyback_repair_cheaper_through_codec(self, rng):
+        """The 30% saving survives the block layer."""
+        rs_codec = StripeCodec(ReedSolomonCode(4, 2))
+        pb_codec = StripeCodec(PiggybackedRSCode(4, 2))
+        logical, __ = make_file(rng, 4 * 100, 100)
+        layout = group_into_stripes(logical.blocks, 4, 2)[0]
+        members_rs = {i: b for i, b in enumerate(logical.blocks)}
+        members_rs.update(
+            {4 + j: p for j, p in enumerate(rs_codec.encode_stripe(layout, logical.blocks))}
+        )
+        members_pb = {i: b for i, b in enumerate(logical.blocks)}
+        members_pb.update(
+            {4 + j: p for j, p in enumerate(pb_codec.encode_stripe(layout, logical.blocks))}
+        )
+        failed = 0
+        __, rs_bytes, __ = rs_codec.repair_block(
+            layout, failed, {s: b for s, b in members_rs.items() if s != failed}
+        )
+        __, pb_bytes, __ = pb_codec.repair_block(
+            layout, failed, {s: b for s, b in members_pb.items() if s != failed}
+        )
+        assert pb_bytes < rs_bytes

@@ -1,0 +1,78 @@
+"""Tests for stripe layout grouping."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EncodingError
+from repro.striping.blocks import Block, chunk_bytes
+from repro.striping.layout import StripeLayout, group_into_stripes
+
+
+def blocks_of(count, size=10):
+    return [Block(f"b{i}", size) for i in range(count)]
+
+
+class TestGroupIntoStripes:
+    def test_exact_grouping(self):
+        stripes = group_into_stripes(blocks_of(20), k=10, r=4)
+        assert len(stripes) == 2
+        assert all(s.real_data_count == 10 for s in stripes)
+
+    def test_tail_stripe_padded(self):
+        stripes = group_into_stripes(blocks_of(13), k=10, r=4)
+        assert len(stripes) == 2
+        tail = stripes[1]
+        assert tail.real_data_count == 3
+        assert tail.data_block_ids[3:] == (None,) * 7
+        assert tail.data_sizes[3:] == (0,) * 7
+
+    def test_parity_ids_generated(self):
+        stripes = group_into_stripes(blocks_of(10), k=10, r=4, stripe_prefix="s")
+        assert len(stripes[0].parity_block_ids) == 4
+        assert stripes[0].parity_block_ids[0] == "s_0/parity_0"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(EncodingError):
+            group_into_stripes(blocks_of(4), k=0, r=2)
+
+
+class TestStripeLayout:
+    def make_layout(self, sizes=(10, 10, 7)):
+        blocks = [Block(f"b{i}", s) for i, s in enumerate(sizes)]
+        return group_into_stripes(blocks, k=4, r=2)[0]
+
+    def test_stripe_width_is_max(self):
+        assert self.make_layout().stripe_width == 10
+
+    def test_logical_size(self):
+        assert self.make_layout().logical_size == 27
+
+    def test_physical_size_counts_parities_at_width(self):
+        layout = self.make_layout()
+        assert layout.physical_size == 27 + 2 * 10
+
+    def test_all_block_ids_order(self):
+        layout = self.make_layout()
+        ids = layout.all_block_ids()
+        assert len(ids) == 6
+        assert ids[3] is None  # virtual slot
+        assert ids[4].endswith("parity_0")
+
+    def test_slot_count_validation(self):
+        with pytest.raises(EncodingError):
+            StripeLayout(
+                stripe_id="s",
+                k=3,
+                r=1,
+                data_block_ids=("a", "b"),
+                parity_block_ids=("p",),
+                data_sizes=(1, 1),
+            )
+
+    def test_full_256mb_accounting_scaled(self):
+        """Fig. 2 accounting at scaled block size."""
+        data = np.zeros(10 * 64, dtype=np.uint8)
+        logical = chunk_bytes("f", data, block_size=64)
+        layout = group_into_stripes(logical.blocks, 10, 4)[0]
+        assert layout.stripe_width == 64
+        assert layout.physical_size / layout.logical_size == pytest.approx(1.4)

@@ -1,0 +1,65 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_known_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+
+class TestCommands:
+    def test_experiments_lists_ids(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        assert "fig3b" in out and "tab_savings" in out
+
+    def test_codes_table(self, capsys):
+        assert main(["codes"]) == 0
+        out = capsys.readouterr().out
+        assert "RS(10,4)" in out
+        assert "PiggybackedRS(10,4)" in out
+
+    def test_run_fig4(self, capsys):
+        assert main(["run", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+        assert "fig4" in out
+
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(["run", "fig4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment_id"] == "fig4"
+        assert payload["paper_rows"]
+        assert "design_groups" in payload["data"]
+
+    def test_run_json_simulation_experiment(self, capsys):
+        """Numpy values inside results serialise cleanly."""
+        import json
+
+        assert main(["run", "ext_bound", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["data"]["bound_units"] == 3.25
+
+    def test_simulate_quick(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--days", "2",
+                "--stripes-per-node", "10",
+                "--code", "piggyback",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PiggybackedRS(10,4)" in out
+        assert "median cross-rack TB/day" in out

@@ -1,0 +1,13 @@
+"""CLI scorecard command."""
+
+from repro.cli import main
+
+
+class TestScorecardCommand:
+    def test_quick_scorecard_passes(self, capsys):
+        exit_code = main(["scorecard", "--quick"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "reproduction scorecard" in out
+        assert "0 fail" in out
+        assert "PASS" in out

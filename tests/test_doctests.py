@@ -1,0 +1,39 @@
+"""Run the executable examples embedded in module docstrings.
+
+The public API's doc examples must stay correct -- they are part of the
+documentation deliverable, so any drift fails here.
+"""
+
+import doctest
+
+import pytest
+
+import repro.cluster.events
+import repro.cluster.simulation
+import repro.cluster.topology
+import repro.codes.crs
+import repro.codes.lrc
+import repro.codes.piggyback.code
+import repro.codes.registry
+import repro.codes.replication
+import repro.codes.rs
+import repro.striping.codec
+
+MODULES = [
+    repro.cluster.events,
+    repro.cluster.topology,
+    repro.codes.crs,
+    repro.codes.lrc,
+    repro.codes.piggyback.code,
+    repro.codes.registry,
+    repro.codes.replication,
+    repro.codes.rs,
+    repro.striping.codec,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"
+    assert results.attempted > 0, "expected at least one doctest"
