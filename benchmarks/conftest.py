@@ -9,11 +9,25 @@ table, the timing is the cost of regenerating it.
 Run with::
 
     pytest benchmarks/ --benchmark-only
+
+Benches that call :func:`record_bench` additionally persist their
+metrics to ``BENCH_codec.json`` at the repository root, merged with any
+existing entries so partial runs (``-k rs``) never drop rows.  The file
+is the machine-readable perf trajectory: future PRs compare their
+numbers against it.
 """
 
 from __future__ import annotations
 
+import json
 import sys
+from pathlib import Path
+from typing import Dict
+
+#: Machine-readable bench report, at the repository root.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_codec.json"
+
+_RESULTS: Dict[str, Dict[str, float]] = {}
 
 
 def emit(text: str) -> None:
@@ -21,3 +35,27 @@ def emit(text: str) -> None:
     for humans reading the benchmark run with captured output disabled;
     use --capture=no to stream)."""
     sys.stdout.write("\n" + text + "\n")
+
+
+def record_bench(name: str, **metrics) -> None:
+    """Record one bench row for the machine-readable report.
+
+    ``name`` identifies the measurement (e.g. ``"RS(10,4).encode"``);
+    ``metrics`` are JSON-scalar values (MB/s, seconds, byte counts).
+    """
+    _RESULTS[name] = dict(metrics)
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RESULTS:
+        return
+    merged: Dict[str, Dict[str, float]] = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            merged = json.loads(BENCH_JSON_PATH.read_text())
+        except (ValueError, OSError):
+            merged = {}
+    merged.update(_RESULTS)
+    BENCH_JSON_PATH.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n"
+    )

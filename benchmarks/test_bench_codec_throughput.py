@@ -7,7 +7,7 @@ codec can keep up with the cluster's recovery rate; printed in MB/s of
 
 import numpy as np
 import pytest
-from conftest import emit
+from conftest import emit, record_bench
 
 from repro.analysis.report import render_kv
 from repro.codes.crs import CauchyBitmatrixRSCode
@@ -38,6 +38,11 @@ def test_encode_throughput(benchmark, name):
     benchmark(code.encode, data)
     mb_per_s = 10 * UNIT_SIZE / benchmark.stats["mean"] / 1e6
     emit(render_kv(f"{code.name} encode", {"MB_per_s": round(mb_per_s, 1)}))
+    record_bench(
+        f"{code.name}.encode",
+        MB_per_s=round(mb_per_s, 1),
+        mean_s=benchmark.stats["mean"],
+    )
 
 
 @pytest.mark.parametrize("name", list(CODES))
@@ -54,6 +59,12 @@ def test_decode_throughput(benchmark, name):
         f"{code.name} decode ({erased} erasures)",
         {"MB_per_s": round(mb_per_s, 1)},
     ))
+    record_bench(
+        f"{code.name}.decode",
+        MB_per_s=round(mb_per_s, 1),
+        mean_s=benchmark.stats["mean"],
+        erasures=erased,
+    )
 
 
 @pytest.mark.parametrize("name", list(CODES))
@@ -71,3 +82,9 @@ def test_repair_throughput(benchmark, name):
             "downloaded_units": downloaded / UNIT_SIZE,
         },
     ))
+    record_bench(
+        f"{code.name}.repair",
+        rebuilt_MB_per_s=round(mb_per_s, 1),
+        mean_s=benchmark.stats["mean"],
+        downloaded_units=downloaded / UNIT_SIZE,
+    )

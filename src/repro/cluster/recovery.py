@@ -118,7 +118,6 @@ class RecoveryService:
         self.trigger_fraction = trigger_fraction
         self.bandwidth_bytes_per_sec = bandwidth_bytes_per_sec
         self.stats = RecoveryStats()
-        self._plan_cache: Dict[Tuple[int, Tuple[int, ...]], RepairPlan] = {}
         self._pipe_free_at = 0.0
 
     # ------------------------------------------------------------------
@@ -219,9 +218,8 @@ class RecoveryService:
         return True
 
     def _plan_for(self, slot: int, available: Tuple[int, ...]) -> RepairPlan:
-        key = (slot, available)
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            plan = self.code.repair_plan(slot, available)
-            self._plan_cache[key] = plan
-        return plan
+        # The memo lives on the code instance
+        # (ErasureCode.repair_plan_cached), so every recovery service --
+        # and analysis code asking the same questions -- shares one
+        # cache per code.
+        return self.code.repair_plan_cached(slot, available)

@@ -124,19 +124,28 @@ class CauchyBitmatrixRSCode(ErasureCode):
             raise DecodingError(
                 f"{self.name} needs {self.k} surviving units, got {len(chosen)}"
             )
-        # Binary decoding matrix: the chosen nodes' strip rows.
-        rows = np.concatenate(
-            [np.arange(node * W, (node + 1) * W) for node in chosen]
+        # Binary decoding matrix: the chosen nodes' strip rows.  The
+        # (8k x 8k) GF(2) inversion is the expensive part of decode setup
+        # and depends only on which nodes were chosen, so memoise it.
+        inverse = self.memoized_decode_matrix(
+            tuple(chosen), lambda: self._binary_decode_inverse(chosen)
         )
-        matrix = self.expanded[rows]
-        # GF(2) inversion: reuse the GF(256) kernel -- on {0,1} entries
-        # its multiply degenerates to AND and its addition to XOR.
-        inverse = gf_inv_matrix(matrix, self.field)
         stacked = self._to_strips(
             np.vstack([available[node] for node in chosen])
         )
         data_strips = xor_encode_strips(inverse, stacked)
         return self._from_strips(data_strips, self.k)
+
+    def _binary_decode_inverse(self, chosen) -> np.ndarray:
+        """Invert the chosen nodes' strip rows over GF(2).
+
+        Reuses the GF(256) kernel -- on {0,1} entries its multiply
+        degenerates to AND and its addition to XOR.
+        """
+        rows = np.concatenate(
+            [np.arange(node * W, (node + 1) * W) for node in chosen]
+        )
+        return gf_inv_matrix(self.expanded[rows], self.field)
 
     # ------------------------------------------------------------------
     # Repair (same economics as RS)

@@ -130,8 +130,12 @@ class LRCCode(ErasureCode):
 
     def encode(self, data_units: np.ndarray) -> np.ndarray:
         data_units = self.validate_data_units(data_units)
-        parity = gf_matmul(self.generator[self.k :], data_units, self.field)
-        return np.vstack([data_units, parity])
+        stripe = np.empty((self.n, data_units.shape[1]), dtype=np.uint8)
+        stripe[: self.k] = data_units
+        gf_matmul(
+            self.generator[self.k :], data_units, self.field, out=stripe[self.k :]
+        )
+        return stripe
 
     def decode(self, available_units: Mapping[int, np.ndarray]) -> np.ndarray:
         unit_size = require_unit_shapes(available_units, self)
@@ -147,13 +151,28 @@ class LRCCode(ErasureCode):
                 f"{self.name}: surviving units {sorted(available)} do not "
                 f"span the data (rank < k)"
             )
-        matrix = self.generator[chosen]
+        inverse = self.memoized_decode_matrix(
+            tuple(chosen),
+            lambda: gf_inv_matrix(self.generator[chosen], self.field),
+        )
         stacked = np.vstack([available[node] for node in chosen])
-        data = gf_matmul(gf_inv_matrix(matrix, self.field), stacked, self.field)
+        data = gf_matmul(inverse, stacked, self.field)
         return data.reshape(self.k, unit_size)
 
     def _independent_rows(self, nodes: List[int]) -> Optional[List[int]]:
-        """Greedily pick ``k`` nodes whose generator rows are independent."""
+        """Greedily pick ``k`` nodes whose generator rows are independent.
+
+        Memoised per survivor tuple: the greedy rank checks dominate
+        plan/decode setup cost, and the simulator asks about the same few
+        survivor patterns over and over.
+        """
+        return self._memoize(
+            "_independent_rows_cache",
+            tuple(nodes),
+            lambda: self._independent_rows_uncached(nodes),
+        )
+
+    def _independent_rows_uncached(self, nodes: List[int]) -> Optional[List[int]]:
         chosen: List[int] = []
         for node in nodes:
             candidate = chosen + [node]

@@ -103,14 +103,16 @@ class PiggybackedRSCode(ErasureCode):
         half = data_units.shape[1] // 2
         a = data_units[:, :half]
         b = data_units[:, half:]
-        parity_a = gf_matmul(self._rs.parity_matrix, a, self.field)
-        parity_b = gf_matmul(self._rs.parity_matrix, b, self.field)
-        piggybacks = gf_matmul(self.design.matrix, a, self.field)
-        parity_b = np.bitwise_xor(parity_b, piggybacks)
-        stripe = np.zeros((self.n, data_units.shape[1]), dtype=np.uint8)
+        # Parities are computed straight into their stripe views; only
+        # the piggyback addend needs a temporary of its own.
+        stripe = np.empty((self.n, data_units.shape[1]), dtype=np.uint8)
         stripe[: self.k] = data_units
-        stripe[self.k :, :half] = parity_a
-        stripe[self.k :, half:] = parity_b
+        parity_a = stripe[self.k :, :half]
+        parity_b = stripe[self.k :, half:]
+        gf_matmul(self._rs.parity_matrix, a, self.field, out=parity_a)
+        gf_matmul(self._rs.parity_matrix, b, self.field, out=parity_b)
+        piggybacks = gf_matmul(self.design.matrix, a, self.field)
+        np.bitwise_xor(parity_b, piggybacks, out=parity_b)
         return stripe
 
     def decode(self, available_units: Mapping[int, np.ndarray]) -> np.ndarray:

@@ -29,8 +29,8 @@ from repro.errors import CodeConstructionError, DecodingError, RepairError
 from repro.gf import (
     GF256,
     DEFAULT_FIELD,
+    gf_inv_matrix,
     gf_matmul,
-    gf_solve,
     systematic_generator_from_cauchy,
     systematic_generator_from_vandermonde,
 )
@@ -111,8 +111,10 @@ class ReedSolomonCode(ErasureCode):
 
     def encode(self, data_units: np.ndarray) -> np.ndarray:
         data_units = self.validate_data_units(data_units)
-        parity_units = gf_matmul(self.parity_matrix, data_units, self.field)
-        return np.vstack([data_units, parity_units])
+        stripe = np.empty((self.n, data_units.shape[1]), dtype=np.uint8)
+        stripe[: self.k] = data_units
+        gf_matmul(self.parity_matrix, data_units, self.field, out=stripe[self.k :])
+        return stripe
 
     def decode(self, available_units: Mapping[int, np.ndarray]) -> np.ndarray:
         unit_size = require_unit_shapes(available_units, self)
@@ -128,9 +130,15 @@ class ReedSolomonCode(ErasureCode):
             raise DecodingError(
                 f"{self.name} needs {self.k} surviving units, got {len(chosen)}"
             )
-        decoding_matrix = self.generator[chosen]
+        # The inverted decoding matrix depends only on which k survivors
+        # were chosen; with single failures dominating (Section 2.2) the
+        # same few matrices recur constantly, so memoise the inversion.
+        inverse = self.memoized_decode_matrix(
+            tuple(chosen),
+            lambda: gf_inv_matrix(self.generator[chosen], self.field),
+        )
         stacked = np.vstack([available[node] for node in chosen])
-        data = gf_solve(decoding_matrix, stacked, self.field)
+        data = gf_matmul(inverse, stacked, self.field)
         return data.reshape(self.k, unit_size)
 
     # ------------------------------------------------------------------

@@ -21,6 +21,7 @@ from repro.gf.field import GF256, DEFAULT_FIELD
 from repro.gf.linalg import (
     gf_inv_matrix,
     gf_matmul,
+    gf_matmul_reference,
     gf_rank,
     gf_solve,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "GF256",
     "DEFAULT_FIELD",
     "gf_matmul",
+    "gf_matmul_reference",
     "gf_inv_matrix",
     "gf_rank",
     "gf_solve",

@@ -3,7 +3,15 @@
 :class:`GF256` wraps the log/antilog tables from :mod:`repro.gf.tables`
 and exposes element-wise field arithmetic on numpy ``uint8`` arrays (and on
 plain ints, which are treated as 0-d arrays).  Addition in GF(2^8) is XOR;
-multiplication and division are table lookups.
+multiplication is a single gather into a precomputed 256x256 product
+table (64 KiB per field), which is zero-correct by construction and needs
+no masking passes.  The log/antilog path is retained as the reference
+implementation (``mul_reference``, ``scale_reference``, ``dot_reference``)
+that property tests compare the table-driven kernels against.
+
+The bulk kernels (:meth:`GF256.scale`, :meth:`GF256.dot`,
+:meth:`GF256.matmul`) accept preallocated ``out=`` buffers and process
+payloads in cache-sized chunks so the gather + XOR-reduce stays hot in L2.
 
 A single module-level :data:`DEFAULT_FIELD` instance (the ``0x11D`` field)
 is shared by all codes in the library, so the tables are built exactly once
@@ -12,7 +20,7 @@ per process.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -20,6 +28,11 @@ from repro.errors import FieldError
 from repro.gf import tables
 
 ArrayLike = Union[int, np.ndarray]
+
+#: Chunk length (bytes) for the fused gather-then-XOR kernels.  256 KiB
+#: keeps the scratch buffer plus the accumulator slice resident in L2
+#: while amortising the Python-level loop over megabyte payloads.
+KERNEL_CHUNK = 1 << 18
 
 
 class GF256:
@@ -45,6 +58,10 @@ class GF256:
         self._inv = np.zeros(tables.FIELD_SIZE, dtype=np.uint8)
         for a in range(1, tables.FIELD_SIZE):
             self._inv[a] = self._exp[tables.GROUP_ORDER - self._log[a]]
+        # Full 256x256 product table: one gather per multiply, zero rows
+        # and columns included so no mask pass is ever needed.
+        self._prod = tables.build_product_table(self._exp, self._log)
+        self._prod.setflags(write=False)
 
     # ------------------------------------------------------------------
     # Normalisation helpers
@@ -80,7 +97,18 @@ class GF256:
     sub = add
 
     def mul(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
-        """Element-wise field multiplication via log/antilog tables."""
+        """Element-wise field multiplication: one product-table gather."""
+        arr_a = self._as_array(a)
+        arr_b = self._as_array(b)
+        result = self._prod[arr_a, arr_b]
+        return self._maybe_scalar(result, a, b)
+
+    def mul_reference(self, a: ArrayLike, b: ArrayLike) -> ArrayLike:
+        """Reference multiply via the log/antilog path with zero masking.
+
+        Kept (not used on any hot path) so property tests can assert the
+        product-table kernel is byte-identical to the textbook route.
+        """
         arr_a = self._as_array(a)
         arr_b = self._as_array(b)
         logs = self._log[arr_a] + self._log[arr_b]
@@ -134,9 +162,12 @@ class GF256:
             return self._maybe_scalar(result, a)
         if exponent < 0:
             return self.pow(self.inv(arr), -exponent)
-        logs = (self._log[arr].astype(np.int64) * exponent) % tables.GROUP_ORDER
-        result = self._exp[logs]
-        result = np.where(arr == 0, np.uint8(0), result)
+        # Build a 256-entry power table (0^e = 0 baked in), then gather:
+        # zero-correct with no mask pass over the operand array.
+        pow_table = np.zeros(tables.FIELD_SIZE, dtype=np.uint8)
+        logs = self._log[1:].astype(np.int64) * exponent
+        pow_table[1:] = self._exp[logs % tables.GROUP_ORDER]
+        result = pow_table[arr]
         return self._maybe_scalar(result, a)
 
     def exp(self, power: ArrayLike) -> ArrayLike:
@@ -165,13 +196,44 @@ class GF256:
     # Bulk helpers used by the codecs
     # ------------------------------------------------------------------
 
-    def scale(self, coefficient: int, payload: np.ndarray) -> np.ndarray:
+    def scale(
+        self,
+        coefficient: int,
+        payload: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Multiply every byte of ``payload`` by a scalar coefficient.
 
         This is the inner loop of systematic encoding: a parity byte
         stream is a linear combination of data byte streams.  A scalar of
-        0 returns zeros; a scalar of 1 returns a copy.
+        0 returns zeros; a scalar of 1 returns a copy.  The product-table
+        row makes the general case a single gather, zero-correct with no
+        mask pass.  ``out``, when given, receives the result in place
+        (it must be ``uint8`` and payload-shaped, and must not alias
+        ``payload``).
         """
+        payload = self._as_array(payload)
+        coefficient = int(coefficient)
+        if not 0 <= coefficient <= 255:
+            raise FieldError("coefficient must be in [0, 255]")
+        if out is None:
+            if coefficient == 0:
+                return np.zeros_like(payload)
+            if coefficient == 1:
+                return payload.copy()
+            return self._prod[coefficient][payload]
+        if out.shape != payload.shape or out.dtype != np.uint8:
+            raise FieldError("scale out= must be uint8 and payload-shaped")
+        if coefficient == 0:
+            out[...] = 0
+        elif coefficient == 1:
+            np.copyto(out, payload)
+        else:
+            np.take(self._prod[coefficient], payload, out=out)
+        return out
+
+    def scale_reference(self, coefficient: int, payload: np.ndarray) -> np.ndarray:
+        """Reference scale via the log/antilog path (property-test oracle)."""
         payload = self._as_array(payload)
         coefficient = int(coefficient)
         if not 0 <= coefficient <= 255:
@@ -185,21 +247,46 @@ class GF256:
         return np.where(payload == 0, np.uint8(0), result)
 
     def addmul(
-        self, accumulator: np.ndarray, coefficient: int, payload: np.ndarray
+        self,
+        accumulator: np.ndarray,
+        coefficient: int,
+        payload: np.ndarray,
+        scratch: Optional[np.ndarray] = None,
     ) -> None:
         """In-place ``accumulator ^= coefficient * payload``.
 
         ``accumulator`` must be a ``uint8`` array of the same shape as
         ``payload``.  This fused operation is what block encoders loop
-        over, one data block per iteration.
+        over, one data block per iteration.  ``scratch``, when given, is
+        a flat ``uint8`` buffer of at least ``payload.size`` elements that
+        the intermediate product is gathered into, so repeated calls
+        allocate nothing.
         """
         if accumulator.shape != np.shape(payload):
             raise FieldError("addmul operands must have identical shapes")
-        np.bitwise_xor(
-            accumulator, self.scale(coefficient, payload), out=accumulator
-        )
+        payload = self._as_array(payload)
+        coefficient = int(coefficient)
+        if not 0 <= coefficient <= 255:
+            raise FieldError("coefficient must be in [0, 255]")
+        if coefficient == 0:
+            return
+        if coefficient == 1:
+            np.bitwise_xor(accumulator, payload, out=accumulator)
+            return
+        row = self._prod[coefficient]
+        if scratch is None:
+            np.bitwise_xor(accumulator, row[payload], out=accumulator)
+        else:
+            product = scratch[: payload.size].reshape(payload.shape)
+            np.take(row, payload, out=product)
+            np.bitwise_xor(accumulator, product, out=accumulator)
 
-    def dot(self, coefficients: np.ndarray, payloads: np.ndarray) -> np.ndarray:
+    def dot(
+        self,
+        coefficients: np.ndarray,
+        payloads: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
         """Linear combination of byte streams.
 
         Parameters
@@ -209,6 +296,9 @@ class GF256:
         payloads:
             2-d array of shape ``(n, length)``; row ``i`` is a byte
             stream.
+        out:
+            Optional preallocated ``uint8`` result buffer of shape
+            ``(length,)``; must not alias ``payloads``.
 
         Returns
         -------
@@ -223,10 +313,99 @@ class GF256:
                 f"coefficient count {coefficients.shape[0]} does not match "
                 f"payload count {payloads.shape[0]}"
             )
+        length = payloads.shape[1]
+        if out is None:
+            out = np.zeros(length, dtype=np.uint8)
+        else:
+            if out.shape != (length,) or out.dtype != np.uint8:
+                raise FieldError("dot out= must be uint8 of shape (length,)")
+            out[...] = 0
+        self._accumulate_rows(coefficients, payloads, out)
+        return out
+
+    def dot_reference(
+        self, coefficients: np.ndarray, payloads: np.ndarray
+    ) -> np.ndarray:
+        """Reference dot built on :meth:`scale_reference` (test oracle)."""
+        coefficients = self._as_array(coefficients)
+        payloads = self._as_array(payloads)
+        if payloads.ndim != 2 or coefficients.ndim != 1:
+            raise FieldError("dot expects a 1-d coefficient vector and 2-d payloads")
+        if coefficients.shape[0] != payloads.shape[0]:
+            raise FieldError(
+                f"coefficient count {coefficients.shape[0]} does not match "
+                f"payload count {payloads.shape[0]}"
+            )
         result = np.zeros(payloads.shape[1], dtype=np.uint8)
         for coefficient, payload in zip(coefficients, payloads):
-            self.addmul(result, int(coefficient), payload)
+            np.bitwise_xor(
+                result, self.scale_reference(int(coefficient), payload), out=result
+            )
         return result
+
+    def matmul(
+        self,
+        a: np.ndarray,
+        b: np.ndarray,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Fused matrix product over the field: ``(m, n) @ (n, p)``.
+
+        ``a`` is a small coefficient matrix; ``b`` may be a wide payload
+        matrix (``p`` in the megabytes).  Each output row accumulates
+        product-table gathers chunk by chunk (:data:`KERNEL_CHUNK`
+        columns at a time) so the scratch buffer and the accumulator
+        slice stay cache-resident.  ``out``, when given, must be a
+        ``uint8`` array of shape ``(m, p)`` that does not alias ``b``;
+        it is zero-filled and returned.
+        """
+        a = self._as_array(a)
+        b = self._as_array(b)
+        if a.ndim != 2 or b.ndim != 2:
+            raise FieldError("matmul expects 2-d operands")
+        if a.shape[1] != b.shape[0]:
+            raise FieldError(
+                f"cannot multiply {a.shape} by {b.shape}: inner dimensions differ"
+            )
+        m, p = a.shape[0], b.shape[1]
+        if out is None:
+            out = np.zeros((m, p), dtype=np.uint8)
+        else:
+            if out.shape != (m, p) or out.dtype != np.uint8:
+                raise FieldError("matmul out= must be uint8 of shape (m, p)")
+            out[...] = 0
+        for i in range(m):
+            self._accumulate_rows(a[i], b, out[i])
+        return out
+
+    def _accumulate_rows(
+        self, coefficients: np.ndarray, payloads: np.ndarray, accumulator: np.ndarray
+    ) -> None:
+        """``accumulator ^= sum_j coefficients[j] * payloads[j]``, chunked.
+
+        The shared kernel behind :meth:`dot` and :meth:`matmul`: for each
+        cache-sized column chunk, gather each payload row through its
+        coefficient's product-table row into one scratch buffer and XOR
+        it into the accumulator slice.  Zero coefficients are skipped,
+        unit coefficients XOR directly.
+        """
+        length = payloads.shape[1]
+        prod = self._prod
+        scratch = np.empty(min(KERNEL_CHUNK, length), dtype=np.uint8)
+        for start in range(0, length, KERNEL_CHUNK):
+            stop = min(start + KERNEL_CHUNK, length)
+            segment_scratch = scratch[: stop - start]
+            acc = accumulator[start:stop]
+            for j in range(payloads.shape[0]):
+                coefficient = coefficients[j]
+                if coefficient == 0:
+                    continue
+                segment = payloads[j, start:stop]
+                if coefficient == 1:
+                    np.bitwise_xor(acc, segment, out=acc)
+                else:
+                    np.take(prod[coefficient], segment, out=segment_scratch)
+                    np.bitwise_xor(acc, segment_scratch, out=acc)
 
     def __repr__(self) -> str:
         return f"GF256(primitive_poly={self.primitive_poly:#x})"

@@ -28,14 +28,37 @@ def _field(field: Optional[GF256]) -> GF256:
 
 
 def gf_matmul(
-    a: np.ndarray, b: np.ndarray, field: Optional[GF256] = None
+    a: np.ndarray,
+    b: np.ndarray,
+    field: Optional[GF256] = None,
+    out: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Matrix product over GF(2^8).
 
     ``a`` has shape ``(m, n)`` and ``b`` shape ``(n, p)``; the result has
     shape ``(m, p)``.  ``b`` may be a wide payload matrix (``p`` in the
-    megabytes); the implementation iterates over the small ``n`` dimension
-    and vectorises along ``p``.
+    megabytes); the product runs through the field's fused
+    gather-then-XOR kernel (:meth:`~repro.gf.field.GF256.matmul`), which
+    processes cache-sized column chunks.  ``out``, when given, is a
+    preallocated ``uint8`` result buffer (it must not alias ``b``).
+    """
+    gf = _field(field)
+    a = np.atleast_2d(np.asarray(a, dtype=np.uint8))
+    b = np.atleast_2d(np.asarray(b, dtype=np.uint8))
+    if a.shape[1] != b.shape[0]:
+        raise LinearAlgebraError(
+            f"cannot multiply {a.shape} by {b.shape}: inner dimensions differ"
+        )
+    return gf.matmul(a, b, out=out)
+
+
+def gf_matmul_reference(
+    a: np.ndarray, b: np.ndarray, field: Optional[GF256] = None
+) -> np.ndarray:
+    """Reference matrix product: scalar row loop over the log/antilog path.
+
+    This is the pre-kernel implementation, kept so property tests can
+    assert the fused :func:`gf_matmul` is byte-identical to it.
     """
     gf = _field(field)
     a = np.atleast_2d(np.asarray(a, dtype=np.uint8))
@@ -51,7 +74,11 @@ def gf_matmul(
         for j in range(n):
             coefficient = int(a[i, j])
             if coefficient:
-                gf.addmul(result[i], coefficient, b[j])
+                np.bitwise_xor(
+                    result[i],
+                    gf.scale_reference(coefficient, b[j]),
+                    out=result[i],
+                )
     return result
 
 

@@ -106,13 +106,34 @@ def build_tables(primitive_poly: int = DEFAULT_PRIMITIVE_POLY) -> Tuple[np.ndarr
 def build_multiplication_table(
     primitive_poly: int = DEFAULT_PRIMITIVE_POLY,
 ) -> np.ndarray:
-    """Build the full 256x256 multiplication table.
+    """Build the full 256x256 multiplication table bit-by-bit.
 
-    Used by tests as an independent cross-check of the log/exp tables and
-    by callers who prefer a single gather per multiply.
+    This is the slow reference construction, retained as an independent
+    cross-check of :func:`build_product_table` (which derives the same
+    table from the log/antilog tables in one vectorised pass).
     """
     table = np.zeros((FIELD_SIZE, FIELD_SIZE), dtype=np.uint8)
     for a in range(FIELD_SIZE):
         for b in range(FIELD_SIZE):
             table[a, b] = _carryless_multiply_mod(a, b, primitive_poly)
+    return table
+
+
+def build_product_table(exp: np.ndarray, log: np.ndarray) -> np.ndarray:
+    """Derive the full 256x256 product table from (exp, log) tables.
+
+    ``table[a, b] == a * b`` in the field, including the zero row and
+    column, so a multiply is a single gather with no zero masking.  The
+    table costs 64 KiB and is built once per :class:`~repro.gf.field.GF256`
+    instance.
+
+    The sentinel in ``log[0]`` keeps the intermediate index sum within
+    the wrapped antilog table (max ``2 * ZERO_LOG_SENTINEL`` =
+    1022 < :data:`EXP_TABLE_LEN`); the zero row/column overwrite then
+    discards whatever those sentinel lookups produced.
+    """
+    index = log[:, None] + log[None, :]
+    table = exp[index]
+    table[0, :] = 0
+    table[:, 0] = 0
     return table

@@ -47,6 +47,13 @@ class StripeCodec:
 
     def __init__(self, code: ErasureCode):
         self.code = code
+        # Encode-path scratch: the (k, padded_width) data matrix is
+        # rebuilt for every stripe of a file, always at the same shape,
+        # so keep one buffer and refill it instead of reallocating.
+        self._data_buffer: Optional[np.ndarray] = None
+        # Shared read-only zero units for virtual padding slots, keyed
+        # by padded width.
+        self._zero_units: Dict[int, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     # Width and padding helpers
@@ -73,6 +80,15 @@ class StripeCodec:
         padded[: payload.shape[0]] = payload
         return padded
 
+    def _zero_unit(self, width: int) -> np.ndarray:
+        """Shared all-zeros unit for virtual padding slots (read-only)."""
+        zeros = self._zero_units.get(width)
+        if zeros is None:
+            zeros = np.zeros(width, dtype=np.uint8)
+            zeros.setflags(write=False)
+            self._zero_units[width] = zeros
+        return zeros
+
     def _data_matrix(
         self, layout: StripeLayout, data_blocks: Sequence[Optional[Block]]
     ) -> np.ndarray:
@@ -82,7 +98,12 @@ class StripeCodec:
                 f"blocks (None for virtual), got {len(data_blocks)}"
             )
         width = self.padded_width(layout)
-        matrix = np.zeros((layout.k, width), dtype=np.uint8)
+        matrix = self._data_buffer
+        if matrix is None or matrix.shape != (layout.k, width):
+            matrix = self._data_buffer = np.empty(
+                (layout.k, width), dtype=np.uint8
+            )
+        matrix[...] = 0
         for slot, block in enumerate(data_blocks):
             expected_id = layout.data_block_ids[slot]
             if expected_id is None:
@@ -106,7 +127,13 @@ class StripeCodec:
                 raise EncodingError(
                     f"block {block.block_id} has no payload to encode"
                 )
-            matrix[slot] = self._pad(block.payload, width)
+            payload = np.asarray(block.payload, dtype=np.uint8).reshape(-1)
+            if payload.shape[0] > width:
+                raise EncodingError(
+                    f"payload of {payload.shape[0]} bytes exceeds stripe "
+                    f"width {width}"
+                )
+            matrix[slot, : payload.shape[0]] = payload
         return matrix
 
     # ------------------------------------------------------------------
@@ -159,7 +186,7 @@ class StripeCodec:
         # knowledge for free (it costs no transfer).
         for slot in range(layout.k):
             if layout.data_block_ids[slot] is None and slot not in units:
-                units[slot] = np.zeros(width, dtype=np.uint8)
+                units[slot] = self._zero_unit(width)
         data = self.code.decode(units)
         restored = []
         for slot in range(layout.k):
@@ -205,7 +232,7 @@ class StripeCodec:
             if layout.data_block_ids[slot] is None:
                 virtual_slots.add(slot)
                 if slot not in units:
-                    units[slot] = np.zeros(width, dtype=np.uint8)
+                    units[slot] = self._zero_unit(width)
         plan = self.code.repair_plan(failed_slot, units.keys())
         rebuilt_unit, bytes_read = self.code.execute_repair(
             failed_slot, units, plan

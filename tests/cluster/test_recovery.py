@@ -102,14 +102,17 @@ class TestRecoverUnit:
             service.recover_unit(0, 0, time=0.0)
 
     def test_plan_cache_hits(self):
+        # Plans are memoised on the code instance, shared by every
+        # service protecting stripes with that code.
         service = make_service(ReedSolomonCode(10, 4))
         available = tuple(range(1, 14))
         first = service._plan_for(0, available)
         second = service._plan_for(0, available)
         assert first is second
-        assert len(service._plan_cache) == 1
+        cache = service.code.__dict__["_repair_plan_cache"]
+        assert len(cache) == 1
         service._plan_for(1, tuple(i for i in range(14) if i != 1))
-        assert len(service._plan_cache) == 2
+        assert len(cache) == 2
 
 
 class TestOnNodeFlagged:

@@ -1,0 +1,142 @@
+"""Tests for the code-layer memoisation of decode matrices and plans.
+
+The cluster replays the same few failure patterns constantly (98.08% of
+degraded stripes miss exactly one unit, Section 2.2), so codes memoise
+the inverted decoding matrix per survivor selection and the repair plan
+per (failed node, survivor set).  These tests pin down correctness of
+the keying: different survivor sets must never share cached state, and
+cached results must stay byte-identical to uncached decoding.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.base import MEMO_CAP
+from repro.codes.crs import CauchyBitmatrixRSCode
+from repro.codes.lrc import LRCCode
+from repro.codes.piggyback import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+
+
+def stripe_for(code, width=64, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=(code.k, width), dtype=np.uint8)
+    return data, code.encode(data)
+
+
+class TestDecodeMatrixCache:
+    @pytest.mark.parametrize(
+        "make_code",
+        [
+            lambda: ReedSolomonCode(10, 4),
+            lambda: CauchyBitmatrixRSCode(6, 3),
+            lambda: LRCCode(10, 2, 2),
+        ],
+        ids=["rs", "crs", "lrc"],
+    )
+    def test_distinct_survivor_sets_decode_correctly(self, make_code):
+        """Cached matrices must be keyed by survivor selection, not shared."""
+        code = make_code()
+        data, stripe = stripe_for(code)
+        # Three different erasure patterns, interleaved twice each, so a
+        # wrongly-shared cache entry would corrupt the second pass.
+        patterns = [(0,), (1,), (0, 1)]
+        for _ in range(2):
+            for erased in patterns:
+                available = {
+                    i: stripe[i] for i in range(code.n) if i not in erased
+                }
+                assert np.array_equal(code.decode(available), data), erased
+
+    def test_cache_populates_per_selection(self):
+        code = ReedSolomonCode(6, 3)
+        data, stripe = stripe_for(code)
+        code.decode({i: stripe[i] for i in range(1, code.n)})
+        code.decode({i: stripe[i] for i in range(2, code.n)})
+        cache = code.__dict__["_decode_matrix_cache"]
+        assert len(cache) == 2
+        # Keys are the sorted chosen-survivor tuples.
+        assert all(isinstance(key, tuple) for key in cache)
+
+    def test_all_data_available_skips_cache(self):
+        code = ReedSolomonCode(6, 3)
+        data, stripe = stripe_for(code)
+        code.decode({i: stripe[i] for i in range(code.k)})
+        assert "_decode_matrix_cache" not in code.__dict__
+
+    def test_cached_matrix_is_read_only(self):
+        code = ReedSolomonCode(6, 3)
+        __, stripe = stripe_for(code)
+        code.decode({i: stripe[i] for i in range(1, code.n)})
+        (matrix,) = code.__dict__["_decode_matrix_cache"].values()
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1
+
+    def test_cache_stays_bounded(self):
+        code = ReedSolomonCode(4, 2)
+        data, stripe = stripe_for(code)
+        for erased in [(0,), (1,), (2,), (3,)]:
+            available = {i: stripe[i] for i in range(code.n) if i not in erased}
+            assert np.array_equal(code.decode(available), data)
+        assert len(code.__dict__["_decode_matrix_cache"]) <= MEMO_CAP
+
+
+class TestRepairPlanCache:
+    def test_same_key_returns_same_plan(self):
+        code = PiggybackedRSCode(10, 4)
+        first = code.repair_plan_cached(3)
+        second = code.repair_plan_cached(3)
+        assert first is second
+
+    def test_explicit_survivors_key_separately(self):
+        code = ReedSolomonCode(10, 4)
+        implicit = code.repair_plan_cached(0)
+        explicit = code.repair_plan_cached(0, tuple(range(1, code.n)))
+        # Same semantics, distinct cache keys -- both must be valid plans.
+        assert implicit.failed_node == explicit.failed_node == 0
+        assert len(code.__dict__["_repair_plan_cache"]) == 2
+
+    def test_different_survivor_sets_get_different_plans(self):
+        code = ReedSolomonCode(10, 4)
+        all_alive = code.repair_plan_cached(0, tuple(range(1, 14)))
+        degraded = code.repair_plan_cached(0, tuple(range(2, 14)))
+        assert all_alive.nodes_contacted != degraded.nodes_contacted
+
+    def test_cached_plan_repairs_correctly(self):
+        code = PiggybackedRSCode(10, 4)
+        __, stripe = stripe_for(code)
+        available = {i: stripe[i] for i in range(1, code.n)}
+        for _ in range(2):  # second pass hits the cache
+            rebuilt, __ = code.execute_repair(0, available)
+            assert np.array_equal(rebuilt, stripe[0])
+
+
+class TestAverageDownloadMemoisation:
+    def test_values_unchanged_by_memoisation(self):
+        rs = ReedSolomonCode(10, 4)
+        assert rs.average_repair_download_units() == pytest.approx(10.0)
+        assert rs.average_repair_download_units() == pytest.approx(10.0)
+
+    def test_plans_not_rebuilt_on_second_call(self):
+        code = PiggybackedRSCode(10, 4)
+        calls = []
+        original = type(code).repair_plan
+
+        def counting(self, failed_node, available_nodes=None):
+            calls.append(failed_node)
+            return original(self, failed_node, available_nodes)
+
+        type(code).repair_plan = counting
+        try:
+            first = code.average_repair_download_units()
+            after_first = len(calls)
+            assert after_first == code.n
+            second = code.average_repair_download_units()
+            assert len(calls) == after_first  # memoised: no new plans
+            assert first == second
+            # The per-node plans were cached too, so the data-average
+            # reuses them without planning again.
+            code.average_data_repair_download_units()
+            assert len(calls) == after_first
+        finally:
+            type(code).repair_plan = original

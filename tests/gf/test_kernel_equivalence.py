@@ -1,0 +1,190 @@
+"""Property tests: table-driven kernels == retained reference paths.
+
+The GF(2^8) hot path runs on a precomputed 256x256 product table with
+fused gather-then-XOR kernels (``GF256.mul``/``scale``/``dot``/``matmul``
+and :func:`repro.gf.linalg.gf_matmul`).  The pre-kernel log/antilog
+implementations are retained as ``*_reference`` oracles; these tests
+assert byte-identical results across random inputs, deliberately
+including the 0 and 255 boundary elements and zero-coefficient /
+zero-payload edge cases.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf import tables
+from repro.gf.field import DEFAULT_FIELD, KERNEL_CHUNK
+from repro.gf.linalg import gf_matmul, gf_matmul_reference
+
+gf = DEFAULT_FIELD
+
+elements = st.integers(min_value=0, max_value=255)
+# Bias towards the boundary elements the zero-masking bugs live at.
+edge_biased = st.one_of(st.sampled_from([0, 1, 255]), elements)
+payloads = st.lists(edge_biased, min_size=0, max_size=300).map(
+    lambda xs: np.array(xs, dtype=np.uint8)
+)
+
+
+def random_matrix(draw, rows, cols):
+    data = draw(
+        st.lists(edge_biased, min_size=rows * cols, max_size=rows * cols)
+    )
+    return np.array(data, dtype=np.uint8).reshape(rows, cols)
+
+
+matrix_shapes = st.tuples(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=40),
+)
+
+
+class TestProductTable:
+    def test_matches_bitwise_reference_table(self):
+        reference = tables.build_multiplication_table()
+        derived = tables.build_product_table(gf._exp, gf._log)
+        assert np.array_equal(derived, reference)
+
+    def test_zero_row_and_column(self):
+        assert not gf._prod[0, :].any()
+        assert not gf._prod[:, 0].any()
+
+    def test_costs_64_kib(self):
+        assert gf._prod.nbytes == 64 * 1024
+
+
+class TestMulEquivalence:
+    @given(payloads, payloads)
+    @settings(max_examples=100)
+    def test_mul_matches_reference(self, xs, ys):
+        length = min(xs.shape[0], ys.shape[0])
+        xs, ys = xs[:length], ys[:length]
+        assert np.array_equal(gf.mul(xs, ys), gf.mul_reference(xs, ys))
+
+    def test_exhaustive_scalar_grid(self):
+        a = np.repeat(np.arange(256, dtype=np.uint8), 256)
+        b = np.tile(np.arange(256, dtype=np.uint8), 256)
+        assert np.array_equal(gf.mul(a, b), gf.mul_reference(a, b))
+
+
+class TestScaleEquivalence:
+    @given(elements, payloads)
+    @settings(max_examples=100)
+    def test_scale_matches_reference(self, coefficient, payload):
+        assert np.array_equal(
+            gf.scale(coefficient, payload),
+            gf.scale_reference(coefficient, payload),
+        )
+
+    @given(elements, payloads)
+    @settings(max_examples=50)
+    def test_scale_out_buffer_matches(self, coefficient, payload):
+        out = np.empty_like(payload)
+        returned = gf.scale(coefficient, payload, out=out)
+        assert returned is out
+        assert np.array_equal(out, gf.scale_reference(coefficient, payload))
+
+    def test_zero_coefficient_zeroes_any_payload(self):
+        payload = np.array([0, 1, 37, 255], dtype=np.uint8)
+        assert not gf.scale(0, payload).any()
+        out = np.full(4, 0xAB, dtype=np.uint8)
+        gf.scale(0, payload, out=out)
+        assert not out.any()
+
+    def test_zero_payload_stays_zero_for_all_coefficients(self):
+        payload = np.zeros(16, dtype=np.uint8)
+        for coefficient in (0, 1, 2, 128, 255):
+            assert not gf.scale(coefficient, payload).any()
+
+    def test_coefficient_255_on_all_elements(self):
+        payload = np.arange(256, dtype=np.uint8)
+        assert np.array_equal(
+            gf.scale(255, payload), gf.scale_reference(255, payload)
+        )
+
+    def test_out_of_range_coefficient_raises(self):
+        with pytest.raises(FieldError):
+            gf.scale(256, np.zeros(4, dtype=np.uint8))
+
+
+class TestPowEdgeCases:
+    def test_zero_base_zero_exponent_is_one(self):
+        assert gf.pow(0, 0) == 1
+
+    def test_zero_base_positive_exponents_are_zero(self):
+        for exponent in (1, 2, 254, 255, 1000):
+            assert gf.pow(0, exponent) == 0
+
+    def test_array_with_zeros_is_zero_correct(self):
+        arr = np.array([0, 1, 2, 0, 255], dtype=np.uint8)
+        result = gf.pow(arr, 3)
+        assert result[0] == 0 and result[3] == 0
+        assert result[1] == 1
+        assert result[2] == gf.mul(2, gf.mul(2, 2))
+        assert result[4] == gf.mul(255, gf.mul(255, 255))
+
+
+class TestDotEquivalence:
+    @given(st.data(), st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60)
+    def test_dot_matches_reference(self, data, n, length):
+        coefficients = random_matrix(data.draw, 1, n)[0]
+        payload = random_matrix(data.draw, n, length)
+        assert np.array_equal(
+            gf.dot(coefficients, payload),
+            gf.dot_reference(coefficients, payload),
+        )
+
+    def test_dot_out_buffer(self):
+        rng = np.random.default_rng(3)
+        coefficients = rng.integers(0, 256, size=6, dtype=np.uint8)
+        payload = rng.integers(0, 256, size=(6, 100), dtype=np.uint8)
+        out = np.full(100, 0x5A, dtype=np.uint8)
+        returned = gf.dot(coefficients, payload, out=out)
+        assert returned is out
+        assert np.array_equal(out, gf.dot_reference(coefficients, payload))
+
+
+class TestMatmulEquivalence:
+    @given(st.data(), matrix_shapes)
+    @settings(max_examples=60)
+    def test_matmul_matches_reference(self, data, shape):
+        m, n, p = shape
+        a = random_matrix(data.draw, m, n)
+        b = random_matrix(data.draw, n, p)
+        assert np.array_equal(
+            gf_matmul(a, b), gf_matmul_reference(a, b)
+        )
+
+    def test_matmul_out_buffer_and_views(self):
+        rng = np.random.default_rng(11)
+        a = rng.integers(0, 256, size=(4, 10), dtype=np.uint8)
+        b = rng.integers(0, 256, size=(10, 333), dtype=np.uint8)
+        expected = gf_matmul_reference(a, b)
+        out = np.full((4, 333), 0xFF, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(a, b, out=out), expected)
+        # Non-contiguous out view (columns of a wider buffer).
+        wide = np.zeros((4, 666), dtype=np.uint8)
+        gf_matmul(a, b, out=wide[:, :333])
+        assert np.array_equal(wide[:, :333], expected)
+        assert not wide[:, 333:].any()
+
+    def test_matmul_crosses_chunk_boundary(self):
+        """Payload wider than one kernel chunk exercises the chunk loop."""
+        rng = np.random.default_rng(13)
+        a = rng.integers(0, 256, size=(2, 3), dtype=np.uint8)
+        width = KERNEL_CHUNK + 1021
+        b = rng.integers(0, 256, size=(3, width), dtype=np.uint8)
+        assert np.array_equal(gf_matmul(a, b), gf_matmul_reference(a, b))
+
+    def test_matmul_zero_and_identity_coefficients(self):
+        b = np.arange(30, dtype=np.uint8).reshape(3, 10)
+        zero = np.zeros((2, 3), dtype=np.uint8)
+        assert not gf_matmul(zero, b).any()
+        eye = np.eye(3, dtype=np.uint8)
+        assert np.array_equal(gf_matmul(eye, b), b)
