@@ -11,10 +11,11 @@ Run with::
     pytest benchmarks/ --benchmark-only
 
 Benches that call :func:`record_bench` additionally persist their
-metrics to ``BENCH_codec.json`` at the repository root, merged with any
-existing entries so partial runs (``-k rs``) never drop rows.  The file
-is the machine-readable perf trajectory: future PRs compare their
-numbers against it.
+metrics to a ``BENCH_<report>.json`` file at the repository root
+(``BENCH_codec.json`` for codec kernels, ``BENCH_simulator.json`` for
+simulator throughput), merged with any existing entries so partial runs
+(``-k rs``) never drop rows.  The files are the machine-readable perf
+trajectory: future PRs compare their numbers against them.
 """
 
 from __future__ import annotations
@@ -24,10 +25,15 @@ import sys
 from pathlib import Path
 from typing import Dict
 
-#: Machine-readable bench report, at the repository root.
-BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_codec.json"
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
-_RESULTS: Dict[str, Dict[str, float]] = {}
+#: Machine-readable bench reports, at the repository root, by report key.
+BENCH_JSON_PATHS: Dict[str, Path] = {
+    "codec": _REPO_ROOT / "BENCH_codec.json",
+    "simulator": _REPO_ROOT / "BENCH_simulator.json",
+}
+
+_RESULTS: Dict[str, Dict[str, Dict[str, float]]] = {}
 
 
 def emit(text: str) -> None:
@@ -37,25 +43,29 @@ def emit(text: str) -> None:
     sys.stdout.write("\n" + text + "\n")
 
 
-def record_bench(name: str, **metrics) -> None:
+def record_bench(name: str, report: str = "codec", **metrics) -> None:
     """Record one bench row for the machine-readable report.
 
     ``name`` identifies the measurement (e.g. ``"RS(10,4).encode"``);
+    ``report`` selects the output file (a :data:`BENCH_JSON_PATHS` key);
     ``metrics`` are JSON-scalar values (MB/s, seconds, byte counts).
     """
-    _RESULTS[name] = dict(metrics)
+    if report not in BENCH_JSON_PATHS:
+        raise KeyError(
+            f"unknown bench report {report!r}; "
+            f"available: {sorted(BENCH_JSON_PATHS)}"
+        )
+    _RESULTS.setdefault(report, {})[name] = dict(metrics)
 
 
 def pytest_sessionfinish(session, exitstatus):
-    if not _RESULTS:
-        return
-    merged: Dict[str, Dict[str, float]] = {}
-    if BENCH_JSON_PATH.exists():
-        try:
-            merged = json.loads(BENCH_JSON_PATH.read_text())
-        except (ValueError, OSError):
-            merged = {}
-    merged.update(_RESULTS)
-    BENCH_JSON_PATH.write_text(
-        json.dumps(merged, indent=2, sort_keys=True) + "\n"
-    )
+    for report, rows in _RESULTS.items():
+        path = BENCH_JSON_PATHS[report]
+        merged: Dict[str, Dict[str, float]] = {}
+        if path.exists():
+            try:
+                merged = json.loads(path.read_text())
+            except (ValueError, OSError):
+                merged = {}
+        merged.update(rows)
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")

@@ -1,40 +1,83 @@
 """Bench: simulator throughput -- the substrate's own performance.
 
 Not a paper figure; measures how fast the discrete-event warehouse
-simulation itself runs (events and block recoveries per wall-clock
-second), which bounds how long the fig3a/fig3b reproductions take.
+simulation itself runs (simulated days and block recoveries per
+wall-clock second), which bounds how long the fig3a/fig3b reproductions
+and the multi-config sweeps take.
+
+The timed region is ``WarehouseSimulation.run()`` only -- construction
+(placement, trace calibration) happens in the per-round setup -- and the
+reported number is the *minimum* over rounds, the standard noise-robust
+choice for throughput floors.
+
+The recorded speedup compares against the frozen PR-1 simulator
+(scalar per-unit recovery, list-based stripe index) at this exact
+config, measured on the same machine that produced the batched numbers
+committed alongside.  ``REPRO_BENCH_SMOKE=1`` (set by CI, whose shared
+runners are not comparable to that machine) skips the wall-clock floor
+assertion but still fails if the batched fast path is disabled.
 """
 
-from conftest import emit
+import os
+
+from conftest import emit, record_bench
 
 from repro.analysis.report import render_kv
 from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import WarehouseSimulation
 
+#: Default bench config: 4 simulated days at the default production
+#: block density (``stripes_per_node=60``).
+BENCH_CONFIG = ClusterConfig(days=4.0, stripes_per_node=60.0, seed=8)
 
-def run_simulation():
-    config = ClusterConfig(days=4.0, stripes_per_node=30.0, seed=8)
-    simulation = WarehouseSimulation(config)
-    result = simulation.run()
-    return simulation, result
+#: PR-1 simulator throughput at BENCH_CONFIG: best-of-5 ``run()`` wall
+#: time 0.492 s for 4 simulated days (commit 4f03164, same machine as
+#: the numbers recorded in BENCH_simulator.json).
+PR1_BASELINE_DAYS_PER_SEC = 8.1
+
+#: Acceptance floor: the batched fast path must be at least this many
+#: times faster than the PR-1 baseline.
+SPEEDUP_FLOOR = 5.0
 
 
 def test_simulator_throughput(benchmark):
-    simulation, result = benchmark.pedantic(
-        run_simulation, rounds=2, iterations=1
-    )
-    seconds = benchmark.stats["mean"]
-    emit(render_kv(
-        "warehouse simulator throughput (4 simulated days)",
-        {
-            "wall_seconds": round(seconds, 2),
-            "des_events_per_s": round(
-                simulation.queue.events_processed / seconds
-            ),
-            "block_recoveries_per_s": round(
-                result.stats.blocks_recovered / seconds
-            ),
-            "simulated_days_per_s": round(4.0 / seconds, 2),
-        },
-    ))
+    state = {}
+
+    def setup():
+        state["simulation"] = WarehouseSimulation(BENCH_CONFIG)
+        return (), {}
+
+    def run():
+        state["result"] = state["simulation"].run()
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+    simulation, result = state["simulation"], state["result"]
+    assert simulation.recovery.batched, "batched fast path is disabled"
     assert result.stats.blocks_recovered > 0
+
+    seconds = benchmark.stats["min"]
+    days_per_sec = BENCH_CONFIG.days / seconds
+    speedup = days_per_sec / PR1_BASELINE_DAYS_PER_SEC
+    metrics = {
+        "wall_seconds_min": round(seconds, 4),
+        "simulated_days_per_s": round(days_per_sec, 1),
+        "block_recoveries_per_s": round(
+            result.stats.blocks_recovered / seconds
+        ),
+        "des_events_per_s": round(
+            simulation.queue.events_processed / seconds
+        ),
+        "pr1_baseline_days_per_s": PR1_BASELINE_DAYS_PER_SEC,
+        "speedup_vs_pr1": round(speedup, 2),
+        "batched_recovery": simulation.recovery.batched,
+    }
+    emit(render_kv(
+        "warehouse simulator throughput (4 simulated days, batched path)",
+        metrics,
+    ))
+    record_bench("simulator.throughput", report="simulator", **metrics)
+    if os.environ.get("REPRO_BENCH_SMOKE") != "1":
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"batched simulator is only {speedup:.2f}x the PR-1 baseline "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )

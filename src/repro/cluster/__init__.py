@@ -26,11 +26,23 @@ cluster:
 - :mod:`repro.cluster.traces` -- seeded generators calibrated to the
   paper's published statistics;
 - :mod:`repro.cluster.simulation` -- the assembled
-  :class:`~repro.cluster.simulation.WarehouseSimulation`.
+  :class:`~repro.cluster.simulation.WarehouseSimulation`;
+- :mod:`repro.cluster.sweep` -- the parallel multi-config sweep runner
+  (:func:`~repro.cluster.sweep.run_many` and friends).
 """
 
 from repro.cluster.config import ClusterConfig
-from repro.cluster.simulation import SimulationResult, WarehouseSimulation
+from repro.cluster.simulation import (
+    SimulationResult,
+    WarehouseSimulation,
+    run_code_comparison,
+)
+from repro.cluster.sweep import (
+    parallel_map,
+    replicated_configs,
+    run_many,
+    spawn_seeds,
+)
 from repro.cluster.topology import Topology
 
 __all__ = [
@@ -38,4 +50,9 @@ __all__ = [
     "Topology",
     "WarehouseSimulation",
     "SimulationResult",
+    "run_code_comparison",
+    "run_many",
+    "parallel_map",
+    "replicated_configs",
+    "spawn_seeds",
 ]

@@ -9,8 +9,14 @@ touches payloads, so stripe metadata is stored as dense numpy arrays:
   gives different stripes different widths);
 - ``missing[s, u]`` -- whether the unit is currently missing.
 
-An inverted index answers the hot query "which stripe units live on node
-X?" in O(units-on-node).
+The hot query "which stripe units live on node X?" is answered by a
+CSR-style inverted index: unit ids (``uid = stripe * width + slot``)
+grouped by node, with the group located by binary search.  Relocations
+do not rewrite the index; they append the moved uid to a small per-node
+overflow list (O(1)), and queries filter both the base segment and the
+overflow against the *current* placement, so stale entries drop out for
+free.  Once the overflow grows past a fraction of the store the index is
+rebuilt in one vectorised pass.
 """
 
 from __future__ import annotations
@@ -35,7 +41,7 @@ class StripeStore:
     """
 
     def __init__(self, placement: np.ndarray, unit_sizes: np.ndarray):
-        placement = np.asarray(placement, dtype=np.int64)
+        placement = np.ascontiguousarray(placement, dtype=np.int64)
         unit_sizes = np.asarray(unit_sizes, dtype=np.int64)
         if placement.ndim != 2:
             raise SimulationError(
@@ -64,23 +70,106 @@ class StripeStore:
     # ------------------------------------------------------------------
 
     def _rebuild_index(self) -> None:
-        """Node -> (stripe, slot) inverted index."""
-        index: Dict[int, List[Tuple[int, int]]] = {}
-        num_stripes, width = self.placement.shape
+        """Node -> unit-id inverted index, CSR-style.
+
+        ``_csr_uids`` holds every uid grouped by node (ascending uid
+        within each group at build time); ``_csr_keys`` holds the
+        matching node ids so one ``searchsorted`` finds a node's
+        segment.  ``_overflow`` collects uids relocated since the last
+        compaction.
+        """
         flat = self.placement.reshape(-1)
         order = np.argsort(flat, kind="stable")
-        stripes = order // width
-        slots = order % width
-        sorted_nodes = flat[order]
-        boundaries = np.flatnonzero(np.diff(sorted_nodes)) + 1
-        starts = np.concatenate([[0], boundaries])
-        ends = np.concatenate([boundaries, [flat.shape[0]]])
-        for start, end in zip(starts, ends):
-            node = int(sorted_nodes[start])
-            index[node] = list(
-                zip(stripes[start:end].tolist(), slots[start:end].tolist())
-            )
-        self._node_index = index
+        self._csr_uids = order
+        self._csr_keys = flat[order]
+        self._overflow: Dict[int, List[int]] = {}
+        self._overflow_count = 0
+        self._rebuild_threshold = max(64, flat.shape[0] // 4)
+
+    def _compact_index(self) -> None:
+        """Fold the overflow back into the base index, preserving order.
+
+        Compaction must not change what :meth:`_uids_on_node` returns
+        for any node (trajectories iterate those lists), so it replays
+        the query's own rules: stale base entries drop out in place and
+        each node's surviving overflow appends land at the end of its
+        segment.  A plain re-sort would silently reorder relocated-in
+        units back to uid order.
+        """
+        flat = self.placement.reshape(-1)
+        valid = flat[self._csr_uids] == self._csr_keys
+        base_uids = self._csr_uids[valid]
+        base_keys = self._csr_keys[valid]
+        if self._overflow:
+            chunks: List[np.ndarray] = []
+            prev = 0
+            for node in sorted(self._overflow):
+                kept = self._surviving_overflow(node, flat)
+                if not kept:
+                    continue
+                lo = int(np.searchsorted(base_keys, node, side="left"))
+                hi = int(np.searchsorted(base_keys, node, side="right"))
+                kept_arr = np.asarray(kept, dtype=np.int64)
+                segment = base_uids[lo:hi]
+                segment = segment[~np.isin(segment, kept_arr)]
+                chunks.append(base_uids[prev:lo])
+                chunks.append(segment)
+                chunks.append(kept_arr)
+                prev = hi
+            chunks.append(base_uids[prev:])
+            base_uids = np.concatenate(chunks)
+            base_keys = flat[base_uids]
+        self._csr_uids = base_uids
+        self._csr_keys = base_keys
+        self._overflow = {}
+        self._overflow_count = 0
+
+    def _surviving_overflow(self, node: int, flat: np.ndarray) -> List[int]:
+        """Overflow uids still on ``node``, keeping the *last* append of
+        each uid (a unit relocated here twice was re-appended by the
+        legacy list too), in arrival order."""
+        extra = self._overflow.get(node)
+        if not extra:
+            return []
+        seen = set()
+        kept: List[int] = []
+        for uid in reversed(extra):
+            if uid in seen:
+                continue
+            seen.add(uid)
+            if flat[uid] == node:
+                kept.append(uid)
+        kept.reverse()
+        return kept
+
+    def _uids_on_node(self, node: int) -> np.ndarray:
+        """Unit ids currently stored on a node.
+
+        Order matches the legacy list index exactly: never-relocated
+        units in uid order, then relocated-in units in arrival order --
+        so trajectories that iterate a node's units are reproducible
+        across the index representations.
+        """
+        node = int(node)
+        lo = np.searchsorted(self._csr_keys, node, side="left")
+        hi = np.searchsorted(self._csr_keys, node, side="right")
+        base = self._csr_uids[lo:hi]
+        if not self._overflow_count:
+            return base
+        flat = self.placement.reshape(-1)
+        base = base[flat[base] == node]
+        kept = self._surviving_overflow(node, flat)
+        if not kept:
+            return base
+        # Tiny sets: a python membership filter beats np.isin here.
+        kept_set = set(kept)
+        merged = [uid for uid in base.tolist() if uid not in kept_set]
+        merged.extend(kept)
+        return np.asarray(merged, dtype=np.int64)
+
+    def _pairs(self, uids: np.ndarray) -> List[Tuple[int, int]]:
+        width = self.placement.shape[1]
+        return list(zip((uids // width).tolist(), (uids % width).tolist()))
 
     # ------------------------------------------------------------------
     # Queries
@@ -96,11 +185,12 @@ class StripeStore:
 
     def units_on_node(self, node: int) -> List[Tuple[int, int]]:
         """(stripe, slot) pairs stored on a node."""
-        return list(self._node_index.get(int(node), ()))
+        return self._pairs(self._uids_on_node(node))
 
     def units_per_node(self) -> Dict[int, int]:
         """Node id -> number of stripe units stored there."""
-        return {node: len(units) for node, units in self._node_index.items()}
+        nodes, counts = np.unique(self.placement, return_counts=True)
+        return dict(zip(nodes.tolist(), counts.tolist()))
 
     def stripe_nodes(self, stripe: int) -> List[int]:
         """Node ids of one stripe's units, in slot order."""
@@ -113,13 +203,14 @@ class StripeStore:
     def missing_count(self, stripe: int) -> int:
         return int(self.missing[stripe].sum())
 
+    def degraded_uids_on_node(self, node: int) -> np.ndarray:
+        """Unit ids on a node whose unit is marked missing (bulk form)."""
+        uids = self._uids_on_node(node)
+        return uids[self.missing.reshape(-1)[uids]]
+
     def degraded_stripes_on_node(self, node: int) -> List[Tuple[int, int]]:
         """(stripe, slot) pairs on a node whose unit is marked missing."""
-        return [
-            (stripe, slot)
-            for stripe, slot in self.units_on_node(node)
-            if self.missing[stripe, slot]
-        ]
+        return self._pairs(self.degraded_uids_on_node(node))
 
     @property
     def total_physical_bytes(self) -> int:
@@ -132,10 +223,9 @@ class StripeStore:
 
     def mark_node_missing(self, node: int) -> List[Tuple[int, int]]:
         """Mark every unit on a node missing; returns the affected pairs."""
-        pairs = self.units_on_node(node)
-        for stripe, slot in pairs:
-            self.missing[stripe, slot] = True
-        return pairs
+        uids = self._uids_on_node(node)
+        self.missing.reshape(-1)[uids] = True
+        return self._pairs(uids)
 
     def mark_node_available(self, node: int) -> List[Tuple[int, int]]:
         """Clear the missing flag for units still mapped to this node.
@@ -143,30 +233,64 @@ class StripeStore:
         Used when a machine returns before its blocks were reconstructed
         elsewhere.
         """
-        pairs = [
-            (stripe, slot)
-            for stripe, slot in self.units_on_node(node)
-            if self.missing[stripe, slot]
-        ]
-        for stripe, slot in pairs:
-            self.missing[stripe, slot] = False
-        return pairs
+        uids = self._uids_on_node(node)
+        flat_missing = self.missing.reshape(-1)
+        uids = uids[flat_missing[uids]]
+        flat_missing[uids] = False
+        return self._pairs(uids)
 
     def relocate_unit(self, stripe: int, slot: int, new_node: int) -> None:
-        """Move a (rebuilt) unit to a new node and clear its missing flag."""
-        old_node = int(self.placement[stripe, slot])
+        """Move a (rebuilt) unit to a new node and clear its missing flag.
+
+        O(1): the inverted index absorbs the move as an overflow append
+        instead of rewriting a node's unit list.
+        """
+        stripe = int(stripe)
+        slot = int(slot)
         new_node = int(new_node)
-        if new_node in set(self.placement[stripe].tolist()) - {old_node}:
+        row = self.placement[stripe].tolist()
+        if new_node != row[slot] and new_node in row:
             raise SimulationError(
                 f"stripe {stripe} already has a unit on node {new_node}"
             )
         self.placement[stripe, slot] = new_node
         self.missing[stripe, slot] = False
-        old_list = self._node_index.get(old_node, [])
-        try:
-            old_list.remove((int(stripe), int(slot)))
-        except ValueError as exc:
+        self._overflow.setdefault(new_node, []).append(
+            stripe * self.placement.shape[1] + slot
+        )
+        self._overflow_count += 1
+        if self._overflow_count > self._rebuild_threshold:
+            self._compact_index()
+
+    def relocate_units(
+        self,
+        stripes: np.ndarray,
+        slots: np.ndarray,
+        new_nodes: np.ndarray,
+    ) -> None:
+        """Bulk :meth:`relocate_unit` over *distinct* stripes.
+
+        Equivalent to relocating each ``(stripes[i], slots[i])`` to
+        ``new_nodes[i]`` in order (the distinct-stripe requirement makes
+        the moves independent, so one vectorised write suffices).
+        """
+        rows = self.placement[stripes]
+        current = rows[np.arange(stripes.shape[0]), slots]
+        conflict = (rows == new_nodes[:, None]).any(axis=1) & (
+            new_nodes != current
+        )
+        if np.any(conflict):
+            i = int(np.flatnonzero(conflict)[0])
             raise SimulationError(
-                f"index out of sync for stripe {stripe} slot {slot}"
-            ) from exc
-        self._node_index.setdefault(new_node, []).append((int(stripe), int(slot)))
+                f"stripe {int(stripes[i])} already has a unit on node "
+                f"{int(new_nodes[i])}"
+            )
+        self.placement[stripes, slots] = new_nodes
+        self.missing[stripes, slots] = False
+        uids = stripes * self.placement.shape[1] + slots
+        overflow = self._overflow
+        for node, uid in zip(new_nodes.tolist(), uids.tolist()):
+            overflow.setdefault(node, []).append(uid)
+        self._overflow_count += stripes.shape[0]
+        if self._overflow_count > self._rebuild_threshold:
+            self._compact_index()

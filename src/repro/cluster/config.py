@@ -129,6 +129,10 @@ class ClusterConfig:
         recoveries occupy a shared pipe so per-block repair *latency*
         and degraded exposure become measurable (the Section 3.2
         recovery-time experiments).
+    batched_recovery:
+        Run flag-time recoveries through the vectorised per-node batch
+        path (results are identical to the scalar path; False keeps the
+        scalar oracle, mainly for equivalence tests and benchmarks).
     days:
         Simulated duration.
     seed:
@@ -159,6 +163,7 @@ class ClusterConfig:
     duration_floor_seconds: float = UNAVAILABILITY_THRESHOLD_SECONDS
     reads_per_stripe_per_day: float = 0.0
     recovery_bandwidth_bytes_per_sec: Optional[float] = None
+    batched_recovery: bool = True
     days: float = 24.0
     seed: int = 20130901  # arXiv submission date of the paper
 

@@ -11,12 +11,44 @@ rack constraint turns into cross-rack traffic.
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.cluster.topology import Topology
 from repro.errors import PlacementError
+
+
+def _sorted_with_first(mat: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Row-sorted matrix plus a mask of each row's first occurrences.
+
+    ``first.sum(axis=1)`` counts distinct values per row and
+    ``(mat <= v) & first`` counts distinct values <= v, the two
+    reductions batched candidate selection needs.
+    """
+    mat = np.sort(mat, axis=1)
+    first = np.ones(mat.shape, dtype=bool)
+    first[:, 1:] = mat[:, 1:] != mat[:, :-1]
+    return mat, first
+
+
+def _nth_not_excluded(
+    sorted_mat: np.ndarray, first: np.ndarray, idx: np.ndarray
+) -> np.ndarray:
+    """Per row: the ``idx``-th value *not* present in the row.
+
+    Least fixpoint of ``v = idx + |{distinct row values <= v}|`` -- the
+    vectorised form of the scalar bump loop in ``replacement_node``.
+    Converges within ``row width`` rounds because each bump skips at
+    least one distinct excluded value.
+    """
+    vals = idx
+    for _ in range(sorted_mat.shape[1] + 1):
+        bumped = idx + ((sorted_mat <= vals[:, None]) & first).sum(axis=1)
+        if np.array_equal(bumped, vals):
+            break
+        vals = bumped
+    return vals
 
 
 class PlacementPolicy(abc.ABC):
@@ -45,24 +77,101 @@ class PlacementPolicy(abc.ABC):
         Prefers a node on a rack hosting none of ``exclude_nodes`` (so
         the stripe stays rack-diverse after recovery); falls back to any
         node outside ``exclude_nodes``.
+
+        This is the hottest per-unit step of recovery, so instead of
+        materialising candidate arrays it draws an *index* into the
+        (ascending) candidate set and locates that candidate by order
+        statistics over the small sorted exclude set.
+        ``Generator.choice(a)`` consumes exactly one
+        ``integers(0, len(a))`` draw, so the rng stream -- and therefore
+        every trajectory -- is identical to the choice-based
+        formulation.
         """
-        exclude = {int(n) for n in exclude_nodes}
+        num_nodes = self.topology.num_nodes
+        nodes_per_rack = self.topology.nodes_per_rack
+        if isinstance(exclude_nodes, np.ndarray):
+            exclude_nodes = exclude_nodes.tolist()
+        # Out-of-range ids never excluded a real node or rack; drop them.
+        exclude = sorted(
+            {int(n) for n in exclude_nodes if 0 <= n < num_nodes}
+        )
         if prefer_new_rack:
-            used_racks = {self.topology.rack_of(n) for n in exclude}
-            free_racks = [
-                rack for rack in range(self.topology.num_racks)
-                if rack not in used_racks
-            ]
-            if free_racks:
-                rack = int(self.rng.choice(free_racks))
-                return int(self.rng.choice(self.topology.nodes_in_rack(rack)))
-        candidates = [
-            node for node in range(self.topology.num_nodes)
-            if node not in exclude
-        ]
-        if not candidates:
+            used_racks = sorted({n // nodes_per_rack for n in exclude})
+            num_free = self.topology.num_racks - len(used_racks)
+            if num_free:
+                # idx-th free rack == choice over ascending free racks.
+                rack = int(self.rng.integers(0, num_free))
+                for used in used_racks:
+                    if used <= rack:
+                        rack += 1
+                    else:
+                        break
+                offset = int(self.rng.integers(0, nodes_per_rack))
+                return rack * nodes_per_rack + offset
+        num_candidates = num_nodes - len(exclude)
+        if not num_candidates:
             raise PlacementError("no node available for replacement")
-        return int(self.rng.choice(candidates))
+        node = int(self.rng.integers(0, num_candidates))
+        for excluded in exclude:
+            if excluded <= node:
+                node += 1
+            else:
+                break
+        return node
+
+    def replacement_nodes(
+        self,
+        exclude_rows: np.ndarray,
+        extra_excludes: Sequence[int] = (),
+        prefer_new_rack: bool = True,
+    ) -> Optional[np.ndarray]:
+        """Batched :meth:`replacement_node` for many units at once.
+
+        ``exclude_rows[i]`` holds unit ``i``'s stripe nodes and
+        ``extra_excludes`` the cluster-wide down nodes; both must be
+        in-range node ids.  Consumes the rng stream exactly as the
+        equivalent sequence of ``replacement_node(row + extra)`` calls
+        (``Generator.integers`` with an array of highs draws
+        element-wise in order), so destinations are bit-identical.
+
+        Returns None when any unit would take the no-free-rack fallback
+        branch -- its draw count differs per unit, so the caller should
+        loop :meth:`replacement_node` instead (small clusters only; at
+        the paper's 100-rack scale a free rack always exists).
+        """
+        nodes_per_rack = self.topology.nodes_per_rack
+        num_units = exclude_rows.shape[0]
+        extra = np.asarray(extra_excludes, dtype=np.int64)
+        if extra.size:
+            exclude_mat = np.concatenate(
+                [
+                    exclude_rows,
+                    np.broadcast_to(extra, (num_units, extra.size)),
+                ],
+                axis=1,
+            )
+        else:
+            exclude_mat = exclude_rows
+        if prefer_new_rack:
+            rack_mat, first = _sorted_with_first(exclude_mat // nodes_per_rack)
+            num_free = self.topology.num_racks - first.sum(axis=1)
+            if not np.all(num_free > 0):
+                return None
+            # Interleave (free-rack draw, in-rack offset draw) per unit
+            # -- the scalar path's exact consumption order.
+            highs = np.empty(2 * num_units, dtype=np.int64)
+            highs[0::2] = num_free
+            highs[1::2] = nodes_per_rack
+            draws = self.rng.integers(0, highs)
+            racks = _nth_not_excluded(rack_mat, first, draws[0::2])
+            return racks * nodes_per_rack + draws[1::2]
+        node_mat, first = _sorted_with_first(exclude_mat)
+        num_candidates = self.topology.num_nodes - first.sum(axis=1)
+        if not np.all(num_candidates > 0):
+            return None
+        return _nth_not_excluded(
+            node_mat, first, self.rng.integers(0, num_candidates)
+        )
 
 
 class DistinctRackPlacement(PlacementPolicy):
@@ -95,6 +204,16 @@ class DistinctNodePlacement(PlacementPolicy):
         self, exclude_nodes: Sequence[int], prefer_new_rack: bool = False
     ) -> int:
         return super().replacement_node(exclude_nodes, prefer_new_rack)
+
+    def replacement_nodes(
+        self,
+        exclude_rows: np.ndarray,
+        extra_excludes: Sequence[int] = (),
+        prefer_new_rack: bool = False,
+    ) -> Optional[np.ndarray]:
+        return super().replacement_nodes(
+            exclude_rows, extra_excludes, prefer_new_rack
+        )
 
     def place_stripe(self, width: int) -> List[int]:
         if width > self.topology.num_nodes:

@@ -13,6 +13,19 @@ whatever the code's plan says.
 Repair plans are memoised per ``(failed slot, available slots)`` pattern
 -- with single failures dominating (98.08%, Section 2.2) the cache makes
 per-block planning O(1).
+
+Two equivalent paths execute a flagged node's recoveries:
+
+- :meth:`RecoveryService.recover_unit` -- one unit at a time; the test
+  oracle, and the only path when a finite recovery bandwidth serialises
+  recoveries through the shared pipe;
+- :meth:`RecoveryService.recover_node_batch` (default when bandwidth is
+  unlimited) -- groups the node's degraded units by their
+  ``(failed slot, availability bitmask)`` pattern, resolves each
+  distinct pattern once, and charges all resulting transfers through
+  :meth:`~repro.cluster.network.TrafficMeter.charge_batch` in one shot.
+  Destination draws happen in the same per-unit order as the scalar
+  path, so both paths produce bit-identical stats, meters, and stores.
 """
 
 from __future__ import annotations
@@ -96,6 +109,10 @@ class RecoveryService:
         Aggregate reconstruction bandwidth.  None (default) completes
         recoveries at flag time; a finite value serialises them through
         a shared pipe, recording per-block repair latencies.
+    batched:
+        Use the vectorised per-node fast path when recoveries complete
+        at flag time.  Results are identical either way; False keeps the
+        scalar oracle for equivalence tests.
     """
 
     def __init__(
@@ -108,6 +125,7 @@ class RecoveryService:
         rng: np.random.Generator,
         trigger_fraction: float = 1.0,
         bandwidth_bytes_per_sec: Optional[float] = None,
+        batched: bool = True,
     ):
         self.store = store
         self.state = state
@@ -117,8 +135,17 @@ class RecoveryService:
         self.rng = rng
         self.trigger_fraction = trigger_fraction
         self.bandwidth_bytes_per_sec = bandwidth_bytes_per_sec
+        self.batched = batched
         self.stats = RecoveryStats()
         self._pipe_free_at = 0.0
+        # (failed slot, availability bitmask) -> resolved plan arrays,
+        # or None for unrecoverable patterns.  The bitmask determines
+        # the available-slot tuple, so entries stay valid forever.
+        self._pattern_plans: Dict[
+            Tuple[int, int],
+            Optional[Tuple[RepairPlan, np.ndarray, np.ndarray]],
+        ] = {}
+        self._mask_weights: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Entry point (wired to FailureInjector.on_flagged)
@@ -130,30 +157,23 @@ class RecoveryService:
             self.stats.flagged_events_skipped += 1
             return
         self.stats.flagged_events_recovered += 1
-        for stripe, slot in self.store.degraded_stripes_on_node(node):
-            if self.bandwidth_bytes_per_sec is None:
-                self.recover_unit(stripe, slot, time)
-            else:
+        if self.bandwidth_bytes_per_sec is not None:
+            for stripe, slot in self.store.degraded_stripes_on_node(node):
                 self._enqueue_throttled(queue, stripe, slot, time)
+        elif self.batched:
+            self.recover_node_batch(node, time)
+        else:
+            for stripe, slot in self.store.degraded_stripes_on_node(node):
+                self.recover_unit(stripe, slot, time)
 
     def _enqueue_throttled(
         self, queue: EventQueue, stripe: int, slot: int, flag_time: float
     ) -> None:
         """Reserve the shared recovery pipe and schedule completion."""
         available = tuple(self.store.available_slots(stripe))
-        if len(available) < self.code.k:
-            self.stats.degraded_histogram[
-                self.store.width - len(available)
-            ] += 1
-            self.stats.unrecoverable_units += 1
-            return
-        try:
-            plan = self._plan_for(slot, available)
-        except RepairError:
-            self.stats.degraded_histogram[
-                self.store.width - len(available)
-            ] += 1
-            self.stats.unrecoverable_units += 1
+        plan = self._resolve_plan(slot, available)
+        if plan is None:
+            self._count_unrecoverable(self.store.width - len(available))
             return
         duration = plan.bytes_downloaded(
             int(self.store.unit_sizes[stripe])
@@ -174,7 +194,7 @@ class RecoveryService:
         queue.schedule(completion, complete, label="recovery-complete")
 
     # ------------------------------------------------------------------
-    # Per-unit recovery
+    # Per-unit recovery (the oracle path)
     # ------------------------------------------------------------------
 
     def recover_unit(self, stripe: int, slot: int, time: float) -> bool:
@@ -185,17 +205,11 @@ class RecoveryService:
             )
         available = tuple(self.store.available_slots(stripe))
         missing_count = self.store.width - len(available)
+        plan = self._resolve_plan(slot, available)
+        if plan is None:
+            self._count_unrecoverable(missing_count)
+            return False
         self.stats.degraded_histogram[missing_count] += 1
-        if len(available) < self.code.k:
-            self.stats.unrecoverable_units += 1
-            return False
-        try:
-            plan = self._plan_for(slot, available)
-        except RepairError:
-            # Non-MDS codes (LRC) can be unrecoverable even with k or
-            # more survivors, depending on which nodes failed.
-            self.stats.unrecoverable_units += 1
-            return False
         unit_size = int(self.store.unit_sizes[stripe])
         subunit_bytes = unit_size // self.code.substripes_per_unit
         stripe_nodes = self.store.stripe_nodes(stripe)
@@ -216,6 +230,159 @@ class RecoveryService:
         self.stats.blocks_recovered += 1
         self.stats.blocks_recovered_by_day[int(time // SECONDS_PER_DAY)] += 1
         return True
+
+    # ------------------------------------------------------------------
+    # Batched per-node recovery (the fast path)
+    # ------------------------------------------------------------------
+
+    def recover_node_batch(self, node: int, time: float) -> int:
+        """Rebuild every degraded unit of one node in a vectorised pass.
+
+        Equivalent to calling :meth:`recover_unit` for each degraded
+        (stripe, slot) of the node in index order -- same stats, meter
+        totals, rng draws, and final store state -- but plans are
+        resolved once per distinct failure pattern and all transfers are
+        metered in a single :meth:`TrafficMeter.charge_batch` call.
+        Returns the number of blocks recovered.
+        """
+        store = self.store
+        uids = store.degraded_uids_on_node(node)
+        if not uids.size:
+            return 0
+        width = store.width
+        stripes = uids // width
+        slots = uids % width
+        avail_rows = ~store.missing[stripes]
+        missing_counts = width - avail_rows.sum(axis=1)
+        # Pattern key: failed slot + availability bitmask.  Distinct
+        # patterns are few (98% of stripes miss exactly one unit), so a
+        # persistent pattern -> plan cache makes planning O(1) per unit.
+        if self._mask_weights is None or self._mask_weights.shape[0] != width:
+            self._mask_weights = np.int64(1) << np.arange(
+                width, dtype=np.int64
+            )
+        mask_keys = (avail_rows @ self._mask_weights).tolist()
+        key_list = list(zip(slots.tolist(), mask_keys))
+        plans = self._pattern_plans
+        missing_list = missing_counts.tolist()
+        # One pass: resolve each unit's pattern (memoised), account the
+        # unrecoverable ones, and group the recoverable ones by pattern
+        # (every unit of a pattern reads the same plan slots).
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        rec_list: List[int] = []
+        for i, key in enumerate(key_list):
+            try:
+                resolved = plans[key]
+            except KeyError:
+                available = tuple(np.flatnonzero(avail_rows[i]).tolist())
+                plan = self._resolve_plan(key[0], available)
+                resolved = None
+                if plan is not None:
+                    resolved = (
+                        plan,
+                        np.array(
+                            [r.node for r in plan.requests], dtype=np.int64
+                        ),
+                        np.array(
+                            [len(r.substripes) for r in plan.requests],
+                            dtype=np.int64,
+                        ),
+                    )
+                plans[key] = resolved
+            if resolved is None:
+                self._count_unrecoverable(missing_list[i])
+            else:
+                groups.setdefault(key, []).append(len(rec_list))
+                rec_list.append(i)
+        if not rec_list:
+            return 0
+        rec_idx = np.asarray(rec_list, dtype=np.int64)
+        rec_stripes = stripes[rec_idx]
+        rec_slots = slots[rec_idx]
+        rows = store.placement[rec_stripes]
+        down = self.state.down_nodes()
+        # One interleaved rng draw for every destination; falls back to
+        # the scalar per-unit draws when a unit has no free rack (same
+        # stream either way -- see PlacementPolicy.replacement_nodes).
+        destinations = self.placement.replacement_nodes(rows, down)
+        if destinations is None:
+            destinations = np.array(
+                [
+                    self.placement.replacement_node(row + down)
+                    for row in rows.tolist()
+                ],
+                dtype=np.int64,
+            )
+        for count, occurrences in enumerate(
+            np.bincount(missing_counts[rec_idx]).tolist()
+        ):
+            if occurrences:
+                self.stats.degraded_histogram[count] += occurrences
+        substripes = self.code.substripes_per_unit
+        subunit_sizes = store.unit_sizes[rec_stripes] // substripes
+        # Gather transfers per distinct pattern with one 2-d fancy index
+        # per group.  Transfer order differs from the scalar path but
+        # every meter aggregate is order-invariant.
+        src_chunks: List[np.ndarray] = []
+        dst_chunks: List[np.ndarray] = []
+        nbyte_chunks: List[np.ndarray] = []
+        for key, members in groups.items():
+            __, request_nodes, request_subunits = plans[key]
+            member_idx = np.asarray(members, dtype=np.int64)
+            src_chunks.append(rows[member_idx][:, request_nodes].ravel())
+            dst_chunks.append(
+                np.repeat(destinations[member_idx], request_nodes.shape[0])
+            )
+            nbyte_chunks.append(
+                (
+                    subunit_sizes[member_idx, None] * request_subunits[None, :]
+                ).ravel()
+            )
+        store.relocate_units(rec_stripes, rec_slots, destinations)
+        srcs = np.concatenate(src_chunks)
+        num_bytes = np.concatenate(nbyte_chunks)
+        self.meter.charge_batch(
+            np.full(srcs.shape[0], time),
+            srcs,
+            np.concatenate(dst_chunks),
+            num_bytes,
+            purpose="recovery",
+        )
+        recovered = int(rec_idx.size)
+        self.stats.bytes_downloaded += int(num_bytes.sum())
+        self.stats.blocks_recovered += recovered
+        self.stats.blocks_recovered_by_day[
+            int(time // SECONDS_PER_DAY)
+        ] += recovered
+        return recovered
+
+    # ------------------------------------------------------------------
+    # Shared plan resolution and failure accounting
+    # ------------------------------------------------------------------
+
+    def _resolve_plan(
+        self, slot: int, available: Tuple[int, ...]
+    ) -> Optional[RepairPlan]:
+        """Memoised plan lookup; None when the survivors cannot rebuild.
+
+        Non-MDS codes (LRC) can be unrecoverable even with k or more
+        survivors, depending on which nodes failed.
+        """
+        if len(available) < self.code.k:
+            return None
+        try:
+            return self._plan_for(slot, available)
+        except RepairError:
+            return None
+
+    def _count_unrecoverable(self, missing_count: int) -> None:
+        """One histogram + unrecoverable tick per failed repair attempt.
+
+        Shared by the immediate and throttled paths so neither can
+        double-count a stripe's degradation.
+        """
+        self.stats.degraded_histogram[missing_count] += 1
+        self.stats.unrecoverable_units += 1
 
     def _plan_for(self, slot: int, available: Tuple[int, ...]) -> RepairPlan:
         # The memo lives on the code instance

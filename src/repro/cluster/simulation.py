@@ -34,6 +34,7 @@ from repro.cluster.topology import Topology
 from repro.cluster.traces import generate_unavailability_events, stripe_unit_sizes
 from repro.cluster.workload import ReadStats, ReadWorkload
 from repro.codes.registry import create_code
+from repro.errors import SimulationError
 
 
 @dataclass
@@ -57,8 +58,8 @@ class SimulationResult:
     #: Section 2.2 item 2.
     degraded_fractions: Dict[str, float]
     degraded_histogram: Dict[int, int]
-    stats: RecoveryStats = field(repr=False, default=None)
-    meter: TrafficMeter = field(repr=False, default=None)
+    stats: Optional[RecoveryStats] = field(repr=False, default=None)
+    meter: Optional[TrafficMeter] = field(repr=False, default=None)
     read_stats: Optional[ReadStats] = field(repr=False, default=None)
 
     # ------------------------------------------------------------------
@@ -99,10 +100,14 @@ class SimulationResult:
 
     @property
     def total_cross_rack_bytes_scaled(self) -> float:
+        if self.meter is None:
+            raise SimulationError("result carries no traffic meter")
         return self.meter.cross_rack_bytes * self.block_scale
 
     @property
     def mean_bytes_per_recovered_block(self) -> float:
+        if self.stats is None:
+            raise SimulationError("result carries no recovery stats")
         if self.stats.blocks_recovered == 0:
             return 0.0
         return self.stats.bytes_downloaded / self.stats.blocks_recovered
@@ -155,6 +160,7 @@ class WarehouseSimulation:
             rng=recovery_rng,
             trigger_fraction=config.recovery_trigger_fraction,
             bandwidth_bytes_per_sec=config.recovery_bandwidth_bytes_per_sec,
+            batched=config.batched_recovery,
         )
         self.injector = FailureInjector(
             state=self.state,
@@ -204,16 +210,25 @@ class WarehouseSimulation:
 
 
 def run_code_comparison(
-    config: ClusterConfig, code_names: List[str], **per_code_params
+    config: ClusterConfig,
+    code_names: List[str],
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+    **per_code_params,
 ) -> Dict[str, SimulationResult]:
     """Run the identical failure history under several codes.
 
     ``per_code_params`` optionally maps a code name to its parameter
-    dict; codes not listed reuse ``config.code_params``.
+    dict; codes not listed reuse ``config.code_params``.  The per-code
+    runs are independent (the failure trace depends only on the seed),
+    so they execute through :func:`repro.cluster.sweep.run_many` -- one
+    process per code by default.
     """
-    results: Dict[str, SimulationResult] = {}
-    for name in code_names:
-        params = per_code_params.get(name, config.code_params)
-        run_config = config.with_code(name, **params)
-        results[name] = WarehouseSimulation(run_config).run()
-    return results
+    from repro.cluster.sweep import run_many
+
+    configs = [
+        config.with_code(name, **per_code_params.get(name, config.code_params))
+        for name in code_names
+    ]
+    results = run_many(configs, parallel=parallel, max_workers=max_workers)
+    return dict(zip(code_names, results))

@@ -1,0 +1,102 @@
+"""Parallel experiment-sweep runner.
+
+Multi-configuration experiments -- the RS vs Piggybacked-RS replay of
+§3.2, the unavailability-threshold and placement ablations, seed
+replications -- run completely independent simulations, so they
+parallelise trivially across processes.  :func:`run_many` is the one
+entry point: it maps :class:`~repro.cluster.config.ClusterConfig` values
+to :class:`~repro.cluster.simulation.SimulationResult` values in input
+order, using a :class:`~concurrent.futures.ProcessPoolExecutor` when
+that is worthwhile and falling back to an in-process loop otherwise.
+
+Determinism is unchanged by parallelism: every simulation derives all
+its random streams from its own config seed, so a parallel sweep returns
+byte-identical results to a serial one.  For *replicated* sweeps (same
+config, many seeds), :func:`spawn_seeds` derives statistically
+independent child seeds from one master seed via
+``numpy.random.SeedSequence.spawn`` -- never by seed arithmetic.
+
+Set ``REPRO_PARALLEL=0`` to force serial execution (useful on CI
+machines where process pools are unwelcome).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import SimulationResult, WarehouseSimulation
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _run_one(config: ClusterConfig) -> SimulationResult:
+    """Worker: one full simulation (module-level so it pickles)."""
+    return WarehouseSimulation(config).run()
+
+
+def _decide_parallel(num_tasks: int, parallel: Optional[bool]) -> bool:
+    if parallel is not None:
+        return parallel and num_tasks > 1
+    if os.environ.get("REPRO_PARALLEL", "1") == "0":
+        return False
+    return num_tasks > 1 and (os.cpu_count() or 1) > 1
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+) -> List[_R]:
+    """Order-preserving map over a process pool (or in-process).
+
+    ``fn`` must be a module-level callable and ``items`` picklable.
+    ``parallel=None`` auto-decides; exceptions raised by ``fn``
+    propagate regardless of the execution mode.
+    """
+    items = list(items)
+    if not _decide_parallel(len(items), parallel):
+        return [fn(item) for item in items]
+    workers = max_workers or min(len(items), os.cpu_count() or 1)
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError):
+        # Sandboxes without process spawning: degrade to serial.
+        return [fn(item) for item in items]
+
+
+def run_many(
+    configs: Sequence[ClusterConfig],
+    *,
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run one simulation per config; results come back in input order."""
+    return parallel_map(
+        _run_one, configs, parallel=parallel, max_workers=max_workers
+    )
+
+
+def spawn_seeds(master_seed: int, count: int) -> List[int]:
+    """Derive ``count`` independent child seeds from one master seed."""
+    if count < 0:
+        raise ValueError(f"cannot spawn {count} seeds")
+    children = np.random.SeedSequence(master_seed).spawn(count)
+    return [int(child.generate_state(1)[0]) for child in children]
+
+
+def replicated_configs(config: ClusterConfig, count: int) -> List[ClusterConfig]:
+    """Copies of one config under SeedSequence-spawned child seeds."""
+    return [
+        replace(config, seed=seed)
+        for seed in spawn_seeds(config.seed, count)
+    ]

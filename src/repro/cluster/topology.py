@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigError
 
 
@@ -62,6 +64,21 @@ class Topology:
     def rack_of(self, node_id: int) -> int:
         """Rack housing a node."""
         return self.validate_node(node_id) // self.nodes_per_rack
+
+    def validate_nodes(self, node_ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`validate_node` over an array of node ids."""
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        bad = (node_ids < 0) | (node_ids >= self.num_nodes)
+        if np.any(bad):
+            raise ConfigError(
+                f"node {int(node_ids[bad][0])} outside cluster of "
+                f"{self.num_nodes} nodes"
+            )
+        return node_ids
+
+    def racks_of(self, node_ids: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`rack_of` over an array of node ids."""
+        return self.validate_nodes(node_ids) // self.nodes_per_rack
 
     def node(self, node_id: int) -> Node:
         return Node(node_id=self.validate_node(node_id), rack_id=self.rack_of(node_id))

@@ -18,7 +18,6 @@ reconstruction traffic.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 import numpy as np
 
@@ -87,7 +86,6 @@ class ReadWorkload:
         self.rng = rng
         self.reads_per_stripe_per_day = reads_per_stripe_per_day
         self.stats = ReadStats()
-        self._plan_cache: Dict = {}
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -137,20 +135,18 @@ class ReadWorkload:
             self.stats.healthy_reads += 1
             self.stats.healthy_bytes += unit_size
             return True
-        # Degraded read: run the repair plan toward the client.
+        # Degraded read: run the repair plan toward the client.  Plans
+        # come from the shared per-code memo (repair_plan_cached), the
+        # same cache the recovery service populates.
         available = tuple(self.store.available_slots(stripe))
         if len(available) < self.code.k:
             self.stats.failed_reads += 1
             return False
-        key = (slot, available)
-        plan = self._plan_cache.get(key)
-        if plan is None:
-            try:
-                plan = self.code.repair_plan(slot, available)
-            except RepairError:
-                self.stats.failed_reads += 1
-                return False
-            self._plan_cache[key] = plan
+        try:
+            plan = self.code.repair_plan_cached(slot, available)
+        except RepairError:
+            self.stats.failed_reads += 1
+            return False
         subunit_bytes = unit_size // self.code.substripes_per_unit
         stripe_nodes = self.store.stripe_nodes(stripe)
         for request in plan.requests:

@@ -21,7 +21,7 @@ from typing import List, Optional, Tuple
 
 from repro.analysis.repair_cost import repair_cost_profile, repair_cost_table
 from repro.cluster.config import ClusterConfig
-from repro.cluster.simulation import WarehouseSimulation
+from repro.cluster.sweep import parallel_map, run_many
 from repro.codes.hitchhiker import hitchhiker_nonxor, hitchhiker_xor
 from repro.codes.lrc import LRCCode
 from repro.codes.piggyback import PiggybackDesign, PiggybackedRSCode
@@ -153,13 +153,18 @@ def run_threshold(
     """
     if base_config is None:
         base_config = ClusterConfig(days=days, seed=seed, stripes_per_node=30.0)
+    thresholds = (15, 30, 60, 120)
+    results = run_many(
+        [
+            replace(
+                base_config,
+                unavailability_threshold_seconds=threshold_minutes * 60.0,
+            )
+            for threshold_minutes in thresholds
+        ]
+    )
     rows = []
-    for threshold_minutes in (15, 30, 60, 120):
-        config = replace(
-            base_config,
-            unavailability_threshold_seconds=threshold_minutes * 60.0,
-        )
-        result = WarehouseSimulation(config).run()
+    for threshold_minutes, result in zip(thresholds, results):
         rows.append(
             {
                 "threshold_min": threshold_minutes,
@@ -205,6 +210,23 @@ def run_threshold(
     return result
 
 
+def _kr_point(kr: Tuple[int, int]) -> dict:
+    """One (k, r) grid point of :func:`run_kr_sweep` (module-level so
+    the sweep runner can dispatch it to worker processes)."""
+    k, r = kr
+    profile = repair_cost_profile(PiggybackedRSCode(k, r))
+    return {
+        "k": k,
+        "r": r,
+        "avg_data_repair_units": round(profile.average_data_units, 2),
+        "data_saving_%": round(
+            100 * (1 - profile.average_data_units / k), 1
+        ),
+        "all_saving_%": round(100 * (1 - profile.average_units / k), 1),
+        "connections": profile.max_connections,
+    }
+
+
 def run_kr_sweep() -> ExperimentResult:
     """Savings across (k, r): the paper's "arbitrary parameters" claim.
 
@@ -213,27 +235,8 @@ def run_kr_sweep() -> ExperimentResult:
     sweep quantifies the data-repair saving across the parameter grid,
     showing ~25-35% savings throughout -- not just at (10, 4).
     """
-    rows = []
-    for k in (4, 6, 8, 10, 12, 14):
-        for r in (2, 3, 4, 5):
-            code = PiggybackedRSCode(k, r)
-            profile = repair_cost_profile(code)
-            rows.append(
-                {
-                    "k": k,
-                    "r": r,
-                    "avg_data_repair_units": round(
-                        profile.average_data_units, 2
-                    ),
-                    "data_saving_%": round(
-                        100 * (1 - profile.average_data_units / k), 1
-                    ),
-                    "all_saving_%": round(
-                        100 * (1 - profile.average_units / k), 1
-                    ),
-                    "connections": profile.max_connections,
-                }
-            )
+    grid = [(k, r) for k in (4, 6, 8, 10, 12, 14) for r in (2, 3, 4, 5)]
+    rows = parallel_map(_kr_point, grid)
     production = next(row for row in rows if row["k"] == 10 and row["r"] == 4)
     all_positive = all(row["data_saving_%"] > 0 for row in rows)
     result = ExperimentResult(
@@ -270,19 +273,24 @@ def run_placement(
     to distinct machines and measures how much recovery traffic turns
     intra-rack (buying TOR relief at the cost of rack-fault tolerance).
     """
+    policies = ("distinct-rack", "distinct-node")
+    # A rack-scarce topology (15 racks of 200) makes the locality
+    # effect visible; production-scale rack counts dilute it.
+    results = run_many(
+        [
+            ClusterConfig(
+                days=days,
+                seed=seed,
+                num_racks=15,
+                nodes_per_rack=200,
+                stripes_per_node=30.0,
+                placement_policy=policy,
+            )
+            for policy in policies
+        ]
+    )
     rows = []
-    for policy in ("distinct-rack", "distinct-node"):
-        # A rack-scarce topology (15 racks of 200) makes the locality
-        # effect visible; production-scale rack counts dilute it.
-        config = ClusterConfig(
-            days=days,
-            seed=seed,
-            num_racks=15,
-            nodes_per_rack=200,
-            stripes_per_node=30.0,
-            placement_policy=policy,
-        )
-        result = WarehouseSimulation(config).run()
+    for policy, result in zip(policies, results):
         meter = result.meter
         total = meter.total_bytes
         rows.append(

@@ -29,7 +29,7 @@ from repro.analysis.capacity import OperatingPoint, codable_capacity_table
 from repro.analysis.growth import RaidConversionModel, weekly_growth_report
 from repro.analysis.oversubscription import UplinkModel
 from repro.cluster.config import ClusterConfig
-from repro.cluster.simulation import WarehouseSimulation
+from repro.cluster.sweep import run_many
 from repro.codes.hitchhiker import hitchhiker_xor
 from repro.codes.piggyback import PiggybackedRSCode
 from repro.codes.rs import ReedSolomonCode
@@ -139,8 +139,9 @@ def run_degraded(
             stripes_per_node=30.0,
             reads_per_stripe_per_day=reads_per_stripe_per_day,
         )
-    rs_result = WarehouseSimulation(config).run()
-    pb_result = WarehouseSimulation(config.with_code("piggyback")).run()
+    rs_result, pb_result = run_many(
+        [config, config.with_code("piggyback")]
+    )
     rs_reads, pb_reads = rs_result.read_stats, pb_result.read_stats
     assert rs_reads is not None and pb_reads is not None
     saving = (
@@ -275,8 +276,9 @@ def run_latency(
             stripes_per_node=25.0,
             recovery_bandwidth_bytes_per_sec=bandwidth_bytes_per_sec,
         )
-    rs_result = WarehouseSimulation(config).run()
-    pb_result = WarehouseSimulation(config.with_code("piggyback")).run()
+    rs_result, pb_result = run_many(
+        [config, config.with_code("piggyback")]
+    )
     rows = []
     latencies = {}
     for result in (rs_result, pb_result):
@@ -335,8 +337,9 @@ def run_uplink(
     """Recovery traffic as TOR-uplink utilisation, RS vs Piggybacked-RS."""
     if config is None:
         config = ClusterConfig(days=days, seed=seed, stripes_per_node=30.0)
-    rs_result = WarehouseSimulation(config).run()
-    pb_result = WarehouseSimulation(config.with_code("piggyback")).run()
+    rs_result, pb_result = run_many(
+        [config, config.with_code("piggyback")]
+    )
     model = UplinkModel(racks=config.num_racks, uplink_gbps=uplink_gbps)
     rows = [
         model.report(

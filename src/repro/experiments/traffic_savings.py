@@ -18,7 +18,7 @@ from typing import Optional
 
 from repro.analysis.traffic import estimate_cross_rack_savings
 from repro.cluster.config import PAPER_TARGETS, ClusterConfig
-from repro.cluster.simulation import WarehouseSimulation
+from repro.cluster.sweep import run_many
 from repro.codes.piggyback import PiggybackedRSCode
 from repro.experiments.runner import ExperimentResult, register_experiment
 
@@ -30,8 +30,11 @@ def run(
 ) -> ExperimentResult:
     if config is None:
         config = ClusterConfig(days=days, seed=seed, code_name="rs")
-    rs_result = WarehouseSimulation(config).run()
-    pb_result = WarehouseSimulation(config.with_code("piggyback")).run()
+    # The two replays share a failure history but are independent runs,
+    # so the sweep runner executes them on separate cores.
+    rs_result, pb_result = run_many(
+        [config, config.with_code("piggyback")]
+    )
 
     rs_median = rs_result.median_cross_rack_bytes_scaled
     pb_median = pb_result.median_cross_rack_bytes_scaled

@@ -1,0 +1,140 @@
+"""Equivalence: ``TrafficMeter.charge_batch`` vs repeated ``charge``.
+
+The scalar :meth:`~repro.cluster.network.TrafficMeter.charge` is the
+oracle; the batched path must reproduce every counter, every dict (keys
+included -- zero-byte transfers still create entries), and the transfer
+log exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.config import SECONDS_PER_DAY
+from repro.cluster.network import TrafficMeter
+from repro.cluster.topology import Topology
+from repro.errors import SimulationError
+
+NUM_RACKS = 4
+NODES_PER_RACK = 3
+NUM_NODES = NUM_RACKS * NODES_PER_RACK
+
+transfer_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=30 * SECONDS_PER_DAY, allow_nan=False),
+        st.integers(0, NUM_NODES - 1),
+        st.integers(0, NUM_NODES - 1),
+        st.integers(0, 10**12),
+    ).filter(lambda t: t[1] != t[2]),
+    max_size=60,
+)
+
+
+def fresh_meter() -> TrafficMeter:
+    return TrafficMeter(
+        Topology(NUM_RACKS, NODES_PER_RACK), record_transfers=True
+    )
+
+
+def as_arrays(batch):
+    return (
+        np.array([t for t, _, _, _ in batch], dtype=np.float64),
+        np.array([s for _, s, _, _ in batch], dtype=np.int64),
+        np.array([d for _, _, d, _ in batch], dtype=np.int64),
+        np.array([b for _, _, _, b in batch], dtype=np.int64),
+    )
+
+
+@given(batch=transfer_lists, purpose=st.sampled_from(["recovery", "read"]))
+@settings(max_examples=200, deadline=None)
+def test_charge_batch_equals_repeated_charge(batch, purpose):
+    scalar = fresh_meter()
+    batched = fresh_meter()
+    crossings = 0
+    for time, src, dst, num_bytes in batch:
+        crossings += bool(scalar.charge(time, src, dst, num_bytes, purpose))
+    times, srcs, dsts, sizes = as_arrays(batch)
+    assert batched.charge_batch(times, srcs, dsts, sizes, purpose) == crossings
+    assert batched.total_bytes == scalar.total_bytes
+    assert batched.cross_rack_bytes == scalar.cross_rack_bytes
+    assert batched.intra_rack_bytes == scalar.intra_rack_bytes
+    assert batched.num_transfers == scalar.num_transfers
+    assert dict(batched.bytes_by_purpose) == dict(scalar.bytes_by_purpose)
+    assert dict(batched.cross_rack_bytes_by_day) == dict(
+        scalar.cross_rack_bytes_by_day
+    )
+    assert dict(batched.bytes_by_switch) == dict(scalar.bytes_by_switch)
+    assert batched.transfers == scalar.transfers
+    assert (
+        batched.daily_cross_rack_series() == scalar.daily_cross_rack_series()
+    )
+
+
+@given(batches=st.lists(transfer_lists, max_size=4))
+@settings(max_examples=50, deadline=None)
+def test_interleaved_batches_accumulate(batches):
+    """Consecutive batches accumulate like one long scalar sequence."""
+    scalar = fresh_meter()
+    batched = fresh_meter()
+    for batch in batches:
+        for time, src, dst, num_bytes in batch:
+            scalar.charge(time, src, dst, num_bytes)
+        batched.charge_batch(*as_arrays(batch))
+    assert batched.total_bytes == scalar.total_bytes
+    assert dict(batched.bytes_by_switch) == dict(scalar.bytes_by_switch)
+    assert dict(batched.cross_rack_bytes_by_day) == dict(
+        scalar.cross_rack_bytes_by_day
+    )
+    assert batched.transfers == scalar.transfers
+
+
+class TestChargeBatchValidation:
+    def test_empty_batch_is_a_noop(self):
+        meter = fresh_meter()
+        empty = np.array([], dtype=np.int64)
+        assert meter.charge_batch(empty, empty, empty, empty) == 0
+        assert meter.total_bytes == 0
+        assert meter.num_transfers == 0
+        assert dict(meter.bytes_by_purpose) == {}
+
+    def test_length_mismatch_rejected(self):
+        meter = fresh_meter()
+        with pytest.raises(SimulationError, match="disagree in length"):
+            meter.charge_batch(
+                np.zeros(2), np.zeros(2, int), np.ones(2, int), np.zeros(1, int)
+            )
+
+    def test_negative_bytes_rejected(self):
+        meter = fresh_meter()
+        with pytest.raises(SimulationError, match="negative transfer"):
+            meter.charge_batch(
+                np.zeros(1),
+                np.array([0]),
+                np.array([1]),
+                np.array([-5]),
+            )
+
+    def test_self_loop_rejected(self):
+        meter = fresh_meter()
+        with pytest.raises(SimulationError, match="cannot transfer to itself"):
+            meter.charge_batch(
+                np.zeros(1),
+                np.array([3]),
+                np.array([3]),
+                np.array([10]),
+            )
+
+    def test_failed_batch_charges_nothing(self):
+        meter = fresh_meter()
+        with pytest.raises(SimulationError):
+            meter.charge_batch(
+                np.zeros(2),
+                np.array([0, 2]),
+                np.array([1, 2]),
+                np.array([10, 10]),
+            )
+        assert meter.total_bytes == 0
+        assert meter.num_transfers == 0

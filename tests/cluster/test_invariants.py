@@ -59,12 +59,11 @@ class TestStoreConsistency:
     def test_index_matches_placement_after_run(self, result):
         simulation, __ = result
         store = simulation.store
-        rebuilt_counts = {}
-        for node, units in store._node_index.items():
-            for stripe, slot in units:
+        total_indexed = 0
+        for node in range(simulation.config.num_nodes):
+            for stripe, slot in store.units_on_node(node):
                 assert store.placement[stripe, slot] == node
-                rebuilt_counts[node] = rebuilt_counts.get(node, 0) + 1
-        total_indexed = sum(rebuilt_counts.values())
+                total_indexed += 1
         assert total_indexed == store.placement.size
 
     def test_no_duplicate_nodes_within_stripes_after_relocations(self, result):
