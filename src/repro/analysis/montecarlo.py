@@ -58,6 +58,19 @@ def simulate_stripe_mttdl(
     Uses the standard memoryless race: in state ``i`` the sojourn is
     exponential with the total outgoing rate, and the next state is a
     failure with probability ``fail_rate / total``.
+
+    All trials advance in lock-step: each iteration draws one batch of
+    exponential sojourns and one batch of uniforms for every trial that
+    has not yet been absorbed (a state vector plus an alive mask), so
+    the Python-level work scales with the *longest* trial, not the sum.
+
+    RNG-stream semantics: draws are consumed in batches of
+    ``(sojourn[alive], uniform[alive])`` per step rather than strictly
+    per trial, so a given seed produces a different (equally valid)
+    sample than the historical per-trial loop.  The estimator's
+    distribution is unchanged -- unit exponentials scaled by ``1/total``
+    are exactly ``Exponential(total)`` -- and the Markov cross-check
+    only relies on statistical agreement, never on the stream order.
     """
     if n < 1 or r < 0 or r >= n:
         raise ConfigError(f"invalid parameters n={n}, r={r}")
@@ -70,20 +83,31 @@ def simulate_stripe_mttdl(
     if rng is None:
         rng = np.random.default_rng(0)
 
+    # Per-state outgoing rates for live states 0..r (state 0 never has a
+    # repair in flight, hence the leading 0.0).
+    live_states = np.arange(r + 1)
+    fail_rates = (n - live_states) * float(failure_rate)
+    repair_rate_by_state = np.concatenate(
+        ([0.0], np.asarray(repair_rates, dtype=float))
+    )
+    totals = fail_rates + repair_rate_by_state
+    p_fail = fail_rates / totals
+
     lifetimes = np.zeros(trials)
-    for trial in range(trials):
-        time = 0.0
-        state = 0
-        while state <= r:
-            fail_rate = (n - state) * failure_rate
-            repair_rate = float(repair_rates[state - 1]) if state >= 1 else 0.0
-            total = fail_rate + repair_rate
-            time += rng.exponential(1.0 / total)
-            if rng.random() < fail_rate / total:
-                state += 1
-            else:
-                state -= 1
-        lifetimes[trial] = time
+    states = np.zeros(trials, dtype=np.int64)
+    alive = np.ones(trials, dtype=bool)
+    while True:
+        active = np.flatnonzero(alive)
+        if active.size == 0:
+            break
+        current = states[active]
+        lifetimes[active] += (
+            rng.exponential(1.0, size=active.size) / totals[current]
+        )
+        failed_next = rng.random(active.size) < p_fail[current]
+        moved = current + np.where(failed_next, 1, -1)
+        states[active] = moved
+        alive[active] = moved <= r
     mean = float(lifetimes.mean())
     standard_error = float(lifetimes.std(ddof=1) / np.sqrt(trials))
     return MonteCarloMttdl(mean=mean, standard_error=standard_error, trials=trials)

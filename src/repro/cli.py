@@ -7,7 +7,9 @@ Subcommands:
 - ``repro run-all`` -- run every experiment (the full reproduction);
 - ``repro codes`` -- list registered erasure codes with their repair
   profiles;
-- ``repro simulate`` -- run a custom warehouse simulation.
+- ``repro simulate`` -- run a custom warehouse simulation;
+- ``repro pipeline`` -- measure file-encode throughput through the
+  batched codec / shared-memory pipeline.
 """
 
 from __future__ import annotations
@@ -134,6 +136,43 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.striping.pipeline import encode_file
+
+    params = {"k": args.k, "r": args.r}
+    if args.code == "lrc":
+        params = {"k": args.k, "l": 2, "g": 2}
+    code = create_code(args.code, **params)
+    size = int(args.size_mib * (1 << 20))
+    block_size = int(args.block_kib * 1024)
+    rng = np.random.default_rng(args.seed)
+    data = rng.integers(0, 256, size=size, dtype=np.uint8)
+    parallel = {"auto": None, "on": True, "off": False}[args.parallel]
+    best = None
+    result = None
+    for _ in range(max(1, args.rounds)):
+        start = time.perf_counter()
+        result = encode_file(
+            code, data, block_size, name="bench", parallel=parallel
+        )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    assert result is not None and best is not None
+    mb = size / 1e6
+    print(f"code: {code.name}  file: {mb:.0f} MB  "
+          f"block: {block_size // 1024} KiB  stripes: {len(result.layouts)}")
+    print(f"mode: {'parallel' if result.parallel_used else 'serial'} "
+          f"({result.shards} shard{'s' if result.shards != 1 else ''})")
+    print(f"encode throughput: {mb / best:.1f} MB/s "
+          f"(best of {max(1, args.rounds)}, {best * 1e3:.1f} ms)")
+    print(f"parity bytes: {result.parity_bytes:,}")
+    return 0
+
+
 #: Experiments that run multi-day cluster simulations.
 _HEAVY_EXPERIMENTS = {
     "fig3a", "fig3b", "tab_missing", "tab_traffic", "ext_degraded",
@@ -228,6 +267,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared recovery pipe in Gb/s (0 = instantaneous recovery)",
     )
     sim_parser.set_defaults(fn=_cmd_simulate)
+
+    pipe_parser = sub.add_parser(
+        "pipeline",
+        help="measure file-encode throughput (batched codec + shm pool)",
+    )
+    pipe_parser.add_argument("--code", default="rs", choices=available_codes())
+    pipe_parser.add_argument("--k", type=int, default=10)
+    pipe_parser.add_argument("--r", type=int, default=4)
+    pipe_parser.add_argument("--size-mib", type=float, default=64.0)
+    pipe_parser.add_argument("--block-kib", type=float, default=256.0)
+    pipe_parser.add_argument("--rounds", type=int, default=3)
+    pipe_parser.add_argument("--seed", type=int, default=0)
+    pipe_parser.add_argument(
+        "--parallel",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="process pool: auto-detect, force on, or force off",
+    )
+    pipe_parser.set_defaults(fn=_cmd_pipeline)
     return parser
 
 

@@ -67,7 +67,7 @@ class RaidNode:
         layouts = group_into_stripes(
             blocks, self.code.k, self.code.r, stripe_prefix=f"{name}/stripe"
         )
-        stripe_entries = []
+        slot_lists: List[List[Optional[Block]]] = []
         cursor = 0
         for layout in layouts:
             members = blocks[cursor : cursor + layout.real_data_count]
@@ -76,7 +76,15 @@ class RaidNode:
             real_iter = iter(members)
             for block_id in layout.data_block_ids:
                 data_slots.append(None if block_id is None else next(real_iter))
-            parities = self.codec.encode_stripe(layout, data_slots)
+            slot_lists.append(data_slots)
+        # One fused encode for the whole file; chunked payloads are
+        # contiguous, so the full stripes go through the zero-copy
+        # (s, k, w) path.  Placement still runs per stripe, in order.
+        parities_per_stripe = self.codec.encode_stripes(layouts, slot_lists)
+        stripe_entries = []
+        for layout, data_slots, parities in zip(
+            layouts, slot_lists, parities_per_stripe
+        ):
             stripe_entries.append(
                 self._place_stripe(layout, data_slots, parities, time)
             )
@@ -171,6 +179,19 @@ class RaidNode:
         rebuilt, bytes_read, plan = self.codec.repair_block(
             entry.layout, slot, available
         )
+        self._commit_rebuilt(entry, slot, rebuilt, plan, available, time)
+        return rebuilt, bytes_read
+
+    def _commit_rebuilt(
+        self,
+        entry: StripeEntry,
+        slot: int,
+        rebuilt: Block,
+        plan,
+        available: Dict[int, Block],
+        time: float,
+    ) -> None:
+        """Place a rebuilt block on a fresh node and meter its transfers."""
         live_nodes = [entry.locations[s] for s in available]
         down_nodes = [
             node.node_id
@@ -197,16 +218,46 @@ class RaidNode:
                     len(request.substripes) * sub_bytes,
                     purpose="recovery",
                 )
-        return rebuilt, bytes_read
 
     def reconstruct_all_missing(self, time: float = 0.0) -> int:
-        """Rebuild every missing member of every stripe; returns count."""
-        rebuilt = 0
+        """Rebuild every missing member of every stripe; returns count.
+
+        Stripes missing exactly one member -- 98.08% of degraded stripes
+        in the paper's measurement -- are repaired in one fused batch
+        per (failed slot, survivor pattern) group; multi-failure stripes
+        fall back to sequential scalar reconstruction, which re-reads
+        availability after every rebuild.  Placement draws happen in the
+        same stripe order either way, so placements are unchanged.
+        """
+        work = []
         for stripe_id, entry in self.namenode.stripes.items():
-            __, missing = self._stripe_availability(entry)
-            for slot in missing:
-                self.reconstruct_block(stripe_id, slot, time)
+            available, missing = self._stripe_availability(entry)
+            if missing:
+                work.append((stripe_id, entry, available, missing))
+        single = [
+            (index, item) for index, item in enumerate(work)
+            if len(item[3]) == 1
+        ]
+        repaired = {}
+        if single:
+            requests = [
+                (item[1].layout, item[3][0], item[2]) for __, item in single
+            ]
+            outcomes = self.codec.repair_blocks(requests)
+            for (index, __), outcome in zip(single, outcomes):
+                repaired[index] = outcome
+        rebuilt = 0
+        for index, (stripe_id, entry, available, missing) in enumerate(work):
+            if index in repaired:
+                block, __, plan = repaired[index]
+                self._commit_rebuilt(
+                    entry, missing[0], block, plan, available, time
+                )
                 rebuilt += 1
+            else:
+                for slot in missing:
+                    self.reconstruct_block(stripe_id, slot, time)
+                    rebuilt += 1
         return rebuilt
 
     def degraded_read(self, block_id: str, time: float = 0.0) -> np.ndarray:

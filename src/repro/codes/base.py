@@ -36,6 +36,18 @@ from repro.errors import DecodingError, EncodingError, RepairError
 #: everything a simulation run produces; beyond that, evict oldest-first.
 MEMO_CAP = 512
 
+#: Cap on memoised packed gather-table kernels.  Each entry holds about
+#: 1.25 MiB of tables for a (10, 4) code, so this cap bounds bytes, not
+#: just keys; the skewed failure-pattern distribution means a handful of
+#: entries gets a near-perfect hit rate anyway.
+PACKED_CACHE_CAP = 16
+
+#: Below this unit width a stripe batch is pooled into one ``(k, s*w)``
+#: matrix so a single packed-kernel call amortises per-stripe Python
+#: overhead; at or above it each stripe already fills whole kernel
+#: chunks and pooling would only add copies.
+POOL_WIDTH = 1 << 12
+
 #: Sentinel distinguishing "not cached" from a cached ``None``.
 _MEMO_MISSING = object()
 
@@ -282,15 +294,34 @@ class ErasureCode(abc.ABC):
     # failure patterns millions of times, which makes these caches
     # effectively O(1) lookups on the recovery hot path.
 
-    def _memoize(self, cache_name: str, key, builder: Callable):
-        """Return ``builder()`` memoised under ``key`` in a capped cache."""
+    def __getstate__(self):
+        """Pickle without memoised caches.
+
+        The caches (``*_cache`` attributes) are pure derived state and
+        can hold megabytes of packed gather tables; dropping them keeps
+        code objects cheap to ship to pipeline worker processes, which
+        rebuild whatever they need on first use.
+        """
+        return {
+            name: value
+            for name, value in self.__dict__.items()
+            if not name.endswith("_cache")
+        }
+
+    def _memoize(self, cache_name: str, key, builder: Callable, cap: int = MEMO_CAP):
+        """Return ``builder()`` memoised under ``key`` in a capped cache.
+
+        ``cap`` defaults to :data:`MEMO_CAP`; callers caching large
+        values (e.g. packed gather tables, ~1.25 MiB each) pass a much
+        smaller cap so the cache stays bounded in bytes, not just keys.
+        """
         cache = self.__dict__.get(cache_name)
         if cache is None:
             cache = self.__dict__[cache_name] = OrderedDict()
         value = cache.get(key, _MEMO_MISSING)
         if value is _MEMO_MISSING:
             value = builder()
-            while len(cache) >= MEMO_CAP:
+            while len(cache) >= cap:
                 cache.popitem(last=False)
             cache[key] = value
         else:
@@ -428,6 +459,222 @@ class ErasureCode(abc.ABC):
                 bytes_downloaded += payload.shape[0]
         rebuilt = self.repair(failed_node, fetched)
         return rebuilt, bytes_downloaded
+
+    # ------------------------------------------------------------------
+    # Batched operations (many stripes at once)
+    # ------------------------------------------------------------------
+    #
+    # The batched data plane stacks ``s`` same-width stripes and runs the
+    # fused kernels once per batch instead of once per stripe.  The
+    # defaults below are deliberately plain per-stripe loops over the
+    # scalar methods: they define the semantics, and the hypothesis
+    # equivalence suite pins every fused override to them byte-for-byte.
+    # Subclasses override ``parity_batch`` / ``decode_batch`` /
+    # ``execute_repair_batch`` with packed-table kernels; the scalar
+    # ``encode`` / ``decode`` / ``execute_repair`` paths stay untouched
+    # as the oracles.
+
+    def validate_batch_data(self, data: np.ndarray) -> np.ndarray:
+        """Check shape/dtype of a ``(s, k, w)`` stripe batch."""
+        data = np.asarray(data)
+        if data.ndim != 3:
+            raise EncodingError(
+                f"expected 3-d (stripes, k, unit_size) data, got shape "
+                f"{data.shape}"
+            )
+        if data.shape[1] != self.k:
+            raise EncodingError(
+                f"{self.name} expects {self.k} data units per stripe, "
+                f"got {data.shape[1]}"
+            )
+        unit_size = data.shape[2]
+        if unit_size <= 0:
+            raise EncodingError("unit size must be positive")
+        if unit_size % self.substripes_per_unit:
+            raise EncodingError(
+                f"unit size {unit_size} must be divisible by "
+                f"{self.substripes_per_unit} substripes"
+            )
+        if data.dtype != np.uint8:
+            data = data.astype(np.uint8)
+        return data
+
+    @staticmethod
+    def batch_unit_rows(
+        available_units: Mapping[int, "np.ndarray | Sequence[np.ndarray]"],
+    ) -> Tuple[int, int, Dict[int, List[np.ndarray]]]:
+        """Normalise a batched survivor map to per-stripe row views.
+
+        ``available_units`` maps stripe index to either a ``(s, w)``
+        uint8 array or a sequence of ``s`` equal-length 1-d uint8 rows
+        (the latter lets callers pass zero-copy views of payloads that
+        do not live in one contiguous buffer).  Returns
+        ``(s, w, {node: [row_0, ..., row_{s-1}]})``.
+        """
+        if not available_units:
+            raise RepairError("no surviving units supplied to batch repair")
+        stripes: Optional[int] = None
+        width: Optional[int] = None
+        rows_by_node: Dict[int, List[np.ndarray]] = {}
+        for node, value in available_units.items():
+            if isinstance(value, np.ndarray) and value.ndim == 2:
+                rows = list(value)
+            else:
+                rows = [np.asarray(row) for row in value]
+            if stripes is None:
+                stripes = len(rows)
+            elif len(rows) != stripes:
+                raise RepairError(
+                    f"node {node} supplies {len(rows)} stripes, "
+                    f"expected {stripes}"
+                )
+            for row in rows:
+                if row.ndim != 1 or row.dtype != np.uint8:
+                    raise RepairError(
+                        f"node {node} batch rows must be 1-d uint8"
+                    )
+                if width is None:
+                    width = row.shape[0]
+                elif row.shape[0] != width:
+                    raise RepairError(
+                        f"node {node} batch rows disagree in width: "
+                        f"{row.shape[0]} != {width}"
+                    )
+            rows_by_node[node] = rows
+        assert stripes is not None and width is not None
+        if stripes == 0:
+            raise RepairError("batch repair of zero stripes")
+        return stripes, width, rows_by_node
+
+    def parity_batch(
+        self, data: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Parity units for a batch: ``(s, k, w) -> (s, r, w)``.
+
+        ``out`` may be any array view whose per-unit rows ``out[t, j]``
+        are C-contiguous (e.g. the ``[:, k:, :]`` slice of a full
+        ``(s, n, w)`` stripe batch).  Default: per-stripe scalar encode.
+        """
+        data = self.validate_batch_data(data)
+        stripes, _, width = data.shape
+        if out is None:
+            out = np.empty((stripes, self.r, width), dtype=np.uint8)
+        for t in range(stripes):
+            out[t] = self.encode(data[t])[self.k :]
+        return out
+
+    def encode_batch(self, data: np.ndarray) -> np.ndarray:
+        """Systematically encode a stripe batch: ``(s, k, w) -> (s, n, w)``.
+
+        Generic over ``parity_batch``: allocates the output, copies the
+        systematic rows, and computes parity into the trailing view, so
+        codes only override :meth:`parity_batch` to get a fused encode.
+        """
+        data = self.validate_batch_data(data)
+        stripes, _, width = data.shape
+        out = np.empty((stripes, self.n, width), dtype=np.uint8)
+        out[:, : self.k] = data
+        self.parity_batch(data, out=out[:, self.k :, :])
+        return out
+
+    def decode_batch(
+        self,
+        available_units: Mapping[int, "np.ndarray | Sequence[np.ndarray]"],
+    ) -> np.ndarray:
+        """Recover data units for a stripe batch: values ``(s, w)`` -> ``(s, k, w)``.
+
+        Every stripe in the batch must share the same survivor set.
+        Default: per-stripe scalar decode.
+        """
+        stripes, width, rows_by_node = self.batch_unit_rows(available_units)
+        out = np.empty((stripes, self.k, width), dtype=np.uint8)
+        for t in range(stripes):
+            out[t] = self.decode(
+                {node: rows[t] for node, rows in rows_by_node.items()}
+            )
+        return out
+
+    def execute_repair_batch(
+        self,
+        failed_node: int,
+        available_units: Mapping[int, "np.ndarray | Sequence[np.ndarray]"],
+        plan: Optional[RepairPlan] = None,
+    ) -> Tuple[np.ndarray, int]:
+        """Repair the same failed node across a stripe batch.
+
+        ``available_units`` maps surviving node to that node's units
+        across the batch (``(s, w)`` array or sequence of ``s`` rows);
+        every stripe shares the failure pattern, which is how the
+        batched codec groups its work (98.08% of degraded stripes miss
+        exactly one unit, Section 2.2, so the same pattern recurs
+        across thousands of stripes).
+
+        Returns
+        -------
+        (rebuilt ``(s, w)`` array, total bytes downloaded)
+        """
+        failed_node = self.validate_node_index(failed_node)
+        stripes, width, rows_by_node = self.batch_unit_rows(available_units)
+        if plan is None:
+            plan = self.repair_plan_cached(failed_node, rows_by_node.keys())
+        out = np.empty((stripes, width), dtype=np.uint8)
+        bytes_downloaded = 0
+        for t in range(stripes):
+            rebuilt, transferred = self.execute_repair(
+                failed_node,
+                {node: rows[t] for node, rows in rows_by_node.items()},
+                plan=plan,
+            )
+            out[t] = rebuilt
+            bytes_downloaded += transferred
+        return out, bytes_downloaded
+
+    def _apply_packed_parity(
+        self,
+        kernel,
+        data: np.ndarray,
+        out: np.ndarray,
+        accumulate: bool = False,
+    ) -> None:
+        """Drive a :class:`~repro.gf.packed.PackedMatmul` over a batch.
+
+        ``data`` is a validated ``(s, k, w)`` batch and ``out`` any view
+        whose rows ``out[t, j]`` are 1-d; narrow batches are pooled into
+        one ``(rows, s*w)`` call (see :data:`POOL_WIDTH`), wide ones run
+        per-stripe on zero-copy row views.
+        """
+        stripes, _, width = data.shape
+        rows_out = out.shape[1]
+        if width < POOL_WIDTH and stripes > 1:
+            pooled = np.ascontiguousarray(
+                np.moveaxis(data, 1, 0).reshape(data.shape[1], stripes * width)
+            )
+            pooled_out = np.empty((rows_out, stripes * width), dtype=np.uint8)
+            kernel.apply(list(pooled), list(pooled_out))
+            unpooled = np.moveaxis(
+                pooled_out.reshape(rows_out, stripes, width), 1, 0
+            )
+            if accumulate:
+                np.bitwise_xor(out, unpooled, out=out)
+            else:
+                out[:] = unpooled
+        else:
+            for t in range(stripes):
+                kernel.apply(list(data[t]), list(out[t]), accumulate=accumulate)
+
+    @property
+    def has_fused_batch(self) -> bool:
+        """Whether any batched operation is overridden with a fused kernel.
+
+        The bench smoke steps assert this so CI fails if the batched
+        data plane is accidentally disabled (e.g. an override removed).
+        """
+        base = ErasureCode
+        return (
+            type(self).parity_batch is not base.parity_batch
+            or type(self).decode_batch is not base.decode_batch
+            or type(self).execute_repair_batch is not base.execute_repair_batch
+        )
 
     # ------------------------------------------------------------------
     # Analytic costs (used by repro.analysis and the benches)

@@ -20,11 +20,13 @@ from typing import Dict, Iterable, Mapping, Optional
 import numpy as np
 
 from repro.codes.base import (
+    PACKED_CACHE_CAP,
     ErasureCode,
     RepairPlan,
     SymbolRequest,
     require_unit_shapes,
 )
+from repro.gf.linalg import gf_matmul
 from repro.errors import CodeConstructionError, DecodingError, RepairError
 from repro.gf import GF256, DEFAULT_FIELD
 from repro.gf.bitmatrix import W, expand_generator, xor_encode_strips
@@ -146,6 +148,142 @@ class CauchyBitmatrixRSCode(ErasureCode):
             [np.arange(node * W, (node + 1) * W) for node in chosen]
         )
         return gf_inv_matrix(self.expanded[rows], self.field)
+
+    # ------------------------------------------------------------------
+    # Batched operations (pooled strip XOR)
+    # ------------------------------------------------------------------
+    #
+    # The XOR backend batches differently from the table-based codes:
+    # strips of all stripes are pooled side by side into one wide strip
+    # matrix, so each output strip's XOR schedule is resolved once per
+    # batch (one ``np.flatnonzero`` + one ``xor.reduce``) instead of
+    # once per stripe.
+
+    def _pool_strips(self, rows_by_node, nodes, stripes, width) -> np.ndarray:
+        """Stack per-stripe strips into a ``(len(nodes)*8, s*w/8)`` pool.
+
+        Column block ``t`` holds stripe ``t``'s strips, so an XOR
+        schedule applied to the pool computes all stripes at once.
+        """
+        strip_len = width // W
+        pooled = np.empty((len(nodes) * W, stripes * strip_len), dtype=np.uint8)
+        view = pooled.reshape(len(nodes) * W, stripes, strip_len)
+        for i, node in enumerate(nodes):
+            rows = rows_by_node[node]
+            for t in range(stripes):
+                view[i * W : (i + 1) * W, t, :] = rows[t].reshape(W, strip_len)
+        return pooled
+
+    def _unpool_strips(
+        self, strips: np.ndarray, units: int, stripes: int, width: int
+    ) -> np.ndarray:
+        """Inverse of :meth:`_pool_strips`: ``-> (s, units, w)``."""
+        strip_len = width // W
+        cube = strips.reshape(units, W, stripes, strip_len)
+        return np.ascontiguousarray(
+            np.moveaxis(cube, 2, 0).reshape(stripes, units, width)
+        )
+
+    def parity_batch(
+        self, data: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        data = self.validate_batch_data(data)
+        stripes, _, width = data.shape
+        if width % W:
+            raise CodeConstructionError(
+                f"{self.name} needs unit sizes divisible by {W}, got {width}"
+            )
+        if out is None:
+            out = np.empty((stripes, self.r, width), dtype=np.uint8)
+        pooled = self._pool_strips(
+            {node: data[:, node, :] for node in range(self.k)},
+            list(range(self.k)),
+            stripes,
+            width,
+        )
+        parity_strips = xor_encode_strips(self.expanded[self.k * W :], pooled)
+        out[:] = self._unpool_strips(parity_strips, self.r, stripes, width)
+        return out
+
+    def decode_batch(
+        self,
+        available_units: Mapping[int, "np.ndarray | list"],
+    ) -> np.ndarray:
+        stripes, width, rows_by_node = self.batch_unit_rows(available_units)
+        if width % W:
+            raise DecodingError(
+                f"{self.name} needs unit sizes divisible by {W}, got {width}"
+            )
+        out = np.empty((stripes, self.k, width), dtype=np.uint8)
+        if all(node in rows_by_node for node in range(self.k)):
+            for node in range(self.k):
+                rows = rows_by_node[node]
+                for t in range(stripes):
+                    out[t, node] = rows[t]
+            return out
+        chosen = sorted(rows_by_node)[: self.k]
+        if len(chosen) < self.k:
+            raise DecodingError(
+                f"{self.name} needs {self.k} surviving units, got {len(chosen)}"
+            )
+        inverse = self.memoized_decode_matrix(
+            tuple(chosen), lambda: self._binary_decode_inverse(chosen)
+        )
+        pooled = self._pool_strips(rows_by_node, chosen, stripes, width)
+        data_strips = xor_encode_strips(inverse, pooled)
+        out[:] = self._unpool_strips(data_strips, self.k, stripes, width)
+        return out
+
+    def execute_repair_batch(
+        self,
+        failed_node: int,
+        available_units: Mapping[int, "np.ndarray | list"],
+        plan: Optional[RepairPlan] = None,
+    ):
+        failed_node = self.validate_node_index(failed_node)
+        stripes, width, rows_by_node = self.batch_unit_rows(available_units)
+        if width % W:
+            raise RepairError(
+                f"{self.name} needs unit sizes divisible by {W}, got {width}"
+            )
+        if plan is None:
+            plan = self.repair_plan_cached(failed_node, rows_by_node.keys())
+        sources = list(plan.nodes_contacted)
+        for node in sources:
+            if node not in rows_by_node:
+                raise RepairError(
+                    f"plan reads node {node} which is unavailable"
+                )
+
+        def build() -> np.ndarray:
+            # Compose decode + (for parities) re-encode into one (8, 8k)
+            # binary row block over the chosen sources' strips; gf_matmul
+            # on {0,1} matrices is exactly GF(2) matrix product.
+            inverse = self.memoized_decode_matrix(
+                tuple(sources), lambda: self._binary_decode_inverse(sources)
+            )
+            if failed_node < self.k:
+                rows = inverse[failed_node * W : (failed_node + 1) * W]
+            else:
+                rows = gf_matmul(
+                    self.expanded[failed_node * W : (failed_node + 1) * W],
+                    inverse,
+                    self.field,
+                )
+            rows = np.ascontiguousarray(rows)
+            rows.setflags(write=False)
+            return rows
+
+        repair_rows = self._memoize(
+            "_binary_repair_row_cache",
+            (failed_node, tuple(sources)),
+            build,
+            cap=PACKED_CACHE_CAP,
+        )
+        pooled = self._pool_strips(rows_by_node, sources, stripes, width)
+        rebuilt_strips = xor_encode_strips(repair_rows, pooled)
+        out = self._unpool_strips(rebuilt_strips, 1, stripes, width)[:, 0, :]
+        return out, stripes * plan.bytes_downloaded(width)
 
     # ------------------------------------------------------------------
     # Repair (same economics as RS)

@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.codes.base import (
+    PACKED_CACHE_CAP,
     ErasureCode,
     RepairPlan,
     SymbolRequest,
@@ -35,6 +36,7 @@ from repro.codes.base import (
 from repro.errors import CodeConstructionError, DecodingError, RepairError
 from repro.gf import GF256, DEFAULT_FIELD, cauchy_matrix, gf_matmul
 from repro.gf.linalg import gf_inv_matrix, gf_rank
+from repro.gf.packed import PackedMatmul, PackedRow
 
 
 class LRCCode(ErasureCode):
@@ -187,6 +189,111 @@ class LRCCode(ErasureCode):
         failed = {self.validate_node_index(n) for n in failed_nodes}
         survivors = [n for n in range(self.n) if n not in failed]
         return self._independent_rows(survivors) is not None
+
+    # ------------------------------------------------------------------
+    # Batched operations (fused packed-table kernels)
+    # ------------------------------------------------------------------
+
+    def parity_batch(
+        self, data: np.ndarray, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        data = self.validate_batch_data(data)
+        stripes, _, width = data.shape
+        if out is None:
+            out = np.empty((stripes, self.r, width), dtype=np.uint8)
+        kernel = self._memoize(
+            "_packed_matmul_cache",
+            "parity",
+            lambda: PackedMatmul(self.generator[self.k :], self.field),
+            cap=PACKED_CACHE_CAP,
+        )
+        self._apply_packed_parity(kernel, data, out)
+        return out
+
+    def decode_batch(
+        self,
+        available_units: Mapping[int, "np.ndarray | list"],
+    ) -> np.ndarray:
+        stripes, width, rows_by_node = self.batch_unit_rows(available_units)
+        out = np.empty((stripes, self.k, width), dtype=np.uint8)
+        if all(node in rows_by_node for node in range(self.k)):
+            for node in range(self.k):
+                rows = rows_by_node[node]
+                for t in range(stripes):
+                    out[t, node] = rows[t]
+            return out
+        chosen = self._independent_rows(sorted(rows_by_node))
+        if chosen is None:
+            raise DecodingError(
+                f"{self.name}: surviving units {sorted(rows_by_node)} do "
+                f"not span the data (rank < k)"
+            )
+        inverse = self.memoized_decode_matrix(
+            tuple(chosen),
+            lambda: gf_inv_matrix(self.generator[chosen], self.field),
+        )
+        pooled = np.empty((self.k, stripes * width), dtype=np.uint8)
+        for i, node in enumerate(chosen):
+            segment = pooled[i].reshape(stripes, width)
+            rows = rows_by_node[node]
+            for t in range(stripes):
+                segment[t] = rows[t]
+        product = gf_matmul(inverse, pooled, self.field)
+        out[:] = np.moveaxis(product.reshape(self.k, stripes, width), 1, 0)
+        return out
+
+    def execute_repair_batch(
+        self,
+        failed_node: int,
+        available_units: Mapping[int, "np.ndarray | list"],
+        plan: Optional[RepairPlan] = None,
+    ):
+        failed_node = self.validate_node_index(failed_node)
+        stripes, width, rows_by_node = self.batch_unit_rows(available_units)
+        if plan is None:
+            plan = self.repair_plan_cached(failed_node, rows_by_node.keys())
+        sources = list(plan.nodes_contacted)
+        for node in sources:
+            if node not in rows_by_node:
+                raise RepairError(
+                    f"plan reads node {node} which is unavailable"
+                )
+        out = np.empty((stripes, width), dtype=np.uint8)
+        if failed_node < self.k + self.l:
+            __, local_sources = self._local_repair_sources(failed_node)
+            if set(sources) == set(local_sources):
+                # Local repair is a pure XOR of the group -- vectorise it
+                # across the whole batch with plain bitwise ops.
+                out[:] = 0
+                for node in local_sources:
+                    rows = rows_by_node[node]
+                    for t in range(stripes):
+                        np.bitwise_xor(out[t], rows[t], out=out[t])
+                return out, stripes * plan.bytes_downloaded(width)
+        # Global-parity or blocked-local repair: a single composed row
+        # ``generator[failed] @ inverse`` over the plan's chosen rows --
+        # the same algebra as decode-then-project, fused.
+        def build() -> PackedRow:
+            inverse = self.memoized_decode_matrix(
+                tuple(sources),
+                lambda: gf_inv_matrix(self.generator[sources], self.field),
+            )
+            row = gf_matmul(
+                self.generator[failed_node : failed_node + 1],
+                inverse,
+                self.field,
+            )[0]
+            return PackedRow(row, self.field)
+
+        kernel = self._memoize(
+            "_packed_row_cache",
+            (failed_node, tuple(sources)),
+            build,
+            cap=PACKED_CACHE_CAP,
+        )
+        for t in range(stripes):
+            kernel.apply([rows_by_node[node][t] for node in sources], out[t])
+        return out, stripes * plan.bytes_downloaded(width)
 
     # ------------------------------------------------------------------
     # Repair

@@ -29,7 +29,9 @@ def run(block_size: int = 1 << 20, seed: int = 0) -> ExperimentResult:
     assert len(layouts) == 1
     layout = layouts[0]
     codec = StripeCodec(code)
-    parities = codec.encode_stripe(layout, logical_file.blocks)
+    # Batched entry point: for this one full stripe it encodes straight
+    # off the chunked file bytes (zero-copy (s, k, w) view).
+    parities = codec.encode_stripes(layouts, [logical_file.blocks])[0]
 
     # Byte-level stripe check: at random offsets, the 4 parity bytes are
     # the RS encoding of the 10 data bytes at that offset.

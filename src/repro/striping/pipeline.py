@@ -1,0 +1,283 @@
+"""Shared-memory file-encode pipeline.
+
+Raiding a cold file (Section 2.1) is embarrassingly parallel across
+stripes, but a naive process pool would pickle every 256 MiB of block
+payload through the task queue and lose more than it gains.  This module
+shards the stripes of one file across a :class:`ProcessPoolExecutor`
+while keeping **all payload bytes in two** ``multiprocessing.shared_memory``
+**segments** -- one holding the file, one receiving the parities.  The
+only things pickled are the (tiny) shard descriptors: shm names, the
+code object (fresh, empty caches), and stripe index ranges.
+
+Workers rebuild their stripe layouts deterministically from the shared
+file bytes (``chunk_bytes`` + ``group_into_stripes`` are pure functions
+of the byte count), encode their contiguous stripe range through
+:meth:`StripeCodec.encode_stripes` -- hitting the zero-copy ``(s, k, w)``
+fast path directly on the shared segment -- and write parity units to
+fixed per-stripe offsets.  Results are therefore byte-identical and
+identically ordered whether the pipeline runs serial or parallel, with
+any worker count.
+
+Conventions match :mod:`repro.cluster.sweep`: ``REPRO_PARALLEL=0``
+forces serial execution, auto-detection declines to spawn on single-CPU
+hosts, and sandboxes that refuse process spawning or shared memory
+degrade to the serial path instead of failing.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.codes.base import ErasureCode
+from repro.errors import EncodingError
+from repro.striping.blocks import Block, LogicalFile, chunk_bytes
+from repro.striping.codec import StripeCodec
+from repro.striping.layout import StripeLayout, group_into_stripes
+
+
+def _decide_parallel(num_tasks: int, parallel: Optional[bool]) -> bool:
+    """Same decision rule as :func:`repro.cluster.sweep._decide_parallel`."""
+    if parallel is not None:
+        return parallel and num_tasks > 1
+    if os.environ.get("REPRO_PARALLEL", "1") == "0":
+        return False
+    return num_tasks > 1 and (os.cpu_count() or 1) > 1
+
+
+def _data_slot_lists(
+    layouts: Sequence[StripeLayout], blocks: Sequence[Block]
+) -> List[List[Optional[Block]]]:
+    """Per-stripe data-slot lists (None for virtual slots), in order."""
+    slot_lists: List[List[Optional[Block]]] = []
+    cursor = 0
+    for layout in layouts:
+        slots: List[Optional[Block]] = []
+        for block_id in layout.data_block_ids:
+            if block_id is None:
+                slots.append(None)
+            else:
+                slots.append(blocks[cursor])
+                cursor += 1
+        slot_lists.append(slots)
+    return slot_lists
+
+
+@dataclass
+class EncodeResult:
+    """Outcome of :func:`encode_file`.
+
+    Attributes
+    ----------
+    file:
+        The chunked logical file (blocks are views into the caller's
+        data in serial mode, or into a private copy in parallel mode).
+    layouts:
+        One :class:`StripeLayout` per stripe, in file order.
+    parities:
+        ``parities[t]`` holds stripe ``t``'s ``r`` parity blocks.
+    parallel_used, shards:
+        Whether a process pool actually ran, and with how many shards
+        (1 when serial) -- observability for the determinism tests and
+        the benchmark harness.
+    """
+
+    file: LogicalFile
+    layouts: List[StripeLayout]
+    parities: List[List[Block]]
+    parallel_used: bool
+    shards: int
+
+    @property
+    def parity_bytes(self) -> int:
+        return sum(p.size for row in self.parities for p in row)
+
+
+def _worker_encode_shard(
+    task: Tuple[str, str, bytes, str, int, int, int, int, List[int]],
+) -> bool:
+    """Encode stripes [start, stop) of the shared file (module-level so
+    it pickles).  Returns True as a bare acknowledgement -- no payload
+    bytes ever cross the task queue."""
+    import multiprocessing
+    from multiprocessing import resource_tracker, shared_memory
+
+    (
+        in_name,
+        out_name,
+        code_blob,
+        file_name,
+        file_size,
+        block_size,
+        start,
+        stop,
+        out_offsets,
+    ) = task
+    code: ErasureCode = pickle.loads(code_blob)
+    codec = StripeCodec(code)
+    shm_in = shared_memory.SharedMemory(name=in_name)
+    shm_out = shared_memory.SharedMemory(name=out_name)
+    try:
+        # The parent owns both segments.  Under "spawn" each worker has
+        # its own resource tracker, which would try to reclaim them at
+        # worker exit -- undo the attach-time registration.  Under
+        # "fork" the tracker process is shared with the parent and its
+        # name cache is a set, so unregistering here would strip the
+        # parent's own entry; leave it alone.
+        if multiprocessing.get_start_method(allow_none=True) != "fork":
+            for shm in (shm_in, shm_out):
+                try:
+                    resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+                except Exception:
+                    pass
+        data = np.ndarray((file_size,), dtype=np.uint8, buffer=shm_in.buf)
+        file = chunk_bytes(file_name, data, block_size=block_size)
+        layouts = group_into_stripes(
+            file.blocks, code.k, code.r, stripe_prefix=f"{file_name}/stripe"
+        )
+        slot_lists = _data_slot_lists(layouts, file.blocks)
+        parities = codec.encode_stripes(
+            layouts[start:stop], slot_lists[start:stop]
+        )
+        out = np.ndarray((shm_out.size,), dtype=np.uint8, buffer=shm_out.buf)
+        for layout, offset, parity_blocks in zip(
+            layouts[start:stop], out_offsets, parities
+        ):
+            width = codec.padded_width(layout)
+            for j, parity in enumerate(parity_blocks):
+                out[offset + j * width : offset + (j + 1) * width] = (
+                    parity.payload
+                )
+    finally:
+        shm_in.close()
+        shm_out.close()
+    return True
+
+
+def encode_file(
+    code: ErasureCode,
+    data,
+    block_size: int,
+    *,
+    name: str = "file",
+    parallel: Optional[bool] = None,
+    max_workers: Optional[int] = None,
+) -> EncodeResult:
+    """Chunk ``data`` into blocks and compute every stripe's parities.
+
+    Serial mode encodes in-process through the codec's fused batch path
+    (zero staging copies for the full stripes).  Parallel mode shards
+    the stripes over a process pool with payloads in shared memory.
+    Both modes return byte-identical parities in file order.
+    """
+    if block_size <= 0:
+        raise EncodingError(f"block size must be positive, got {block_size}")
+    data = np.ascontiguousarray(
+        np.asarray(data, dtype=np.uint8).reshape(-1)
+    )
+    file = chunk_bytes(name, data, block_size=block_size)
+    layouts = group_into_stripes(
+        file.blocks, code.k, code.r, stripe_prefix=f"{name}/stripe"
+    )
+    slot_lists = _data_slot_lists(layouts, file.blocks)
+    stripes = len(layouts)
+    if not _decide_parallel(stripes, parallel):
+        codec = StripeCodec(code)
+        parities = codec.encode_stripes(layouts, slot_lists)
+        return EncodeResult(file, layouts, parities, False, 1)
+    result = _encode_file_pooled(
+        code, data, block_size, name, file, layouts, max_workers
+    )
+    if result is not None:
+        return result
+    # Pool or shared memory unavailable: degrade to serial.
+    codec = StripeCodec(code)
+    parities = codec.encode_stripes(layouts, slot_lists)
+    return EncodeResult(file, layouts, parities, False, 1)
+
+
+def _encode_file_pooled(
+    code: ErasureCode,
+    data: np.ndarray,
+    block_size: int,
+    name: str,
+    file: LogicalFile,
+    layouts: List[StripeLayout],
+    max_workers: Optional[int],
+) -> Optional[EncodeResult]:
+    """Process-pool encode; None when this host cannot run it."""
+    from multiprocessing import shared_memory
+
+    codec = StripeCodec(code)
+    widths = [codec.padded_width(layout) for layout in layouts]
+    offsets = np.concatenate(
+        ([0], np.cumsum([code.r * width for width in widths]))
+    ).astype(np.int64)
+    out_total = int(offsets[-1])
+    stripes = len(layouts)
+    workers = max_workers or min(stripes, os.cpu_count() or 1)
+    workers = max(1, min(workers, stripes))
+    bounds = np.linspace(0, stripes, workers + 1).astype(int)
+    code_blob = pickle.dumps(code)  # __getstate__ drops memoised caches
+    shm_in = shm_out = None
+    try:
+        shm_in = shared_memory.SharedMemory(
+            create=True, size=max(1, data.size)
+        )
+        shm_out = shared_memory.SharedMemory(
+            create=True, size=max(1, out_total)
+        )
+        np.ndarray((data.size,), dtype=np.uint8, buffer=shm_in.buf)[:] = data
+        tasks = []
+        for w in range(workers):
+            start, stop = int(bounds[w]), int(bounds[w + 1])
+            if start == stop:
+                continue
+            tasks.append(
+                (
+                    shm_in.name,
+                    shm_out.name,
+                    code_blob,
+                    name,
+                    int(data.size),
+                    block_size,
+                    start,
+                    stop,
+                    [int(offsets[t]) for t in range(start, stop)],
+                )
+            )
+        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
+            list(pool.map(_worker_encode_shard, tasks))
+        parity_bytes = np.ndarray(
+            (out_total,), dtype=np.uint8, buffer=shm_out.buf
+        ).copy()
+    except (OSError, PermissionError, ImportError):
+        return None
+    finally:
+        for shm in (shm_in, shm_out):
+            if shm is not None:
+                shm.close()
+                try:
+                    shm.unlink()
+                except (OSError, FileNotFoundError):
+                    pass
+    parities: List[List[Block]] = []
+    for t, layout in enumerate(layouts):
+        width = widths[t]
+        row = []
+        for j in range(code.r):
+            lo = int(offsets[t]) + j * width
+            row.append(
+                Block(
+                    block_id=layout.parity_block_ids[j],
+                    size=width,
+                    payload=parity_bytes[lo : lo + width],
+                )
+            )
+        parities.append(row)
+    return EncodeResult(file, layouts, parities, True, len(bounds) - 1)

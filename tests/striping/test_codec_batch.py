@@ -1,0 +1,227 @@
+"""Batched StripeCodec entry points against the scalar oracles.
+
+``encode_stripes`` / ``repair_blocks`` must return exactly what a loop
+over ``encode_stripe`` / ``repair_block`` returns -- payload bytes, byte
+accounting, and plans -- for ragged final stripes, virtual padding
+slots, and mixed widths.  Also pins down the scratch-buffer hazards:
+interleaving widths must never alias previously returned payloads, and
+the zero-unit cache must stay bounded.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.piggyback.code import PiggybackedRSCode
+from repro.codes.rs import ReedSolomonCode
+from repro.striping.blocks import chunk_bytes
+from repro.striping.codec import ZERO_UNIT_CACHE_CAP, StripeCodec
+from repro.striping.layout import group_into_stripes
+
+
+def _file_stripes(code, total_bytes, block_size, seed=0, name="f"):
+    rng = np.random.default_rng(seed)
+    data = rng.integers(0, 256, size=total_bytes, dtype=np.uint8)
+    file = chunk_bytes(name, data, block_size=block_size)
+    layouts = group_into_stripes(file.blocks, k=code.k, r=code.r)
+    slot_lists = []
+    cursor = 0
+    for layout in layouts:
+        slots = []
+        for block_id in layout.data_block_ids:
+            if block_id is None:
+                slots.append(None)
+            else:
+                slots.append(file.blocks[cursor])
+                cursor += 1
+        slot_lists.append(slots)
+    return data, file, layouts, slot_lists
+
+
+@pytest.fixture
+def code():
+    return ReedSolomonCode(6, 3)
+
+
+def test_encode_stripes_matches_scalar_with_ragged_tail(code):
+    codec = StripeCodec(code)
+    oracle = StripeCodec(code)
+    # 2 full stripes + a tail stripe with a short block and virtual slots
+    __, ___, layouts, slot_lists = _file_stripes(code, 64 * 12 + 17, 64)
+    batch = codec.encode_stripes(layouts, slot_lists)
+    assert len(batch) == len(layouts) == 3
+    for layout, slots, parities in zip(layouts, slot_lists, batch):
+        expected = oracle.encode_stripe(layout, slots)
+        for got, want in zip(parities, expected):
+            assert got.block_id == want.block_id
+            assert got.size == want.size
+            assert np.array_equal(got.payload, want.payload)
+
+
+def test_encode_stripes_mixed_widths_in_one_call(code):
+    codec = StripeCodec(code)
+    oracle = StripeCodec(code)
+    __, ___, layouts_a, slots_a = _file_stripes(code, 64 * 6, 64, name="a")
+    __, ___, layouts_b, slots_b = _file_stripes(code, 32 * 6, 32, name="b")
+    # Interleave two widths so grouping must scatter results back.
+    layouts = [layouts_a[0], layouts_b[0]]
+    slot_lists = [slots_a[0], slots_b[0]]
+    batch = codec.encode_stripes(layouts, slot_lists)
+    for layout, slots, parities in zip(layouts, slot_lists, batch):
+        for got, want in zip(parities, oracle.encode_stripe(layout, slots)):
+            assert np.array_equal(got.payload, want.payload)
+
+
+def test_interleaved_widths_do_not_alias_returned_payloads(code):
+    """Scratch reuse across calls must never mutate returned blocks."""
+    codec = StripeCodec(code)
+    __, ___, layouts_a, slots_a = _file_stripes(code, 64 * 6, 64, name="a")
+    first = codec.encode_stripes(layouts_a, slots_a)
+    snapshots = [p.payload.copy() for p in first[0]]
+    for width, seed in ((32, 1), (48, 2), (64, 3), (96, 4)):
+        __, ___, layouts, slots = _file_stripes(
+            code, width * 6, width, seed=seed, name=f"w{width}"
+        )
+        codec.encode_stripes(layouts, slots)
+        codec.repair_blocks(
+            [
+                (
+                    layouts[0],
+                    0,
+                    {
+                        slot: block
+                        for slot, block in enumerate(slots[0])
+                        if slot != 0 and block is not None
+                    }
+                    | {
+                        code.k + j: parity
+                        for j, parity in enumerate(
+                            codec.encode_stripes(layouts, slots)[0]
+                        )
+                    },
+                )
+            ]
+        )
+    for parity, snapshot in zip(first[0], snapshots):
+        assert np.array_equal(parity.payload, snapshot)
+
+
+def test_repair_blocks_matches_scalar(code):
+    codec = StripeCodec(code)
+    oracle = StripeCodec(code)
+    __, ___, layouts, slot_lists = _file_stripes(code, 64 * 12 + 17, 64)
+    parities = codec.encode_stripes(layouts, slot_lists)
+    requests = []
+    expected = []
+    for layout, slots, stripe_parities in zip(layouts, slot_lists, parities):
+        members = {
+            slot: block
+            for slot, block in enumerate(slots)
+            if block is not None
+        }
+        members.update(
+            {code.k + j: p for j, p in enumerate(stripe_parities)}
+        )
+        for failed in sorted(members):
+            available = {
+                slot: block
+                for slot, block in members.items()
+                if slot != failed
+            }
+            requests.append((layout, failed, available))
+            expected.append(oracle.repair_block(layout, failed, available))
+    results = codec.repair_blocks(requests)
+    assert len(results) == len(expected)
+    for (block, nbytes, plan), (want, want_bytes, want_plan) in zip(
+        results, expected
+    ):
+        assert block.block_id == want.block_id
+        assert block.size == want.size
+        assert np.array_equal(block.payload, want.payload)
+        assert nbytes == want_bytes
+        assert plan.requests == want_plan.requests
+
+
+def test_repair_blocks_deducts_virtual_slot_bytes(code):
+    """Byte accounting for stripes with virtual padding slots matches."""
+    codec = StripeCodec(code)
+    oracle = StripeCodec(code)
+    # A single short stripe: virtual slots guaranteed.
+    __, ___, layouts, slot_lists = _file_stripes(code, 64 * 2 + 5, 64)
+    (layout,), (slots,) = layouts, slot_lists
+    assert layout.real_data_count < layout.k
+    stripe_parities = codec.encode_stripes([layout], [slots])[0]
+    members = {
+        slot: block for slot, block in enumerate(slots) if block is not None
+    }
+    members.update({code.k + j: p for j, p in enumerate(stripe_parities)})
+    failed = sorted(members)[0]
+    available = {s: b for s, b in members.items() if s != failed}
+    ((block, nbytes, plan),) = codec.repair_blocks(
+        [(layout, failed, available)]
+    )
+    want, want_bytes, want_plan = oracle.repair_block(
+        layout, failed, available
+    )
+    assert np.array_equal(block.payload, want.payload)
+    assert nbytes == want_bytes
+    assert plan.requests == want_plan.requests
+
+
+def test_zero_unit_cache_is_bounded(code):
+    codec = StripeCodec(code)
+    for multiple in range(1, 3 * ZERO_UNIT_CACHE_CAP):
+        codec._zero_unit(code.unit_alignment * multiple)
+    assert len(codec._zero_units) <= ZERO_UNIT_CACHE_CAP
+
+
+def test_pad_scratch_reuse_is_invisible_to_callers(code):
+    """decode_stripe results survive later calls at other widths."""
+    codec = StripeCodec(code)
+    data, file, layouts, slot_lists = _file_stripes(code, 64 * 6 + 9, 64)
+    recovered = {}
+    for layout, slots in zip(layouts, slot_lists):
+        parities = codec.encode_stripes([layout], [slots])[0]
+        available = {
+            slot: block
+            for slot, block in enumerate(slots)
+            if block is not None
+        }
+        available.update({code.k + j: p for j, p in enumerate(parities)})
+        del available[0]
+        for block in codec.decode_stripe(layout, available):
+            recovered[block.block_id] = block.payload.copy()
+        # hammer the scratch at another width before checking
+        __, ___, other_layouts, other_slots = _file_stripes(
+            code, 48 * 6 + 7, 48, seed=9, name="other"
+        )
+        codec.encode_stripes(other_layouts, other_slots)
+    for block in file.blocks:
+        assert np.array_equal(recovered[block.block_id], block.payload)
+
+
+def test_repair_blocks_batches_piggyback_plans():
+    """The grouped path must execute piggyback (not full-RS) plans."""
+    code = PiggybackedRSCode(6, 3)
+    codec = StripeCodec(code)
+    oracle = StripeCodec(code)
+    __, ___, layouts, slot_lists = _file_stripes(code, 64 * 12, 64)
+    parities = codec.encode_stripes(layouts, slot_lists)
+    requests = []
+    expected = []
+    for layout, slots, stripe_parities in zip(layouts, slot_lists, parities):
+        members = {slot: block for slot, block in enumerate(slots)}
+        members.update(
+            {code.k + j: p for j, p in enumerate(stripe_parities)}
+        )
+        available = {s: b for s, b in members.items() if s != 0}
+        requests.append((layout, 0, available))
+        expected.append(oracle.repair_block(layout, 0, available))
+    results = codec.repair_blocks(requests)
+    for (block, nbytes, plan), (want, want_bytes, want_plan) in zip(
+        results, expected
+    ):
+        assert np.array_equal(block.payload, want.payload)
+        assert nbytes == want_bytes
+        assert plan.requests == want_plan.requests
+    # the piggyback plan reads less than a full-stripe RS repair would
+    assert results[0][1] < code.k * 64
