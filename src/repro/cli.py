@@ -7,9 +7,15 @@ Subcommands:
 - ``repro run-all`` -- run every experiment (the full reproduction);
 - ``repro codes`` -- list registered erasure codes with their repair
   profiles;
-- ``repro simulate`` -- run a custom warehouse simulation;
+- ``repro simulate`` -- run a custom warehouse simulation (with
+  optional ``--chaos-*`` fault injection);
 - ``repro pipeline`` -- measure file-encode throughput through the
-  batched codec / shared-memory pipeline.
+  batched codec / shared-memory pipeline;
+- ``repro chaos`` -- run the seeded fault-injection acceptance
+  scenario (pipeline worker crashes + cluster corruption + node flap)
+  and report whether the system self-healed;
+- ``repro scrub`` -- corrupt stored units in a mini-cluster with a
+  seeded plan, then scrub and repair them.
 """
 
 from __future__ import annotations
@@ -111,6 +117,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         recovery_bandwidth_bytes_per_sec=args.recovery_gbps * 125e6
         if args.recovery_gbps
         else None,
+        chaos_seed=args.chaos_seed,
+        chaos_node_flaps=args.chaos_node_flaps,
+        chaos_corrupt_units=args.chaos_corrupt_units,
     )
     result = WarehouseSimulation(config).run()
     print(f"code: {result.code_name}  days: {result.days}  "
@@ -133,7 +142,105 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"foreground reads                 : {reads.reads:,} "
               f"({reads.degraded_fraction:.3%} degraded, "
               f"amplification {reads.degraded_read_amplification:.1f}x)")
+    if args.chaos_node_flaps or args.chaos_corrupt_units:
+        print(f"chaos: corrupt survivors excluded from repair plans : "
+              f"{result.stats.corrupt_survivors_excluded:,}")
     return 0
+
+
+def _chaos_code_params(code: str) -> dict:
+    """Small stripe parameters for the mini-cluster chaos/scrub runs."""
+    if code == "lrc":
+        return {"k": 4, "l": 2, "g": 2}
+    return {"k": 4, "r": 2}
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.faults import FaultPlan, run_chaos_scenario
+
+    if args.spec:
+        plan = FaultPlan.parse(f"{args.seed}:{args.spec}")
+    else:
+        plan = FaultPlan(seed=args.seed)
+    report = run_chaos_scenario(
+        args.code,
+        seed=args.seed,
+        plan=plan,
+        code_params=_chaos_code_params(args.code),
+    )
+    print(f"chaos scenario: code={report.code_name}  seed={report.seed}")
+    print(f"pipeline output identical to serial : {report.pipeline_identical}")
+    print(f"pipeline retries / serial fallbacks : "
+          f"{report.pipeline_retries} / {report.serial_fallback_shards}")
+    print(f"shared-memory segments leaked       : {report.shm_leaked}")
+    print(f"faults injected into the cluster    : {len(report.faults)}")
+    for fault in report.faults:
+        print(f"  {fault.kind:<10} stripe={fault.stripe_id} "
+              f"slot={fault.slot} offset={fault.byte_offset}")
+    print(f"units quarantined                   : {len(report.quarantined)}")
+    for stripe_id, slot, reason in report.quarantined:
+        print(f"  stripe={stripe_id} slot={slot}: {reason}")
+    print(f"scrub rounds to converge            : {report.rounds_to_converge}")
+    print(f"recovered data byte-identical       : {report.data_intact}")
+    print(f"verdict: {'CLEAN' if report.clean else 'NOT CLEAN'}")
+    return 0 if report.clean else 1
+
+
+def _cmd_scrub(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.cluster.namenode import NameNode
+    from repro.cluster.placement import DistinctRackPlacement
+    from repro.cluster.raidnode import RaidNode
+    from repro.cluster.scrubber import Scrubber
+    from repro.cluster.topology import Topology
+    from repro.faults import FaultPlan, inject_cluster_faults
+
+    plan = FaultPlan(
+        seed=args.seed,
+        bit_flips=(args.corruptions + 1) // 2,
+        truncations=args.corruptions // 2,
+        worker_crashes=0,
+        node_flaps=0,
+    )
+    topology = Topology(num_racks=10, nodes_per_rack=2)
+    namenode = NameNode(topology, DistinctRackPlacement(topology, seed=args.seed))
+    code = create_code(args.code, **_chaos_code_params(args.code))
+    raidnode = RaidNode(namenode, code)
+    data = plan.rng("scrub-payload", args.code).integers(
+        0, 256, size=6_000, dtype=np.uint8
+    )
+    namenode.write_file("scrub-file", data, block_size=250)
+    raidnode.raid_file("scrub-file")
+    if args.parity_only:
+        # Drop the registry checksums so the scrubber must localise
+        # corruption with the parity-voting oracle alone.
+        for entry in namenode.stripes.values():
+            entry.checksums.clear()
+    faults = inject_cluster_faults(namenode, plan)
+    report = Scrubber(raidnode).scrub()
+    intact = np.array_equal(namenode.read_file("scrub-file"), data)
+    print(f"scrub: code={code.name}  seed={args.seed}  "
+          f"mode={'parity-only' if args.parity_only else 'checksum-first'}")
+    print(f"faults injected            : {len(faults)}")
+    for fault in faults:
+        print(f"  {fault.kind:<10} stripe={fault.stripe_id} "
+              f"slot={fault.slot} offset={fault.byte_offset}")
+    print(f"stripes checked / clean    : "
+          f"{report.stripes_checked} / {report.stripes_clean}")
+    print(f"corrupt found / repaired   : "
+          f"{report.corrupt_units_found} / {report.corrupt_units_repaired}")
+    print(f"checksum-verified stripes  : {report.checksum_verified}")
+    print(f"parity-fallback stripes    : {report.parity_fallbacks}")
+    print(f"unverifiable stripes       : {len(report.unverifiable_stripes)}")
+    print(f"file reads back intact     : {intact}")
+    healed = (
+        intact
+        and report.corrupt_units_found == report.corrupt_units_repaired
+        and not report.unverifiable_stripes
+    )
+    print(f"verdict: {'CLEAN' if healed else 'NOT CLEAN'}")
+    return 0 if healed else 1
 
 
 def _cmd_pipeline(args: argparse.Namespace) -> int:
@@ -266,6 +373,24 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="shared recovery pipe in Gb/s (0 = instantaneous recovery)",
     )
+    sim_parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        help="fault-plan seed (defaults to the master --seed)",
+    )
+    sim_parser.add_argument(
+        "--chaos-node-flaps",
+        type=int,
+        default=0,
+        help="extra flagged-length node flaps appended to the trace",
+    )
+    sim_parser.add_argument(
+        "--chaos-corrupt-units",
+        type=int,
+        default=0,
+        help="stored units marked corrupt; repair plans must avoid them",
+    )
     sim_parser.set_defaults(fn=_cmd_simulate)
 
     pipe_parser = sub.add_parser(
@@ -286,6 +411,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="process pool: auto-detect, force on, or force off",
     )
     pipe_parser.set_defaults(fn=_cmd_pipeline)
+
+    chaos_parser = sub.add_parser(
+        "chaos",
+        help="run the seeded fault-injection acceptance scenario",
+    )
+    chaos_parser.add_argument(
+        "--code", default="rs", choices=("rs", "lrc", "crs", "piggyback")
+    )
+    chaos_parser.add_argument("--seed", type=int, default=20130901)
+    chaos_parser.add_argument(
+        "--spec",
+        default="",
+        help=(
+            "fault-plan overrides, REPRO_CHAOS grammar without the seed "
+            "(e.g. 'bit_flips=2,worker_crashes=1')"
+        ),
+    )
+    chaos_parser.set_defaults(fn=_cmd_chaos)
+
+    scrub_parser = sub.add_parser(
+        "scrub",
+        help="corrupt stored units with a seeded plan, then scrub and repair",
+    )
+    scrub_parser.add_argument(
+        "--code", default="rs", choices=("rs", "lrc", "crs", "piggyback")
+    )
+    scrub_parser.add_argument("--seed", type=int, default=20130901)
+    scrub_parser.add_argument(
+        "--corruptions",
+        type=int,
+        default=2,
+        help="units to damage (split between bit-flips and truncations)",
+    )
+    scrub_parser.add_argument(
+        "--parity-only",
+        action="store_true",
+        help="drop registry checksums: exercise the parity-voting oracle",
+    )
+    scrub_parser.set_defaults(fn=_cmd_scrub)
     return parser
 
 

@@ -137,6 +137,15 @@ class ClusterConfig:
         Simulated duration.
     seed:
         Master RNG seed; every sub-component derives its own stream.
+    chaos_seed, chaos_node_flaps, chaos_corrupt_units:
+        Explicit fault injection (see :mod:`repro.faults`):
+        ``chaos_node_flaps`` appends that many flagged-length node
+        flaps to the unavailability trace, and ``chaos_corrupt_units``
+        marks that many stored units corrupt so repair planning must
+        route around them.  Both default to 0 (off); ``chaos_seed``
+        defaults to the master seed.  Deliberately config-driven rather
+        than environment-driven: a simulation that silently injected
+        faults under an env var would stop being a reproduction.
     """
 
     num_racks: int = 100
@@ -166,6 +175,9 @@ class ClusterConfig:
     batched_recovery: bool = True
     days: float = 24.0
     seed: int = 20130901  # arXiv submission date of the paper
+    chaos_seed: Optional[int] = None
+    chaos_node_flaps: int = 0
+    chaos_corrupt_units: int = 0
 
     def __post_init__(self):
         if self.num_racks < 2:
@@ -207,6 +219,8 @@ class ClusterConfig:
             raise ConfigError("correlated_event_probability must be in [0, 1]")
         if self.correlated_batch_size < 1:
             raise ConfigError("correlated_batch_size must be >= 1")
+        if self.chaos_node_flaps < 0 or self.chaos_corrupt_units < 0:
+            raise ConfigError("chaos fault counts must be >= 0")
 
     @property
     def num_nodes(self) -> int:

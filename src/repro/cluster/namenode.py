@@ -41,6 +41,10 @@ class StripeEntry:
     code_name: str
     #: slot -> node id, for every non-virtual slot.
     locations: Dict[int, int] = field(default_factory=dict)
+    #: slot -> CRC32C of the stored unit's raw payload, recorded at raid
+    #: time.  Authoritative for integrity: it lives with the metadata,
+    #: not with the stored copy, so it survives corruption of the copy.
+    checksums: Dict[int, int] = field(default_factory=dict)
 
 
 class NameNode:
@@ -129,10 +133,16 @@ class NameNode:
         layout: StripeLayout,
         code_name: str,
         locations: Dict[int, int],
+        checksums: Optional[Dict[int, int]] = None,
     ) -> StripeEntry:
         if layout.stripe_id in self.stripes:
             raise SimulationError(f"stripe {layout.stripe_id} already registered")
-        entry = StripeEntry(layout=layout, code_name=code_name, locations=dict(locations))
+        entry = StripeEntry(
+            layout=layout,
+            code_name=code_name,
+            locations=dict(locations),
+            checksums=dict(checksums) if checksums else {},
+        )
         self.stripes[layout.stripe_id] = entry
         return entry
 

@@ -13,17 +13,31 @@ check the byte accounting end to end against the repair plans.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.cluster.namenode import NameNode, StripeEntry
 from repro.cluster.network import TrafficMeter
 from repro.codes.base import ErasureCode
-from repro.errors import RepairError, SimulationError
+from repro.errors import CorruptionError, RepairError, SimulationError
 from repro.striping.blocks import Block
+from repro.striping.checksum import crc32c_batch
 from repro.striping.codec import StripeCodec
 from repro.striping.layout import group_into_stripes
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One survivor unit pulled from service after a checksum mismatch."""
+
+    stripe_id: str
+    slot: int
+    block_id: str
+    node: Optional[int]
+    reason: str
+    time: float
 
 
 class RaidNode:
@@ -48,9 +62,11 @@ class RaidNode:
         meter: Optional[TrafficMeter] = None,
     ):
         self.namenode = namenode
-        self.codec = StripeCodec(code)
+        self.codec = StripeCodec(code, attach_checksums=True)
         self.code = code
         self.meter = meter
+        #: Every unit quarantined for failing its checksum, in order.
+        self.quarantine_log: List[QuarantineRecord] = []
 
     # ------------------------------------------------------------------
     # Raiding (replicas -> stripes)
@@ -102,9 +118,11 @@ class RaidNode:
         width = layout.n
         nodes = self.namenode.placement.place_stripe(width)
         locations: Dict[int, int] = {}
+        checksums = self._stripe_checksums(layout, data_slots, parities)
         for slot, block in enumerate(data_slots):
             if block is None:
                 continue
+            block.checksum = checksums[slot]
             target = nodes[slot]
             self._move_block_to(block, target, time)
             locations[slot] = target
@@ -114,7 +132,44 @@ class RaidNode:
             self.namenode.datanodes[target].store(parity)
             self.namenode.block_locations[parity.block_id] = [target]
             locations[slot] = target
-        return self.namenode.register_stripe(layout, self.code.name, locations)
+        return self.namenode.register_stripe(
+            layout, self.code.name, locations, checksums=checksums
+        )
+
+    def _stripe_checksums(
+        self,
+        layout,
+        data_slots: List[Optional[Block]],
+        parities: List[Block],
+    ) -> Dict[int, int]:
+        """slot -> CRC32C of the unit as stored (raw, unpadded payload).
+
+        The data units of one stripe are checksummed in a single
+        vectorised pass (sharing a padded matrix via per-row lengths);
+        parity checksums were already attached by the codec's batched
+        encode, so nothing is re-read.
+        """
+        checksums: Dict[int, int] = {}
+        real = [
+            (slot, block)
+            for slot, block in enumerate(data_slots)
+            if block is not None and block.has_payload
+        ]
+        if real:
+            width = max(block.size for __, block in real)
+            matrix = np.zeros((len(real), max(width, 1)), dtype=np.uint8)
+            lengths = []
+            for row, (__, block) in enumerate(real):
+                matrix[row, : block.size] = block.payload
+                lengths.append(block.size)
+            for (slot, __), crc in zip(real, crc32c_batch(matrix, lengths)):
+                checksums[slot] = int(crc)
+        for j, parity in enumerate(parities):
+            checksum = parity.checksum
+            if checksum is None:
+                checksum = parity.compute_checksum()
+            checksums[layout.k + j] = checksum
+        return checksums
 
     def _move_block_to(self, block: Block, target: int, time: float) -> None:
         """Keep exactly one copy of a data block, on the chosen node."""
@@ -162,13 +217,126 @@ class RaidNode:
                 missing.append(slot)
         return available, missing
 
+    # ------------------------------------------------------------------
+    # Integrity: verification, quarantine, checksum-checked repair
+    # ------------------------------------------------------------------
+
+    def _quarantine(
+        self, entry: StripeEntry, slot: int, reason: str, time: float
+    ) -> QuarantineRecord:
+        """Pull a corrupt survivor out of service and log the event."""
+        block_id = entry.layout.all_block_ids()[slot]
+        assert block_id is not None
+        node = entry.locations.get(slot)
+        if node is not None:
+            datanode = self.namenode.datanodes.get(node)
+            if datanode is not None:
+                datanode.drop(block_id)
+        self.namenode.block_locations.pop(block_id, None)
+        record = QuarantineRecord(
+            stripe_id=entry.layout.stripe_id,
+            slot=slot,
+            block_id=block_id,
+            node=node,
+            reason=reason,
+            time=time,
+        )
+        self.quarantine_log.append(record)
+        return record
+
+    def _verify_block(self, entry: StripeEntry, slot: int, block: Block) -> bool:
+        """Stored-unit bytes vs the registry CRC; True when unverifiable."""
+        expected = entry.checksums.get(slot)
+        if expected is None or not block.has_payload:
+            return True
+        return block.compute_checksum() == expected
+
+    def _corrupt_survivors(
+        self, entry: StripeEntry, available: Dict[int, Block]
+    ) -> List[int]:
+        """Survivor slots whose stored bytes fail their registry CRC.
+
+        One vectorised checksum pass over all survivors that have a
+        registry entry (per-row lengths share the padded matrix).
+        """
+        slots = [
+            slot
+            for slot, block in sorted(available.items())
+            if entry.checksums.get(slot) is not None and block.has_payload
+        ]
+        if not slots:
+            return []
+        width = max(available[slot].size for slot in slots)
+        matrix = np.zeros((len(slots), max(width, 1)), dtype=np.uint8)
+        lengths = []
+        for row, slot in enumerate(slots):
+            block = available[slot]
+            matrix[row, : block.size] = block.payload
+            lengths.append(block.size)
+        observed = crc32c_batch(matrix, lengths)
+        return [
+            slot
+            for slot, crc in zip(slots, observed)
+            if int(crc) != entry.checksums[slot]
+        ]
+
+    def _repair_with_integrity(
+        self,
+        entry: StripeEntry,
+        slot: int,
+        available: Dict[int, Block],
+        time: float,
+    ) -> Tuple[Block, int, object]:
+        """Rebuild one unit, refusing to return unverified bytes.
+
+        The rebuild is optimistic: repair from whatever survivors exist,
+        then verify the result against the registry CRC.  On a mismatch,
+        locate the corrupt survivors by *their* checksums, quarantine
+        them, and re-plan the repair excluding them (the
+        ``repair_plan_retry`` path); repeat until the rebuilt bytes
+        verify or no further corrupt survivor can be identified.  Bytes
+        read accumulate across attempts -- wasted reads are still reads.
+        """
+        expected = entry.checksums.get(slot)
+        excluded: Set[int] = set()
+        total_read = 0
+        while True:
+            rebuilt, bytes_read, plan = self.codec.repair_block(
+                entry.layout, slot, available, exclude_slots=excluded
+            )
+            total_read += bytes_read
+            if expected is None or rebuilt.compute_checksum() == expected:
+                rebuilt.checksum = expected
+                return rebuilt, total_read, plan
+            usable = {
+                s: block
+                for s, block in available.items()
+                if s not in excluded
+            }
+            corrupt = [s for s in self._corrupt_survivors(entry, usable)]
+            if not corrupt:
+                raise CorruptionError(
+                    f"stripe {entry.layout.stripe_id}: rebuilt slot {slot} "
+                    f"fails its checksum but every survivor verifies; "
+                    f"refusing to commit unverified bytes"
+                )
+            for bad in corrupt:
+                self._quarantine(
+                    entry, bad, reason="checksum mismatch during repair",
+                    time=time,
+                )
+                excluded.add(bad)
+
     def reconstruct_block(
         self, stripe_id: str, slot: int, time: float = 0.0
     ) -> Tuple[Block, int]:
         """Rebuild one stripe member onto a fresh node.
 
         Returns the rebuilt block and the bytes transferred, which equal
-        the code's repair-plan bytes (the tests assert this).
+        the code's repair-plan bytes (the tests assert this).  The
+        rebuilt bytes are verified against the stripe's registered
+        CRC32C before commit; corrupt survivors encountered along the
+        way are quarantined and the repair re-planned without them.
         """
         entry = self.namenode.stripes.get(stripe_id)
         if entry is None:
@@ -176,8 +344,8 @@ class RaidNode:
         available, missing = self._stripe_availability(entry)
         if slot not in missing:
             raise RepairError(f"slot {slot} of {stripe_id} is not missing")
-        rebuilt, bytes_read, plan = self.codec.repair_block(
-            entry.layout, slot, available
+        rebuilt, bytes_read, plan = self._repair_with_integrity(
+            entry, slot, available, time
         )
         self._commit_rebuilt(entry, slot, rebuilt, plan, available, time)
         return rebuilt, bytes_read
@@ -219,7 +387,11 @@ class RaidNode:
                     purpose="recovery",
                 )
 
-    def reconstruct_all_missing(self, time: float = 0.0) -> int:
+    def reconstruct_all_missing(
+        self,
+        time: float = 0.0,
+        on_progress: Optional[Callable[[int], None]] = None,
+    ) -> int:
         """Rebuild every missing member of every stripe; returns count.
 
         Stripes missing exactly one member -- 98.08% of degraded stripes
@@ -228,6 +400,14 @@ class RaidNode:
         fall back to sequential scalar reconstruction, which re-reads
         availability after every rebuild.  Placement draws happen in the
         same stripe order either way, so placements are unchanged.
+
+        Every batched rebuild is verified against the stripe's registry
+        CRC32C (one vectorised pass) before commit; a stripe whose
+        rebuilt bytes fail verification drops to the scalar
+        quarantine-and-retry path instead of committing corrupt data.
+        ``on_progress`` is invoked with the running commit count after
+        every placement -- the chaos harness uses it to flap nodes in
+        the middle of a recovery wave.
         """
         work = []
         for stripe_id, entry in self.namenode.stripes.items():
@@ -246,10 +426,15 @@ class RaidNode:
             outcomes = self.codec.repair_blocks(requests)
             for (index, __), outcome in zip(single, outcomes):
                 repaired[index] = outcome
+            for index in self._failed_verification(work, single, repaired):
+                # Corrupt input somewhere in the batch: let the scalar
+                # integrity path find and quarantine it.
+                del repaired[index]
         rebuilt = 0
         for index, (stripe_id, entry, available, missing) in enumerate(work):
             if index in repaired:
                 block, __, plan = repaired[index]
+                block.checksum = entry.checksums.get(missing[0])
                 self._commit_rebuilt(
                     entry, missing[0], block, plan, available, time
                 )
@@ -258,7 +443,37 @@ class RaidNode:
                 for slot in missing:
                     self.reconstruct_block(stripe_id, slot, time)
                     rebuilt += 1
+            if on_progress is not None:
+                on_progress(rebuilt)
         return rebuilt
+
+    def _failed_verification(self, work, single, repaired) -> List[int]:
+        """Work indices whose batch-rebuilt bytes fail the registry CRC.
+
+        All rebuilt payloads share one padded checksum matrix (per-row
+        lengths), so verification of a whole recovery wave is a single
+        vectorised pass.
+        """
+        checkable = []
+        for index, item in single:
+            entry, missing = item[1], item[3]
+            expected = entry.checksums.get(missing[0])
+            if expected is not None and index in repaired:
+                checkable.append((index, repaired[index][0], expected))
+        if not checkable:
+            return []
+        width = max(block.size for __, block, __e in checkable)
+        matrix = np.zeros((len(checkable), max(width, 1)), dtype=np.uint8)
+        lengths = []
+        for row, (__, block, __e) in enumerate(checkable):
+            matrix[row, : block.size] = block.payload
+            lengths.append(block.size)
+        observed = crc32c_batch(matrix, lengths)
+        return [
+            index
+            for (index, __, expected), crc in zip(checkable, observed)
+            if int(crc) != expected
+        ]
 
     def degraded_read(self, block_id: str, time: float = 0.0) -> np.ndarray:
         """Read a block whose copy is offline, through its stripe.
@@ -273,8 +488,17 @@ class RaidNode:
         entry, slot = located
         available, missing = self._stripe_availability(entry)
         if slot in available:
-            return available[slot].payload
-        rebuilt, __, plan = self.codec.repair_block(entry.layout, slot, available)
+            if self._verify_block(entry, slot, available[slot]):
+                return available[slot].payload
+            # The stored copy is corrupt: pull it out of service and
+            # serve the read through the stripe instead.
+            self._quarantine(
+                entry, slot, reason="checksum mismatch on read", time=time
+            )
+            del available[slot]
+        rebuilt, __, plan = self._repair_with_integrity(
+            entry, slot, available, time
+        )
         if self.meter is not None:
             unit_bytes = self.codec.padded_width(entry.layout)
             sub_bytes = unit_bytes // self.code.substripes_per_unit

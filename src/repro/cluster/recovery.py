@@ -32,7 +32,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,6 +69,10 @@ class RecoveryStats:
     #: Recoveries that became unnecessary before the shared recovery
     #: pipe reached them (the machine returned first).
     cancelled_recoveries: int = 0
+    #: Survivor units skipped by repair planning because they are
+    #: marked corrupt (chaos injection); identical between the scalar
+    #: and batched paths.
+    corrupt_survivors_excluded: int = 0
 
     def daily_blocks_series(self, num_days: int) -> List[int]:
         return [
@@ -113,6 +117,13 @@ class RecoveryService:
         Use the vectorised per-node fast path when recoveries complete
         at flag time.  Results are identical either way; False keeps the
         scalar oracle for equivalence tests.
+    corrupt_units:
+        Optional ``(stripe, slot)`` pairs whose stored bytes are known
+        corrupt (chaos injection).  Corrupt units are excluded from
+        every repair plan -- reading them would rebuild garbage -- but
+        do **not** count as missing for the degraded-stripe histogram,
+        which measures true unavailability.  The scalar and batched
+        paths apply the exclusion identically.
     """
 
     def __init__(
@@ -126,6 +137,7 @@ class RecoveryService:
         trigger_fraction: float = 1.0,
         bandwidth_bytes_per_sec: Optional[float] = None,
         batched: bool = True,
+        corrupt_units: Optional[Sequence[Tuple[int, int]]] = None,
     ):
         self.store = store
         self.state = state
@@ -136,6 +148,14 @@ class RecoveryService:
         self.trigger_fraction = trigger_fraction
         self.bandwidth_bytes_per_sec = bandwidth_bytes_per_sec
         self.batched = batched
+        self._corrupt_mask: Optional[np.ndarray] = None
+        if corrupt_units:
+            mask = np.zeros(
+                (store.num_stripes, store.width), dtype=bool
+            )
+            for stripe, slot in corrupt_units:
+                mask[int(stripe), int(slot)] = True
+            self._corrupt_mask = mask
         self.stats = RecoveryStats()
         self._pipe_free_at = 0.0
         # (failed slot, availability bitmask) -> resolved plan arrays,
@@ -166,14 +186,30 @@ class RecoveryService:
             for stripe, slot in self.store.degraded_stripes_on_node(node):
                 self.recover_unit(stripe, slot, time)
 
+    def _usable_slots(self, stripe: int) -> Tuple[Tuple[int, ...], int]:
+        """(available slots minus corrupt ones, true missing count)."""
+        available = tuple(self.store.available_slots(stripe))
+        missing_count = self.store.width - len(available)
+        if self._corrupt_mask is not None:
+            usable = tuple(
+                slot
+                for slot in available
+                if not self._corrupt_mask[stripe, slot]
+            )
+            self.stats.corrupt_survivors_excluded += len(available) - len(
+                usable
+            )
+            available = usable
+        return available, missing_count
+
     def _enqueue_throttled(
         self, queue: EventQueue, stripe: int, slot: int, flag_time: float
     ) -> None:
         """Reserve the shared recovery pipe and schedule completion."""
-        available = tuple(self.store.available_slots(stripe))
+        available, missing_count = self._usable_slots(stripe)
         plan = self._resolve_plan(slot, available)
         if plan is None:
-            self._count_unrecoverable(self.store.width - len(available))
+            self._count_unrecoverable(missing_count)
             return
         duration = plan.bytes_downloaded(
             int(self.store.unit_sizes[stripe])
@@ -203,8 +239,7 @@ class RecoveryService:
             raise RepairError(
                 f"unit {slot} of stripe {stripe} is not missing"
             )
-        available = tuple(self.store.available_slots(stripe))
-        missing_count = self.store.width - len(available)
+        available, missing_count = self._usable_slots(stripe)
         plan = self._resolve_plan(slot, available)
         if plan is None:
             self._count_unrecoverable(missing_count)
@@ -252,8 +287,17 @@ class RecoveryService:
         width = store.width
         stripes = uids // width
         slots = uids % width
-        avail_rows = ~store.missing[stripes]
-        missing_counts = width - avail_rows.sum(axis=1)
+        live_rows = ~store.missing[stripes]
+        # The degraded histogram counts true unavailability; corrupt
+        # survivors are *excluded from planning* but still live.
+        missing_counts = width - live_rows.sum(axis=1)
+        avail_rows = live_rows
+        if self._corrupt_mask is not None:
+            corrupt_rows = self._corrupt_mask[stripes]
+            self.stats.corrupt_survivors_excluded += int(
+                (live_rows & corrupt_rows).sum()
+            )
+            avail_rows = live_rows & ~corrupt_rows
         # Pattern key: failed slot + availability bitmask.  Distinct
         # patterns are few (98% of stripes miss exactly one unit), so a
         # persistent pattern -> plan cache makes planning O(1) per unit.

@@ -2,15 +2,18 @@
 
 Immutable cold data (Section 2.1) sits untouched for months, which is
 exactly when latent sector errors and bit rot accumulate.  Production
-HDFS scrubs with block checksums; at the codec level the equivalent is
-re-encoding a stripe's data units and comparing with what is stored
-(:meth:`repro.codes.base.ErasureCode.verify_stripe`).
+HDFS scrubs with block checksums, and so does this scrubber: stripes
+raided since the integrity layer carry a per-unit CRC32C in the
+registry, so one vectorised checksum pass over the stored payloads both
+verifies a stripe and *names* the corrupt slots directly.
 
-:class:`Scrubber` walks the mini-HDFS stripe registry, verifies each
-stripe's stored payloads, localises the corrupt unit (by finding a
-consistent k-subset that out-votes it), and repairs it in place through
-the raid node -- charging the repair bytes to the meter like any other
-recovery.
+The original parity method survives as the fallback oracle for stripes
+without checksum coverage: re-encode the stripe and compare
+(:meth:`repro.codes.base.ErasureCode.verify_stripe`), then localise by
+finding a consistent k-subset that out-votes the corrupt unit
+(:meth:`Scrubber.locate_corruption_parity`).  Repairs go through the
+raid node's integrity-checked reconstruction either way, so a repair
+never commits unverified bytes.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ import numpy as np
 from repro.cluster.namenode import NameNode, StripeEntry
 from repro.cluster.raidnode import RaidNode
 from repro.errors import RepairError, SimulationError
+from repro.striping.blocks import Block
 
 
 @dataclass
@@ -37,6 +41,11 @@ class ScrubReport:
     unverifiable_stripes: List[str] = field(default_factory=list)
     #: (stripe_id, slot) of every corruption found.
     findings: List[Tuple[str, int]] = field(default_factory=list)
+    #: Stripes verified/localised by the CRC32C fast path.
+    checksum_verified: int = 0
+    #: Stripes that fell back to the parity-voting oracle (no or
+    #: incomplete checksum coverage in the registry).
+    parity_fallbacks: int = 0
 
 
 class Scrubber:
@@ -97,13 +106,60 @@ class Scrubber:
         stacked = np.vstack([units[slot] for slot in range(entry.layout.n)])
         return self.code.verify_stripe(stacked)
 
+    def _stored_blocks(
+        self, entry: StripeEntry
+    ) -> Optional[Dict[int, Block]]:
+        """slot -> stored Block for every real slot; None if any offline."""
+        blocks: Dict[int, Block] = {}
+        for slot, block_id in enumerate(entry.layout.all_block_ids()):
+            if block_id is None:
+                continue
+            node = entry.locations.get(slot)
+            datanode = (
+                self.namenode.datanodes.get(node) if node is not None else None
+            )
+            if (
+                datanode is None
+                or not datanode.is_up
+                or block_id not in datanode.blocks
+            ):
+                return None
+            blocks[slot] = datanode.blocks[block_id]
+        return blocks
+
+    def _checksum_coverage(self, entry: StripeEntry) -> bool:
+        """Whether every real slot has a registry CRC32C."""
+        return all(
+            slot in entry.checksums
+            for slot, block_id in enumerate(entry.layout.all_block_ids())
+            if block_id is not None
+        )
+
     def locate_corruption(self, stripe_id: str) -> List[int]:
+        """Slots whose stored unit is corrupt, checksum-first.
+
+        When the registry carries a CRC32C for every real slot, one
+        vectorised checksum pass over the stored payloads names the
+        corrupt slots directly -- no parity math, and correct for any
+        number of simultaneous corruptions.  Stripes without full
+        coverage fall back to :meth:`locate_corruption_parity`.
+        """
+        entry = self.namenode.stripes[stripe_id]
+        if self._checksum_coverage(entry):
+            blocks = self._stored_blocks(entry)
+            if blocks is None:
+                raise RepairError(f"stripe {stripe_id} has offline units")
+            return sorted(self.raidnode._corrupt_survivors(entry, blocks))
+        return self.locate_corruption_parity(stripe_id)
+
+    def locate_corruption_parity(self, stripe_id: str) -> List[int]:
         """Slots whose stored unit disagrees with the consensus codeword.
 
-        Tries every k-subset as a decoding basis; the reconstruction
-        that matches the most stored units wins (correct under a
-        single-corruption assumption with r >= 2, the interesting
-        scrubbing regime), and the dissenting slots are returned.
+        The fallback oracle when checksums are unavailable: tries every
+        k-subset as a decoding basis; the reconstruction that matches
+        the most stored units wins (correct under a single-corruption
+        assumption with r >= 2, the interesting scrubbing regime), and
+        the dissenting slots are returned.
         """
         entry = self.namenode.stripes[stripe_id]
         units = self._stored_units(entry)
@@ -137,30 +193,54 @@ class Scrubber:
     def repair_corrupt_unit(
         self, stripe_id: str, slot: int, time: float = 0.0
     ) -> None:
-        """Drop the corrupt block and reconstruct it from the others."""
+        """Quarantine the corrupt block, then reconstruct it.
+
+        The reconstruction runs through the raid node's
+        integrity-checked path, so the replacement bytes are verified
+        against the registry CRC before they are committed.
+        """
         entry = self.namenode.stripes[stripe_id]
         block_id = entry.layout.all_block_ids()[slot]
         if block_id is None:
             raise RepairError("virtual slots cannot be corrupt")
-        node = entry.locations.get(slot)
-        if node is not None:
-            self.namenode.datanodes[node].drop(block_id)
-            self.namenode.block_locations[block_id] = []
+        self.raidnode._quarantine(
+            entry, slot, reason="corruption found by scrub", time=time
+        )
         self.raidnode.reconstruct_block(stripe_id, slot, time)
 
     def scrub(self, time: float = 0.0) -> ScrubReport:
-        """Verify every stripe; localise and repair what fails."""
+        """Verify every stripe; localise and repair what fails.
+
+        Stripes with full registry checksum coverage are verified and
+        localised by the CRC fast path (one vectorised pass each);
+        others use the parity re-encode check with k-subset voting.
+        """
         report = ScrubReport()
         for stripe_id in sorted(self.namenode.stripes):
-            verdict = self.verify_stripe(stripe_id)
+            entry = self.namenode.stripes[stripe_id]
             report.stripes_checked += 1
-            if verdict is None:
-                report.unverifiable_stripes.append(stripe_id)
-                continue
-            if verdict:
+            if self._checksum_coverage(entry):
+                blocks = self._stored_blocks(entry)
+                if blocks is None:
+                    report.unverifiable_stripes.append(stripe_id)
+                    continue
+                report.checksum_verified += 1
+                corrupt = sorted(
+                    self.raidnode._corrupt_survivors(entry, blocks)
+                )
+            else:
+                verdict = self.verify_stripe(stripe_id)
+                if verdict is None:
+                    report.unverifiable_stripes.append(stripe_id)
+                    continue
+                report.parity_fallbacks += 1
+                corrupt = (
+                    [] if verdict else self.locate_corruption_parity(stripe_id)
+                )
+            if not corrupt:
                 report.stripes_clean += 1
                 continue
-            for slot in self.locate_corruption(stripe_id):
+            for slot in corrupt:
                 report.corrupt_units_found += 1
                 report.findings.append((stripe_id, slot))
                 self.repair_corrupt_unit(stripe_id, slot, time)

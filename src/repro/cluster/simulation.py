@@ -151,6 +151,27 @@ class WarehouseSimulation:
         self.meter = TrafficMeter(self.topology, record_transfers=record_transfers)
         self._failure_rng = np.random.default_rng(failure_seed)
         recovery_rng = np.random.default_rng(recovery_seed)
+        # Explicit chaos (off by default): a FaultPlan derived from the
+        # config marks units corrupt and schedules extra node flaps.
+        self._fault_plan = None
+        corrupt_units = None
+        if config.chaos_node_flaps > 0 or config.chaos_corrupt_units > 0:
+            from repro.faults import FaultPlan
+
+            self._fault_plan = FaultPlan(
+                seed=(
+                    config.chaos_seed
+                    if config.chaos_seed is not None
+                    else config.seed
+                ),
+                node_flaps=config.chaos_node_flaps,
+            )
+            if config.chaos_corrupt_units > 0:
+                corrupt_units = self._fault_plan.corrupt_unit_indices(
+                    config.chaos_corrupt_units,
+                    self.store.num_stripes,
+                    self.store.width,
+                )
         self.recovery = RecoveryService(
             store=self.store,
             state=self.state,
@@ -161,6 +182,7 @@ class WarehouseSimulation:
             trigger_fraction=config.recovery_trigger_fraction,
             bandwidth_bytes_per_sec=config.recovery_bandwidth_bytes_per_sec,
             batched=config.batched_recovery,
+            corrupt_units=corrupt_units,
         )
         self.injector = FailureInjector(
             state=self.state,
@@ -183,6 +205,18 @@ class WarehouseSimulation:
     def run(self) -> SimulationResult:
         """Generate the trace, replay it, and collect the results."""
         events = generate_unavailability_events(self._failure_rng, self.config)
+        if self._fault_plan is not None and self._fault_plan.node_flaps > 0:
+            # Chaos flaps merge into the trace like any other outage;
+            # FailureInjector serialises same-node overlaps itself.
+            events = sorted(
+                list(events)
+                + self._fault_plan.flap_events(
+                    self.config.num_nodes,
+                    self.config.days,
+                    self.config.unavailability_threshold_seconds,
+                ),
+                key=lambda event: (event.time, event.node),
+            )
         self.injector.install(self.queue, events)
         if self.workload is not None:
             self.workload.install(self.queue, self.config.days)

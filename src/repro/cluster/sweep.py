@@ -17,7 +17,9 @@ independent child seeds from one master seed via
 ``numpy.random.SeedSequence.spawn`` -- never by seed arithmetic.
 
 Set ``REPRO_PARALLEL=0`` to force serial execution (useful on CI
-machines where process pools are unwelcome).
+machines where process pools are unwelcome); the accepted values and
+precedence rules are shared with the file pipeline via
+:func:`repro.parallel.decide_parallel`.
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ import numpy as np
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import SimulationResult, WarehouseSimulation
+from repro.parallel import decide_parallel as _decide_parallel
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -39,14 +42,6 @@ _R = TypeVar("_R")
 def _run_one(config: ClusterConfig) -> SimulationResult:
     """Worker: one full simulation (module-level so it pickles)."""
     return WarehouseSimulation(config).run()
-
-
-def _decide_parallel(num_tasks: int, parallel: Optional[bool]) -> bool:
-    if parallel is not None:
-        return parallel and num_tasks > 1
-    if os.environ.get("REPRO_PARALLEL", "1") == "0":
-        return False
-    return num_tasks > 1 and (os.cpu_count() or 1) > 1
 
 
 def parallel_map(

@@ -371,6 +371,44 @@ class ErasureCode(abc.ABC):
             ),
         )
 
+    def repair_plan_retry(
+        self,
+        failed_node: int,
+        available_nodes: Iterable[int],
+        quarantined: Iterable[int],
+    ) -> RepairPlan:
+        """Re-plan a repair after survivors were quarantined as corrupt.
+
+        The integrity layer calls this when a rebuilt unit failed its
+        checksum: the corrupt survivors are excluded and a fresh plan is
+        drawn over the remaining ones.  Shares the
+        :meth:`repair_plan_cached` memo (the reduced survivor tuple is
+        just another key), but failures are re-raised with the
+        quarantine context so an unrecoverable stripe names the units
+        that poisoned it.
+
+        Raises
+        ------
+        RepairError
+            If the survivors minus the quarantined set cannot rebuild
+            the failed unit.
+        """
+        failed_node = self.validate_node_index(failed_node)
+        excluded = {self.validate_node_index(node) for node in quarantined}
+        survivors = sorted(
+            {self.validate_node_index(node) for node in available_nodes}
+            - excluded
+            - {failed_node}
+        )
+        try:
+            return self.repair_plan_cached(failed_node, survivors)
+        except (RepairError, DecodingError) as exc:
+            raise RepairError(
+                f"{self.name}: cannot repair unit {failed_node} with "
+                f"quarantined survivor(s) {sorted(excluded)} excluded "
+                f"({len(survivors)} usable survivors remain): {exc}"
+            ) from exc
+
     # ------------------------------------------------------------------
     # Shared validation and convenience helpers
     # ------------------------------------------------------------------

@@ -37,6 +37,25 @@ class RepairError(ReproError):
     """A repair plan could not be constructed or executed."""
 
 
+class CorruptionError(ReproError):
+    """Stored or reconstructed bytes failed an integrity check.
+
+    Raised when a unit's CRC32C disagrees with the checksum registered
+    at encode time and the corruption cannot be repaired around (too
+    many corrupt survivors, or a rebuilt unit that still fails
+    verification).  Detected-and-repaired corruption is *not* an error;
+    it is surfaced as quarantine records / scrub findings instead.
+    """
+
+
+class PipelineError(ReproError):
+    """A file-pipeline shard failed on the worker side.
+
+    Carries the shard's stripe range in its message so a failure in a
+    process-pool worker can be attributed without replaying the run.
+    """
+
+
 class PlacementError(ReproError):
     """Block placement constraints could not be satisfied."""
 

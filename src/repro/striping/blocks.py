@@ -38,11 +38,17 @@ class Block:
         equal ``size``.
     payload:
         Optional ``uint8`` array with the block contents.
+    checksum:
+        Optional CRC32C of the payload, attached when the block is
+        stored by the raid path (see :mod:`repro.striping.checksum`).
+        Kept alongside the payload so a reader can verify the bytes it
+        is about to serve without consulting the stripe registry.
     """
 
     block_id: str
     size: int
     payload: Optional[np.ndarray] = None
+    checksum: Optional[int] = None
 
     def __post_init__(self):
         if self.size < 0:
@@ -62,6 +68,27 @@ class Block:
     @property
     def has_payload(self) -> bool:
         return self.payload is not None
+
+    def compute_checksum(self) -> int:
+        """CRC32C of the payload (which must be present)."""
+        from repro.striping.checksum import crc32c
+
+        if self.payload is None:
+            raise EncodingError(
+                f"block {self.block_id} has no payload to checksum"
+            )
+        return crc32c(self.payload)
+
+    def attach_checksum(self) -> "Block":
+        """Compute and record the payload's CRC32C; returns ``self``."""
+        self.checksum = self.compute_checksum()
+        return self
+
+    def verify_checksum(self) -> Optional[bool]:
+        """Payload-vs-checksum verdict; None when either is absent."""
+        if self.payload is None or self.checksum is None:
+            return None
+        return self.compute_checksum() == self.checksum
 
 
 @dataclass

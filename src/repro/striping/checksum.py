@@ -1,0 +1,139 @@
+"""CRC32C (Castagnoli) checksums for stored stripe units.
+
+Production HDFS detects silent corruption with per-chunk checksums; this
+module is the codec-level equivalent.  Every stored unit gets a CRC32C
+attached at encode time, the read/repair paths verify it, and the
+scrubber uses it to *locate* corruption directly instead of solving
+parity equations (which remain available as the fallback oracle --
+see :meth:`repro.cluster.scrubber.Scrubber.locate_corruption`).
+
+Two implementations share one table:
+
+- :func:`crc32c` -- plain bytewise table CRC over one buffer; the
+  reference implementation and the convenience entry point.
+- :func:`crc32c_batch` -- one CRC per *row* of a ``(rows, width)``
+  matrix, vectorised **across rows** (CRC is sequential within a
+  buffer, but independent buffers advance in lock-step, so each byte
+  position is one numpy gather over all rows).  An optional ``lengths``
+  array lets rows of different logical lengths share the matrix: a row
+  stops participating once its length is exhausted.  This is the path
+  the scrubber and raid node use to verify whole stripes at once.
+
+The polynomial is the Castagnoli polynomial (reflected ``0x82F63B78``),
+init and xor-out ``0xFFFFFFFF`` -- identical to the crc32c of iSCSI,
+ext4, and the HDFS ``CRC32C`` checksum type, so values here can be
+compared against any standard implementation
+(``crc32c(b"123456789") == 0xE3069283``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+#: Reflected Castagnoli polynomial.
+_POLY = np.uint32(0x82F63B78)
+
+_TABLE: Optional[np.ndarray] = None
+_TABLE_LIST: Optional[list] = None
+
+
+def _table() -> np.ndarray:
+    """The 256-entry bytewise CRC32C table (built once, with numpy)."""
+    global _TABLE, _TABLE_LIST
+    if _TABLE is None:
+        crc = np.arange(256, dtype=np.uint32)
+        for _ in range(8):
+            crc = np.where(crc & 1, (crc >> 1) ^ _POLY, crc >> 1)
+        crc.setflags(write=False)
+        _TABLE = crc
+        _TABLE_LIST = crc.tolist()
+    return _TABLE
+
+
+def _as_bytes(data) -> bytes:
+    if isinstance(data, (bytes, bytearray, memoryview)):
+        return bytes(data)
+    array = np.asarray(data)
+    if array.dtype != np.uint8:
+        raise EncodingError(
+            f"checksums are defined over uint8 payloads, got {array.dtype}"
+        )
+    return np.ascontiguousarray(array.reshape(-1)).tobytes()
+
+
+def crc32c(data, value: int = 0) -> int:
+    """CRC32C of one byte buffer (``bytes`` or 1-d ``uint8`` array).
+
+    ``value`` chains a previous :func:`crc32c` result so a buffer can be
+    checksummed in pieces: ``crc32c(b, crc32c(a)) == crc32c(a + b)``.
+    """
+    _table()
+    table = _TABLE_LIST
+    assert table is not None
+    crc = (int(value) ^ 0xFFFFFFFF) & 0xFFFFFFFF
+    for byte in _as_bytes(data):
+        crc = table[(crc ^ byte) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def crc32c_batch(
+    rows: Union[np.ndarray, Sequence[np.ndarray]],
+    lengths: Optional[Sequence[int]] = None,
+) -> np.ndarray:
+    """CRC32C of every row of a uint8 matrix, vectorised across rows.
+
+    Parameters
+    ----------
+    rows:
+        ``(num_rows, width)`` uint8 array, or a sequence of equal-width
+        1-d uint8 rows (stacked internally).
+    lengths:
+        Optional per-row logical lengths (``<= width``).  Row ``i``'s
+        CRC covers only its first ``lengths[i]`` bytes -- the trailing
+        matrix cells are ignored, so short payloads can share a padded
+        matrix without their padding leaking into the digest.
+
+    Returns
+    -------
+    ``(num_rows,)`` uint32 array; ``crc32c_batch(m)[i] == crc32c(m[i])``
+    (the property tests pin this equivalence).
+    """
+    matrix = np.asarray(rows)
+    if matrix.ndim == 1:
+        matrix = matrix.reshape(1, -1)
+    if matrix.ndim != 2:
+        raise EncodingError(
+            f"expected a (rows, width) matrix, got shape {matrix.shape}"
+        )
+    if matrix.dtype != np.uint8:
+        raise EncodingError(
+            f"checksums are defined over uint8 payloads, got {matrix.dtype}"
+        )
+    num_rows, width = matrix.shape
+    table = _table()
+    crc = np.full(num_rows, 0xFFFFFFFF, dtype=np.uint32)
+    if lengths is None:
+        for col in range(width):
+            crc = table[(crc ^ matrix[:, col]) & 0xFF] ^ (crc >> np.uint32(8))
+    else:
+        length_arr = np.asarray(lengths, dtype=np.int64)
+        if length_arr.shape != (num_rows,):
+            raise EncodingError(
+                f"lengths of shape {length_arr.shape} do not match "
+                f"{num_rows} rows"
+            )
+        if length_arr.size and (
+            length_arr.min() < 0 or length_arr.max() > width
+        ):
+            raise EncodingError(
+                f"row lengths must lie in [0, {width}]"
+            )
+        for col in range(int(length_arr.max(initial=0))):
+            live = col < length_arr
+            step = table[(crc ^ matrix[:, col]) & 0xFF] ^ (crc >> np.uint32(8))
+            crc = np.where(live, step, crc)
+    return crc ^ np.uint32(0xFFFFFFFF)

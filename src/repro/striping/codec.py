@@ -33,6 +33,7 @@ import numpy as np
 from repro.codes.base import ErasureCode, RepairPlan
 from repro.errors import EncodingError, RepairError
 from repro.striping.blocks import Block
+from repro.striping.checksum import crc32c_batch
 from repro.striping.layout import StripeLayout
 
 #: Max distinct padded widths whose shared zero-units / pad scratch we
@@ -51,6 +52,12 @@ class StripeCodec:
         Any :class:`~repro.codes.base.ErasureCode`.  The codec enforces
         that payload widths are padded to a multiple of the code's
         ``substripes_per_unit``.
+    attach_checksums:
+        When True, parity blocks produced by the encode paths carry a
+        CRC32C of their payload (computed in one batched pass per
+        stripe group).  Off by default so the throughput benches pay
+        nothing; the raid node turns it on, because stored units are
+        exactly what the integrity layer must be able to verify later.
 
     Examples
     --------
@@ -67,8 +74,9 @@ class StripeCodec:
     2
     """
 
-    def __init__(self, code: ErasureCode):
+    def __init__(self, code: ErasureCode, attach_checksums: bool = False):
         self.code = code
+        self.attach_checksums = attach_checksums
         # Encode-path scratch: the (k, padded_width) data matrix is
         # rebuilt for every stripe of a file, always at the same shape,
         # so keep one buffer and refill it instead of reallocating.
@@ -225,6 +233,12 @@ class StripeCodec:
                     payload=stripe_units[layout.k + j],
                 )
             )
+        if self.attach_checksums:
+            checksums = crc32c_batch(
+                np.stack([parity.payload for parity in parities])
+            )
+            for parity, checksum in zip(parities, checksums):
+                parity.checksum = int(checksum)
         return parities
 
     def decode_stripe(
@@ -270,6 +284,7 @@ class StripeCodec:
         layout: StripeLayout,
         failed_slot: int,
         available: Mapping[int, Block],
+        exclude_slots: Sequence[int] = (),
     ) -> Tuple[Block, int, "RepairPlan"]:
         """Rebuild one stripe member.
 
@@ -278,18 +293,26 @@ class StripeCodec:
         quantity the paper's cross-rack measurements aggregate; reads of
         virtual zero-padding slots are free and excluded), and the
         executed plan so callers can attribute the transfers to nodes.
+
+        ``exclude_slots`` names survivors that must not be read -- the
+        integrity layer quarantines checksum-mismatched units and
+        retries through here.  The plan then goes through
+        :meth:`~repro.codes.base.ErasureCode.repair_plan_retry`, which
+        reports the quarantined slots by name if the remaining
+        survivors cannot rebuild the unit.
         """
         failed_slot = int(failed_slot)
         if not 0 <= failed_slot < layout.n:
             raise RepairError(f"slot {failed_slot} outside stripe")
         if failed_slot < layout.k and layout.data_block_ids[failed_slot] is None:
             raise RepairError("virtual padding slots are never repaired")
+        excluded = {int(slot) for slot in exclude_slots}
         width = self.padded_width(layout)
         self._begin_padding(width)
         units: Dict[int, np.ndarray] = {}
         for slot, block in available.items():
             slot = int(slot)
-            if slot == failed_slot:
+            if slot == failed_slot or slot in excluded:
                 continue
             if not block.has_payload:
                 raise RepairError(f"block {block.block_id} has no payload")
@@ -298,9 +321,14 @@ class StripeCodec:
         for slot in range(layout.k):
             if layout.data_block_ids[slot] is None:
                 virtual_slots.add(slot)
-                if slot not in units:
+                if slot not in units and slot not in excluded:
                     units[slot] = self._zero_unit(width)
-        plan = self.code.repair_plan(failed_slot, units.keys())
+        if excluded:
+            plan = self.code.repair_plan_retry(
+                failed_slot, set(units.keys()) | excluded, excluded
+            )
+        else:
+            plan = self.code.repair_plan(failed_slot, units.keys())
         rebuilt_unit, bytes_read = self.code.execute_repair(
             failed_slot, units, plan
         )
@@ -426,6 +454,12 @@ class StripeCodec:
             group_layouts = [layouts[i] for i in indices]
             group_blocks = [data_blocks[i] for i in indices]
             parity_batch = self._encode_group(width, group_layouts, group_blocks)
+            checksums: Optional[np.ndarray] = None
+            if self.attach_checksums:
+                # One vectorised pass over every parity row of the group.
+                checksums = crc32c_batch(
+                    parity_batch.reshape(-1, width)
+                ).reshape(parity_batch.shape[:2])
             for position, index in enumerate(indices):
                 layout = layouts[index]
                 results[index] = [
@@ -433,6 +467,11 @@ class StripeCodec:
                         block_id=layout.parity_block_ids[j],
                         size=width,
                         payload=parity_batch[position, j],
+                        checksum=(
+                            int(checksums[position, j])
+                            if checksums is not None
+                            else None
+                        ),
                     )
                     for j in range(layout.r)
                 ]

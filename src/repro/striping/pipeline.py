@@ -1,4 +1,4 @@
-"""Shared-memory file-encode pipeline.
+"""Shared-memory file-encode pipeline with self-healing workers.
 
 Raiding a cold file (Section 2.1) is embarrassingly parallel across
 stripes, but a naive process pool would pickle every 256 MiB of block
@@ -16,38 +16,65 @@ of the byte count), encode their contiguous stripe range through
 fast path directly on the shared segment -- and write parity units to
 fixed per-stripe offsets.  Results are therefore byte-identical and
 identically ordered whether the pipeline runs serial or parallel, with
-any worker count.
+any worker count -- **and under any fault schedule**: shard writes are
+idempotent (fixed offsets, full overwrite), so a shard can be retried
+any number of times without affecting the output.
 
-Conventions match :mod:`repro.cluster.sweep`: ``REPRO_PARALLEL=0``
-forces serial execution, auto-detection declines to spawn on single-CPU
-hosts, and sandboxes that refuse process spawning or shared memory
-degrade to the serial path instead of failing.
+Self-healing: each shard is an independently-tracked future with a
+progress timeout.  A worker death (``BrokenProcessPool``) or a stalled
+pool triggers a bounded retry with backoff on a fresh pool; after
+:data:`MAX_POOL_DEATHS` pool losses the remaining shards are encoded
+serially in-process, so ``encode_file`` returns correct bytes even when
+every worker the OS gives us dies.  Both shared-memory segments are
+unlinked on every exit path.  Worker-side Python errors are wrapped in
+:class:`~repro.errors.PipelineError` naming the shard and stripe range
+-- they indicate a real bug, not an infrastructure fault, and are
+raised rather than retried.
+
+Fault injection: pass a :class:`~repro.faults.FaultPlan` (or set
+``REPRO_CHAOS`` -- see :meth:`~repro.faults.FaultPlan.from_env`) and
+the plan's worker crashes (real ``os._exit`` in the pool process) and
+straggler delays are injected into the shard schedule.  Because the
+pipeline self-heals, chaotic output remains byte-identical to serial
+output; the chaos tests assert exactly that.
+
+Conventions match :mod:`repro.cluster.sweep` via the shared
+:func:`repro.parallel.decide_parallel`: ``REPRO_PARALLEL=0`` forces
+serial execution (junk values are rejected loudly), auto-detection
+declines to spawn on single-CPU hosts, and sandboxes that refuse
+process spawning or shared memory degrade to the serial path instead
+of failing.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
+import time as time_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.codes.base import ErasureCode
-from repro.errors import EncodingError
+from repro.errors import EncodingError, PipelineError
+from repro.faults import FaultPlan
+from repro.parallel import decide_parallel as _decide_parallel
 from repro.striping.blocks import Block, LogicalFile, chunk_bytes
 from repro.striping.codec import StripeCodec
 from repro.striping.layout import StripeLayout, group_into_stripes
 
+#: Pool losses tolerated before the remaining shards go serial.
+MAX_POOL_DEATHS = 2
 
-def _decide_parallel(num_tasks: int, parallel: Optional[bool]) -> bool:
-    """Same decision rule as :func:`repro.cluster.sweep._decide_parallel`."""
-    if parallel is not None:
-        return parallel and num_tasks > 1
-    if os.environ.get("REPRO_PARALLEL", "1") == "0":
-        return False
-    return num_tasks > 1 and (os.cpu_count() or 1) > 1
+#: Default per-wait progress timeout (seconds).  Generous: it only
+#: exists to unstick a genuinely hung pool, not to police slow shards.
+DEFAULT_PROGRESS_TIMEOUT = 300.0
+
+#: Backoff base between pool restarts (seconds, doubled per death).
+RETRY_BACKOFF_SECONDS = 0.05
 
 
 def _data_slot_lists(
@@ -85,6 +112,12 @@ class EncodeResult:
         Whether a process pool actually ran, and with how many shards
         (1 when serial) -- observability for the determinism tests and
         the benchmark harness.
+    retries:
+        Shard attempts beyond the first (pool deaths and stalls trigger
+        resubmission on a fresh pool).
+    serial_fallback_shards:
+        Shards that were ultimately encoded in-process after the pool
+        died :data:`MAX_POOL_DEATHS` times.
     """
 
     file: LogicalFile
@@ -92,36 +125,54 @@ class EncodeResult:
     parities: List[List[Block]]
     parallel_used: bool
     shards: int
+    retries: int = 0
+    serial_fallback_shards: int = 0
 
     @property
     def parity_bytes(self) -> int:
         return sum(p.size for row in self.parities for p in row)
 
 
-def _worker_encode_shard(
-    task: Tuple[str, str, bytes, str, int, int, int, int, List[int]],
-) -> bool:
-    """Encode stripes [start, stop) of the shared file (module-level so
-    it pickles).  Returns True as a bare acknowledgement -- no payload
-    bytes ever cross the task queue."""
+@dataclass(frozen=True)
+class _ShardTask:
+    """Everything one worker needs to encode stripes [start, stop)."""
+
+    shard: int
+    in_name: str
+    out_name: str
+    code_blob: bytes
+    file_name: str
+    file_size: int
+    block_size: int
+    start: int
+    stop: int
+    out_offsets: Tuple[int, ...]
+    #: Chaos: crash (os._exit) while ``attempt < crash_attempts``.
+    crash: bool = False
+    crash_attempts: int = 0
+    #: Chaos: straggler delay before encoding, in seconds.
+    delay: float = 0.0
+
+
+def _worker_encode_shard(task: _ShardTask, attempt: int = 0) -> int:
+    """Encode one shard of the shared file (module-level so it pickles).
+
+    Returns the shard index as a bare acknowledgement -- no payload
+    bytes ever cross the task queue.  Output writes are idempotent
+    (fixed offsets, full overwrite), so any attempt may be retried.
+    """
     import multiprocessing
     from multiprocessing import resource_tracker, shared_memory
 
-    (
-        in_name,
-        out_name,
-        code_blob,
-        file_name,
-        file_size,
-        block_size,
-        start,
-        stop,
-        out_offsets,
-    ) = task
-    code: ErasureCode = pickle.loads(code_blob)
-    codec = StripeCodec(code)
-    shm_in = shared_memory.SharedMemory(name=in_name)
-    shm_out = shared_memory.SharedMemory(name=out_name)
+    if task.crash and attempt < task.crash_attempts:
+        # Injected chaos: die the way a real worker dies -- no cleanup,
+        # no exception, the parent just sees a broken pool.
+        os._exit(17)
+    if task.delay > 0:
+        time_module.sleep(task.delay)
+
+    shm_in = shared_memory.SharedMemory(name=task.in_name)
+    shm_out = shared_memory.SharedMemory(name=task.out_name)
     try:
         # The parent owns both segments.  Under "spawn" each worker has
         # its own resource tracker, which would try to reclaim them at
@@ -133,30 +184,52 @@ def _worker_encode_shard(
             for shm in (shm_in, shm_out):
                 try:
                     resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
-                except Exception:
+                except (KeyError, ValueError, AttributeError):
+                    # Unknown name / already unregistered / tracker API
+                    # drift: the registration we are undoing is gone,
+                    # which is the state we wanted.
                     pass
-        data = np.ndarray((file_size,), dtype=np.uint8, buffer=shm_in.buf)
-        file = chunk_bytes(file_name, data, block_size=block_size)
-        layouts = group_into_stripes(
-            file.blocks, code.k, code.r, stripe_prefix=f"{file_name}/stripe"
-        )
-        slot_lists = _data_slot_lists(layouts, file.blocks)
-        parities = codec.encode_stripes(
-            layouts[start:stop], slot_lists[start:stop]
-        )
-        out = np.ndarray((shm_out.size,), dtype=np.uint8, buffer=shm_out.buf)
-        for layout, offset, parity_blocks in zip(
-            layouts[start:stop], out_offsets, parities
-        ):
-            width = codec.padded_width(layout)
-            for j, parity in enumerate(parity_blocks):
-                out[offset + j * width : offset + (j + 1) * width] = (
-                    parity.payload
-                )
+        try:
+            code: ErasureCode = pickle.loads(task.code_blob)
+            codec = StripeCodec(code)
+            data = np.ndarray(
+                (task.file_size,), dtype=np.uint8, buffer=shm_in.buf
+            )
+            file = chunk_bytes(task.file_name, data, block_size=task.block_size)
+            layouts = group_into_stripes(
+                file.blocks,
+                code.k,
+                code.r,
+                stripe_prefix=f"{task.file_name}/stripe",
+            )
+            slot_lists = _data_slot_lists(layouts, file.blocks)
+            parities = codec.encode_stripes(
+                layouts[task.start : task.stop],
+                slot_lists[task.start : task.stop],
+            )
+            out = np.ndarray(
+                (shm_out.size,), dtype=np.uint8, buffer=shm_out.buf
+            )
+            for layout, offset, parity_blocks in zip(
+                layouts[task.start : task.stop], task.out_offsets, parities
+            ):
+                width = codec.padded_width(layout)
+                for j, parity in enumerate(parity_blocks):
+                    out[offset + j * width : offset + (j + 1) * width] = (
+                        parity.payload
+                    )
+        except Exception as exc:
+            # A worker-side Python error is a real bug in the encode
+            # path, not an infrastructure fault; surface it with the
+            # shard context instead of a bare pickled traceback.
+            raise PipelineError(
+                f"shard {task.shard} (stripes {task.start}..{task.stop}) "
+                f"failed on the worker: {type(exc).__name__}: {exc}"
+            ) from exc
     finally:
         shm_in.close()
         shm_out.close()
-    return True
+    return task.shard
 
 
 def encode_file(
@@ -167,16 +240,30 @@ def encode_file(
     name: str = "file",
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    progress_timeout: float = DEFAULT_PROGRESS_TIMEOUT,
 ) -> EncodeResult:
     """Chunk ``data`` into blocks and compute every stripe's parities.
 
     Serial mode encodes in-process through the codec's fused batch path
     (zero staging copies for the full stripes).  Parallel mode shards
-    the stripes over a process pool with payloads in shared memory.
-    Both modes return byte-identical parities in file order.
+    the stripes over a process pool with payloads in shared memory,
+    retrying dead or stalled pools and falling back to in-process
+    encoding if the pool keeps dying.  Both modes return byte-identical
+    parities in file order.
+
+    ``fault_plan`` injects worker crashes and straggler delays into the
+    pooled path (``None`` consults ``REPRO_CHAOS``); the self-healing
+    machinery must still produce identical bytes.  ``progress_timeout``
+    bounds how long a wave may go without any shard completing before
+    the pool is declared stuck.
     """
     if block_size <= 0:
         raise EncodingError(f"block size must be positive, got {block_size}")
+    if progress_timeout <= 0:
+        raise EncodingError(
+            f"progress timeout must be positive, got {progress_timeout}"
+        )
     data = np.ascontiguousarray(
         np.asarray(data, dtype=np.uint8).reshape(-1)
     )
@@ -190,8 +277,18 @@ def encode_file(
         codec = StripeCodec(code)
         parities = codec.encode_stripes(layouts, slot_lists)
         return EncodeResult(file, layouts, parities, False, 1)
+    if fault_plan is None:
+        fault_plan = FaultPlan.from_env()
     result = _encode_file_pooled(
-        code, data, block_size, name, file, layouts, max_workers
+        code,
+        data,
+        block_size,
+        name,
+        file,
+        layouts,
+        max_workers,
+        fault_plan,
+        progress_timeout,
     )
     if result is not None:
         return result
@@ -199,6 +296,31 @@ def encode_file(
     codec = StripeCodec(code)
     parities = codec.encode_stripes(layouts, slot_lists)
     return EncodeResult(file, layouts, parities, False, 1)
+
+
+def _encode_shard_serially(
+    task: _ShardTask,
+    code: ErasureCode,
+    layouts: List[StripeLayout],
+    slot_lists: List[List[Optional[Block]]],
+    out: np.ndarray,
+) -> None:
+    """In-process fallback: encode one shard into the output buffer.
+
+    Uses the parent's already-chunked layouts/blocks and the same fixed
+    offsets a worker would have written, so the result is
+    indistinguishable from a pooled shard.
+    """
+    codec = StripeCodec(code)
+    parities = codec.encode_stripes(
+        layouts[task.start : task.stop], slot_lists[task.start : task.stop]
+    )
+    for layout, offset, parity_blocks in zip(
+        layouts[task.start : task.stop], task.out_offsets, parities
+    ):
+        width = codec.padded_width(layout)
+        for j, parity in enumerate(parity_blocks):
+            out[offset + j * width : offset + (j + 1) * width] = parity.payload
 
 
 def _encode_file_pooled(
@@ -209,8 +331,11 @@ def _encode_file_pooled(
     file: LogicalFile,
     layouts: List[StripeLayout],
     max_workers: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    progress_timeout: float,
 ) -> Optional[EncodeResult]:
-    """Process-pool encode; None when this host cannot run it."""
+    """Self-healing process-pool encode; None when this host cannot
+    run a pool at all (no shared memory / no process spawning)."""
     from multiprocessing import shared_memory
 
     codec = StripeCodec(code)
@@ -225,6 +350,8 @@ def _encode_file_pooled(
     bounds = np.linspace(0, stripes, workers + 1).astype(int)
     code_blob = pickle.dumps(code)  # __getstate__ drops memoised caches
     shm_in = shm_out = None
+    retries = 0
+    serial_fallback_shards = 0
     try:
         shm_in = shared_memory.SharedMemory(
             create=True, size=max(1, data.size)
@@ -233,26 +360,48 @@ def _encode_file_pooled(
             create=True, size=max(1, out_total)
         )
         np.ndarray((data.size,), dtype=np.uint8, buffer=shm_in.buf)[:] = data
+        spans = [
+            (int(bounds[w]), int(bounds[w + 1]))
+            for w in range(workers)
+            if int(bounds[w]) < int(bounds[w + 1])
+        ]
+        shard_faults = (
+            fault_plan.worker_faults(len(spans))
+            if fault_plan is not None
+            else None
+        )
         tasks = []
-        for w in range(workers):
-            start, stop = int(bounds[w]), int(bounds[w + 1])
-            if start == stop:
-                continue
+        for shard, (start, stop) in enumerate(spans):
+            fault = shard_faults[shard] if shard_faults is not None else None
             tasks.append(
-                (
-                    shm_in.name,
-                    shm_out.name,
-                    code_blob,
-                    name,
-                    int(data.size),
-                    block_size,
-                    start,
-                    stop,
-                    [int(offsets[t]) for t in range(start, stop)],
+                _ShardTask(
+                    shard=shard,
+                    in_name=shm_in.name,
+                    out_name=shm_out.name,
+                    code_blob=code_blob,
+                    file_name=name,
+                    file_size=int(data.size),
+                    block_size=block_size,
+                    start=start,
+                    stop=stop,
+                    out_offsets=tuple(
+                        int(offsets[t]) for t in range(start, stop)
+                    ),
+                    crash=fault.crash if fault is not None else False,
+                    crash_attempts=(
+                        fault_plan.crash_attempts
+                        if fault is not None and fault.crash
+                        else 0
+                    ),
+                    delay=fault.delay if fault is not None else 0.0,
                 )
             )
-        with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
-            list(pool.map(_worker_encode_shard, tasks))
+        try:
+            retries, serial_fallback_shards = _run_shards_self_healing(
+                tasks, layouts, file, code, shm_out, progress_timeout
+            )
+        except (OSError, PermissionError, ImportError):
+            return None
         parity_bytes = np.ndarray(
             (out_total,), dtype=np.uint8, buffer=shm_out.buf
         ).copy()
@@ -280,4 +429,107 @@ def _encode_file_pooled(
                 )
             )
         parities.append(row)
-    return EncodeResult(file, layouts, parities, True, len(bounds) - 1)
+    return EncodeResult(
+        file,
+        layouts,
+        parities,
+        True,
+        len(tasks),
+        retries=retries,
+        serial_fallback_shards=serial_fallback_shards,
+    )
+
+
+def _run_shards_self_healing(
+    tasks: List[_ShardTask],
+    layouts: List[StripeLayout],
+    file: LogicalFile,
+    code: ErasureCode,
+    shm_out,
+    progress_timeout: float,
+) -> Tuple[int, int]:
+    """Run every shard to completion, surviving pool deaths and stalls.
+
+    Returns ``(retries, serial_fallback_shards)``.  Raises
+    :class:`PipelineError` for worker-side Python errors (bugs are not
+    retried) and propagates pool-creation failures to the caller's
+    degrade-to-serial handling.
+    """
+    pending: Dict[int, int] = {task.shard: 0 for task in tasks}  # shard -> attempt
+    by_shard = {task.shard: task for task in tasks}
+    retries = 0
+    pool_deaths = 0
+    pool: Optional[ProcessPoolExecutor] = None
+    futures: Dict[object, int] = {}
+
+    def _restart_pool() -> None:
+        """Kill the pool; every still-pending shard becomes a retry."""
+        nonlocal pool, pool_deaths, retries
+        assert pool is not None
+        pool.shutdown(wait=False, cancel_futures=True)
+        pool = None
+        futures.clear()
+        pool_deaths += 1
+        for shard in pending:
+            pending[shard] += 1
+            retries += 1
+        time_module.sleep(RETRY_BACKOFF_SECONDS * (2 ** (pool_deaths - 1)))
+
+    try:
+        while pending:
+            if pool_deaths >= MAX_POOL_DEATHS:
+                # The pool has died repeatedly: stop trusting workers
+                # and finish the remaining shards in-process.  Shard
+                # writes are idempotent, so partially-encoded shards
+                # are simply overwritten.
+                slot_lists = _data_slot_lists(layouts, file.blocks)
+                out = np.ndarray(
+                    (shm_out.size,), dtype=np.uint8, buffer=shm_out.buf
+                )
+                for shard in sorted(pending):
+                    _encode_shard_serially(
+                        by_shard[shard], code, layouts, slot_lists, out
+                    )
+                serial_count = len(pending)
+                pending.clear()
+                return retries, serial_count
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=len(pending))
+                futures = {
+                    pool.submit(
+                        _worker_encode_shard, by_shard[shard], attempt
+                    ): shard
+                    for shard, attempt in sorted(pending.items())
+                }
+            done, __ = wait(
+                futures, timeout=progress_timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                # No shard finished inside the window: the pool is
+                # stuck.  Kill it and retry what is left.
+                _restart_pool()
+                continue
+            broken = False
+            for future in done:
+                shard = futures.pop(future)
+                error = future.exception()
+                if error is None:
+                    pending.pop(shard, None)
+                elif isinstance(error, PipelineError):
+                    raise error
+                elif isinstance(error, BrokenProcessPool):
+                    broken = True
+                else:
+                    raise PipelineError(
+                        f"shard {shard} failed in the pool: "
+                        f"{type(error).__name__}: {error}"
+                    ) from error
+            if broken:
+                # A worker died; every sibling future on this pool is
+                # (or will be) broken too.  Restart from scratch with
+                # whatever is still pending.
+                _restart_pool()
+        return retries, 0
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)

@@ -1,0 +1,84 @@
+"""Recovery with corrupt survivors: scalar/batched parity, accounting.
+
+Marking units corrupt must route repair plans around them identically
+on the scalar and vectorised recovery paths, and must be metered in
+``RecoveryStats.corrupt_survivors_excluded`` -- without perturbing the
+default (chaos-off) simulation in any way.
+"""
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+from repro.errors import ConfigError
+
+BASE = dict(
+    num_racks=20, nodes_per_rack=5, stripes_per_node=20.0, days=2.0
+)
+
+
+def run(**overrides):
+    return WarehouseSimulation(ClusterConfig(**BASE, **overrides)).run()
+
+
+class TestScalarBatchedParity:
+    def test_identical_results_with_corrupt_units(self):
+        batched = run(
+            chaos_corrupt_units=10, chaos_node_flaps=2, batched_recovery=True
+        )
+        scalar = run(
+            chaos_corrupt_units=10, chaos_node_flaps=2, batched_recovery=False
+        )
+        assert batched.blocks_recovered_per_day == scalar.blocks_recovered_per_day
+        assert batched.cross_rack_bytes_per_day == scalar.cross_rack_bytes_per_day
+        assert (
+            batched.stats.corrupt_survivors_excluded
+            == scalar.stats.corrupt_survivors_excluded
+        )
+        assert batched.stats.bytes_downloaded == scalar.stats.bytes_downloaded
+
+    def test_exclusions_are_counted(self):
+        result = run(chaos_corrupt_units=10)
+        assert result.stats.corrupt_survivors_excluded > 0
+
+    def test_flaps_add_unavailability_events(self):
+        quiet = run()
+        flapped = run(chaos_node_flaps=5)
+        assert sum(flapped.unavailability_events_per_day) > sum(
+            quiet.unavailability_events_per_day
+        )
+
+
+class TestChaosOffIsInert:
+    def test_defaults_identical_to_chaos_zero(self):
+        default = run()
+        explicit = run(chaos_seed=None, chaos_node_flaps=0, chaos_corrupt_units=0)
+        assert default.blocks_recovered_per_day == explicit.blocks_recovered_per_day
+        assert default.cross_rack_bytes_per_day == explicit.cross_rack_bytes_per_day
+        assert default.stats.corrupt_survivors_excluded == 0
+
+    def test_chaos_runs_are_deterministic(self):
+        first = run(chaos_corrupt_units=5, chaos_node_flaps=1)
+        second = run(chaos_corrupt_units=5, chaos_node_flaps=1)
+        assert first.blocks_recovered_per_day == second.blocks_recovered_per_day
+        assert first.stats.bytes_downloaded == second.stats.bytes_downloaded
+
+    def test_chaos_seed_changes_the_fault_draw(self):
+        sim_a = WarehouseSimulation(
+            ClusterConfig(**BASE, chaos_corrupt_units=10, chaos_seed=1)
+        )
+        sim_b = WarehouseSimulation(
+            ClusterConfig(**BASE, chaos_corrupt_units=10, chaos_seed=2)
+        )
+        mask_a = sim_a.recovery._corrupt_mask
+        mask_b = sim_b.recovery._corrupt_mask
+        assert mask_a is not None and mask_b is not None
+        assert (mask_a != mask_b).any()
+
+
+class TestValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            ClusterConfig(**BASE, chaos_node_flaps=-1)
+        with pytest.raises(ConfigError):
+            ClusterConfig(**BASE, chaos_corrupt_units=-1)

@@ -1,0 +1,139 @@
+"""Self-healing pipeline under injected worker faults.
+
+The contract: whatever the chaos plan does to the pool (worker
+crashes, stragglers, pool deaths), ``encode_file`` either produces
+output byte-identical to the serial path or raises a typed error --
+and it never leaks a shared-memory segment.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.rs import ReedSolomonCode
+from repro.errors import ConfigError, EncodingError
+from repro.faults import CHAOS_ENV, FaultPlan, track_shared_memory
+from repro.striping.pipeline import _decide_parallel, encode_file
+
+
+@pytest.fixture
+def data():
+    return np.random.default_rng(7).integers(
+        0, 256, size=17 * 1024 + 13, dtype=np.uint8
+    )
+
+
+def _assert_same(a, b):
+    assert len(a.parities) == len(b.parities)
+    for row_a, row_b in zip(a.parities, b.parities):
+        for pa, pb in zip(row_a, row_b):
+            assert np.array_equal(pa.payload, pb.payload)
+
+
+class TestWorkerCrash:
+    def test_crashed_worker_output_identical_to_serial(self, data):
+        """The CI regression: kill a pool worker mid-encode, output is
+        still byte-identical to a serial encode."""
+        code = ReedSolomonCode(6, 3)
+        serial = encode_file(code, data, 1024, parallel=False)
+        plan = FaultPlan(seed=11, worker_crashes=1, crash_attempts=1)
+        with track_shared_memory() as audit:
+            chaotic = encode_file(
+                code, data, 1024, parallel=True, max_workers=2,
+                fault_plan=plan,
+            )
+        assert not audit.leaked
+        _assert_same(serial, chaotic)
+        if chaotic.parallel_used:  # pool-less hosts degrade to serial
+            assert chaotic.retries >= 1
+
+    def test_repeated_crashes_fall_back_to_serial(self, data):
+        code = ReedSolomonCode(6, 3)
+        serial = encode_file(code, data, 1024, parallel=False)
+        plan = FaultPlan(seed=11, worker_crashes=1, crash_attempts=5)
+        with track_shared_memory() as audit:
+            chaotic = encode_file(
+                code, data, 1024, parallel=True, max_workers=2,
+                fault_plan=plan,
+            )
+        assert not audit.leaked
+        _assert_same(serial, chaotic)
+        if chaotic.parallel_used:
+            assert chaotic.serial_fallback_shards >= 1
+
+    def test_straggler_delay_is_survived(self, data):
+        code = ReedSolomonCode(6, 3)
+        serial = encode_file(code, data, 1024, parallel=False)
+        plan = FaultPlan(
+            seed=11, worker_crashes=0, stragglers=1, straggler_seconds=0.05
+        )
+        chaotic = encode_file(
+            code, data, 1024, parallel=True, max_workers=2, fault_plan=plan
+        )
+        _assert_same(serial, chaotic)
+
+    def test_chaos_env_applies_to_pooled_encode(self, data, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "11:worker_crashes=1,crash_attempts=1")
+        code = ReedSolomonCode(6, 3)
+        serial = encode_file(code, data, 1024, parallel=False)
+        chaotic = encode_file(code, data, 1024, parallel=True, max_workers=2)
+        _assert_same(serial, chaotic)
+
+    def test_progress_timeout_validated(self, data):
+        with pytest.raises(EncodingError):
+            encode_file(
+                ReedSolomonCode(6, 3), data, 1024, progress_timeout=0.0
+            )
+
+
+class TestFaultPlanParsing:
+    def test_unset_means_no_plan(self):
+        assert FaultPlan.from_env(env={}) is None
+        assert FaultPlan.from_env(env={CHAOS_ENV: ""}) is None
+
+    def test_bare_seed(self):
+        plan = FaultPlan.from_env(env={CHAOS_ENV: "42"})
+        assert plan is not None and plan.seed == 42
+
+    def test_overrides(self):
+        plan = FaultPlan.parse("42:bit_flips=3,straggler_seconds=0.5")
+        assert plan.bit_flips == 3
+        assert plan.straggler_seconds == 0.5
+
+    @pytest.mark.parametrize(
+        "raw",
+        ["abc", "1:bogus=2", "1:bit_flips=x", "1:bit_flips", "1:=3"],
+    )
+    def test_junk_raises_config_error(self, raw):
+        with pytest.raises(ConfigError):
+            FaultPlan.parse(raw)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(seed=1, bit_flips=-1)
+
+    def test_worker_faults_deterministic(self):
+        plan = FaultPlan(seed=5, worker_crashes=1, stragglers=1)
+        assert plan.worker_faults(8) == plan.worker_faults(8)
+
+
+class TestParallelEnvValidation:
+    def test_pipeline_rejects_junk(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PARALLEL", "yes")
+        with pytest.raises(ConfigError):
+            _decide_parallel(8, None)
+
+    def test_sweep_shares_the_same_helper(self, monkeypatch):
+        from repro.cluster.sweep import _decide_parallel as sweep_decide
+
+        monkeypatch.setenv("REPRO_PARALLEL", "2")
+        with pytest.raises(ConfigError):
+            sweep_decide(8, None)
+
+    def test_valid_values_still_work(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_PARALLEL", "1")
+        # "1" permits pools; whether one is used still depends on CPUs.
+        assert _decide_parallel(8, None) == ((os.cpu_count() or 1) > 1)
+        monkeypatch.setenv("REPRO_PARALLEL", "0")
+        assert not _decide_parallel(8, None)

@@ -63,3 +63,51 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "PiggybackedRS(10,4)" in out
         assert "median cross-rack TB/day" in out
+
+    def test_simulate_with_chaos(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--days", "2",
+                "--stripes-per-node", "10",
+                "--chaos-corrupt-units", "10",
+                "--chaos-node-flaps", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "corrupt survivors excluded" in out
+
+
+class TestRobustnessCommands:
+    def test_chaos_scenario_is_clean(self, capsys):
+        assert main(["chaos", "--code", "rs"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: CLEAN" in out
+        assert "shared-memory segments leaked       : 0" in out
+
+    def test_chaos_spec_overrides(self, capsys):
+        code = main(
+            ["chaos", "--spec", "worker_crashes=1,crash_attempts=5"]
+        )
+        assert code == 0
+        assert "verdict: CLEAN" in capsys.readouterr().out
+
+    def test_chaos_rejects_junk_spec(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            main(["chaos", "--spec", "bogus=1"])
+
+    def test_scrub_repairs_and_reports(self, capsys):
+        assert main(["scrub", "--corruptions", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: CLEAN" in out
+        assert "corrupt found / repaired   : 3 / 3" in out
+
+    def test_scrub_parity_only_uses_the_fallback(self, capsys):
+        assert main(["scrub", "--parity-only"]) == 0
+        out = capsys.readouterr().out
+        assert "mode=parity-only" in out
+        assert "checksum-verified stripes  : 0" in out
+        assert "verdict: CLEAN" in out
