@@ -15,7 +15,15 @@ Subcommands:
   scenario (pipeline worker crashes + cluster corruption + node flap)
   and report whether the system self-healed;
 - ``repro scrub`` -- corrupt stored units in a mini-cluster with a
-  seeded plan, then scrub and repair them.
+  seeded plan, then scrub and repair them;
+- ``repro metrics [path]`` -- render a metrics snapshot (the live
+  registry, or a ``--emit-metrics`` JSON file).
+
+``simulate``, ``pipeline``, and ``chaos`` accept ``--emit-metrics PATH``
+to snapshot the observability registry to JSON after the run.  The flag
+turns recording on for the run unless ``REPRO_METRICS=0`` explicitly
+disables instrumentation (the snapshot then documents
+``"enabled": false``).
 """
 
 from __future__ import annotations
@@ -36,6 +44,35 @@ def _cmd_experiments(_: argparse.Namespace) -> int:
     for experiment_id in available_experiments():
         print(experiment_id)
     return 0
+
+
+def _begin_metrics(args: argparse.Namespace) -> bool:
+    """Start a clean metrics scope when ``--emit-metrics`` was given.
+
+    An explicit ``REPRO_METRICS=0`` wins over the flag: the run stays
+    uninstrumented and the snapshot records ``"enabled": false``.
+    """
+    path = getattr(args, "emit_metrics", None)
+    if not path:
+        return False
+    from repro.observability import metrics_env_enabled, reset, set_enabled
+
+    if metrics_env_enabled():
+        set_enabled(True)
+    # The snapshot documents this run only, even when instrumentation
+    # is disabled (the file then records "enabled": false and nothing).
+    reset()
+    return True
+
+
+def _finish_metrics(args: argparse.Namespace) -> None:
+    from repro.observability import write_snapshot
+
+    snap = write_snapshot(args.emit_metrics)
+    print(
+        f"metrics: {len(snap['counters'])} counters, "
+        f"{len(snap['spans'])} spans -> {args.emit_metrics}"
+    )
 
 
 def _json_safe(value):
@@ -102,6 +139,7 @@ def _cmd_codes(_: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    emit = _begin_metrics(args)
     params = {"k": args.k, "r": args.r}
     if args.code == "lrc":
         params = {"k": args.k, "l": 2, "g": 2}
@@ -145,6 +183,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.chaos_node_flaps or args.chaos_corrupt_units:
         print(f"chaos: corrupt survivors excluded from repair plans : "
               f"{result.stats.corrupt_survivors_excluded:,}")
+    if emit:
+        _finish_metrics(args)
     return 0
 
 
@@ -158,6 +198,7 @@ def _chaos_code_params(code: str) -> dict:
 def _cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults import FaultPlan, run_chaos_scenario
 
+    emit = _begin_metrics(args)
     if args.spec:
         plan = FaultPlan.parse(f"{args.seed}:{args.spec}")
     else:
@@ -183,6 +224,8 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     print(f"scrub rounds to converge            : {report.rounds_to_converge}")
     print(f"recovered data byte-identical       : {report.data_intact}")
     print(f"verdict: {'CLEAN' if report.clean else 'NOT CLEAN'}")
+    if emit:
+        _finish_metrics(args)
     return 0 if report.clean else 1
 
 
@@ -250,6 +293,7 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
     from repro.striping.pipeline import encode_file
 
+    emit = _begin_metrics(args)
     params = {"k": args.k, "r": args.r}
     if args.code == "lrc":
         params = {"k": args.k, "l": 2, "g": 2}
@@ -277,6 +321,58 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     print(f"encode throughput: {mb / best:.1f} MB/s "
           f"(best of {max(1, args.rounds)}, {best * 1e3:.1f} ms)")
     print(f"parity bytes: {result.parity_bytes:,}")
+    if emit:
+        _finish_metrics(args)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.observability import get_registry
+
+    if args.path:
+        try:
+            with open(args.path, encoding="utf-8") as handle:
+                snap = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"repro metrics: cannot read {args.path}: {exc}",
+                  file=sys.stderr)
+            return 1
+    else:
+        snap = get_registry().snapshot()
+    if args.json:
+        print(json.dumps(snap, indent=2, sort_keys=True))
+        return 0
+    source = args.path if args.path else "live registry"
+    print(f"metrics snapshot ({source}), enabled: {snap.get('enabled')}")
+    counters = snap.get("counters") or {}
+    if counters:
+        print("\ncounters:")
+        for name in sorted(counters):
+            print(f"  {name:<44} {counters[name]:,}")
+    gauges = snap.get("gauges") or {}
+    if gauges:
+        print("\ngauges:")
+        for name in sorted(gauges):
+            print(f"  {name:<44} {gauges[name]}")
+    histograms = snap.get("histograms") or {}
+    if histograms:
+        print("\nhistograms:")
+        for name in sorted(histograms):
+            h = histograms[name]
+            print(f"  {name:<44} count={h['count']} mean={h['mean']:.6g} "
+                  f"min={h['min']:.6g} max={h['max']:.6g}")
+    spans = snap.get("spans") or {}
+    if spans:
+        print("\nspans:")
+        for name in sorted(spans):
+            s = spans[name]
+            print(f"  {name:<44} count={s['count']} "
+                  f"wall={s['wall_seconds']:.4f}s cpu={s['cpu_seconds']:.4f}s "
+                  f"max={s['wall_max_seconds']:.4f}s")
+    if not (counters or gauges or histograms or spans):
+        print("(no metrics recorded)")
     return 0
 
 
@@ -391,6 +487,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="stored units marked corrupt; repair plans must avoid them",
     )
+    sim_parser.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        default=None,
+        help="write an observability-registry JSON snapshot after the run",
+    )
     sim_parser.set_defaults(fn=_cmd_simulate)
 
     pipe_parser = sub.add_parser(
@@ -410,6 +512,12 @@ def build_parser() -> argparse.ArgumentParser:
         default="auto",
         help="process pool: auto-detect, force on, or force off",
     )
+    pipe_parser.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        default=None,
+        help="write an observability-registry JSON snapshot after the run",
+    )
     pipe_parser.set_defaults(fn=_cmd_pipeline)
 
     chaos_parser = sub.add_parser(
@@ -427,6 +535,12 @@ def build_parser() -> argparse.ArgumentParser:
             "fault-plan overrides, REPRO_CHAOS grammar without the seed "
             "(e.g. 'bit_flips=2,worker_crashes=1')"
         ),
+    )
+    chaos_parser.add_argument(
+        "--emit-metrics",
+        metavar="PATH",
+        default=None,
+        help="write an observability-registry JSON snapshot after the run",
     )
     chaos_parser.set_defaults(fn=_cmd_chaos)
 
@@ -450,6 +564,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop registry checksums: exercise the parity-voting oracle",
     )
     scrub_parser.set_defaults(fn=_cmd_scrub)
+
+    metrics_parser = sub.add_parser(
+        "metrics",
+        help="render a metrics snapshot (live registry or JSON file)",
+    )
+    metrics_parser.add_argument(
+        "path",
+        nargs="?",
+        default=None,
+        help="snapshot file from --emit-metrics (default: live registry)",
+    )
+    metrics_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    metrics_parser.set_defaults(fn=_cmd_metrics)
     return parser
 
 

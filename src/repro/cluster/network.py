@@ -13,6 +13,7 @@ bytes" per day, attributed to recovery of RS-coded blocks.  The
 
 from __future__ import annotations
 
+import time as time_module
 from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -22,6 +23,7 @@ import numpy as np
 from repro.cluster.config import SECONDS_PER_DAY
 from repro.cluster.topology import Topology
 from repro.errors import SimulationError
+from repro.observability import get_logger, metrics
 
 
 def _group_sums(keys: np.ndarray, values: np.ndarray, size: int = 0):
@@ -111,6 +113,16 @@ class TrafficMeter:
             self.intra_rack_bytes += num_bytes
         for switch in self.topology.switch_path(src_node, dst_node):
             self.bytes_by_switch[switch] += num_bytes
+        m = metrics()
+        if m is not None:
+            m.inc("network.transfers")
+            m.inc("network.bytes", num_bytes)
+            m.inc(
+                "network.cross_rack_bytes"
+                if cross
+                else "network.intra_rack_bytes",
+                num_bytes,
+            )
         if self.record_transfers:
             self.transfers.append(
                 Transfer(
@@ -141,6 +153,8 @@ class TrafficMeter:
         stays as the test oracle.  Returns the number of cross-rack
         transfers in the batch.
         """
+        m = metrics()
+        wall0 = time_module.perf_counter() if m is not None else 0.0
         times = np.asarray(times, dtype=np.float64)
         src_nodes = np.asarray(src_nodes, dtype=np.int64)
         dst_nodes = np.asarray(dst_nodes, dtype=np.int64)
@@ -172,17 +186,20 @@ class TrafficMeter:
         self.intra_rack_bytes += total - cross_sum
         days = (times[cross] // SECONDS_PER_DAY).astype(np.int64)
         day_size = int(days.max()) + 1 if days.shape[0] else 0
-        for day, total in zip(*_group_sums(days, num_bytes[cross], day_size)):
-            self.cross_rack_bytes_by_day[day] += total
+        # The loop variables must not reuse ``total``: the batch total
+        # is a live local (it just fed ``intra_rack_bytes`` above), and
+        # a shadowing rebind here once corrupted any later use of it.
+        for day, day_total in zip(*_group_sums(days, num_bytes[cross], day_size)):
+            self.cross_rack_bytes_by_day[day] += day_total
         # TOR accounting: every transfer passes its source TOR; a
         # cross-rack one additionally passes the aggregation switch and
         # the destination TOR (Fig. 1's path).
         tor_racks = np.concatenate([src_racks, dst_racks[cross]])
         tor_bytes = np.concatenate([num_bytes, num_bytes[cross]])
-        for rack, total in zip(
+        for rack, rack_total in zip(
             *_group_sums(tor_racks, tor_bytes, self.topology.num_racks)
         ):
-            self.bytes_by_switch[f"tor_{rack}"] += total
+            self.bytes_by_switch[f"tor_{rack}"] += rack_total
         if np.any(cross):
             # Key even for zero-byte transfers, like the scalar path's
             # defaultdict increment.
@@ -200,10 +217,36 @@ class TrafficMeter:
                         purpose=purpose,
                     )
                 )
+        if m is not None:
+            m.inc("network.transfers", count)
+            m.inc("network.bytes", total)
+            m.inc("network.cross_rack_bytes", cross_sum)
+            m.inc("network.intra_rack_bytes", total - cross_sum)
+            m.inc("network.charge_batch.calls")
+            m.observe("network.charge_batch.size", count)
+            m.observe(
+                "network.charge_batch.seconds",
+                time_module.perf_counter() - wall0,
+            )
         return int(cross.sum())
 
-    def daily_cross_rack_series(self, num_days: Optional[int] = None) -> List[int]:
-        """Cross-rack bytes per day as a dense list (Fig. 3b's line)."""
+    def daily_cross_rack_series(
+        self,
+        num_days: Optional[int] = None,
+        *,
+        allow_overflow: bool = False,
+    ) -> List[int]:
+        """Cross-rack bytes per day as a dense list (Fig. 3b's line).
+
+        When ``num_days`` is given and transfers were charged on day
+        ``num_days`` or later, the window would silently under-report
+        traffic; that is now an error by default.  Callers that
+        deliberately report full days only (the simulator: recoveries
+        triggered near the horizon complete just past it) pass
+        ``allow_overflow=True``; the spilled bytes are still surfaced
+        through the metrics registry and a warning on the structured
+        logger, never dropped silently.
+        """
         if not self.cross_rack_bytes_by_day and num_days is None:
             return []
         last_day = (
@@ -211,6 +254,32 @@ class TrafficMeter:
             if self.cross_rack_bytes_by_day
             else 0
         )
+        if num_days is not None and last_day > num_days:
+            spilled_days = sorted(
+                day
+                for day in self.cross_rack_bytes_by_day
+                if day >= num_days
+            )
+            spilled_bytes = sum(
+                self.cross_rack_bytes_by_day[day] for day in spilled_days
+            )
+            if not allow_overflow:
+                raise SimulationError(
+                    f"daily_cross_rack_series(num_days={num_days}) would "
+                    f"silently drop {spilled_bytes} cross-rack bytes "
+                    f"recorded on day(s) {spilled_days}; widen the window "
+                    f"or pass allow_overflow=True to truncate knowingly"
+                )
+            m = metrics()
+            if m is not None:
+                m.inc("network.series_overflow_days", len(spilled_days))
+                m.inc("network.series_overflow_bytes", spilled_bytes)
+            get_logger("repro.network").warning(
+                "traffic-series-overflow",
+                num_days=num_days,
+                spilled_days=len(spilled_days),
+                spilled_bytes=spilled_bytes,
+            )
         days = num_days if num_days is not None else last_day
         return [self.cross_rack_bytes_by_day.get(day, 0) for day in range(days)]
 

@@ -44,6 +44,7 @@ from repro.cluster.network import TrafficMeter
 from repro.cluster.placement import PlacementPolicy
 from repro.codes.base import ErasureCode, RepairPlan
 from repro.errors import RepairError
+from repro.observability import metrics
 
 
 @dataclass
@@ -251,6 +252,7 @@ class RecoveryService:
         destination = self.placement.replacement_node(
             exclude_nodes=stripe_nodes + self.state.down_nodes()
         )
+        unit_bytes_downloaded = 0
         for request in plan.requests:
             source_node = stripe_nodes[request.node]
             self.meter.charge(
@@ -261,9 +263,14 @@ class RecoveryService:
                 purpose="recovery",
             )
             self.stats.bytes_downloaded += len(request.substripes) * subunit_bytes
+            unit_bytes_downloaded += len(request.substripes) * subunit_bytes
         self.store.relocate_unit(stripe, slot, destination)
         self.stats.blocks_recovered += 1
         self.stats.blocks_recovered_by_day[int(time // SECONDS_PER_DAY)] += 1
+        m = metrics()
+        if m is not None:
+            m.inc("recovery.blocks_recovered")
+            m.inc("recovery.bytes_downloaded", unit_bytes_downloaded)
         return True
 
     # ------------------------------------------------------------------
@@ -314,10 +321,14 @@ class RecoveryService:
         # (every unit of a pattern reads the same plan slots).
         groups: Dict[Tuple[int, int], List[int]] = {}
         rec_list: List[int] = []
+        plan_hits = 0
+        plan_misses = 0
         for i, key in enumerate(key_list):
             try:
                 resolved = plans[key]
+                plan_hits += 1
             except KeyError:
+                plan_misses += 1
                 available = tuple(np.flatnonzero(avail_rows[i]).tolist())
                 plan = self._resolve_plan(key[0], available)
                 resolved = None
@@ -338,6 +349,11 @@ class RecoveryService:
             else:
                 groups.setdefault(key, []).append(len(rec_list))
                 rec_list.append(i)
+        m = metrics()
+        if m is not None:
+            m.inc("recovery.plan_cache.hits", plan_hits)
+            m.inc("recovery.plan_cache.misses", plan_misses)
+            m.observe("recovery.batch.size", int(uids.size))
         if not rec_list:
             return 0
         rec_idx = np.asarray(rec_list, dtype=np.int64)
@@ -393,11 +409,15 @@ class RecoveryService:
             purpose="recovery",
         )
         recovered = int(rec_idx.size)
-        self.stats.bytes_downloaded += int(num_bytes.sum())
+        batch_bytes = int(num_bytes.sum())
+        self.stats.bytes_downloaded += batch_bytes
         self.stats.blocks_recovered += recovered
         self.stats.blocks_recovered_by_day[
             int(time // SECONDS_PER_DAY)
         ] += recovered
+        if m is not None:
+            m.inc("recovery.blocks_recovered", recovered)
+            m.inc("recovery.bytes_downloaded", batch_bytes)
         return recovered
 
     # ------------------------------------------------------------------
@@ -427,6 +447,9 @@ class RecoveryService:
         """
         self.stats.degraded_histogram[missing_count] += 1
         self.stats.unrecoverable_units += 1
+        m = metrics()
+        if m is not None:
+            m.inc("recovery.unrecoverable_units")
 
     def _plan_for(self, slot: int, available: Tuple[int, ...]) -> RepairPlan:
         # The memo lives on the code instance

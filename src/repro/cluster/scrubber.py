@@ -26,7 +26,13 @@ import numpy as np
 
 from repro.cluster.namenode import NameNode, StripeEntry
 from repro.cluster.raidnode import RaidNode
-from repro.errors import RepairError, SimulationError
+from repro.errors import (
+    DecodingError,
+    LinearAlgebraError,
+    RepairError,
+    SimulationError,
+)
+from repro.observability import metrics, span
 from repro.striping.blocks import Block
 
 
@@ -170,7 +176,12 @@ class Scrubber:
         for basis in combinations(range(n), self.code.k):
             try:
                 data = self.code.decode({slot: units[slot] for slot in basis})
-            except Exception:
+            except (DecodingError, LinearAlgebraError, RepairError):
+                # This k-subset genuinely cannot decode (non-MDS codes,
+                # singular selections); try the next basis.  Anything
+                # else -- a TypeError, an IndexError -- is a programming
+                # error and must propagate, not be miscounted as a
+                # parity-fallback outcome.
                 continue
             candidate = self.code.encode(data)
             mismatched = [
@@ -215,6 +226,26 @@ class Scrubber:
         localised by the CRC fast path (one vectorised pass each);
         others use the parity re-encode check with k-subset voting.
         """
+        with span("scrubber.scrub"):
+            report = self._scrub(time)
+        m = metrics()
+        if m is not None:
+            m.inc("scrubber.passes")
+            m.inc("scrubber.stripes_checked", report.stripes_checked)
+            m.inc("scrubber.checksum_verified", report.checksum_verified)
+            m.inc("scrubber.parity_fallbacks", report.parity_fallbacks)
+            m.inc("scrubber.corrupt_units_found", report.corrupt_units_found)
+            m.inc(
+                "scrubber.corrupt_units_repaired",
+                report.corrupt_units_repaired,
+            )
+            m.inc(
+                "scrubber.unverifiable_stripes",
+                len(report.unverifiable_stripes),
+            )
+        return report
+
+    def _scrub(self, time: float) -> ScrubReport:
         report = ScrubReport()
         for stripe_id in sorted(self.namenode.stripes):
             entry = self.namenode.stripes[stripe_id]

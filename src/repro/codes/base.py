@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 import numpy as np
 
 from repro.errors import DecodingError, EncodingError, RepairError
+from repro.observability import metrics
 
 #: Per-code cap on memoised decode matrices / repair plans.  Real failure
 #: patterns are heavily skewed (98.08% of degraded stripes miss exactly
@@ -50,6 +51,21 @@ POOL_WIDTH = 1 << 12
 
 #: Sentinel distinguishing "not cached" from a cached ``None``.
 _MEMO_MISSING = object()
+
+#: cache attribute name -> (hit counter, miss counter), built lazily so
+#: the hot memo path never re-derives metric name strings.
+_CACHE_COUNTER_NAMES: Dict[str, Tuple[str, str]] = {}
+
+
+def _cache_counters(cache_name: str) -> Tuple[str, str]:
+    names = _CACHE_COUNTER_NAMES.get(cache_name)
+    if names is None:
+        base = cache_name.strip("_")
+        if base.endswith("_cache"):
+            base = base[: -len("_cache")]
+        names = (f"cache.{base}.hits", f"cache.{base}.misses")
+        _CACHE_COUNTER_NAMES[cache_name] = names
+    return names
 
 
 @dataclass(frozen=True)
@@ -319,12 +335,17 @@ class ErasureCode(abc.ABC):
         if cache is None:
             cache = self.__dict__[cache_name] = OrderedDict()
         value = cache.get(key, _MEMO_MISSING)
+        m = metrics()
         if value is _MEMO_MISSING:
+            if m is not None:
+                m.inc(_cache_counters(cache_name)[1])
             value = builder()
             while len(cache) >= cap:
                 cache.popitem(last=False)
             cache[key] = value
         else:
+            if m is not None:
+                m.inc(_cache_counters(cache_name)[0])
             cache.move_to_end(key)
         return value
 

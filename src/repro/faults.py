@@ -46,6 +46,7 @@ from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 import numpy as np
 
 from repro.errors import ConfigError
+from repro.observability import metrics
 
 #: Environment variable enabling ambient pipeline chaos.
 CHAOS_ENV = "REPRO_CHAOS"
@@ -150,6 +151,10 @@ class FaultPlan:
                 replace=False,
             ).tolist()
         )
+        m = metrics()
+        if m is not None:
+            m.inc("faults.injected.worker_crash", len(crash_shards))
+            m.inc("faults.injected.straggler", len(straggler_shards))
         return [
             WorkerFault(
                 shard=shard,
@@ -213,6 +218,9 @@ class FaultPlan:
             return []
         rng = self.rng("sim-corrupt", num_stripes, width)
         uids = rng.choice(num_stripes * width, size=total, replace=False)
+        m = metrics()
+        if m is not None:
+            m.inc("faults.injected.sim_corrupt_unit", total)
         return [
             (int(uid) // width, int(uid) % width) for uid in uids.tolist()
         ]
@@ -241,6 +249,9 @@ class FaultPlan:
             events.append(
                 UnavailabilityEvent(time=time, node=node, duration=duration)
             )
+        m = metrics()
+        if m is not None:
+            m.inc("faults.injected.node_flap", len(events))
         return events
 
     # ------------------------------------------------------------------
@@ -330,7 +341,14 @@ def inject_cluster_faults(namenode, plan: FaultPlan) -> List[UnitFault]:
     faults = plan.unit_fault_sites(sites)
     from repro.striping.blocks import Block
 
+    m = metrics()
     for fault in faults:
+        if m is not None:
+            m.inc(
+                "faults.injected.bit_flip"
+                if fault.kind == "bit-flip"
+                else "faults.injected.truncation"
+            )
         entry = namenode.stripes[fault.stripe_id]
         block_id = entry.layout.all_block_ids()[fault.slot]
         node = entry.locations[fault.slot]

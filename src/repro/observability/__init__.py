@@ -1,0 +1,63 @@
+"""Observability layer: metrics registry, phase tracing, structured log.
+
+Public surface (everything instrumented code needs)::
+
+    from repro.observability import metrics, span, get_logger
+
+    m = metrics()                 # None when REPRO_METRICS=0
+    if m is not None:
+        m.inc("codec.encode.stripes", s)
+
+    with span("pipeline.encode_file"):
+        ...
+
+    get_logger("repro.network").warning("traffic-series-overflow", days=2)
+
+See :mod:`repro.observability.registry` for the data model and the
+``REPRO_METRICS`` kill-switch semantics.
+"""
+
+from repro.observability.log import (
+    LOG_ENV,
+    StructuredLogger,
+    get_logger,
+    log_env_level,
+)
+from repro.observability.registry import (
+    METRICS_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SpanStats,
+    enabled,
+    get_registry,
+    metrics,
+    metrics_env_enabled,
+    reset,
+    set_enabled,
+    write_snapshot,
+)
+from repro.observability.tracing import Span, span
+
+__all__ = [
+    "METRICS_ENV",
+    "LOG_ENV",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "SpanStats",
+    "StructuredLogger",
+    "enabled",
+    "get_logger",
+    "get_registry",
+    "log_env_level",
+    "metrics",
+    "metrics_env_enabled",
+    "reset",
+    "set_enabled",
+    "span",
+    "write_snapshot",
+]

@@ -1,0 +1,134 @@
+"""Process-wide structured logging.
+
+One small wrapper over :mod:`logging` that emits ``event key=value``
+lines with deterministically-ordered fields, so log output is greppable
+and diffable across runs::
+
+    repro.network WARNING traffic-series-overflow num_days=3 spilled_days=1 spilled_bytes=1048576
+
+Library code logs through :func:`get_logger`; nothing is ever silently
+swallowed into an unconfigured logger -- the first call installs a
+stderr handler on the ``repro`` root logger (unless the application or
+test harness already configured logging, in which case records
+propagate there), at the level named by ``REPRO_LOG``
+(``debug``/``info``/``warning``/``error``; default ``warning``; junk
+raises :class:`~repro.errors.ConfigError` loudly).
+
+This logger is deliberately independent of the ``REPRO_METRICS`` kill
+switch: disabling metrics must not disable *warnings about data being
+dropped* -- the whole point of the silent-failure bugfixes this module
+ships with.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+import threading
+from typing import Mapping, Optional
+
+from repro.errors import ConfigError
+
+#: Environment variable naming the default log level.
+LOG_ENV = "REPRO_LOG"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+_configure_lock = threading.Lock()
+_configured = False
+
+
+def log_env_level(env: Optional[Mapping[str, str]] = None) -> int:
+    """Level named by ``REPRO_LOG`` (default WARNING; junk raises)."""
+    raw = (env if env is not None else os.environ).get(LOG_ENV)
+    if raw is None or raw == "":
+        return logging.WARNING
+    level = _LEVELS.get(raw.strip().lower())
+    if level is None:
+        raise ConfigError(
+            f"{LOG_ENV}={raw!r} is not a valid level; use one of "
+            f"{', '.join(sorted(_LEVELS))}"
+        )
+    return level
+
+
+def _configure_root() -> None:
+    """Install the stderr handler on the ``repro`` logger once.
+
+    Defers to existing configuration: when the ``repro`` logger or the
+    process root already has handlers (an application's ``basicConfig``,
+    pytest's capture), nothing is installed and records propagate there
+    as usual.  An explicit ``REPRO_LOG`` always sets the ``repro``
+    level, so the env knob works under either configuration.
+    """
+    global _configured
+    if _configured:
+        return
+    with _configure_lock:
+        if _configured:
+            return
+        root = logging.getLogger("repro")
+        env_level = log_env_level()
+        if os.environ.get(LOG_ENV):
+            root.setLevel(env_level)
+        if not root.handlers and not logging.getLogger().handlers:
+            handler = logging.StreamHandler(sys.stderr)
+            handler.setFormatter(
+                logging.Formatter("%(name)s %(levelname)s %(message)s")
+            )
+            root.addHandler(handler)
+            if not os.environ.get(LOG_ENV):
+                root.setLevel(env_level)
+        _configured = True
+
+
+def format_event(event: str, fields: Mapping[str, object]) -> str:
+    """``event key=value ...`` with insertion-ordered fields."""
+    if not fields:
+        return event
+    rendered = " ".join(f"{key}={value!r}" for key, value in fields.items())
+    return f"{event} {rendered}"
+
+
+class StructuredLogger:
+    """``event key=value`` front-end over one stdlib logger."""
+
+    __slots__ = ("_logger",)
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+
+    def debug(self, event: str, **fields: object) -> None:
+        if self._logger.isEnabledFor(logging.DEBUG):
+            self._logger.debug(format_event(event, fields))
+
+    def info(self, event: str, **fields: object) -> None:
+        if self._logger.isEnabledFor(logging.INFO):
+            self._logger.info(format_event(event, fields))
+
+    def warning(self, event: str, **fields: object) -> None:
+        if self._logger.isEnabledFor(logging.WARNING):
+            self._logger.warning(format_event(event, fields))
+
+    def error(self, event: str, **fields: object) -> None:
+        if self._logger.isEnabledFor(logging.ERROR):
+            self._logger.error(format_event(event, fields))
+
+
+def get_logger(name: str = "repro") -> StructuredLogger:
+    """Structured logger under the ``repro`` hierarchy.
+
+    ``name`` should be the dotted module family (``"repro.network"``,
+    ``"repro.pipeline"``); anything outside the ``repro`` prefix is
+    namespaced under it.
+    """
+    _configure_root()
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return StructuredLogger(logging.getLogger(name))

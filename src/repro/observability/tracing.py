@@ -1,0 +1,83 @@
+"""Span-based phase tracing: wall and CPU seconds per named phase.
+
+A *span* wraps one phase of work -- a batched encode, a recovery wave,
+a scrub pass -- and aggregates its wall-clock (``time.perf_counter``)
+and CPU (``time.process_time``) durations into the process registry
+under the span's name.  Aggregation (count / totals / max wall) rather
+than per-event storage keeps tracing O(1) memory no matter how many
+times a phase runs, which is what lets it stay on in production-sized
+simulations.
+
+Usage::
+
+    from repro.observability import span
+
+    with span("codec.encode_stripes"):
+        ...
+
+When metrics are disabled (``REPRO_METRICS=0``) :func:`span` returns a
+shared no-op context manager: no clock reads, no allocation, no timing
+skew -- the traced code runs exactly as if the ``with`` were absent.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.observability.registry import MetricsRegistry, metrics
+
+
+class _NullSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One live span; records into the registry on exit.
+
+    Exceptions propagate untouched -- a failed phase still records its
+    duration, so a hang-then-raise shows up in the timings.
+    """
+
+    __slots__ = ("_registry", "name", "_wall0", "_cpu0")
+
+    def __init__(self, registry: MetricsRegistry, name: str):
+        self._registry = registry
+        self.name = name
+        self._wall0 = 0.0
+        self._cpu0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self._wall0 = time.perf_counter()
+        self._cpu0 = time.process_time()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        self._registry.span_stats(self.name).record(wall, cpu)
+        return None
+
+
+def span(name: str, registry: Optional[MetricsRegistry] = None):
+    """Context manager timing one phase under ``name``.
+
+    ``registry`` defaults to the process registry; when metrics are
+    disabled the shared no-op span is returned instead.
+    """
+    if registry is None:
+        registry = metrics()
+        if registry is None:
+            return _NULL_SPAN
+    return Span(registry, name)

@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.codes.base import ErasureCode, RepairPlan
 from repro.errors import EncodingError, RepairError
+from repro.observability import metrics, span
 from repro.striping.blocks import Block
 from repro.striping.checksum import crc32c_batch
 from repro.striping.layout import StripeLayout
@@ -224,6 +225,12 @@ class StripeCodec:
         matrix = self._data_matrix(layout, data_blocks)
         stripe_units = self.code.encode(matrix)
         width = self.padded_width(layout)
+        m = metrics()
+        if m is not None:
+            m.inc("codec.encode.calls")
+            m.inc("codec.encode.stripes")
+            m.inc("codec.encode.data_bytes", layout.k * width)
+            m.inc("codec.encode.parity_bytes", layout.r * width)
         parities = []
         for j in range(layout.r):
             parities.append(
@@ -345,6 +352,11 @@ class StripeCodec:
             block_id = layout.parity_block_ids[failed_slot - layout.k]
             size = width
         assert block_id is not None
+        m = metrics()
+        if m is not None:
+            m.inc("codec.repair.calls")
+            m.inc("codec.repair.blocks")
+            m.inc("codec.repair.bytes_read", bytes_read)
         return (
             Block(block_id=block_id, size=size, payload=rebuilt_unit[:size]),
             bytes_read,
@@ -450,6 +462,26 @@ class StripeCodec:
                     f"blocks (None for virtual), got {len(data_blocks[index])}"
                 )
             groups.setdefault(self.padded_width(layout), []).append(index)
+        m = metrics()
+        if m is not None:
+            m.inc("codec.encode.calls")
+            m.inc("codec.encode.stripes", len(layouts))
+            m.inc("codec.encode.groups", len(groups))
+            for width, indices in groups.items():
+                total_k = sum(layouts[i].k for i in indices)
+                total_r = sum(layouts[i].r for i in indices)
+                m.inc("codec.encode.data_bytes", total_k * width)
+                m.inc("codec.encode.parity_bytes", total_r * width)
+        with span("codec.encode_stripes"):
+            return self._encode_groups(layouts, data_blocks, groups, results)
+
+    def _encode_groups(
+        self,
+        layouts: Sequence[StripeLayout],
+        data_blocks: Sequence[Sequence[Optional[Block]]],
+        groups: "OrderedDict[int, List[int]]",
+        results: List[Optional[List[Block]]],
+    ) -> List[List[Block]]:
         for width, indices in groups.items():
             group_layouts = [layouts[i] for i in indices]
             group_blocks = [data_blocks[i] for i in indices]
@@ -532,6 +564,13 @@ class StripeCodec:
             parities = code.parity_batch(staged)
             for i, index in enumerate(staged_indices):
                 out[index] = parities[i]
+        m = metrics()
+        if m is not None:
+            m.inc("codec.encode.staged_stripes", len(staged_indices))
+            m.inc(
+                "codec.encode.fast_path_stripes",
+                stripes - len(staged_indices),
+            )
         return out
 
     def repair_blocks(
@@ -590,6 +629,27 @@ class StripeCodec:
                 virtual_slots,
             )
             groups.setdefault(key, []).append(index)
+        m = metrics()
+        if m is not None:
+            m.inc("codec.repair.calls")
+            m.inc("codec.repair.blocks", len(requests))
+            m.inc("codec.repair.groups", len(groups))
+        with span("codec.repair_blocks"):
+            self._repair_groups(requests, groups, unit_maps, results)
+        if m is not None:
+            m.inc(
+                "codec.repair.bytes_read",
+                sum(result[1] for result in results if result is not None),
+            )
+        return results  # type: ignore[return-value]
+
+    def _repair_groups(
+        self,
+        requests: Sequence[Tuple[StripeLayout, int, Mapping[int, Block]]],
+        groups: "OrderedDict[tuple, List[int]]",
+        unit_maps: List[Dict[int, Block]],
+        results: List[Optional[Tuple[Block, int, RepairPlan]]],
+    ) -> None:
         for (width, failed_slot, slots, virtual_slots), indices in groups.items():
             available_rows: Dict[int, List[np.ndarray]] = {}
             zero_unit = self._zero_unit(width)
@@ -640,4 +700,3 @@ class StripeCodec:
                     bytes_read,
                     plan,
                 )
-        return results  # type: ignore[return-value]

@@ -61,6 +61,7 @@ import numpy as np
 from repro.codes.base import ErasureCode
 from repro.errors import EncodingError, PipelineError
 from repro.faults import FaultPlan
+from repro.observability import get_logger, metrics, span
 from repro.parallel import decide_parallel as _decide_parallel
 from repro.striping.blocks import Block, LogicalFile, chunk_bytes
 from repro.striping.codec import StripeCodec
@@ -267,6 +268,45 @@ def encode_file(
     data = np.ascontiguousarray(
         np.asarray(data, dtype=np.uint8).reshape(-1)
     )
+    with span("pipeline.encode_file"):
+        result = _encode_file_impl(
+            code,
+            data,
+            block_size,
+            name,
+            parallel,
+            max_workers,
+            fault_plan,
+            progress_timeout,
+        )
+    m = metrics()
+    if m is not None:
+        m.inc("pipeline.files")
+        m.inc("pipeline.data_bytes", int(data.size))
+        m.inc("pipeline.stripes", len(result.layouts))
+        m.inc("pipeline.shards", result.shards)
+        m.inc("pipeline.retries", result.retries)
+        m.inc(
+            "pipeline.serial_fallback_shards", result.serial_fallback_shards
+        )
+        m.inc(
+            "pipeline.parallel_runs"
+            if result.parallel_used
+            else "pipeline.serial_runs"
+        )
+    return result
+
+
+def _encode_file_impl(
+    code: ErasureCode,
+    data: np.ndarray,
+    block_size: int,
+    name: str,
+    parallel: Optional[bool],
+    max_workers: Optional[int],
+    fault_plan: Optional[FaultPlan],
+    progress_timeout: float,
+) -> EncodeResult:
     file = chunk_bytes(name, data, block_size=block_size)
     layouts = group_into_stripes(
         file.blocks, code.k, code.r, stripe_prefix=f"{name}/stripe"
@@ -293,6 +333,9 @@ def encode_file(
     if result is not None:
         return result
     # Pool or shared memory unavailable: degrade to serial.
+    get_logger("repro.pipeline").warning(
+        "pool-unavailable-serial-fallback", file=name, stripes=stripes
+    )
     codec = StripeCodec(code)
     parities = codec.encode_stripes(layouts, slot_lists)
     return EncodeResult(file, layouts, parities, False, 1)
@@ -359,6 +402,12 @@ def _encode_file_pooled(
         shm_out = shared_memory.SharedMemory(
             create=True, size=max(1, out_total)
         )
+        m = metrics()
+        if m is not None:
+            m.inc("pipeline.shm_created", 2)
+            m.inc(
+                "pipeline.shm_bytes", max(1, data.size) + max(1, out_total)
+            )
         np.ndarray((data.size,), dtype=np.uint8, buffer=shm_in.buf)[:] = data
         spans = [
             (int(bounds[w]), int(bounds[w + 1]))
@@ -408,6 +457,7 @@ def _encode_file_pooled(
     except (OSError, PermissionError, ImportError):
         return None
     finally:
+        m = metrics()
         for shm in (shm_in, shm_out):
             if shm is not None:
                 shm.close()
@@ -415,6 +465,9 @@ def _encode_file_pooled(
                     shm.unlink()
                 except (OSError, FileNotFoundError):
                     pass
+                else:
+                    if m is not None:
+                        m.inc("pipeline.shm_unlinked")
     parities: List[List[Block]] = []
     for t, layout in enumerate(layouts):
         width = widths[t]
@@ -461,6 +514,8 @@ def _run_shards_self_healing(
     pool_deaths = 0
     pool: Optional[ProcessPoolExecutor] = None
     futures: Dict[object, int] = {}
+    submit_times: Dict[object, float] = {}
+    m = metrics()
 
     def _restart_pool() -> None:
         """Kill the pool; every still-pending shard becomes a retry."""
@@ -469,10 +524,14 @@ def _run_shards_self_healing(
         pool.shutdown(wait=False, cancel_futures=True)
         pool = None
         futures.clear()
+        submit_times.clear()
         pool_deaths += 1
         for shard in pending:
             pending[shard] += 1
             retries += 1
+        if m is not None:
+            m.inc("pipeline.pool_rebuilds")
+            m.inc("pipeline.shard_retries", len(pending))
         time_module.sleep(RETRY_BACKOFF_SECONDS * (2 ** (pool_deaths - 1)))
 
     try:
@@ -482,6 +541,11 @@ def _run_shards_self_healing(
                 # and finish the remaining shards in-process.  Shard
                 # writes are idempotent, so partially-encoded shards
                 # are simply overwritten.
+                get_logger("repro.pipeline").warning(
+                    "pool-deaths-exhausted-serial-fallback",
+                    pool_deaths=pool_deaths,
+                    remaining_shards=len(pending),
+                )
                 slot_lists = _data_slot_lists(layouts, file.blocks)
                 out = np.ndarray(
                     (shm_out.size,), dtype=np.uint8, buffer=shm_out.buf
@@ -501,12 +565,23 @@ def _run_shards_self_healing(
                     ): shard
                     for shard, attempt in sorted(pending.items())
                 }
+                if m is not None:
+                    now = time_module.perf_counter()
+                    for future in futures:
+                        submit_times[future] = now
             done, __ = wait(
                 futures, timeout=progress_timeout, return_when=FIRST_COMPLETED
             )
             if not done:
                 # No shard finished inside the window: the pool is
                 # stuck.  Kill it and retry what is left.
+                if m is not None:
+                    m.inc("pipeline.pool_stalls")
+                get_logger("repro.pipeline").warning(
+                    "pool-stalled",
+                    timeout_seconds=progress_timeout,
+                    pending_shards=len(pending),
+                )
                 _restart_pool()
                 continue
             broken = False
@@ -515,6 +590,13 @@ def _run_shards_self_healing(
                 error = future.exception()
                 if error is None:
                     pending.pop(shard, None)
+                    if m is not None:
+                        started = submit_times.pop(future, None)
+                        if started is not None:
+                            m.observe(
+                                "pipeline.shard_seconds",
+                                time_module.perf_counter() - started,
+                            )
                 elif isinstance(error, PipelineError):
                     raise error
                 elif isinstance(error, BrokenProcessPool):

@@ -93,3 +93,95 @@ class TestDailySeries:
     def test_intra_rack_not_in_daily_series(self, meter):
         meter.charge(0.0, 0, 1, 500)
         assert meter.daily_cross_rack_series(num_days=1) == [0]
+
+
+class TestChargeBatchTotalRegression:
+    """``charge_batch`` once shadowed its running ``total`` with the
+    per-day/per-TOR loop variables; a multi-day batch then corrupted
+    any later use of the batch total.  Lock in batch == scalar."""
+
+    def _multi_day_batch(self):
+        # Three days of cross-rack traffic plus intra-rack filler, so
+        # both grouped-sum loops run with several distinct keys.
+        return [
+            (0.0, 0, 2, 100),
+            (0.5 * SECONDS_PER_DAY, 4, 6, 250),
+            (1.2 * SECONDS_PER_DAY, 0, 4, 300),
+            (2.7 * SECONDS_PER_DAY, 6, 0, 75),
+            (2.9 * SECONDS_PER_DAY, 0, 1, 999),  # intra-rack
+        ]
+
+    def test_batch_totals_match_scalar_after_multi_day_batch(self):
+        import numpy as np
+
+        batch = self._multi_day_batch()
+        scalar = TrafficMeter(Topology(4, 2))
+        batched = TrafficMeter(Topology(4, 2))
+        for time, src, dst, num_bytes in batch:
+            scalar.charge(time, src, dst, num_bytes)
+        batched.charge_batch(
+            np.array([t for t, *_ in batch]),
+            np.array([s for _, s, _, _ in batch]),
+            np.array([d for _, _, d, _ in batch]),
+            np.array([b for *_, b in batch]),
+        )
+        # Further scalar charges on both meters must keep agreeing: a
+        # corrupted running total would skew everything from here on.
+        for meter in (scalar, batched):
+            meter.charge(3.1 * SECONDS_PER_DAY, 2, 4, 12345)
+            meter.charge(3.2 * SECONDS_PER_DAY, 2, 3, 1)
+        assert batched.total_bytes == scalar.total_bytes
+        assert batched.cross_rack_bytes == scalar.cross_rack_bytes
+        assert batched.intra_rack_bytes == scalar.intra_rack_bytes
+        assert batched.num_transfers == scalar.num_transfers
+        assert dict(batched.cross_rack_bytes_by_day) == dict(
+            scalar.cross_rack_bytes_by_day
+        )
+        assert dict(batched.bytes_by_switch) == dict(scalar.bytes_by_switch)
+
+
+class TestSeriesOverflowGuard:
+    """``daily_cross_rack_series(num_days=N)`` used to silently drop
+    bytes charged on day >= N."""
+
+    def test_truncation_raises_by_default(self, meter):
+        meter.charge(0.0, 0, 2, 100)
+        meter.charge(3.5 * SECONDS_PER_DAY, 0, 2, 50)
+        with pytest.raises(SimulationError, match="50 cross-rack bytes"):
+            meter.daily_cross_rack_series(num_days=2)
+
+    def test_exact_window_does_not_raise(self, meter):
+        meter.charge(0.0, 0, 2, 100)
+        meter.charge(1.5 * SECONDS_PER_DAY, 0, 2, 50)
+        assert meter.daily_cross_rack_series(num_days=2) == [100, 50]
+
+    def test_allow_overflow_truncates_and_warns(self, meter, caplog):
+        import logging
+
+        meter.charge(0.0, 0, 2, 100)
+        meter.charge(2.5 * SECONDS_PER_DAY, 0, 2, 50)
+        with caplog.at_level(logging.WARNING, logger="repro.network"):
+            series = meter.daily_cross_rack_series(
+                num_days=2, allow_overflow=True
+            )
+        assert series == [100, 0]
+        assert any(
+            "traffic-series-overflow" in record.message
+            and "spilled_bytes=50" in record.message
+            for record in caplog.records
+        )
+
+    def test_overflow_counted_in_metrics(self, meter):
+        from repro import observability
+
+        observability.set_enabled(True)
+        observability.reset()
+        try:
+            meter.charge(2.5 * SECONDS_PER_DAY, 0, 2, 50)
+            meter.daily_cross_rack_series(num_days=2, allow_overflow=True)
+            registry = observability.get_registry()
+            assert registry.counter_value("network.series_overflow_days") == 1
+            assert registry.counter_value("network.series_overflow_bytes") == 50
+        finally:
+            observability.set_enabled(None)
+            observability.reset()

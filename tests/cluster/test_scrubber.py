@@ -108,3 +108,45 @@ class TestMultipleCorruptions:
         report = scrubber.scrub()
         assert report.corrupt_units_repaired == 1
         assert np.array_equal(namenode.read_file("f"), data)
+
+
+class TestExceptionNarrowing:
+    """``locate_corruption_parity`` once swallowed *every* exception
+    from ``code.decode``; programming errors must propagate while the
+    genuine cannot-decode family still falls to the next basis."""
+
+    def test_programming_error_escapes(self, monkeypatch):
+        code = ReedSolomonCode(4, 2)
+        namenode, __, scrubber, entries, __ = build(code)
+        corrupt(namenode, entries[0], slot=1)
+
+        def broken_decode(units):
+            raise TypeError("bug in the decode path")
+
+        monkeypatch.setattr(scrubber.code, "decode", broken_decode)
+        with pytest.raises(TypeError, match="bug in the decode path"):
+            scrubber.locate_corruption_parity(entries[0].layout.stripe_id)
+
+    def test_undecodable_subset_still_falls_back(self, monkeypatch):
+        from repro.errors import DecodingError
+
+        code = ReedSolomonCode(4, 2)
+        namenode, __, scrubber, entries, __ = build(code)
+        corrupt(namenode, entries[0], slot=2)
+        real_decode = scrubber.code.decode
+        rejected = []
+
+        def picky_decode(units):
+            # Refuse the first basis the voter tries, the way a non-MDS
+            # code refuses a genuinely undecodable survivor subset.
+            if not rejected:
+                rejected.append(sorted(units))
+                raise DecodingError("this k-subset cannot decode")
+            return real_decode(units)
+
+        monkeypatch.setattr(scrubber.code, "decode", picky_decode)
+        located = scrubber.locate_corruption_parity(
+            entries[0].layout.stripe_id
+        )
+        assert located == [2]
+        assert rejected  # the refusal really happened and was skipped

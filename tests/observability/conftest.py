@@ -1,0 +1,24 @@
+"""Shared fixtures: every test runs against a clean, enabled registry
+and restores the env-driven state afterwards."""
+
+import pytest
+
+from repro import observability
+
+
+@pytest.fixture
+def registry():
+    observability.set_enabled(True)
+    observability.reset()
+    yield observability.get_registry()
+    observability.set_enabled(None)
+    observability.reset()
+
+
+@pytest.fixture
+def disabled_metrics():
+    observability.set_enabled(False)
+    observability.reset()
+    yield
+    observability.set_enabled(None)
+    observability.reset()

@@ -1,0 +1,74 @@
+"""Tests for the structured logger."""
+
+import logging
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.observability import LOG_ENV, get_logger, log_env_level
+from repro.observability.log import format_event
+
+
+class TestEnvLevel:
+    def test_default_is_warning(self):
+        assert log_env_level({}) == logging.WARNING
+        assert log_env_level({LOG_ENV: ""}) == logging.WARNING
+
+    @pytest.mark.parametrize(
+        "name,level",
+        [
+            ("debug", logging.DEBUG),
+            ("info", logging.INFO),
+            ("warning", logging.WARNING),
+            ("ERROR", logging.ERROR),  # case-insensitive
+        ],
+    )
+    def test_named_levels(self, name, level):
+        assert log_env_level({LOG_ENV: name}) == level
+
+    def test_junk_rejected_loudly(self):
+        with pytest.raises(ConfigError):
+            log_env_level({LOG_ENV: "verbose"})
+
+
+class TestFormatEvent:
+    def test_bare_event(self):
+        assert format_event("thing-happened", {}) == "thing-happened"
+
+    def test_fields_in_insertion_order(self):
+        line = format_event("overflow", {"days": 3, "bytes": 10})
+        assert line == "overflow days=3 bytes=10"
+
+    def test_values_are_reprs(self):
+        assert format_event("e", {"name": "x y"}) == "e name='x y'"
+
+
+class TestGetLogger:
+    def test_namespaced_under_repro(self, caplog):
+        logger = get_logger("network")
+        with caplog.at_level(logging.WARNING, logger="repro.network"):
+            logger.warning("dropped", count=2)
+        assert caplog.records[-1].name == "repro.network"
+        assert caplog.records[-1].message == "dropped count=2"
+
+    def test_repro_prefix_not_doubled(self, caplog):
+        logger = get_logger("repro.pipeline")
+        with caplog.at_level(logging.WARNING, logger="repro.pipeline"):
+            logger.warning("stalled")
+        assert caplog.records[-1].name == "repro.pipeline"
+
+    def test_below_level_is_cheap_noop(self, caplog):
+        logger = get_logger("quiet")
+        with caplog.at_level(logging.WARNING, logger="repro.quiet"):
+            logger.debug("invisible", huge_field=object())
+        assert not caplog.records
+
+    def test_warnings_survive_metrics_kill_switch(
+        self, disabled_metrics, caplog
+    ):
+        # The logger is deliberately independent of REPRO_METRICS:
+        # disabling metrics must not disable dropped-data warnings.
+        logger = get_logger("network")
+        with caplog.at_level(logging.WARNING, logger="repro.network"):
+            logger.warning("traffic-series-overflow", spilled_bytes=7)
+        assert "spilled_bytes=7" in caplog.records[-1].message

@@ -1,0 +1,136 @@
+"""Tests for the metrics registry core."""
+
+import json
+
+import pytest
+
+from repro import observability
+from repro.errors import ConfigError
+from repro.observability import (
+    METRICS_ENV,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    metrics,
+    metrics_env_enabled,
+    write_snapshot,
+)
+
+
+class TestEnvSwitch:
+    @pytest.mark.parametrize("value", [None, "", "1"])
+    def test_enabled_values(self, value):
+        env = {} if value is None else {METRICS_ENV: value}
+        assert metrics_env_enabled(env) is True
+
+    def test_disabled(self):
+        assert metrics_env_enabled({METRICS_ENV: "0"}) is False
+
+    @pytest.mark.parametrize("junk", ["yes", "true", "2", "off", " 1"])
+    def test_junk_rejected_loudly(self, junk):
+        with pytest.raises(ConfigError):
+            metrics_env_enabled({METRICS_ENV: junk})
+
+    def test_set_enabled_overrides(self, registry):
+        assert metrics() is registry
+        observability.set_enabled(False)
+        assert metrics() is None
+        observability.set_enabled(True)
+        assert metrics() is registry
+
+
+class TestCounter:
+    def test_exact_integer_semantics(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(41)
+        assert counter.value == 42
+        assert isinstance(counter.value, int)
+
+    def test_floats_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(TypeError):
+            counter.inc(1.5)
+
+    def test_large_values_stay_exact(self):
+        counter = Counter("c")
+        big = 2**62 + 1
+        counter.inc(big)
+        counter.inc(big)
+        assert counter.value == 2 * big  # no float rounding, ever
+
+
+class TestGaugeHistogram:
+    def test_gauge_last_write_wins(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(7.5)
+        assert gauge.value == 7.5
+
+    def test_histogram_aggregates(self):
+        hist = Histogram("h")
+        for value in (1, 2, 3, 10):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.total == 16
+        assert hist.vmin == 1
+        assert hist.vmax == 10
+        assert hist.mean == 4.0
+
+    def test_empty_histogram_mean(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_handles_are_cached(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+        assert reg.span_stats("s") is reg.span_stats("s")
+
+    def test_conveniences(self):
+        reg = MetricsRegistry()
+        reg.inc("c", 5)
+        reg.set_gauge("g", 2)
+        reg.observe("h", 0.5)
+        assert reg.counter_value("c") == 5
+        assert reg.counter_value("never-touched") == 0
+        assert reg.gauges["g"].value == 2
+        assert reg.histograms["h"].count == 1
+
+    def test_snapshot_shape(self, registry):
+        registry.inc("z.counter", 3)
+        registry.inc("a.counter", 1)
+        registry.set_gauge("g", 4)
+        registry.observe("h", 2.0)
+        snap = registry.snapshot()
+        assert snap["enabled"] is True
+        assert list(snap["counters"]) == ["a.counter", "z.counter"]
+        assert snap["counters"]["z.counter"] == 3
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["mean"] == 2.0
+        json.dumps(snap)  # JSON-safe end to end
+
+    def test_reset(self, registry):
+        registry.inc("c")
+        observability.reset()
+        assert registry.counter_value("c") == 0
+        assert registry.snapshot()["counters"] == {}
+
+    def test_write_snapshot_roundtrip(self, registry, tmp_path):
+        registry.inc("bytes", 123456789)
+        path = tmp_path / "metrics.json"
+        snap = write_snapshot(str(path))
+        on_disk = json.loads(path.read_text())
+        assert on_disk == json.loads(json.dumps(snap))
+        assert on_disk["counters"]["bytes"] == 123456789
+
+
+class TestDisabledPath:
+    def test_metrics_returns_none(self, disabled_metrics):
+        assert metrics() is None
+
+    def test_registry_still_reachable_for_snapshots(self, disabled_metrics):
+        snap = observability.get_registry().snapshot()
+        assert snap["enabled"] is False

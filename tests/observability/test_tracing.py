@@ -1,0 +1,61 @@
+"""Tests for span-based phase tracing."""
+
+import pytest
+
+from repro.observability import MetricsRegistry, Span, metrics, span
+from repro.observability.tracing import _NULL_SPAN
+
+
+class TestSpan:
+    def test_records_into_registry(self, registry):
+        with span("phase.a"):
+            sum(range(1000))
+        stats = registry.spans["phase.a"]
+        assert stats.count == 1
+        assert stats.wall_seconds >= 0.0
+        assert stats.cpu_seconds >= 0.0
+        assert stats.wall_max == stats.wall_seconds
+
+    def test_aggregates_repeat_runs(self, registry):
+        for _ in range(3):
+            with span("phase.b"):
+                pass
+        assert registry.spans["phase.b"].count == 3
+
+    def test_exception_propagates_but_still_records(self, registry):
+        with pytest.raises(ValueError):
+            with span("phase.fail"):
+                raise ValueError("boom")
+        assert registry.spans["phase.fail"].count == 1
+
+    def test_explicit_registry(self):
+        reg = MetricsRegistry()
+        with span("private", registry=reg):
+            pass
+        assert reg.spans["private"].count == 1
+        assert isinstance(span("private", registry=reg), Span)
+
+    def test_wall_max_tracks_slowest(self, registry):
+        stats = registry.span_stats("phase.max")
+        stats.record(0.1, 0.1)
+        stats.record(0.5, 0.4)
+        stats.record(0.2, 0.1)
+        assert stats.wall_max == 0.5
+        assert stats.wall_seconds == pytest.approx(0.8)
+
+
+class TestDisabledSpan:
+    def test_null_span_shared_instance(self, disabled_metrics):
+        assert metrics() is None
+        assert span("anything") is _NULL_SPAN
+        assert span("other") is _NULL_SPAN  # no allocation per call
+
+    def test_null_span_is_noop_context(self, disabled_metrics):
+        with span("anything"):
+            value = 42
+        assert value == 42
+
+    def test_null_span_does_not_swallow_exceptions(self, disabled_metrics):
+        with pytest.raises(RuntimeError):
+            with span("anything"):
+                raise RuntimeError("must escape")
