@@ -55,7 +55,14 @@ def record_bench(name: str, report: str = "codec", **metrics) -> None:
             f"unknown bench report {report!r}; "
             f"available: {sorted(BENCH_JSON_PATHS)}"
         )
-    _RESULTS.setdefault(report, {})[name] = dict(metrics)
+    row = dict(metrics)
+    if "backend" not in row:
+        # Stamp which GF kernel backend produced the number -- a cffi
+        # row and a numpy row are not comparable.
+        from repro.gf import backends
+
+        row["backend"] = backends.active_backend().name
+    _RESULTS.setdefault(report, {})[name] = row
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -68,4 +75,9 @@ def pytest_sessionfinish(session, exitstatus):
             except (ValueError, OSError):
                 merged = {}
         merged.update(rows)
+        # Environment block: numbers are meaningless without knowing
+        # the interpreter, numpy, kernel backend and CPU they came from.
+        from repro.bench import bench_meta
+
+        merged["meta"] = bench_meta()
         path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")

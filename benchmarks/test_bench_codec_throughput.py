@@ -36,12 +36,15 @@ def test_encode_throughput(benchmark, name):
     code = CODES[name]
     data, __ = make_stripe(code)
     benchmark(code.encode, data)
-    mb_per_s = 10 * UNIT_SIZE / benchmark.stats["mean"] / 1e6
+    # Median, not mean: one-off page faults on shared hosts skew the
+    # mean; acceptance comparisons key off the median throughout.
+    mb_per_s = 10 * UNIT_SIZE / benchmark.stats["median"] / 1e6
     emit(render_kv(f"{code.name} encode", {"MB_per_s": round(mb_per_s, 1)}))
     record_bench(
         f"{code.name}.encode",
         MB_per_s=round(mb_per_s, 1),
         mean_s=benchmark.stats["mean"],
+        median_s=benchmark.stats["median"],
     )
 
 
@@ -54,7 +57,7 @@ def test_decode_throughput(benchmark, name):
     available = {i: stripe[i] for i in range(erased, code.n)}
     decoded = benchmark(code.decode, available)
     assert np.array_equal(decoded, data)
-    mb_per_s = 10 * UNIT_SIZE / benchmark.stats["mean"] / 1e6
+    mb_per_s = 10 * UNIT_SIZE / benchmark.stats["median"] / 1e6
     emit(render_kv(
         f"{code.name} decode ({erased} erasures)",
         {"MB_per_s": round(mb_per_s, 1)},
@@ -63,6 +66,7 @@ def test_decode_throughput(benchmark, name):
         f"{code.name}.decode",
         MB_per_s=round(mb_per_s, 1),
         mean_s=benchmark.stats["mean"],
+        median_s=benchmark.stats["median"],
         erasures=erased,
     )
 
@@ -74,7 +78,7 @@ def test_repair_throughput(benchmark, name):
     available = {i: stripe[i] for i in range(1, code.n)}
     rebuilt, downloaded = benchmark(code.execute_repair, 0, available)
     assert np.array_equal(rebuilt, stripe[0])
-    mb_per_s = UNIT_SIZE / benchmark.stats["mean"] / 1e6
+    mb_per_s = UNIT_SIZE / benchmark.stats["median"] / 1e6
     emit(render_kv(
         f"{code.name} single-unit repair",
         {
@@ -86,5 +90,6 @@ def test_repair_throughput(benchmark, name):
         f"{code.name}.repair",
         rebuilt_MB_per_s=round(mb_per_s, 1),
         mean_s=benchmark.stats["mean"],
+        median_s=benchmark.stats["median"],
         downloaded_units=downloaded / UNIT_SIZE,
     )

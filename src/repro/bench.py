@@ -1,0 +1,188 @@
+"""Benchmark harness: timed codec workloads and backend comparisons.
+
+Shared by the pytest benchmark suite (``benchmarks/``), the ``repro
+bench`` CLI subcommand, and the CI backend-matrix job.  Three concerns
+live here so every consumer reports numbers the same way:
+
+- :func:`bench_meta` -- the environment block stamped into
+  ``BENCH_codec.json`` (interpreter, numpy, selected GF backend and
+  the availability of the others, CPU count).  Throughput numbers are
+  meaningless without it; the committed baselines were measured on a
+  different machine than yours.
+- :func:`time_workload` -- repeated timing that reports **median**
+  alongside mean and best.  Acceptance comparisons use the median: on
+  shared/virtualised CI hosts the mean is polluted by one-off page
+  faults and the best-of is too forgiving of flukes.
+- :func:`run_backend_comparison` -- the same workloads executed under
+  every *available* kernel backend (via
+  :func:`repro.gf.backends.use_backend`), with numpy -- the oracle --
+  always included as the denominator.  Fresh code objects are built
+  per backend so no memoised plan smuggles one backend's kernels into
+  another's run.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import time
+from statistics import mean, median
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.gf import backends
+
+#: Environment flag the CI smoke path sets to shrink workloads.
+SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+
+def smoke_mode(env=None) -> bool:
+    value = (env if env is not None else os.environ).get(SMOKE_ENV, "")
+    return value not in ("", "0")
+
+
+def bench_meta() -> Dict[str, object]:
+    """Environment block for benchmark reports (JSON-safe)."""
+    active = backends.active_backend()
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "gf_backend": active.name,
+        "gf_backend_tier": active.tier_description,
+        "gf_backends": backends.backend_statuses(),
+    }
+
+
+def time_workload(
+    fn: Callable[[], object], rounds: int = 5
+) -> Dict[str, float]:
+    """Run ``fn`` ``rounds`` times; report mean/median/best seconds."""
+    if rounds < 1:
+        rounds = 1
+    times: List[float] = []
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "mean_s": mean(times),
+        "median_s": median(times),
+        "best_s": min(times),
+        "rounds": rounds,
+    }
+
+
+# ----------------------------------------------------------------------
+# Comparison workloads
+# ----------------------------------------------------------------------
+
+
+def _rs_file_encode(unit_size: int) -> Callable[[], object]:
+    from repro.codes.rs import ReedSolomonCode
+    from repro.striping.pipeline import encode_file
+
+    code = ReedSolomonCode(10, 4)
+    rng = np.random.default_rng(2013)
+    data = rng.integers(0, 256, 10 * unit_size * 4, dtype=np.uint8)
+    return lambda: encode_file(
+        code, data, unit_size, name="bench", parallel=False
+    )
+
+
+def _crs_encode(unit_size: int) -> Callable[[], object]:
+    from repro.codes.crs import CauchyBitmatrixRSCode
+
+    code = CauchyBitmatrixRSCode(10, 4)
+    rng = np.random.default_rng(2013)
+    data = rng.integers(0, 256, (10, unit_size), dtype=np.uint8)
+    return lambda: code.encode(data)
+
+
+def _crs_decode(unit_size: int) -> Callable[[], object]:
+    from repro.codes.crs import CauchyBitmatrixRSCode
+
+    code = CauchyBitmatrixRSCode(10, 4)
+    rng = np.random.default_rng(2013)
+    data = rng.integers(0, 256, (10, unit_size), dtype=np.uint8)
+    stripe = code.encode(data)
+    survivors = {i: stripe[i] for i in list(range(2, 10)) + [10, 11]}
+    return lambda: code.decode(survivors)
+
+
+#: name -> (builder(unit_size) -> thunk, bytes processed per run factor)
+WORKLOADS = {
+    "RS(10,4).file_encode": (_rs_file_encode, 10 * 4),
+    "CRS(10,4).encode": (_crs_encode, 10),
+    "CRS(10,4).decode": (_crs_decode, 10),
+}
+
+
+def run_backend_comparison(
+    unit_size: Optional[int] = None,
+    rounds: Optional[int] = None,
+    backend_names: Optional[List[str]] = None,
+) -> List[Dict[str, object]]:
+    """Time every workload under every available backend.
+
+    Returns one row per (workload, backend) with throughput and the
+    ratio against the numpy oracle for the same workload.  Unavailable
+    backends are reported with the probe's failure reason instead of
+    numbers, so the table documents *why* a tier is missing rather
+    than silently shrinking.
+    """
+    smoke = smoke_mode()
+    if unit_size is None:
+        unit_size = 1 << 14 if smoke else 1 << 20
+    if rounds is None:
+        rounds = 1 if smoke else 5
+    statuses = backends.backend_statuses()
+    if backend_names is None:
+        # Oracle first so every later row can cite its ratio.
+        backend_names = ["numpy"] + [
+            n for n in backends.AUTO_ORDER if n != "numpy"
+        ]
+    rows: List[Dict[str, object]] = []
+    oracle: Dict[str, float] = {}
+    for backend_name in backend_names:
+        status = statuses.get(backend_name, "unknown backend")
+        if not status.startswith("available"):
+            for workload in WORKLOADS:
+                rows.append(
+                    {
+                        "workload": workload,
+                        "backend": backend_name,
+                        "MB_per_s": None,
+                        "median_ms": None,
+                        "vs_numpy": None,
+                        "note": status,
+                    }
+                )
+            continue
+        with backends.use_backend(backend_name):
+            for workload, (builder, bytes_factor) in WORKLOADS.items():
+                fn = builder(unit_size)
+                fn()  # warm caches, schedules and JIT outside the clock
+                stats = time_workload(fn, rounds)
+                nbytes = bytes_factor * unit_size
+                mb_per_s = nbytes / stats["median_s"] / 1e6
+                if backend_name == "numpy":
+                    oracle[workload] = mb_per_s
+                base = oracle.get(workload)
+                rows.append(
+                    {
+                        "workload": workload,
+                        "backend": backend_name,
+                        "MB_per_s": round(mb_per_s, 1),
+                        "median_ms": round(stats["median_s"] * 1e3, 3),
+                        "vs_numpy": (
+                            round(mb_per_s / base, 2) if base else None
+                        ),
+                        "note": "",
+                    }
+                )
+    return rows

@@ -16,6 +16,8 @@ Subcommands:
   and report whether the system self-healed;
 - ``repro scrub`` -- corrupt stored units in a mini-cluster with a
   seeded plan, then scrub and repair them;
+- ``repro bench`` -- time the codec workloads under every available GF
+  kernel backend and compare each against the numpy oracle;
 - ``repro metrics [path]`` -- render a metrics snapshot (the live
   registry, or a ``--emit-metrics`` JSON file).
 
@@ -409,6 +411,52 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     return 0 if summary["fail"] == 0 else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.bench import SMOKE_ENV, bench_meta, run_backend_comparison
+
+    if args.smoke:
+        os.environ[SMOKE_ENV] = "1"
+    meta = bench_meta()
+    rows = run_backend_comparison(rounds=args.rounds)
+    if args.json:
+        import json
+
+        print(json.dumps({"meta": meta, "rows": rows}, indent=2))
+        return 0
+    print(
+        f"python {meta['python']}  numpy {meta['numpy']}  "
+        f"cpus: {meta['cpu_count']}"
+    )
+    print(
+        f"active GF backend: {meta['gf_backend']} "
+        f"({meta['gf_backend_tier']})"
+    )
+    for name, status in meta["gf_backends"].items():
+        print(f"  {name}: {status}")
+    print()
+    table_rows = [
+        {
+            "workload": row["workload"],
+            "backend": row["backend"],
+            "MB/s": row["MB_per_s"] if row["MB_per_s"] is not None else "-",
+            "median ms": (
+                row["median_ms"] if row["median_ms"] is not None else "-"
+            ),
+            "vs numpy": (
+                f"{row['vs_numpy']:.2f}x"
+                if row["vs_numpy"] is not None
+                else "-"
+            ),
+            "note": row["note"],
+        }
+        for row in rows
+    ]
+    print(render_table(table_rows, title="backend comparison (median)"))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -564,6 +612,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="drop registry checksums: exercise the parity-voting oracle",
     )
     scrub_parser.set_defaults(fn=_cmd_scrub)
+
+    bench_parser = sub.add_parser(
+        "bench",
+        help="compare GF kernel backends against the numpy oracle",
+    )
+    bench_parser.add_argument(
+        "--rounds",
+        type=int,
+        default=None,
+        help="timing rounds per workload (default 5; 1 in smoke mode)",
+    )
+    bench_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workloads for CI (also via REPRO_BENCH_SMOKE=1)",
+    )
+    bench_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    bench_parser.set_defaults(fn=_cmd_bench)
 
     metrics_parser = sub.add_parser(
         "metrics",

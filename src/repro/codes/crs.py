@@ -29,9 +29,10 @@ from repro.codes.base import (
 from repro.gf.linalg import gf_matmul
 from repro.errors import CodeConstructionError, DecodingError, RepairError
 from repro.gf import GF256, DEFAULT_FIELD
-from repro.gf.bitmatrix import W, expand_generator, xor_encode_strips
+from repro.gf.bitmatrix import W, expand_generator
 from repro.gf.linalg import gf_inv_matrix
 from repro.gf.matrices import systematic_generator_from_cauchy
+from repro.gf.xor_schedule import XorSchedule, compile_xor_schedule
 
 
 class CauchyBitmatrixRSCode(ErasureCode):
@@ -92,6 +93,87 @@ class CauchyBitmatrixRSCode(ErasureCode):
         return strips.reshape(count, -1)
 
     # ------------------------------------------------------------------
+    # XOR schedules
+    # ------------------------------------------------------------------
+    #
+    # Every data-path operation below is one binary matrix applied to a
+    # strip stack.  Each matrix is compiled once into a CSE'd
+    # :class:`XorSchedule` and memoised next to the decode-matrix cache
+    # (``cache.xor_schedule.hits/misses`` counters come for free via
+    # ``_memoize``); the raw ``xor_encode_strips`` gather stays around in
+    # :mod:`repro.gf.bitmatrix` as the oracle the schedule tests pin
+    # against.
+
+    def _encode_schedule(self) -> XorSchedule:
+        """Schedule computing all parity strips from data strips."""
+        return self._memoize(
+            "_xor_schedule_cache",
+            ("encode",),
+            lambda: compile_xor_schedule(self.expanded[self.k * W :]),
+        )
+
+    def _decode_schedule(self, chosen) -> XorSchedule:
+        """Schedule recovering data strips from the chosen nodes'."""
+        chosen = tuple(chosen)
+
+        def build() -> XorSchedule:
+            inverse = self.memoized_decode_matrix(
+                chosen, lambda: self._binary_decode_inverse(chosen)
+            )
+            return compile_xor_schedule(inverse)
+
+        return self._memoize("_xor_schedule_cache", ("decode", chosen), build)
+
+    def _node_schedule(self, node: int) -> XorSchedule:
+        """Schedule re-encoding one node's strips from data strips."""
+        return self._memoize(
+            "_xor_schedule_cache",
+            ("encode_node", node),
+            lambda: compile_xor_schedule(
+                self.expanded[node * W : (node + 1) * W]
+            ),
+        )
+
+    def _repair_schedule(self, failed_node: int, sources) -> XorSchedule:
+        """Schedule rebuilding one node from the chosen sources' strips."""
+        sources = tuple(sources)
+
+        def build_rows() -> np.ndarray:
+            # Compose decode + (for parities) re-encode into one (8, 8k)
+            # binary row block over the chosen sources' strips; gf_matmul
+            # on {0,1} matrices is exactly GF(2) matrix product.
+            inverse = self.memoized_decode_matrix(
+                sources, lambda: self._binary_decode_inverse(sources)
+            )
+            if failed_node < self.k:
+                rows = inverse[failed_node * W : (failed_node + 1) * W]
+            else:
+                rows = gf_matmul(
+                    self.expanded[failed_node * W : (failed_node + 1) * W],
+                    inverse,
+                    self.field,
+                )
+            rows = np.ascontiguousarray(rows)
+            rows.setflags(write=False)
+            return rows
+
+        def build() -> XorSchedule:
+            rows = self._memoize(
+                "_binary_repair_row_cache",
+                (failed_node, sources),
+                build_rows,
+                cap=PACKED_CACHE_CAP,
+            )
+            return compile_xor_schedule(rows)
+
+        return self._memoize(
+            "_xor_schedule_cache",
+            ("repair", failed_node, sources),
+            build,
+            cap=PACKED_CACHE_CAP,
+        )
+
+    # ------------------------------------------------------------------
     # Encode / decode
     # ------------------------------------------------------------------
 
@@ -103,9 +185,7 @@ class CauchyBitmatrixRSCode(ErasureCode):
                 f"got {data_units.shape[1]}"
             )
         data_strips = self._to_strips(data_units)
-        parity_strips = xor_encode_strips(
-            self.expanded[self.k * W :], data_strips
-        )
+        parity_strips = self._encode_schedule().apply(data_strips)
         parity_units = self._from_strips(parity_strips, self.r)
         return np.vstack([data_units, parity_units])
 
@@ -128,14 +208,13 @@ class CauchyBitmatrixRSCode(ErasureCode):
             )
         # Binary decoding matrix: the chosen nodes' strip rows.  The
         # (8k x 8k) GF(2) inversion is the expensive part of decode setup
-        # and depends only on which nodes were chosen, so memoise it.
-        inverse = self.memoized_decode_matrix(
-            tuple(chosen), lambda: self._binary_decode_inverse(chosen)
-        )
+        # and depends only on which nodes were chosen, so the compiled
+        # schedule (and the inverse inside it) is memoised per choice.
+        schedule = self._decode_schedule(chosen)
         stacked = self._to_strips(
             np.vstack([available[node] for node in chosen])
         )
-        data_strips = xor_encode_strips(inverse, stacked)
+        data_strips = schedule.apply(stacked)
         return self._from_strips(data_strips, self.k)
 
     def _binary_decode_inverse(self, chosen) -> np.ndarray:
@@ -201,7 +280,7 @@ class CauchyBitmatrixRSCode(ErasureCode):
             stripes,
             width,
         )
-        parity_strips = xor_encode_strips(self.expanded[self.k * W :], pooled)
+        parity_strips = self._encode_schedule().apply(pooled)
         out[:] = self._unpool_strips(parity_strips, self.r, stripes, width)
         return out
 
@@ -226,11 +305,9 @@ class CauchyBitmatrixRSCode(ErasureCode):
             raise DecodingError(
                 f"{self.name} needs {self.k} surviving units, got {len(chosen)}"
             )
-        inverse = self.memoized_decode_matrix(
-            tuple(chosen), lambda: self._binary_decode_inverse(chosen)
-        )
+        schedule = self._decode_schedule(chosen)
         pooled = self._pool_strips(rows_by_node, chosen, stripes, width)
-        data_strips = xor_encode_strips(inverse, pooled)
+        data_strips = schedule.apply(pooled)
         out[:] = self._unpool_strips(data_strips, self.k, stripes, width)
         return out
 
@@ -255,33 +332,9 @@ class CauchyBitmatrixRSCode(ErasureCode):
                     f"plan reads node {node} which is unavailable"
                 )
 
-        def build() -> np.ndarray:
-            # Compose decode + (for parities) re-encode into one (8, 8k)
-            # binary row block over the chosen sources' strips; gf_matmul
-            # on {0,1} matrices is exactly GF(2) matrix product.
-            inverse = self.memoized_decode_matrix(
-                tuple(sources), lambda: self._binary_decode_inverse(sources)
-            )
-            if failed_node < self.k:
-                rows = inverse[failed_node * W : (failed_node + 1) * W]
-            else:
-                rows = gf_matmul(
-                    self.expanded[failed_node * W : (failed_node + 1) * W],
-                    inverse,
-                    self.field,
-                )
-            rows = np.ascontiguousarray(rows)
-            rows.setflags(write=False)
-            return rows
-
-        repair_rows = self._memoize(
-            "_binary_repair_row_cache",
-            (failed_node, tuple(sources)),
-            build,
-            cap=PACKED_CACHE_CAP,
-        )
+        schedule = self._repair_schedule(failed_node, sources)
         pooled = self._pool_strips(rows_by_node, sources, stripes, width)
-        rebuilt_strips = xor_encode_strips(repair_rows, pooled)
+        rebuilt_strips = schedule.apply(pooled)
         out = self._unpool_strips(rebuilt_strips, 1, stripes, width)[:, 0, :]
         return out, stripes * plan.bytes_downloaded(width)
 
@@ -332,8 +385,5 @@ class CauchyBitmatrixRSCode(ErasureCode):
         data = self.decode(units)
         if failed_node < self.k:
             return data[failed_node]
-        strips = xor_encode_strips(
-            self.expanded[failed_node * W : (failed_node + 1) * W],
-            self._to_strips(data),
-        )
+        strips = self._node_schedule(failed_node).apply(self._to_strips(data))
         return strips.reshape(-1)

@@ -10,7 +10,11 @@ library.  It provides:
   inversion, rank, linear solve);
 - :mod:`repro.gf.matrices` -- structured matrices used by code
   constructions (Vandermonde, Cauchy, systematic generator matrices);
-- :mod:`repro.gf.polynomial` -- univariate polynomials over GF(2^8).
+- :mod:`repro.gf.polynomial` -- univariate polynomials over GF(2^8);
+- :mod:`repro.gf.backends` -- pluggable kernel backends (compiled C via
+  cffi, numba JIT, numpy oracle) behind the bulk field operations;
+- :mod:`repro.gf.xor_schedule` -- CSE'd XOR schedules compiled from the
+  binary matrices of :mod:`repro.gf.bitmatrix`.
 
 All heavy operations are vectorised with numpy: a "symbol" is one byte and
 bulk payloads are ``uint8`` arrays, matching how production Reed-Solomon

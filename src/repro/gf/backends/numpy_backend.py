@@ -1,0 +1,90 @@
+"""The numpy kernel backend: always available, and the oracle.
+
+This backend is the exact algorithm the GF layer ran before the backend
+engine existed -- chunked product-table gathers XOR-reduced into the
+accumulator (:meth:`repro.gf.field.GF256._accumulate_rows`) -- restated
+over row sequences.  It has two jobs:
+
+- **fallback**: it is constructible on any host that can import numpy,
+  so backend selection always terminates;
+- **oracle**: the hypothesis equivalence suites compare every other
+  backend against it, and the GF layer's own numpy code paths stay in
+  place as the reference implementation.
+
+Because the GF layer's non-dispatched code *is* this algorithm, the
+registry marks it ``is_native = False`` and the dispatch guards skip the
+extra hop; the class still implements the full kernel interface so
+``use_backend("numpy")`` and the equivalence tests can drive it
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.gf.backends.base import KernelBackend
+
+#: Column chunk for the gather+XOR loops; matches the field kernels'
+#: cache-sizing rationale (see :data:`repro.gf.field.KERNEL_CHUNK`).
+_CHUNK = 1 << 18
+
+
+class NumpyBackend(KernelBackend):
+    """Chunked product-table gather kernels (the reference tier)."""
+
+    name = "numpy"
+    is_native = False
+
+    @property
+    def tier_description(self) -> str:
+        return "numpy product-table gathers (oracle)"
+
+    def matmul(
+        self,
+        field,
+        coeffs: np.ndarray,
+        rows_in: Sequence[np.ndarray],
+        rows_out: Sequence[np.ndarray],
+        accumulate: bool = False,
+    ) -> None:
+        prod = field._prod
+        if not rows_out:
+            return
+        length = rows_out[0].shape[0]
+        scratch = np.empty(min(_CHUNK, length), dtype=np.uint8)
+        for start in range(0, length, _CHUNK):
+            stop = min(start + _CHUNK, length)
+            seg_scratch = scratch[: stop - start]
+            for i, out_row in enumerate(rows_out):
+                acc = out_row[start:stop]
+                if not accumulate:
+                    acc[...] = 0
+                for j, in_row in enumerate(rows_in):
+                    coefficient = coeffs[i, j]
+                    if coefficient == 0:
+                        continue
+                    segment = in_row[start:stop]
+                    if coefficient == 1:
+                        np.bitwise_xor(acc, segment, out=acc)
+                    else:
+                        np.take(prod[coefficient], segment, out=seg_scratch)
+                        np.bitwise_xor(acc, seg_scratch, out=acc)
+
+    def xor_rows(
+        self,
+        sources: Sequence[np.ndarray],
+        dst: np.ndarray,
+        accumulate: bool = False,
+    ) -> None:
+        if not sources:
+            if not accumulate:
+                dst[...] = 0
+            return
+        start = 0
+        if not accumulate:
+            np.copyto(dst, sources[0])
+            start = 1
+        for source in sources[start:]:
+            np.bitwise_xor(dst, source, out=dst)

@@ -34,6 +34,30 @@ ArrayLike = Union[int, np.ndarray]
 #: while amortising the Python-level loop over megabyte payloads.
 KERNEL_CHUNK = 1 << 18
 
+#: Minimum payload bytes before :meth:`GF256.scale` / :meth:`GF256.dot`
+#: / :meth:`GF256.matmul` divert to a native kernel backend
+#: (:mod:`repro.gf.backends`).  Below this the FFI pointer marshalling
+#: costs more than the SIMD win; the numpy kernels handle small inputs.
+NATIVE_MIN_BYTES = 1 << 12
+
+
+def _native_backend_for(*arrays: np.ndarray):
+    """The active native backend when every array qualifies, else None.
+
+    Qualification: C-contiguous ``uint8`` and at least
+    :data:`NATIVE_MIN_BYTES` of payload in the last array (the one
+    whose length drives the kernel).  The numpy code paths below remain
+    byte-identical oracles for whatever this declines.
+    """
+    for array in arrays:
+        if array.dtype != np.uint8 or not array.flags.c_contiguous:
+            return None
+    if arrays and arrays[-1].size < NATIVE_MIN_BYTES:
+        return None
+    from repro.gf import backends
+
+    return backends.native_backend()
+
 
 class GF256:
     """Arithmetic in GF(2^8) with numpy-vectorised operations.
@@ -221,6 +245,16 @@ class GF256:
                 return np.zeros_like(payload)
             if coefficient == 1:
                 return payload.copy()
+            backend = _native_backend_for(payload)
+            if backend is not None:
+                out = np.empty_like(payload)
+                backend.matmul(
+                    self,
+                    np.array([[coefficient]], dtype=np.uint8),
+                    [payload.reshape(-1)],
+                    [out.reshape(-1)],
+                )
+                return out
             return self._prod[coefficient][payload]
         if out.shape != payload.shape or out.dtype != np.uint8:
             raise FieldError("scale out= must be uint8 and payload-shaped")
@@ -229,7 +263,16 @@ class GF256:
         elif coefficient == 1:
             np.copyto(out, payload)
         else:
-            np.take(self._prod[coefficient], payload, out=out)
+            backend = _native_backend_for(payload, out)
+            if backend is not None:
+                backend.matmul(
+                    self,
+                    np.array([[coefficient]], dtype=np.uint8),
+                    [payload.reshape(-1)],
+                    [out.reshape(-1)],
+                )
+            else:
+                np.take(self._prod[coefficient], payload, out=out)
         return out
 
     def scale_reference(self, coefficient: int, payload: np.ndarray) -> np.ndarray:
@@ -315,11 +358,19 @@ class GF256:
             )
         length = payloads.shape[1]
         if out is None:
-            out = np.zeros(length, dtype=np.uint8)
-        else:
-            if out.shape != (length,) or out.dtype != np.uint8:
-                raise FieldError("dot out= must be uint8 of shape (length,)")
-            out[...] = 0
+            out = np.empty(length, dtype=np.uint8)
+        elif out.shape != (length,) or out.dtype != np.uint8:
+            raise FieldError("dot out= must be uint8 of shape (length,)")
+        backend = _native_backend_for(payloads, out)
+        if backend is not None:
+            backend.matmul(
+                self,
+                np.ascontiguousarray(coefficients).reshape(1, -1),
+                list(payloads),
+                [out],
+            )
+            return out
+        out[...] = 0
         self._accumulate_rows(coefficients, payloads, out)
         return out
 
@@ -369,11 +420,14 @@ class GF256:
             )
         m, p = a.shape[0], b.shape[1]
         if out is None:
-            out = np.zeros((m, p), dtype=np.uint8)
-        else:
-            if out.shape != (m, p) or out.dtype != np.uint8:
-                raise FieldError("matmul out= must be uint8 of shape (m, p)")
-            out[...] = 0
+            out = np.empty((m, p), dtype=np.uint8)
+        elif out.shape != (m, p) or out.dtype != np.uint8:
+            raise FieldError("matmul out= must be uint8 of shape (m, p)")
+        backend = _native_backend_for(b, out) if m else None
+        if backend is not None:
+            backend.matmul(self, np.ascontiguousarray(a), list(b), list(out))
+            return out
+        out[...] = 0
         for i in range(m):
             self._accumulate_rows(a[i], b, out[i])
         return out

@@ -21,6 +21,14 @@ Both classes are byte-identical to :func:`repro.gf.linalg.gf_matmul` /
 :meth:`GF256.dot` (property-tested in ``tests/gf/test_packed.py``) and
 are pure lookups -- no log/antilog arithmetic on the hot path.
 
+When a native kernel backend is active (:mod:`repro.gf.backends`), both
+classes skip their table builds entirely and delegate ``apply`` to the
+backend's fused matmul -- the packed-table layouts only exist to beat
+numpy's one-gather-per-coefficient cost, which a compiled SIMD kernel
+beats outright.  The numpy table path is built lazily on first need and
+remains the byte-identical fallback for rows the backend declines
+(non-contiguous views).
+
 Endianness convention (little-endian hosts; numpy ``uint16`` views):
 the **low** byte of a 16-bit index corresponds to the **first** of the
 two packed positions.  Tables are built with ``index & 255`` mapping to
@@ -82,6 +90,37 @@ class PackedMatmul:
                 f"PackedMatmul needs a non-empty 2-d matrix, got {matrix.shape}"
             )
         self.shape = matrix.shape
+        self.matrix = matrix
+        self._field = gf
+        from repro.gf import backends
+
+        self._backend = backends.native_backend()
+        self._pairs: Optional[int] = None
+        self._groups: Optional[list] = None
+        if self._backend is None:
+            self._build_tables()
+
+    def __getstate__(self):
+        """Pickle without the backend handle (and its C pointers).
+
+        The plan rehydrates against whatever backend the *receiving*
+        process selects -- a pool worker may not share the parent's
+        tiers.  Packed tables travel if already built; otherwise they
+        rebuild lazily on first fallback use.
+        """
+        state = dict(self.__dict__)
+        state["_backend"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        from repro.gf import backends
+
+        self._backend = backends.native_backend()
+
+    def _build_tables(self) -> None:
+        """Numpy packed tables, deferred while a native backend serves."""
+        matrix, gf = self.matrix, self._field
         m, n = matrix.shape
         prod = gf._prod
         index = np.arange(1 << 16, dtype=np.uint32)
@@ -123,6 +162,17 @@ class PackedMatmul:
         _as_rows(rows_out, length)
         if length == 0:
             return
+        if (
+            self._backend is not None
+            and all(row.flags.c_contiguous for row in rows_in)
+            and all(row.flags.c_contiguous for row in rows_out)
+        ):
+            self._backend.matmul(
+                self._field, self.matrix, rows_in, rows_out, accumulate
+            )
+            return
+        if self._groups is None:
+            self._build_tables()
         chunk = min(PACKED_CHUNK, length)
         idx = np.empty(chunk, dtype=np.uint16)
         acc = np.empty(chunk, dtype=np.uint32)
@@ -204,7 +254,30 @@ class PackedRow:
             )
         coefficients = coefficients.reshape(-1)
         self.coefficients = coefficients
+        self._field = gf
         self._prod = gf._prod
+        from repro.gf import backends
+
+        self._backend = backends.native_backend()
+        self._terms: Optional[list] = None
+        if self._backend is None:
+            self._build_terms()
+
+    def __getstate__(self):
+        """Pickle without the backend handle; see PackedMatmul."""
+        state = dict(self.__dict__)
+        state["_backend"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        from repro.gf import backends
+
+        self._backend = backends.native_backend()
+
+    def _build_terms(self) -> None:
+        """Numpy half-word tables, deferred while a native backend serves."""
+        coefficients = self.coefficients
         index = np.arange(1 << 16, dtype=np.uint32)
         low = (index & 0xFF).astype(np.uint8)
         high = (index >> 8).astype(np.uint8)
@@ -235,10 +308,25 @@ class PackedRow:
         length = _as_rows([out], _as_rows(rows, None) if rows else None)
         if length == 0:
             return
-        if not self._terms:
+        if not np.any(self.coefficients):
             if not accumulate:
                 out[:] = 0
             return
+        if (
+            self._backend is not None
+            and out.flags.c_contiguous
+            and all(row.flags.c_contiguous for row in rows)
+        ):
+            self._backend.matmul(
+                self._field,
+                self.coefficients.reshape(1, -1),
+                rows,
+                [out],
+                accumulate,
+            )
+            return
+        if self._terms is None:
+            self._build_terms()
         fast = (
             length % 2 == 0
             and _u16_viewable(out)

@@ -1,0 +1,148 @@
+"""XOR-schedule compiler: oracle equivalence and cost guarantees.
+
+The compiled schedule must be byte-identical to
+:func:`repro.gf.bitmatrix.xor_encode_strips` (the retained naive
+gather) on every binary matrix, and its CSE pass must never *increase*
+the XOR count.  Hypothesis drives random matrices including all-zero
+rows (empty schedules), duplicate rows (maximal sharing) and single-row
+matrices.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FieldError
+from repro.gf.bitmatrix import W, xor_encode_strips
+from repro.gf.xor_schedule import XorSchedule, compile_xor_schedule
+
+
+def random_binary_matrix(rng, out_rows, in_rows, density):
+    return (rng.random((out_rows, in_rows)) < density).astype(np.uint8)
+
+
+matrix_params = st.tuples(
+    st.integers(min_value=1, max_value=24),  # out rows
+    st.integers(min_value=1, max_value=24),  # in rows
+    st.sampled_from([0.0, 0.1, 0.3, 0.5, 0.9, 1.0]),  # density
+    st.integers(min_value=0, max_value=2**32 - 1),  # seed
+)
+
+
+@given(params=matrix_params, length=st.sampled_from([1, 3, 64, 257]))
+@settings(max_examples=60, deadline=None)
+def test_schedule_matches_naive_gather(params, length):
+    out_rows, in_rows, density, seed = params
+    rng = np.random.default_rng(seed)
+    matrix = random_binary_matrix(rng, out_rows, in_rows, density)
+    strips = rng.integers(0, 256, (in_rows, length), dtype=np.uint8)
+    schedule = compile_xor_schedule(matrix)
+    expected = xor_encode_strips(matrix, strips)
+    assert np.array_equal(schedule.apply(strips), expected)
+
+
+@given(params=matrix_params)
+@settings(max_examples=60, deadline=None)
+def test_cse_never_increases_xor_count(params):
+    out_rows, in_rows, density, seed = params
+    rng = np.random.default_rng(seed)
+    matrix = random_binary_matrix(rng, out_rows, in_rows, density)
+    schedule = compile_xor_schedule(matrix)
+    assert schedule.scheduled_xors <= schedule.raw_xors
+    assert schedule.raw_xors == max(
+        int(matrix.sum()) - int((matrix.sum(axis=1) > 0).sum()), 0
+    )
+
+
+def test_duplicate_rows_share_work():
+    """Identical dense rows must collapse to shared temporaries."""
+    row = np.ones(16, dtype=np.uint8)
+    matrix = np.vstack([row] * 6)
+    schedule = compile_xor_schedule(matrix)
+    # Naive: 6 rows x 15 XORs; shared: one chain + cheap reuse.
+    assert schedule.raw_xors == 90
+    assert schedule.scheduled_xors < 30
+
+
+def test_zero_rows_produce_zero_strips():
+    matrix = np.zeros((3, 5), dtype=np.uint8)
+    schedule = compile_xor_schedule(matrix)
+    strips = np.arange(5 * 8, dtype=np.uint8).reshape(5, 8)
+    out = schedule.apply(strips)
+    assert not out.any()
+    assert schedule.raw_xors == schedule.scheduled_xors == 0
+
+
+def test_apply_into_preallocated_out():
+    rng = np.random.default_rng(11)
+    matrix = random_binary_matrix(rng, 4, 6, 0.5)
+    strips = rng.integers(0, 256, (6, 32), dtype=np.uint8)
+    schedule = compile_xor_schedule(matrix)
+    out = np.empty((4, 32), dtype=np.uint8)
+    returned = schedule.apply(strips, out=out)
+    assert returned is out
+    assert np.array_equal(out, xor_encode_strips(matrix, strips))
+
+
+def test_shape_validation_is_loud():
+    schedule = compile_xor_schedule(np.ones((2, 3), dtype=np.uint8))
+    with pytest.raises(FieldError):
+        schedule.apply(np.zeros((4, 8), dtype=np.uint8))
+    with pytest.raises(FieldError):
+        schedule.apply(
+            np.zeros((3, 8), dtype=np.uint8),
+            out=np.zeros((2, 9), dtype=np.uint8),
+        )
+    with pytest.raises(FieldError):
+        compile_xor_schedule(np.zeros(4, dtype=np.uint8))
+
+
+def test_schedule_is_deterministic():
+    rng = np.random.default_rng(7)
+    matrix = random_binary_matrix(rng, 16, 16, 0.4)
+    a = compile_xor_schedule(matrix)
+    b = compile_xor_schedule(matrix)
+    assert a == b
+
+
+def test_schedules_are_picklable():
+    import pickle
+
+    rng = np.random.default_rng(9)
+    matrix = random_binary_matrix(rng, 8, 8, 0.5)
+    strips = rng.integers(0, 256, (8, 64), dtype=np.uint8)
+    schedule = compile_xor_schedule(matrix)
+    clone = pickle.loads(pickle.dumps(schedule))
+    assert isinstance(clone, XorSchedule)
+    assert np.array_equal(clone.apply(strips), schedule.apply(strips))
+
+
+def test_crs_generator_schedule_beats_naive_cost():
+    """The real Cauchy matrix must benefit measurably from CSE."""
+    from repro.codes.crs import CauchyBitmatrixRSCode
+
+    code = CauchyBitmatrixRSCode(10, 4)
+    schedule = code._encode_schedule()
+    assert schedule.in_rows == 10 * W
+    assert schedule.out_rows == 4 * W
+    assert schedule.scheduled_xors < 0.7 * schedule.raw_xors
+
+
+def test_crs_schedule_cache_hits_are_counted():
+    from repro import observability
+    from repro.codes.crs import CauchyBitmatrixRSCode
+
+    observability.set_enabled(True)
+    observability.reset()
+    try:
+        code = CauchyBitmatrixRSCode(4, 2)
+        first = code._encode_schedule()
+        second = code._encode_schedule()
+        assert first is second
+        registry = observability.get_registry()
+        assert registry.counter_value("cache.xor_schedule.misses") == 1
+        assert registry.counter_value("cache.xor_schedule.hits") == 1
+        assert registry.counter_value("gf.xor_schedule.compiled") == 1
+    finally:
+        observability.set_enabled(None)

@@ -111,3 +111,36 @@ class TestRobustnessCommands:
         assert "mode=parity-only" in out
         assert "checksum-verified stripes  : 0" in out
         assert "verdict: CLEAN" in out
+
+
+class TestBenchCommand:
+    def test_bench_smoke_table(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+        assert main(["bench", "--rounds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "active GF backend:" in out
+        assert "backend comparison (median)" in out
+        # The oracle row is always present; every workload appears.
+        assert "numpy" in out
+        assert "RS(10,4).file_encode" in out
+        assert "CRS(10,4).encode" in out
+        assert "CRS(10,4).decode" in out
+
+    def test_bench_json_has_meta_and_rows(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_BENCH_SMOKE", "1")
+        assert main(["bench", "--rounds", "1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        meta = payload["meta"]
+        assert meta["numpy"]
+        assert meta["gf_backend"] in ("numpy", "cffi", "numba")
+        assert set(meta["gf_backends"]) == {"numpy", "cffi", "numba"}
+        rows = payload["rows"]
+        numpy_rows = [r for r in rows if r["backend"] == "numpy"]
+        assert len(numpy_rows) == 3
+        assert all(r["vs_numpy"] == 1.0 for r in numpy_rows)
+        # Unavailable tiers document their reason instead of numbers.
+        for row in rows:
+            if row["MB_per_s"] is None:
+                assert "unavailable" in row["note"]
