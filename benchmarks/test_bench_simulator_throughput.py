@@ -1,43 +1,71 @@
 """Bench: simulator throughput -- the substrate's own performance.
 
-Not a paper figure; measures how fast the discrete-event warehouse
-simulation itself runs (simulated days and block recoveries per
-wall-clock second), which bounds how long the fig3a/fig3b reproductions
-and the multi-config sweeps take.
+Not a paper figure; measures how fast the warehouse simulation runs
+(simulated days per wall-clock second), which bounds how long the
+fig3a/fig3b reproductions, the sweeps, and cluster-year runs take.
 
-The timed region is ``WarehouseSimulation.run()`` only -- construction
-(placement, trace calibration) happens in the per-round setup -- and the
-reported number is the *minimum* over rounds, the standard noise-robust
-choice for throughput floors.
+Three measurements, all recorded to ``BENCH_simulator.json`` in the
+``BENCH_codec.json`` format (meta block, ``median_s`` alongside
+``mean_s``, medians driving every acceptance comparison):
 
-The recorded speedup compares against the frozen PR-1 simulator
-(scalar per-unit recovery, list-based stripe index) at this exact
-config, measured on the same machine that produced the batched numbers
-committed alongside.  ``REPRO_BENCH_SMOKE=1`` (set by CI, whose shared
-runners are not comparable to that machine) skips the wall-clock floor
-assertion but still fails if the batched fast path is disabled.
+- ``simulator.throughput`` -- the serial oracle at the frozen PR-1
+  comparison config (4 days, stream draws), still asserted against the
+  PR-1 scalar simulator baseline.
+- ``simulator.sharded`` -- the sharded epoch engine vs the serial
+  oracle at steady state (40 days, hashed draws), both freshly
+  constructed per round, trajectories compared bit-for-bit.  The floor
+  is keyed to the *same-machine* serial-oracle median: committed
+  numbers from other machines (the 70.9 days/s recorded by PR-6's
+  runner) are lineage, not a denominator.
+- ``simulator.ten_cluster_years`` -- 3650 simulated days at 10k nodes,
+  completed as checkpointed sessions each inside the session budget
+  that the serial oracle's projected wall time does not fit.  Gated
+  behind ``REPRO_BENCH_TEN_YEARS=1`` (it runs for minutes by design).
+
+``REPRO_BENCH_SMOKE=1`` (set by CI, whose shared runners are not
+comparable across runs) shrinks workloads and skips wall-clock floors
+but still fails on a trajectory mismatch or a disabled fast path.
 """
 
 import os
+import time
 
+import pytest
 from conftest import emit, record_bench
 
 from repro.analysis.report import render_kv
+from repro.bench import (
+    run_simulator_comparison,
+    simulator_bench_config,
+    smoke_mode,
+)
 from repro.cluster.config import ClusterConfig
 from repro.cluster.simulation import WarehouseSimulation
 
-#: Default bench config: 4 simulated days at the default production
-#: block density (``stripes_per_node=60``).
+#: Frozen PR-1 comparison config: 4 simulated days at the default
+#: production block density, stream draws (the PR-1 engine's only mode).
 BENCH_CONFIG = ClusterConfig(days=4.0, stripes_per_node=60.0, seed=8)
 
 #: PR-1 simulator throughput at BENCH_CONFIG: best-of-5 ``run()`` wall
 #: time 0.492 s for 4 simulated days (commit 4f03164, same machine as
-#: the numbers recorded in BENCH_simulator.json).
+#: the original batched numbers).
 PR1_BASELINE_DAYS_PER_SEC = 8.1
 
-#: Acceptance floor: the batched fast path must be at least this many
-#: times faster than the PR-1 baseline.
-SPEEDUP_FLOOR = 5.0
+#: Serial throughput recorded by the PR-6-era runner at BENCH_CONFIG
+#: (a different machine; kept as lineage alongside same-machine rows).
+PR6_RECORDED_DAYS_PER_S = 70.9
+
+#: Acceptance floor: the batched serial path vs the PR-1 baseline.
+#: Was 5.0 against best-of timing; re-keyed to the (stricter) median.
+SPEEDUP_FLOOR = 4.0
+
+#: Acceptance floor: sharded epoch engine vs the same-machine serial
+#: oracle median at steady state, with zero worker processes.  Worker
+#: parallelism on multi-core runners stacks on top of this.
+SHARDED_SPEEDUP_FLOOR = 1.3
+
+#: Per-session wall-clock budget for the ten-cluster-year run.
+SESSION_BUDGET_S = 45.0
 
 
 def test_simulator_throughput(benchmark):
@@ -55,11 +83,13 @@ def test_simulator_throughput(benchmark):
     assert simulation.recovery.batched, "batched fast path is disabled"
     assert result.stats.blocks_recovered > 0
 
-    seconds = benchmark.stats["min"]
+    seconds = benchmark.stats["median"]
     days_per_sec = BENCH_CONFIG.days / seconds
     speedup = days_per_sec / PR1_BASELINE_DAYS_PER_SEC
     metrics = {
-        "wall_seconds_min": round(seconds, 4),
+        "mean_s": benchmark.stats["mean"],
+        "median_s": seconds,
+        "best_s": benchmark.stats["min"],
         "simulated_days_per_s": round(days_per_sec, 1),
         "block_recoveries_per_s": round(
             result.stats.blocks_recovered / seconds
@@ -68,6 +98,7 @@ def test_simulator_throughput(benchmark):
             simulation.queue.events_processed / seconds
         ),
         "pr1_baseline_days_per_s": PR1_BASELINE_DAYS_PER_SEC,
+        "pr6_recorded_days_per_s": PR6_RECORDED_DAYS_PER_S,
         "speedup_vs_pr1": round(speedup, 2),
         "batched_recovery": simulation.recovery.batched,
     }
@@ -79,5 +110,127 @@ def test_simulator_throughput(benchmark):
     if os.environ.get("REPRO_BENCH_SMOKE") != "1":
         assert speedup >= SPEEDUP_FLOOR, (
             f"batched simulator is only {speedup:.2f}x the PR-1 baseline "
-            f"(floor {SPEEDUP_FLOOR}x)"
+            f"(floor {SPEEDUP_FLOOR}x, medians)"
         )
+
+
+def test_sharded_simulator_throughput():
+    report = run_simulator_comparison()
+    assert report["identical"], (
+        "sharded trajectory diverged from the serial oracle at the "
+        "bench config -- the speedup below would be meaningless"
+    )
+    metrics = {
+        "days": report["days"],
+        "num_nodes": report["num_nodes"],
+        "rounds": report["rounds"],
+        "workers": report["workers"],
+        "num_shards": report["num_shards"],
+        "mean_s": report["sharded"]["mean_s"],
+        "median_s": report["sharded"]["median_s"],
+        "best_s": report["sharded"]["best_s"],
+        "sharded_days_per_s": round(report["sharded"]["days_per_s"], 1),
+        "oracle_median_s": report["oracle"]["median_s"],
+        "oracle_days_per_s": round(report["oracle"]["days_per_s"], 1),
+        "speedup_vs_serial_oracle": round(report["speedup_median"], 2),
+        "trajectories_identical": report["identical"],
+        "multicore_target_speedup": 4.0,
+    }
+    emit(render_kv(
+        "sharded epoch engine vs serial oracle "
+        f"({report['days']:.0f} simulated days, hashed draws, medians)",
+        metrics,
+    ))
+    record_bench("simulator.sharded", report="simulator", **metrics)
+    if not smoke_mode():
+        assert report["speedup_median"] >= SHARDED_SPEEDUP_FLOOR, (
+            f"sharded engine is only {report['speedup_median']:.2f}x the "
+            f"same-machine serial oracle (floor {SHARDED_SPEEDUP_FLOOR}x, "
+            f"medians)"
+        )
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_TEN_YEARS") != "1",
+    reason="minutes-long by design; set REPRO_BENCH_TEN_YEARS=1",
+)
+def test_ten_cluster_year_run(tmp_path):
+    """3650 simulated days at 10k nodes, as checkpointed sessions.
+
+    The point of checkpointing: each session fits a bounded wall-clock
+    budget and resumes exactly where the previous one stopped, so the
+    run completes across sessions.  The serial oracle has no resume --
+    its projected wall time for the same horizon is recorded next to
+    the budget it would have to fit in one uninterruptible stretch.
+    """
+    from repro.cluster.shard import ShardedSimulation
+
+    config = ClusterConfig(
+        num_racks=334,
+        nodes_per_rack=30,
+        stripes_per_node=60.0,
+        days=3650.0,
+        seed=8,
+        destination_draws="hashed",
+    )
+    snapshot = str(tmp_path / "ten_years.ckpt")
+
+    # Serial-oracle steady-state rate, measured on a short horizon and
+    # projected (running the oracle for the full horizon serially is
+    # exactly what this scenario exists to avoid).
+    probe = simulator_bench_config(smoke=False)
+    probe_config = ClusterConfig(
+        num_racks=334,
+        nodes_per_rack=30,
+        stripes_per_node=60.0,
+        days=probe.days,
+        seed=8,
+        destination_draws="hashed",
+    )
+    oracle = WarehouseSimulation(probe_config)
+    start = time.perf_counter()
+    oracle.run()
+    oracle_rate = probe_config.days / (time.perf_counter() - start)
+    oracle_projected_s = config.days / oracle_rate
+
+    session_walls = []
+    boundaries = [1300.0, 2600.0, None]
+    start = time.perf_counter()
+    simulation = ShardedSimulation(config, checkpoint_path=snapshot)
+    result = simulation.run(stop_after_day=boundaries[0])
+    session_walls.append(time.perf_counter() - start)
+    for boundary in boundaries[1:]:
+        start = time.perf_counter()
+        simulation = ShardedSimulation.resume(snapshot)
+        result = simulation.run(stop_after_day=boundary)
+        session_walls.append(time.perf_counter() - start)
+    assert result is not None, "final session did not finish the run"
+    assert result.stats.blocks_recovered > 0
+    assert len(result.blocks_recovered_per_day) == int(config.days)
+
+    total_wall = sum(session_walls)
+    metrics = {
+        "days": config.days,
+        "num_nodes": config.num_nodes,
+        "sessions": len(session_walls),
+        "session_walls_s": [round(w, 1) for w in session_walls],
+        "max_session_wall_s": round(max(session_walls), 1),
+        "total_wall_s": round(total_wall, 1),
+        "sharded_days_per_s": round(config.days / total_wall, 1),
+        "oracle_days_per_s": round(oracle_rate, 1),
+        "oracle_projected_wall_s": round(oracle_projected_s, 1),
+        "session_budget_s": SESSION_BUDGET_S,
+        "blocks_recovered": result.stats.blocks_recovered,
+    }
+    emit(render_kv(
+        "ten cluster-years at 10k nodes (checkpointed sessions)", metrics
+    ))
+    record_bench("simulator.ten_cluster_years", report="simulator", **metrics)
+    assert max(session_walls) <= SESSION_BUDGET_S, (
+        "a checkpointed session overran the budget; "
+        f"walls={session_walls}"
+    )
+    assert oracle_projected_s > SESSION_BUDGET_S, (
+        "the serial oracle would fit the budget in one process -- "
+        "the scenario no longer demonstrates anything"
+    )

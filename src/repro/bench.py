@@ -186,3 +186,125 @@ def run_backend_comparison(
                     }
                 )
     return rows
+
+
+# ----------------------------------------------------------------------
+# Simulator comparison (sharded epoch engine vs the serial oracle)
+# ----------------------------------------------------------------------
+
+
+def simulator_bench_config(smoke: Optional[bool] = None):
+    """The config both simulator engines are timed on.
+
+    Hashed destination draws (the order-independent mode both engines
+    share) at production block density; smoke mode shrinks the cluster
+    and the horizon so CI finishes in seconds.
+    """
+    from repro.cluster.config import ClusterConfig
+
+    if smoke is None:
+        smoke = smoke_mode()
+    if smoke:
+        return ClusterConfig(
+            num_racks=24,
+            nodes_per_rack=10,
+            stripes_per_node=20.0,
+            days=6.0,
+            seed=8,
+            destination_draws="hashed",
+        )
+    return ClusterConfig(
+        stripes_per_node=60.0,
+        days=40.0,
+        seed=8,
+        destination_draws="hashed",
+    )
+
+
+def _simulation_fingerprint(result) -> tuple:
+    """Order-invariant summary of everything a simulation reports.
+
+    Used to prove the sharded engine's merged counters equal the serial
+    oracle's bit-for-bit on the benched config.
+    """
+    stats, meter = result.stats, result.meter
+    return (
+        tuple(result.unavailability_events_per_day),
+        tuple(result.blocks_recovered_per_day),
+        tuple(result.cross_rack_bytes_per_day),
+        tuple(sorted(result.degraded_histogram.items())),
+        stats.blocks_recovered,
+        stats.bytes_downloaded,
+        stats.unrecoverable_units,
+        stats.flagged_events_recovered,
+        stats.flagged_events_skipped,
+        meter.total_bytes,
+        meter.cross_rack_bytes,
+        meter.intra_rack_bytes,
+        meter.num_transfers,
+        tuple(sorted(meter.cross_rack_bytes_by_day.items())),
+        tuple(sorted(meter.bytes_by_switch.items())),
+    )
+
+
+def run_simulator_comparison(
+    rounds: Optional[int] = None,
+    workers: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    config=None,
+) -> Dict[str, object]:
+    """Time the sharded epoch engine against the serial oracle.
+
+    Both engines are constructed outside the clock each round (the
+    timed region is ``run()``; for the sharded engine that includes
+    timeline resolution and shard construction -- its real per-run
+    cost).  The two trajectories are also compared outright: a speedup
+    over a *different* answer would be meaningless.
+    """
+    from repro.cluster.shard import ShardedSimulation
+    from repro.cluster.simulation import WarehouseSimulation
+
+    smoke = smoke_mode()
+    if config is None:
+        config = simulator_bench_config(smoke)
+    if rounds is None:
+        rounds = 1 if smoke else 3
+
+    state: Dict[str, object] = {}
+
+    def run_oracle():
+        state["oracle"] = WarehouseSimulation(config).run()
+
+    def run_sharded():
+        simulation = ShardedSimulation(
+            config, num_shards=num_shards, workers=workers
+        )
+        state["workers"] = simulation.num_workers
+        state["num_shards"] = simulation.num_shards
+        state["sharded"] = simulation.run()
+
+    run_oracle()  # warm plan/layout caches outside the clock
+    oracle_stats = time_workload(run_oracle, rounds)
+    run_sharded()
+    sharded_stats = time_workload(run_sharded, rounds)
+
+    identical = _simulation_fingerprint(
+        state["oracle"]
+    ) == _simulation_fingerprint(state["sharded"])
+    days = float(config.days)
+    oracle_days_per_s = days / oracle_stats["median_s"]
+    sharded_days_per_s = days / sharded_stats["median_s"]
+    return {
+        "days": days,
+        "num_nodes": config.num_nodes,
+        "num_stripes": config.num_stripes,
+        "code": config.code_name,
+        "destination_draws": config.destination_draws,
+        "rounds": rounds,
+        "workers": state["workers"],
+        "num_shards": state["num_shards"],
+        "oracle": dict(oracle_stats, days_per_s=oracle_days_per_s),
+        "sharded": dict(sharded_stats, days_per_s=sharded_days_per_s),
+        "speedup_median": sharded_days_per_s / oracle_days_per_s,
+        "identical": identical,
+    }

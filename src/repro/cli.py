@@ -18,6 +18,9 @@ Subcommands:
   seeded plan, then scrub and repair them;
 - ``repro bench`` -- time the codec workloads under every available GF
   kernel backend and compare each against the numpy oracle;
+  ``repro bench --simulator`` instead compares the sharded cluster
+  simulator against the serial oracle (simulated days/s, identical
+  trajectories enforced);
 - ``repro metrics [path]`` -- render a metrics snapshot (the live
   registry, or a ``--emit-metrics`` JSON file).
 
@@ -147,6 +150,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         params = {"k": args.k, "l": 2, "g": 2}
     elif args.code == "replication":
         params = {"replicas": 3}
+    destination_draws = args.destination_draws
+    if destination_draws is None:
+        # The sharded engine needs order-independent draws to split
+        # work across shards; the serial engine keeps its golden
+        # stream-mode trajectories.
+        destination_draws = (
+            "hashed" if args.engine == "sharded" else "stream"
+        )
     config = ClusterConfig(
         days=args.days,
         seed=args.seed,
@@ -160,8 +171,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         chaos_seed=args.chaos_seed,
         chaos_node_flaps=args.chaos_node_flaps,
         chaos_corrupt_units=args.chaos_corrupt_units,
+        destination_draws=destination_draws,
     )
-    result = WarehouseSimulation(config).run()
+    if args.engine == "sharded":
+        from repro.cluster.shard import ShardedSimulation
+
+        result = ShardedSimulation(
+            config,
+            num_shards=args.shards,
+            workers=args.workers,
+            checkpoint_path=args.checkpoint,
+            checkpoint_every_days=args.checkpoint_every_days,
+        ).run()
+    else:
+        result = WarehouseSimulation(config).run()
     print(f"code: {result.code_name}  days: {result.days}  "
           f"machines: {config.num_nodes}  block-scale: {config.block_scale:.1f}x")
     print(f"median unavailability events/day : {result.median_unavailability_events:.0f}")
@@ -411,6 +434,49 @@ def _cmd_scorecard(args: argparse.Namespace) -> int:
     return 0 if summary["fail"] == 0 else 1
 
 
+def _cmd_bench_simulator(args: argparse.Namespace) -> int:
+    from repro.bench import bench_meta, run_simulator_comparison
+
+    meta = bench_meta()
+    report = run_simulator_comparison(
+        rounds=args.rounds, workers=args.workers, num_shards=args.shards
+    )
+    if args.json:
+        import json
+
+        print(json.dumps({"meta": meta, "simulator": report}, indent=2))
+        return 0 if report["identical"] else 1
+    print(
+        f"python {meta['python']}  numpy {meta['numpy']}  "
+        f"cpus: {meta['cpu_count']}"
+    )
+    print(
+        f"config: {report['num_nodes']} nodes, "
+        f"{report['num_stripes']} stripes, {report['days']:.0f} days, "
+        f"code {report['code']}, {report['destination_draws']} draws"
+    )
+    rows = [
+        {
+            "engine": "serial oracle",
+            "median s": round(report["oracle"]["median_s"], 3),
+            "days/s": round(report["oracle"]["days_per_s"], 1),
+            "workers": "-",
+        },
+        {
+            "engine": f"sharded x{report['num_shards']}",
+            "median s": round(report["sharded"]["median_s"], 3),
+            "days/s": round(report["sharded"]["days_per_s"], 1),
+            "workers": report["workers"] or "serial",
+        },
+    ]
+    print(render_table(rows, title="simulator engines (median of rounds)"))
+    print(
+        f"speedup (median days/s): {report['speedup_median']:.2f}x   "
+        f"trajectories identical: {report['identical']}"
+    )
+    return 0 if report["identical"] else 1
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     import os
 
@@ -418,6 +484,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.smoke:
         os.environ[SMOKE_ENV] = "1"
+    if args.simulator:
+        return _cmd_bench_simulator(args)
     meta = bench_meta()
     rows = run_backend_comparison(rounds=args.rounds)
     if args.json:
@@ -541,6 +609,45 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write an observability-registry JSON snapshot after the run",
     )
+    sim_parser.add_argument(
+        "--engine",
+        choices=["serial", "sharded"],
+        default="serial",
+        help="simulation engine: the serial oracle or the sharded "
+        "epoch engine (identical trajectories under hashed draws)",
+    )
+    sim_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --engine sharded (default: auto via "
+        "REPRO_PARALLEL / CPU count)",
+    )
+    sim_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="stripe shards for --engine sharded (default: max(workers, 1))",
+    )
+    sim_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="write resumable snapshots to PATH (--engine sharded)",
+    )
+    sim_parser.add_argument(
+        "--checkpoint-every-days",
+        type=int,
+        default=None,
+        help="snapshot interval in simulated days (requires --checkpoint)",
+    )
+    sim_parser.add_argument(
+        "--destination-draws",
+        choices=["stream", "hashed"],
+        default=None,
+        help="recovery-destination randomness (default: stream for the "
+        "serial engine, hashed for the sharded engine)",
+    )
     sim_parser.set_defaults(fn=_cmd_simulate)
 
     pipe_parser = sub.add_parser(
@@ -630,6 +737,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench_parser.add_argument(
         "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    bench_parser.add_argument(
+        "--simulator",
+        action="store_true",
+        help="compare the sharded cluster simulator against the serial "
+        "oracle (simulated days/s) instead of the codec backends",
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --simulator (default: auto)",
+    )
+    bench_parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="stripe shards for --simulator (default: max(workers, 1))",
     )
     bench_parser.set_defaults(fn=_cmd_bench)
 

@@ -28,6 +28,28 @@ import numpy as np
 from repro.errors import SimulationError
 
 
+def node_unit_lists(placement: np.ndarray) -> Dict[int, List[int]]:
+    """Node id -> unit ids stored there, each list in ascending uid order.
+
+    This is the initial state of the order contract
+    :meth:`StripeStore._uids_on_node` maintains (never-relocated units in
+    uid order); the sharded simulator seeds its per-node lists from it
+    and then replays relocations as remove+append, which reproduces the
+    store's base-then-overflow query order exactly.
+    """
+    flat = np.asarray(placement, dtype=np.int64).reshape(-1)
+    if flat.size == 0:
+        return {}
+    order = np.argsort(flat, kind="stable")
+    keys = flat[order]
+    boundaries = np.flatnonzero(np.diff(keys)) + 1
+    starts = np.concatenate([[0], boundaries])
+    return {
+        int(keys[start]): group.tolist()
+        for start, group in zip(starts.tolist(), np.split(order, boundaries))
+    }
+
+
 class StripeStore:
     """All stripe placements of one simulated cluster.
 

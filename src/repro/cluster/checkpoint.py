@@ -1,0 +1,287 @@
+"""Versioned snapshots of a sharded simulation run.
+
+A checkpoint captures everything :class:`~repro.cluster.shard.ShardedSimulation`
+needs to continue a run mid-flight with a bit-identical trajectory:
+
+- the full config (the snapshot is self-describing; resume rebuilds the
+  simulation from it),
+- the epoch cursor (``next_epoch`` -- the first day not yet applied),
+- the rng generator states (recovery flips; placement-policy stream for
+  ``destination_draws="stream"`` runs),
+- coordinator flip counters and the node-availability replica,
+- per-shard mutable state: placement rows, missing bits, per-node unit
+  lists (ragged-encoded, order preserved -- the order is part of the
+  determinism contract), recovery stats, and traffic-meter aggregates.
+
+What it deliberately does *not* store: the failure timeline (a pure
+function of the config, re-resolved on resume), unit sizes' provenance
+(stored verbatim per shard), the corrupt-unit mask (re-derived from the
+chaos config), and the worker count (a runtime choice -- a snapshot
+taken under N workers resumes under M, or serial, identically).
+
+Format: a single ``np.savez`` archive -- raw arrays keyed
+``shard{i}_{name}`` plus one JSON document under ``meta`` for
+everything scalar.  Writes go through a temp file and ``os.replace`` so
+a crash mid-write never corrupts the previous snapshot.  ``version``
+gates the whole format: a mismatch raises
+:class:`~repro.errors.CheckpointError` rather than guessing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time as time_module
+from dataclasses import asdict, dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.network import TrafficMeter
+from repro.cluster.recovery import RecoveryStats
+from repro.cluster.topology import Topology
+from repro.errors import CheckpointError
+from repro.observability import metrics
+
+#: Bump on any change to the snapshot layout.
+CHECKPOINT_VERSION = 1
+
+#: Array-valued keys of one shard's state dict, in archive order.
+_SHARD_ARRAY_KEYS = (
+    "stripe_ids",
+    "placement",
+    "missing",
+    "unit_sizes",
+    "list_nodes",
+    "list_counts",
+    "list_uids",
+)
+
+
+@dataclass
+class SimulationCheckpoint:
+    """In-memory form of one snapshot (see module docstring)."""
+
+    config: ClusterConfig
+    next_epoch: int
+    num_shards: int
+    recovery_rng_state: dict
+    policy_rng_state: dict
+    flagged_events_recovered: int
+    flagged_events_skipped: int
+    is_up: np.ndarray
+    shard_states: List[dict]
+    version: int = CHECKPOINT_VERSION
+
+
+# ----------------------------------------------------------------------
+# Meter / stats (de)serialisation
+# ----------------------------------------------------------------------
+#
+# Integer-keyed dicts are encoded as sorted (key, value) pair lists so
+# the same structures survive both pickle (worker messages) and JSON
+# (the checkpoint meta document, where dict keys must be strings).
+
+
+def meter_state(meter: TrafficMeter) -> Dict[str, object]:
+    """Picklable/JSON-able snapshot of a meter's aggregates.
+
+    The transfer log is deliberately excluded: it is a debugging aid
+    whose size scales with every transfer, not run state.
+    """
+    return {
+        "total_bytes": meter.total_bytes,
+        "cross_rack_bytes": meter.cross_rack_bytes,
+        "intra_rack_bytes": meter.intra_rack_bytes,
+        "num_transfers": meter.num_transfers,
+        "bytes_by_purpose": sorted(meter.bytes_by_purpose.items()),
+        "cross_rack_bytes_by_day": sorted(
+            meter.cross_rack_bytes_by_day.items()
+        ),
+        "bytes_by_switch": sorted(meter.bytes_by_switch.items()),
+    }
+
+
+def restore_meter(
+    topology: Topology,
+    state: Dict[str, object],
+    record_transfers: bool = False,
+) -> TrafficMeter:
+    meter = TrafficMeter(topology, record_transfers=record_transfers)
+    meter.total_bytes = int(state["total_bytes"])
+    meter.cross_rack_bytes = int(state["cross_rack_bytes"])
+    meter.intra_rack_bytes = int(state["intra_rack_bytes"])
+    meter.num_transfers = int(state["num_transfers"])
+    for purpose, total in state["bytes_by_purpose"]:
+        meter.bytes_by_purpose[str(purpose)] = int(total)
+    for day, total in state["cross_rack_bytes_by_day"]:
+        meter.cross_rack_bytes_by_day[int(day)] = int(total)
+    for switch, total in state["bytes_by_switch"]:
+        meter.bytes_by_switch[str(switch)] = int(total)
+    return meter
+
+
+def stats_state(stats: RecoveryStats) -> Dict[str, object]:
+    """Picklable/JSON-able snapshot of recovery stats."""
+    return {
+        "blocks_recovered": stats.blocks_recovered,
+        "blocks_recovered_by_day": sorted(
+            stats.blocks_recovered_by_day.items()
+        ),
+        "bytes_downloaded": stats.bytes_downloaded,
+        "degraded_histogram": sorted(stats.degraded_histogram.items()),
+        "unrecoverable_units": stats.unrecoverable_units,
+        "flagged_events_recovered": stats.flagged_events_recovered,
+        "flagged_events_skipped": stats.flagged_events_skipped,
+        "repair_latencies": list(stats.repair_latencies),
+        "cancelled_recoveries": stats.cancelled_recoveries,
+        "corrupt_survivors_excluded": stats.corrupt_survivors_excluded,
+    }
+
+
+def restore_stats(state: Dict[str, object]) -> RecoveryStats:
+    stats = RecoveryStats()
+    stats.blocks_recovered = int(state["blocks_recovered"])
+    for day, count in state["blocks_recovered_by_day"]:
+        stats.blocks_recovered_by_day[int(day)] = int(count)
+    stats.bytes_downloaded = int(state["bytes_downloaded"])
+    for count, occurrences in state["degraded_histogram"]:
+        stats.degraded_histogram[int(count)] = int(occurrences)
+    stats.unrecoverable_units = int(state["unrecoverable_units"])
+    stats.flagged_events_recovered = int(state["flagged_events_recovered"])
+    stats.flagged_events_skipped = int(state["flagged_events_skipped"])
+    stats.repair_latencies = [float(x) for x in state["repair_latencies"]]
+    stats.cancelled_recoveries = int(state["cancelled_recoveries"])
+    stats.corrupt_survivors_excluded = int(
+        state["corrupt_survivors_excluded"]
+    )
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Archive I/O
+# ----------------------------------------------------------------------
+
+
+def save_checkpoint(path: str, checkpoint: SimulationCheckpoint) -> None:
+    """Write one snapshot atomically (temp file + rename)."""
+    if len(checkpoint.shard_states) != checkpoint.num_shards:
+        raise CheckpointError(
+            f"checkpoint claims {checkpoint.num_shards} shards but carries "
+            f"{len(checkpoint.shard_states)} shard states"
+        )
+    meta = {
+        "version": checkpoint.version,
+        "config": asdict(checkpoint.config),
+        "next_epoch": int(checkpoint.next_epoch),
+        "num_shards": int(checkpoint.num_shards),
+        "recovery_rng_state": checkpoint.recovery_rng_state,
+        "policy_rng_state": checkpoint.policy_rng_state,
+        "flagged_events_recovered": int(checkpoint.flagged_events_recovered),
+        "flagged_events_skipped": int(checkpoint.flagged_events_skipped),
+        "shards": [
+            {
+                "shard_id": int(state["shard_id"]),
+                "stats": state["stats"],
+                "meter": state["meter"],
+            }
+            for state in checkpoint.shard_states
+        ],
+    }
+    arrays: Dict[str, np.ndarray] = {
+        "meta": np.frombuffer(
+            json.dumps(meta).encode("utf-8"), dtype=np.uint8
+        ),
+        "is_up": np.asarray(checkpoint.is_up, dtype=bool),
+    }
+    for i, state in enumerate(checkpoint.shard_states):
+        for key in _SHARD_ARRAY_KEYS:
+            arrays[f"shard{i}_{key}"] = np.asarray(state[key])
+    tmp_path = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp_path, "wb") as handle:
+            np.savez(handle, **arrays)
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        raise CheckpointError(
+            f"could not write checkpoint to {path!r}: {exc}"
+        ) from exc
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+
+
+def load_checkpoint(path: str) -> SimulationCheckpoint:
+    """Read and validate one snapshot; raises :class:`CheckpointError`
+    on missing files, malformed archives, or version mismatches."""
+    wall0 = time_module.perf_counter()
+    try:
+        with np.load(path) as archive:
+            data = {key: archive[key] for key in archive.files}
+    except (OSError, ValueError, KeyError) as exc:
+        raise CheckpointError(
+            f"could not read checkpoint {path!r}: {exc}"
+        ) from exc
+    if "meta" not in data:
+        raise CheckpointError(
+            f"{path!r} is not a simulation checkpoint (no meta document)"
+        )
+    try:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} carries a malformed meta document: {exc}"
+        ) from exc
+    version = meta.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path!r} has version {version!r}; this build "
+            f"reads version {CHECKPOINT_VERSION} -- re-create the "
+            f"snapshot or use a matching build"
+        )
+    try:
+        config = ClusterConfig(**meta["config"])
+    except TypeError as exc:
+        raise CheckpointError(
+            f"checkpoint {path!r} carries an unreadable config: {exc}"
+        ) from exc
+    num_shards = int(meta["num_shards"])
+    shard_states: List[dict] = []
+    for i, shard_meta in enumerate(meta["shards"]):
+        state: Dict[str, object] = {
+            "shard_id": int(shard_meta["shard_id"]),
+            "stats": shard_meta["stats"],
+            "meter": shard_meta["meter"],
+        }
+        for key in _SHARD_ARRAY_KEYS:
+            archive_key = f"shard{i}_{key}"
+            if archive_key not in data:
+                raise CheckpointError(
+                    f"checkpoint {path!r} is missing array {archive_key!r}"
+                )
+            state[key] = data[archive_key]
+        shard_states.append(state)
+    if len(shard_states) != num_shards:
+        raise CheckpointError(
+            f"checkpoint {path!r} claims {num_shards} shards but carries "
+            f"{len(shard_states)}"
+        )
+    checkpoint = SimulationCheckpoint(
+        config=config,
+        next_epoch=int(meta["next_epoch"]),
+        num_shards=num_shards,
+        recovery_rng_state=meta["recovery_rng_state"],
+        policy_rng_state=meta["policy_rng_state"],
+        flagged_events_recovered=int(meta["flagged_events_recovered"]),
+        flagged_events_skipped=int(meta["flagged_events_skipped"]),
+        is_up=np.asarray(data["is_up"], dtype=bool),
+        shard_states=shard_states,
+    )
+    m = metrics()
+    if m is not None:
+        m.observe(
+            "sim.shard.checkpoint.restore_seconds",
+            time_module.perf_counter() - wall0,
+        )
+    return checkpoint

@@ -146,6 +146,21 @@ class ClusterConfig:
         defaults to the master seed.  Deliberately config-driven rather
         than environment-driven: a simulation that silently injected
         faults under an env var would stop being a reproduction.
+    destination_draws:
+        How recovery destinations are chosen.  ``"stream"`` (default)
+        draws them from the shared recovery rng stream in per-unit
+        order -- the historical semantics every committed trajectory
+        pins.  ``"hashed"`` derives each destination from a counter
+        hash of ``(unit id, flag ordinal)`` seeded off ``seed``: the
+        draw depends only on the unit and the flag event, not on how
+        many draws other stripes consumed before it, which is what
+        lets :class:`~repro.cluster.shard.ShardedSimulation` partition
+        a run across shards/workers and still match the serial oracle
+        bit-for-bit.  Both modes are uniform over the same candidate
+        sets; they just replay *different* (equally valid) random
+        choices, so summary statistics are equivalent but trajectories
+        differ.  This is a semantic knob, hence config rather than an
+        engine argument: a result is a function of its config alone.
     """
 
     num_racks: int = 100
@@ -178,6 +193,7 @@ class ClusterConfig:
     chaos_seed: Optional[int] = None
     chaos_node_flaps: int = 0
     chaos_corrupt_units: int = 0
+    destination_draws: str = "stream"
 
     def __post_init__(self):
         if self.num_racks < 2:
@@ -221,6 +237,11 @@ class ClusterConfig:
             raise ConfigError("correlated_batch_size must be >= 1")
         if self.chaos_node_flaps < 0 or self.chaos_corrupt_units < 0:
             raise ConfigError("chaos fault counts must be >= 0")
+        if self.destination_draws not in ("stream", "hashed"):
+            raise ConfigError(
+                f"unknown destination_draws {self.destination_draws!r}; "
+                f"expected 'stream' or 'hashed'"
+            )
 
     @property
     def num_nodes(self) -> int:

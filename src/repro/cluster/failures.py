@@ -41,6 +41,12 @@ class FailureInjector:
     on_flagged:
         Invoked when a machine is declared unavailable (the recovery
         layer's entry point).
+    on_down, on_up:
+        Optional ``(node, time)`` observers fired when a machine
+        actually transitions down (absorbed double-downs excluded) and
+        when it returns.  The sharded simulator's timeline resolver
+        uses them to record the exact op order the event queue
+        produces without attaching a store.
     """
 
     def __init__(
@@ -49,11 +55,15 @@ class FailureInjector:
         store: Optional[StripeStore],
         threshold_seconds: float,
         on_flagged: Optional[FlagCallback] = None,
+        on_down: Optional[Callable[[int, float], None]] = None,
+        on_up: Optional[Callable[[int, float], None]] = None,
     ):
         self.state = state
         self.store = store
         self.threshold_seconds = threshold_seconds
         self.on_flagged = on_flagged
+        self.on_down = on_down
+        self.on_up = on_up
         #: Fig. 3a series: flagged (>threshold) events per day.
         self.flagged_events_by_day: Dict[int, int] = defaultdict(int)
         self.total_events = 0
@@ -96,6 +106,8 @@ class FailureInjector:
         self.state.mark_down(event.node, time)
         if self.store is not None:
             self.store.mark_node_missing(event.node)
+        if self.on_down is not None:
+            self.on_down(event.node, time)
         queue.schedule_after(
             self.threshold_seconds,
             lambda q, t, node=event.node, started=time: self._flag_check(
@@ -130,6 +142,8 @@ class FailureInjector:
         if self.store is not None:
             # Units not reconstructed elsewhere return with the machine.
             self.store.mark_node_available(node)
+        if self.on_up is not None:
+            self.on_up(node, time)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -19,6 +19,56 @@ from repro.cluster.topology import Topology
 from repro.errors import PlacementError
 
 
+#: splitmix64 multipliers (Steele et al., "Fast splittable PRNGs").
+_SM64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM64_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_MUL2 = np.uint64(0x94D049BB133111EB)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorised splitmix64 finaliser over uint64 (wrapping on purpose)."""
+    with np.errstate(over="ignore"):
+        z = x + _SM64_GAMMA
+        z = (z ^ (z >> np.uint64(30))) * _SM64_MUL1
+        z = (z ^ (z >> np.uint64(27))) * _SM64_MUL2
+        return z ^ (z >> np.uint64(31))
+
+
+def destination_entropy(seed_sequence: np.random.SeedSequence) -> int:
+    """The 64-bit key hashed destination draws mix in.
+
+    Derived from the recovery seed via ``generate_state`` (a pure
+    function of the SeedSequence -- it does not consume anything the
+    recovery Generator later draws), so both simulation engines and
+    every shard worker compute the identical key from the config seed.
+    """
+    words = seed_sequence.generate_state(2, dtype=np.uint32)
+    return int(words[0]) << 32 | int(words[1])
+
+
+_U64_MASK = 0xFFFFFFFFFFFFFFFF
+
+
+def _splitmix64_int(x: int) -> int:
+    """Scalar splitmix64 finaliser; bit-identical to :func:`_splitmix64`."""
+    z = (x + 0x9E3779B97F4A7C15) & _U64_MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _U64_MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _U64_MASK
+    return z ^ (z >> 31)
+
+
+def _hash_pair(
+    uids: np.ndarray, ordinal: int, entropy: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two independent uint64 hashes per unit for one flag event."""
+    salt = np.uint64(
+        _splitmix64_int((ordinal & _U64_MASK) ^ (entropy & _U64_MASK))
+    )
+    with np.errstate(over="ignore"):
+        base = _splitmix64(uids.astype(np.uint64) + salt)
+        return _splitmix64(base), _splitmix64(base ^ _SM64_GAMMA)
+
+
 def _sorted_with_first(mat: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
     """Row-sorted matrix plus a mask of each row's first occurrences.
 
@@ -173,6 +223,91 @@ class PlacementPolicy(abc.ABC):
             node_mat, first, self.rng.integers(0, num_candidates)
         )
 
+    def hashed_replacement_nodes(
+        self,
+        exclude_rows: np.ndarray,
+        extra_excludes: Sequence[int],
+        uids: np.ndarray,
+        ordinal: int,
+        entropy: int,
+        prefer_new_rack: bool = True,
+    ) -> np.ndarray:
+        """Counter-hashed :meth:`replacement_nodes` (``"hashed"`` mode).
+
+        Chooses over the same candidate sets as the stream path --
+        prefer a rack hosting no excluded node, else any non-excluded
+        node -- but the per-unit randomness is ``splitmix64`` of
+        ``(unit id, flag ordinal, entropy)`` instead of draws from a
+        shared sequential rng.  A unit's destination therefore depends
+        only on its own identity and the flag event, never on how many
+        draws other units consumed first; that independence is what
+        allows sharded execution to reproduce the serial oracle
+        exactly.  Deterministic, rng-free, and uniform over candidates
+        up to a <=2**-53 modulo bias.
+
+        Unlike :meth:`replacement_nodes` there is no ``None`` bailout:
+        a unit with no free rack takes the node-level fallback
+        individually (draw counts cannot desynchronise a stream that
+        does not exist).
+        """
+        nodes_per_rack = self.topology.nodes_per_rack
+        num_units = exclude_rows.shape[0]
+        uids = np.asarray(uids, dtype=np.int64)
+        extra = np.asarray(extra_excludes, dtype=np.int64)
+        h_rack, h_node = _hash_pair(uids, ordinal, entropy)
+        out = np.empty(num_units, dtype=np.int64)
+        node_level = np.ones(num_units, dtype=bool)
+        if prefer_new_rack:
+            # Rack occupancy as a boolean matrix: one shared row for the
+            # cluster-wide down list, per-unit marks for stripe nodes.
+            # ``cumsum`` then reads off both the free-rack count and the
+            # idx-th free rack (ascending) in one pass -- the same
+            # candidate order statistics as the sort-based stream path,
+            # without the row sort.
+            used = np.zeros((num_units, self.topology.num_racks), dtype=bool)
+            if extra.size:
+                used[:, np.unique(extra // nodes_per_rack)] = True
+            rack_rows = exclude_rows // nodes_per_rack
+            used[
+                np.repeat(np.arange(num_units), rack_rows.shape[1]),
+                rack_rows.ravel(),
+            ] = True
+            free_cum = np.cumsum(~used, axis=1)
+            num_free = free_cum[:, -1]
+            has_free = num_free > 0
+            if np.any(has_free):
+                idx = (
+                    h_rack[has_free] % num_free[has_free].astype(np.uint64)
+                ).astype(np.int64)
+                racks = np.argmax(free_cum[has_free] > idx[:, None], axis=1)
+                offsets = (
+                    h_node[has_free] % np.uint64(nodes_per_rack)
+                ).astype(np.int64)
+                out[has_free] = racks * nodes_per_rack + offsets
+            node_level = ~has_free
+        if np.any(node_level):
+            if extra.size:
+                exclude_mat = np.concatenate(
+                    [
+                        exclude_rows[node_level],
+                        np.broadcast_to(
+                            extra, (int(node_level.sum()), extra.size)
+                        ),
+                    ],
+                    axis=1,
+                )
+            else:
+                exclude_mat = exclude_rows[node_level]
+            node_mat, first = _sorted_with_first(exclude_mat)
+            num_candidates = self.topology.num_nodes - first.sum(axis=1)
+            if not np.all(num_candidates > 0):
+                raise PlacementError("no node available for replacement")
+            idx = (
+                h_node[node_level] % num_candidates.astype(np.uint64)
+            ).astype(np.int64)
+            out[node_level] = _nth_not_excluded(node_mat, first, idx)
+        return out
+
 
 class DistinctRackPlacement(PlacementPolicy):
     """One unit per rack, racks chosen uniformly at random (production)."""
@@ -213,6 +348,20 @@ class DistinctNodePlacement(PlacementPolicy):
     ) -> Optional[np.ndarray]:
         return super().replacement_nodes(
             exclude_rows, extra_excludes, prefer_new_rack
+        )
+
+    def hashed_replacement_nodes(
+        self,
+        exclude_rows: np.ndarray,
+        extra_excludes: Sequence[int],
+        uids: np.ndarray,
+        ordinal: int,
+        entropy: int,
+        prefer_new_rack: bool = False,
+    ) -> np.ndarray:
+        return super().hashed_replacement_nodes(
+            exclude_rows, extra_excludes, uids, ordinal, entropy,
+            prefer_new_rack,
         )
 
     def place_stripe(self, width: int) -> List[int]:

@@ -43,7 +43,7 @@ from repro.cluster.events import EventQueue
 from repro.cluster.network import TrafficMeter
 from repro.cluster.placement import PlacementPolicy
 from repro.codes.base import ErasureCode, RepairPlan
-from repro.errors import RepairError
+from repro.errors import ConfigError, RepairError
 from repro.observability import metrics
 
 
@@ -74,6 +74,27 @@ class RecoveryStats:
     #: marked corrupt (chaos injection); identical between the scalar
     #: and batched paths.
     corrupt_survivors_excluded: int = 0
+
+    def merge_from(self, other: "RecoveryStats") -> None:
+        """Fold another stats object into this one (exact integer sums).
+
+        Per-shard recovery counters are disjoint unit counts, so summing
+        them reproduces the serial service's stats exactly; latency
+        lists concatenate (only the throttled path fills them, which the
+        sharded engine does not support).
+        """
+        self.blocks_recovered += other.blocks_recovered
+        for day, count in other.blocks_recovered_by_day.items():
+            self.blocks_recovered_by_day[day] += count
+        self.bytes_downloaded += other.bytes_downloaded
+        for count, occurrences in other.degraded_histogram.items():
+            self.degraded_histogram[count] += occurrences
+        self.unrecoverable_units += other.unrecoverable_units
+        self.flagged_events_recovered += other.flagged_events_recovered
+        self.flagged_events_skipped += other.flagged_events_skipped
+        self.repair_latencies.extend(other.repair_latencies)
+        self.cancelled_recoveries += other.cancelled_recoveries
+        self.corrupt_survivors_excluded += other.corrupt_survivors_excluded
 
     def daily_blocks_series(self, num_days: int) -> List[int]:
         return [
@@ -125,6 +146,16 @@ class RecoveryService:
         do **not** count as missing for the degraded-stripe histogram,
         which measures true unavailability.  The scalar and batched
         paths apply the exclusion identically.
+    destination_draws, destination_entropy:
+        ``"stream"`` (default) draws destinations from ``rng`` in
+        per-unit order; ``"hashed"`` derives them from
+        ``(unit id, flag ordinal, destination_entropy)`` via
+        :meth:`PlacementPolicy.hashed_replacement_nodes`, leaving the
+        rng stream to the trigger coin-flips alone (see
+        ``ClusterConfig.destination_draws``).  ``destination_entropy``
+        is required in hashed mode -- the simulation derives it from
+        the recovery seed with
+        :func:`repro.cluster.placement.destination_entropy`.
     """
 
     def __init__(
@@ -139,7 +170,26 @@ class RecoveryService:
         bandwidth_bytes_per_sec: Optional[float] = None,
         batched: bool = True,
         corrupt_units: Optional[Sequence[Tuple[int, int]]] = None,
+        destination_draws: str = "stream",
+        destination_entropy: Optional[int] = None,
     ):
+        if destination_draws not in ("stream", "hashed"):
+            raise ConfigError(
+                f"unknown destination_draws {destination_draws!r}; "
+                f"expected 'stream' or 'hashed'"
+            )
+        if destination_draws == "hashed" and destination_entropy is None:
+            raise ConfigError(
+                "destination_draws='hashed' requires destination_entropy "
+                "(derive it with repro.cluster.placement.destination_entropy)"
+            )
+        self.destination_draws = destination_draws
+        self._dest_entropy = destination_entropy
+        #: Count of flag events seen, in event order; the counter the
+        #: hashed destination draws mix in.  Advances for *every*
+        #: on_node_flagged call (triggered or skipped) so sharded
+        #: coordinators can reproduce it from the timeline alone.
+        self._flag_ordinal = 0
         self.store = store
         self.state = state
         self.placement = placement
@@ -174,6 +224,7 @@ class RecoveryService:
 
     def on_node_flagged(self, queue: EventQueue, node: int, time: float) -> None:
         """Reconstruct the flagged machine's missing units (maybe)."""
+        self._flag_ordinal += 1
         if self.rng.random() > self.trigger_fraction:
             self.stats.flagged_events_skipped += 1
             return
@@ -219,13 +270,17 @@ class RecoveryService:
         completion = start + duration
         self._pipe_free_at = completion
 
+        # Hashed draws mix in the flag ordinal; capture it now, because
+        # by completion time later flags will have advanced the counter.
+        ordinal = self._flag_ordinal
+
         def complete(q: EventQueue, now: float) -> None:
             if not self.store.missing[stripe, slot]:
                 # The machine returned before the queue reached this
                 # block; nothing to rebuild.
                 self.stats.cancelled_recoveries += 1
                 return
-            if self.recover_unit(stripe, slot, now):
+            if self.recover_unit(stripe, slot, now, ordinal=ordinal):
                 self.stats.repair_latencies.append(now - flag_time)
 
         queue.schedule(completion, complete, label="recovery-complete")
@@ -234,8 +289,19 @@ class RecoveryService:
     # Per-unit recovery (the oracle path)
     # ------------------------------------------------------------------
 
-    def recover_unit(self, stripe: int, slot: int, time: float) -> bool:
-        """Rebuild one stripe unit; returns False if unrecoverable now."""
+    def recover_unit(
+        self,
+        stripe: int,
+        slot: int,
+        time: float,
+        ordinal: Optional[int] = None,
+    ) -> bool:
+        """Rebuild one stripe unit; returns False if unrecoverable now.
+
+        ``ordinal`` overrides the flag ordinal hashed destination draws
+        mix in (the throttled path completes recoveries after later
+        flags have advanced the counter); None uses the current one.
+        """
         if not self.store.missing[stripe, slot]:
             raise RepairError(
                 f"unit {slot} of stripe {stripe} is not missing"
@@ -249,9 +315,22 @@ class RecoveryService:
         unit_size = int(self.store.unit_sizes[stripe])
         subunit_bytes = unit_size // self.code.substripes_per_unit
         stripe_nodes = self.store.stripe_nodes(stripe)
-        destination = self.placement.replacement_node(
-            exclude_nodes=stripe_nodes + self.state.down_nodes()
-        )
+        if self.destination_draws == "hashed":
+            destination = int(
+                self.placement.hashed_replacement_nodes(
+                    np.asarray([stripe_nodes], dtype=np.int64),
+                    self.state.down_nodes(),
+                    np.asarray(
+                        [stripe * self.store.width + slot], dtype=np.int64
+                    ),
+                    self._flag_ordinal if ordinal is None else ordinal,
+                    self._dest_entropy,
+                )[0]
+            )
+        else:
+            destination = self.placement.replacement_node(
+                exclude_nodes=stripe_nodes + self.state.down_nodes()
+            )
         unit_bytes_downloaded = 0
         for request in plan.requests:
             source_node = stripe_nodes[request.node]
@@ -361,18 +440,25 @@ class RecoveryService:
         rec_slots = slots[rec_idx]
         rows = store.placement[rec_stripes]
         down = self.state.down_nodes()
-        # One interleaved rng draw for every destination; falls back to
-        # the scalar per-unit draws when a unit has no free rack (same
-        # stream either way -- see PlacementPolicy.replacement_nodes).
-        destinations = self.placement.replacement_nodes(rows, down)
-        if destinations is None:
-            destinations = np.array(
-                [
-                    self.placement.replacement_node(row + down)
-                    for row in rows.tolist()
-                ],
-                dtype=np.int64,
+        if self.destination_draws == "hashed":
+            destinations = self.placement.hashed_replacement_nodes(
+                rows, down, uids[rec_idx], self._flag_ordinal,
+                self._dest_entropy,
             )
+        else:
+            # One interleaved rng draw for every destination; falls back
+            # to the scalar per-unit draws when a unit has no free rack
+            # (same stream either way -- see
+            # PlacementPolicy.replacement_nodes).
+            destinations = self.placement.replacement_nodes(rows, down)
+            if destinations is None:
+                destinations = np.array(
+                    [
+                        self.placement.replacement_node(row + down)
+                        for row in rows.tolist()
+                    ],
+                    dtype=np.int64,
+                )
         for count, occurrences in enumerate(
             np.bincount(missing_counts[rec_idx]).tolist()
         ):

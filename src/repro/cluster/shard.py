@@ -1,0 +1,1323 @@
+"""Sharded, checkpointable warehouse simulation (the epoch engine).
+
+:class:`~repro.cluster.simulation.WarehouseSimulation` replays the
+unavailability trace one event-queue callback at a time against a single
+:class:`~repro.cluster.blockmap.StripeStore`.  That is the oracle -- but
+a ten-cluster-year run at 10k nodes walks millions of events through
+Python closures, and one process is the ceiling.
+
+:class:`ShardedSimulation` reorganises the same computation around two
+observations:
+
+1. **The failure timeline is independent of the stored data.**  Node
+   lifecycle (down -> flag-after-15-min-if-still-down -> up) is driven
+   entirely by the trace and the availability table, so the whole run's
+   op sequence -- every down/up/flag in exact event-queue order,
+   including FIFO tie-breaks -- can be resolved *up front* by replaying
+   the queue against a store-less :class:`FailureInjector`
+   (:func:`resolve_timeline`).  The day-granularity loop then becomes
+   coordinator -> shard *epochs*: broadcast one day's ops, apply them,
+   merge the deltas.
+
+2. **Stripes never interact.**  Recovery reads, repair plans, degraded
+   histograms, and relocations are all per-stripe, so the stripe store
+   partitions by a stable stripe hash into shards that each maintain
+   their slice of placements/missing bits plus a full (cheap) replica of
+   node availability.  Every per-shard counter is an order-invariant
+   integer sum, so merging shard meters and stats reproduces the serial
+   result *exactly* -- same bytes, same series, same histograms.
+
+Exactness contract (tested in ``tests/cluster/test_shard.py``):
+
+- ``destination_draws="stream"`` (the historical semantics): a single
+  serial shard replays the shared-rng draw order and matches
+  ``WarehouseSimulation`` bit-for-bit.  Multiple shards/workers are a
+  :class:`ConfigError` -- stream draws are order-dependent by
+  definition.
+- ``destination_draws="hashed"``: destinations are a pure function of
+  ``(unit id, flag ordinal, seed)``, so the run partitions freely;
+  serial, any shard count, and any worker count all equal the
+  ``WarehouseSimulation`` oracle bit-for-bit under the same config.
+
+Checkpointing (:mod:`repro.cluster.checkpoint`) snapshots shard states,
+rng states, and the epoch cursor at day boundaries; a resumed run
+continues the identical trajectory, and a killed worker's shards replay
+from the last snapshot (or from the initial placement) without
+disturbing the other workers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time as time_module
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import multiprocessing
+
+import numpy as np
+
+from repro.cluster.blockmap import node_unit_lists
+from repro.cluster.config import SECONDS_PER_DAY, ClusterConfig
+from repro.cluster.datanode import NodeStateTable
+from repro.cluster.events import EventQueue
+from repro.cluster.failures import FailureInjector
+from repro.cluster.network import TrafficMeter
+from repro.cluster.placement import (
+    PlacementPolicy,
+    _splitmix64,
+    destination_entropy,
+    make_placement,
+)
+from repro.cluster.recovery import RecoveryStats
+from repro.cluster.simulation import SimulationResult
+from repro.cluster.topology import Topology
+from repro.cluster.traces import generate_unavailability_events, stripe_unit_sizes
+from repro.codes.base import ErasureCode
+from repro.codes.registry import create_code
+from repro.errors import ConfigError, RepairError, SimulationError
+from repro.observability import metrics, span
+from repro.parallel import decide_parallel
+
+#: Timeline op kinds, in the exact order the oracle's event queue
+#: produces them.
+OP_DOWN, OP_UP, OP_FLAG = 0, 1, 2
+
+
+class Timeline:
+    """The run's full op sequence, resolved before any shard runs.
+
+    ``kinds[i] / nodes[i] / times[i]`` describe the i-th op in event
+    execution order (times are non-decreasing; FIFO ties replay the
+    queue's own tie-breaking because the same queue produced them).
+    ``ordinals[i]`` is the 1-based flag counter for flag ops (0
+    otherwise) -- the value :class:`RecoveryService` would hold in
+    ``_flag_ordinal`` when handling that flag, reproduced here so hashed
+    destination draws match the oracle without any rng rendezvous.
+    """
+
+    def __init__(
+        self,
+        kinds: np.ndarray,
+        nodes: np.ndarray,
+        times: np.ndarray,
+        ordinals: np.ndarray,
+        num_flags: int,
+        flagged_events_by_day: Dict[int, int],
+        total_events: int,
+        skipped_already_down: int,
+        num_source_events: int,
+    ):
+        self.kinds = kinds
+        self.nodes = nodes
+        self.times = times
+        self.ordinals = ordinals
+        self.num_flags = num_flags
+        self.flagged_events_by_day = flagged_events_by_day
+        self.total_events = total_events
+        self.skipped_already_down = skipped_already_down
+        self.num_source_events = num_source_events
+
+    @property
+    def num_ops(self) -> int:
+        return int(self.kinds.shape[0])
+
+    def num_epochs(self, num_days: int) -> int:
+        """Epochs needed to apply every op (ups/flags spill past the
+        configured horizon; their bytes still count, like the oracle)."""
+        if not self.num_ops:
+            return num_days
+        return max(num_days, int(self.times[-1] // SECONDS_PER_DAY) + 1)
+
+    def epoch_bounds(self, num_epochs: int) -> np.ndarray:
+        """``bounds[e]:bounds[e+1]`` slices epoch ``e``'s ops."""
+        edges = np.arange(num_epochs + 1, dtype=np.float64) * SECONDS_PER_DAY
+        return np.searchsorted(self.times, edges, side="left")
+
+    def daily_flagged_series(self, num_days: int) -> List[int]:
+        return [
+            self.flagged_events_by_day.get(day, 0) for day in range(num_days)
+        ]
+
+
+def resolve_timeline(config: ClusterConfig) -> Timeline:
+    """Replay the failure trace against a store-less injector.
+
+    Uses the identical failure stream, chaos-flap merge, event queue,
+    and :class:`FailureInjector` state machine as the serial oracle --
+    only the store side-effects are absent -- so the recorded op order
+    (including same-time FIFO ties) is exactly what
+    ``WarehouseSimulation`` executes.
+    """
+    seed = np.random.SeedSequence(config.seed)
+    _placement_seed, failure_seed, _size, _recovery, _workload = seed.spawn(5)
+    failure_rng = np.random.default_rng(failure_seed)
+    events = generate_unavailability_events(failure_rng, config)
+    if config.chaos_node_flaps > 0:
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan(
+            seed=(
+                config.chaos_seed
+                if config.chaos_seed is not None
+                else config.seed
+            ),
+            node_flaps=config.chaos_node_flaps,
+        )
+        events = sorted(
+            list(events)
+            + plan.flap_events(
+                config.num_nodes,
+                config.days,
+                config.unavailability_threshold_seconds,
+            ),
+            key=lambda event: (event.time, event.node),
+        )
+    kinds: List[int] = []
+    nodes: List[int] = []
+    times: List[float] = []
+    ordinals: List[int] = []
+    flag_count = 0
+
+    def on_down(node: int, time: float) -> None:
+        kinds.append(OP_DOWN)
+        nodes.append(node)
+        times.append(time)
+        ordinals.append(0)
+
+    def on_up(node: int, time: float) -> None:
+        kinds.append(OP_UP)
+        nodes.append(node)
+        times.append(time)
+        ordinals.append(0)
+
+    def on_flagged(queue: EventQueue, node: int, time: float) -> None:
+        nonlocal flag_count
+        flag_count += 1
+        kinds.append(OP_FLAG)
+        nodes.append(node)
+        times.append(time)
+        ordinals.append(flag_count)
+
+    injector = FailureInjector(
+        state=NodeStateTable(config.num_nodes),
+        store=None,
+        threshold_seconds=config.unavailability_threshold_seconds,
+        on_flagged=on_flagged,
+        on_down=on_down,
+        on_up=on_up,
+    )
+    queue = EventQueue()
+    injector.install(queue, events)
+    queue.run()
+    return Timeline(
+        kinds=np.asarray(kinds, dtype=np.int8),
+        nodes=np.asarray(nodes, dtype=np.int64),
+        times=np.asarray(times, dtype=np.float64),
+        ordinals=np.asarray(ordinals, dtype=np.int64),
+        num_flags=flag_count,
+        flagged_events_by_day=dict(injector.flagged_events_by_day),
+        total_events=injector.total_events,
+        skipped_already_down=injector.skipped_already_down,
+        num_source_events=len(events),
+    )
+
+
+def stripe_shard_ids(num_stripes: int, num_shards: int) -> np.ndarray:
+    """Stable stripe -> shard assignment (splitmix64 hash, mod shards).
+
+    Hash-based rather than contiguous ranges so correlated placement
+    structure (consecutive stripes share rng history) spreads across
+    shards, and stable in the sense that it depends only on the stripe
+    id and the shard count -- not on worker count, epoch, or any runtime
+    state.
+    """
+    hashes = _splitmix64(np.arange(num_stripes, dtype=np.uint64))
+    return (hashes % np.uint64(num_shards)).astype(np.int64)
+
+
+class ShardState:
+    """One shard's slice of the cluster, in epoch-replayable form.
+
+    Mirrors exactly the state the serial engine keeps for these stripes:
+    placement rows, missing bits, per-node unit lists in the store's
+    query order (never-relocated units in uid order, relocated-in units
+    in arrival order -- see :func:`repro.cluster.blockmap.node_unit_lists`),
+    plus a full replica of node availability (every shard applies every
+    down/up op; the replica is one bool per node).
+
+    Recovery at a flag op replays :meth:`RecoveryService.recover_node_batch`
+    over the shard-local degraded units.  Transfers accumulate per epoch
+    and hit the shard's private :class:`TrafficMeter` in one
+    ``charge_batch`` per epoch -- per-transfer times are preserved, so
+    per-day aggregation is exact and the merged meter equals the serial
+    one.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        stripe_ids: np.ndarray,
+        placement: np.ndarray,
+        unit_sizes: np.ndarray,
+        width: int,
+        num_nodes: int,
+        code: ErasureCode,
+        policy: PlacementPolicy,
+        meter: TrafficMeter,
+        destination_draws: str,
+        entropy: Optional[int] = None,
+        corrupt_rows: Optional[np.ndarray] = None,
+        missing: Optional[np.ndarray] = None,
+        node_lists: Optional[Dict[int, List[int]]] = None,
+        is_up: Optional[np.ndarray] = None,
+        stats: Optional[RecoveryStats] = None,
+    ):
+        self.shard_id = shard_id
+        self.stripe_ids = np.ascontiguousarray(stripe_ids, dtype=np.int64)
+        self.placement = np.ascontiguousarray(placement, dtype=np.int64).copy()
+        self.unit_sizes = np.asarray(unit_sizes, dtype=np.int64)
+        self.width = int(width)
+        self.num_nodes = int(num_nodes)
+        self.code = code
+        self.policy = policy
+        self.meter = meter
+        self.destination_draws = destination_draws
+        self._entropy = entropy
+        self._corrupt = corrupt_rows
+        if missing is None:
+            missing = np.zeros(self.placement.shape, dtype=bool)
+        self.missing = np.ascontiguousarray(missing, dtype=bool).copy()
+        self._flat_missing = self.missing.reshape(-1)
+        if node_lists is None:
+            node_lists = node_unit_lists(self.placement)
+        self.node_units: Dict[int, List[int]] = node_lists
+        if is_up is None:
+            is_up = np.ones(self.num_nodes, dtype=bool)
+        self.is_up = np.asarray(is_up, dtype=bool).copy()
+        self._down_cache: Optional[List[int]] = None
+        self.stats = stats if stats is not None else RecoveryStats()
+        # (failed slot, availability bitmask) -> resolved plan arrays
+        # plus a content key for merging pattern groups that share one
+        # plan; same cache keys as the serial service, per shard.
+        self._plans: Dict[
+            Tuple[int, int], Optional[Tuple[np.ndarray, np.ndarray, bytes]]
+        ] = {}
+        self._mask_weights = np.int64(1) << np.arange(
+            self.width, dtype=np.int64
+        )
+        self._ep_times: List[Tuple[float, int]] = []
+        self._ep_srcs: List[np.ndarray] = []
+        self._ep_dsts: List[np.ndarray] = []
+        self._ep_nbytes: List[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # Epoch application
+    # ------------------------------------------------------------------
+
+    def apply_epoch(
+        self,
+        kinds: Sequence[int],
+        nodes: Sequence[int],
+        times: Sequence[float],
+        ordinals: Sequence[int],
+    ) -> int:
+        """Apply one epoch's (pre-filtered) ops; returns blocks recovered.
+
+        Every flag op in the slice is already known to be triggered (the
+        coordinator draws the trigger flips and drops skipped flags), so
+        this path is rng-free in hashed mode.
+        """
+        recovered = 0
+        for kind, node, time, ordinal in zip(kinds, nodes, times, ordinals):
+            if kind == OP_DOWN:
+                self._node_down(node)
+            elif kind == OP_UP:
+                self._node_up(node)
+            else:
+                recovered += self._node_flagged(node, time, ordinal)
+        return recovered
+
+    def _node_down(self, node: int) -> None:
+        self.is_up[node] = False
+        self._down_cache = None
+        units = self.node_units.get(node)
+        if units:
+            self._flat_missing[units] = True
+
+    def _node_up(self, node: int) -> None:
+        self.is_up[node] = True
+        self._down_cache = None
+        units = self.node_units.get(node)
+        if units:
+            # Clearing every mapped unit's flag equals the store's
+            # "clear the missing ones": non-missing units are unchanged.
+            self._flat_missing[units] = False
+
+    def _down_nodes(self) -> List[int]:
+        if self._down_cache is None:
+            self._down_cache = np.flatnonzero(~self.is_up).tolist()
+        return self._down_cache
+
+    def _node_flagged(self, node: int, time: float, ordinal: int) -> int:
+        """Shard-local replay of ``RecoveryService.recover_node_batch``."""
+        units = self.node_units.get(node)
+        if not units:
+            return 0
+        flat_missing = self._flat_missing
+        luids = np.asarray(units, dtype=np.int64)
+        luids = luids[flat_missing[luids]]
+        if not luids.size:
+            return 0
+        width = self.width
+        lstripes = luids // width
+        slots = luids % width
+        live_rows = ~self.missing[lstripes]
+        missing_counts = width - live_rows.sum(axis=1)
+        avail_rows = live_rows
+        if self._corrupt is not None:
+            corrupt_rows = self._corrupt[lstripes]
+            self.stats.corrupt_survivors_excluded += int(
+                (live_rows & corrupt_rows).sum()
+            )
+            avail_rows = live_rows & ~corrupt_rows
+        mask_keys = (avail_rows @ self._mask_weights).tolist()
+        key_list = list(zip(slots.tolist(), mask_keys))
+        plans = self._plans
+        missing_list = missing_counts.tolist()
+        # Group recoverable units by the *content* of their resolved
+        # plan, not the (slot, mask) pattern key: distinct availability
+        # masks overwhelmingly resolve to identical request lists
+        # (single failures dominate), so this collapses ~a dozen
+        # pattern groups per flag into one or two -- fewer, larger
+        # transfer gathers.  Merging groups only reorders transfers,
+        # and every meter aggregate is order-invariant.
+        groups: Dict[bytes, Tuple[Tuple[np.ndarray, np.ndarray], List[int]]] = {}
+        rec_list: List[int] = []
+        for i, key in enumerate(key_list):
+            try:
+                resolved = plans[key]
+            except KeyError:
+                available = tuple(np.flatnonzero(avail_rows[i]).tolist())
+                plan = self._resolve_plan(key[0], available)
+                resolved = None
+                if plan is not None:
+                    request_nodes = np.array(
+                        [r.node for r in plan.requests], dtype=np.int64
+                    )
+                    request_subunits = np.array(
+                        [len(r.substripes) for r in plan.requests],
+                        dtype=np.int64,
+                    )
+                    resolved = (
+                        request_nodes,
+                        request_subunits,
+                        request_nodes.tobytes() + request_subunits.tobytes(),
+                    )
+                plans[key] = resolved
+            if resolved is None:
+                self.stats.degraded_histogram[missing_list[i]] += 1
+                self.stats.unrecoverable_units += 1
+            else:
+                try:
+                    groups[resolved[2]][1].append(len(rec_list))
+                except KeyError:
+                    groups[resolved[2]] = (resolved[:2], [len(rec_list)])
+                rec_list.append(i)
+        if not rec_list:
+            return 0
+        rec_idx = np.asarray(rec_list, dtype=np.int64)
+        rec_stripes = lstripes[rec_idx]
+        rec_slots = slots[rec_idx]
+        rows = self.placement[rec_stripes]
+        down = self._down_nodes()
+        if self.destination_draws == "hashed":
+            guids = self.stripe_ids[rec_stripes] * width + rec_slots
+            destinations = self.policy.hashed_replacement_nodes(
+                rows, down, guids, ordinal, self._entropy
+            )
+        else:
+            destinations = self.policy.replacement_nodes(rows, down)
+            if destinations is None:
+                destinations = np.array(
+                    [
+                        self.policy.replacement_node(row + down)
+                        for row in rows.tolist()
+                    ],
+                    dtype=np.int64,
+                )
+        for count, occurrences in enumerate(
+            np.bincount(missing_counts[rec_idx]).tolist()
+        ):
+            if occurrences:
+                self.stats.degraded_histogram[count] += occurrences
+        substripes = self.code.substripes_per_unit
+        subunit_sizes = self.unit_sizes[rec_stripes] // substripes
+        batch_bytes = 0
+        num_rec = len(rec_list)
+        for (request_nodes, request_subunits), members in groups.values():
+            if len(members) == num_rec:
+                # Single plan covers every unit (the common case once
+                # groups are merged by plan content): skip the member
+                # gather entirely.
+                grp_rows, grp_sizes, grp_dsts = rows, subunit_sizes, destinations
+            else:
+                member_idx = np.asarray(members, dtype=np.int64)
+                grp_rows = rows[member_idx]
+                grp_sizes = subunit_sizes[member_idx]
+                grp_dsts = destinations[member_idx]
+            srcs = grp_rows[:, request_nodes].ravel()
+            nbytes = (
+                grp_sizes[:, None] * request_subunits[None, :]
+            ).ravel()
+            self._ep_srcs.append(srcs)
+            self._ep_dsts.append(
+                np.repeat(grp_dsts, request_nodes.shape[0])
+            )
+            self._ep_nbytes.append(nbytes)
+            self._ep_times.append((time, srcs.shape[0]))
+            batch_bytes += int(nbytes.sum())
+        self.placement[rec_stripes, rec_slots] = destinations
+        self.missing[rec_stripes, rec_slots] = False
+        rec_luids = luids[rec_idx]
+        moved = set(rec_luids.tolist())
+        self.node_units[node] = [u for u in units if u not in moved]
+        node_units = self.node_units
+        for dest, uid in zip(destinations.tolist(), rec_luids.tolist()):
+            node_units.setdefault(dest, []).append(uid)
+        recovered = int(rec_idx.size)
+        self.stats.bytes_downloaded += batch_bytes
+        self.stats.blocks_recovered += recovered
+        self.stats.blocks_recovered_by_day[
+            int(time // SECONDS_PER_DAY)
+        ] += recovered
+        return recovered
+
+    def _resolve_plan(self, slot: int, available: Tuple[int, ...]):
+        if len(available) < self.code.k:
+            return None
+        try:
+            return self.code.repair_plan_cached(slot, available)
+        except RepairError:
+            return None
+
+    def flush_epoch(self) -> int:
+        """Charge the epoch's transfers in one batch; returns array bytes.
+
+        Per-transfer times are preserved across the epoch, so the
+        meter's per-day grouping is identical to per-flag charging.
+        """
+        if not self._ep_srcs:
+            return 0
+        # Times are kept as (time, transfer-count) pairs per flag; one
+        # repeat here replaces a np.full per group in the hot loop.
+        times = np.repeat(
+            np.array([t for t, _ in self._ep_times]),
+            np.array([n for _, n in self._ep_times], dtype=np.int64),
+        )
+        srcs = np.concatenate(self._ep_srcs)
+        dsts = np.concatenate(self._ep_dsts)
+        nbytes = np.concatenate(self._ep_nbytes)
+        self._ep_times.clear()
+        self._ep_srcs.clear()
+        self._ep_dsts.clear()
+        self._ep_nbytes.clear()
+        self.meter.charge_batch(times, srcs, dsts, nbytes, purpose="recovery")
+        return int(times.nbytes + srcs.nbytes + dsts.nbytes + nbytes.nbytes)
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Picklable snapshot of the shard's mutable state.
+
+        Node lists are ragged-encoded (node ids, counts, concatenated
+        uids) preserving per-list order; empty lists are dropped (an
+        absent node and an empty list behave identically).
+        """
+        from repro.cluster.checkpoint import meter_state, stats_state
+
+        list_nodes = [n for n in sorted(self.node_units) if self.node_units[n]]
+        counts = [len(self.node_units[n]) for n in list_nodes]
+        concat: List[int] = []
+        for n in list_nodes:
+            concat.extend(self.node_units[n])
+        return {
+            "shard_id": int(self.shard_id),
+            "stripe_ids": self.stripe_ids,
+            "placement": self.placement.copy(),
+            "missing": self.missing.copy(),
+            "unit_sizes": self.unit_sizes,
+            "list_nodes": np.asarray(list_nodes, dtype=np.int64),
+            "list_counts": np.asarray(counts, dtype=np.int64),
+            "list_uids": np.asarray(concat, dtype=np.int64),
+            "stats": stats_state(self.stats),
+            "meter": meter_state(self.meter),
+        }
+
+
+def _decode_node_lists(
+    list_nodes: np.ndarray, list_counts: np.ndarray, list_uids: np.ndarray
+) -> Dict[int, List[int]]:
+    lists: Dict[int, List[int]] = {}
+    cursor = 0
+    uids = list_uids.tolist()
+    for node, count in zip(list_nodes.tolist(), list_counts.tolist()):
+        lists[node] = uids[cursor : cursor + count]
+        cursor += count
+    return lists
+
+
+def _build_shard(
+    state: Dict[str, object],
+    width: int,
+    num_nodes: int,
+    code: ErasureCode,
+    policy: PlacementPolicy,
+    topology: Topology,
+    destination_draws: str,
+    entropy: Optional[int],
+    record_transfers: bool,
+    is_up: Optional[np.ndarray],
+) -> ShardState:
+    """Construct a :class:`ShardState` from an initial payload or a
+    restored snapshot (snapshots carry the extra keys)."""
+    from repro.cluster.checkpoint import restore_meter, restore_stats
+
+    node_lists = None
+    if "list_nodes" in state:
+        node_lists = _decode_node_lists(
+            state["list_nodes"], state["list_counts"], state["list_uids"]
+        )
+    meter = (
+        restore_meter(topology, state["meter"], record_transfers)
+        if "meter" in state
+        else TrafficMeter(topology, record_transfers=record_transfers)
+    )
+    stats = restore_stats(state["stats"]) if "stats" in state else None
+    return ShardState(
+        shard_id=int(state["shard_id"]),
+        stripe_ids=state["stripe_ids"],
+        placement=state["placement"],
+        unit_sizes=state["unit_sizes"],
+        width=width,
+        num_nodes=num_nodes,
+        code=code,
+        policy=policy,
+        meter=meter,
+        destination_draws=destination_draws,
+        entropy=entropy,
+        corrupt_rows=state.get("corrupt"),
+        missing=state.get("missing"),
+        node_lists=node_lists,
+        is_up=is_up,
+        stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker processes
+# ----------------------------------------------------------------------
+
+
+def _shard_worker_main(conn) -> None:
+    """Stateful shard worker: owns its shards across all epochs.
+
+    Messages: ``("init", params, states)`` builds the shards;
+    ``("epoch", e, kinds, nodes, times, ordinals)`` applies one epoch
+    and acks with per-shard recovered counts; ``("collect",)`` returns
+    snapshots; ``("finish",)`` returns per-shard meter/stats states;
+    ``("stop",)`` exits.  The ``crash`` init param (tests only) makes
+    the worker die mid-epoch via ``os._exit`` to exercise replay.
+    """
+    from repro.cluster.checkpoint import meter_state, stats_state
+
+    shards: List[ShardState] = []
+    crash: Optional[Tuple[int, int]] = None
+    while True:
+        try:
+            msg = conn.recv()
+        except EOFError:
+            return
+        tag = msg[0]
+        if tag == "init":
+            params, states = msg[1], msg[2]
+            topology = Topology(params["num_racks"], params["nodes_per_rack"])
+            code = create_code(params["code_name"], **params["code_params"])
+            policy = make_placement(
+                params["placement_policy"], topology, seed=0
+            )
+            shards = [
+                _build_shard(
+                    state,
+                    width=params["width"],
+                    num_nodes=params["num_nodes"],
+                    code=code,
+                    policy=policy,
+                    topology=topology,
+                    destination_draws=params["destination_draws"],
+                    entropy=params["entropy"],
+                    record_transfers=params["record_transfers"],
+                    is_up=params["is_up"],
+                )
+                for state in states
+            ]
+            crash = params.get("crash")
+            conn.send(("ready",))
+        elif tag == "epoch":
+            epoch, kinds, nodes, times, ordinals = msg[1:]
+            recovered = []
+            for index, shard in enumerate(shards):
+                if crash is not None and crash == (epoch, index):
+                    os._exit(23)  # simulated mid-epoch worker death
+                recovered.append(
+                    shard.apply_epoch(kinds, nodes, times, ordinals)
+                )
+                shard.flush_epoch()
+            if crash is not None and crash[0] == epoch:
+                os._exit(23)  # crash index past the last shard: die at end
+            conn.send(("ack", epoch, recovered))
+        elif tag == "collect":
+            conn.send(("state", [shard.state_dict() for shard in shards]))
+        elif tag == "finish":
+            conn.send(
+                (
+                    "result",
+                    [
+                        (
+                            shard.shard_id,
+                            meter_state(shard.meter),
+                            stats_state(shard.stats),
+                        )
+                        for shard in shards
+                    ],
+                )
+            )
+        elif tag == "stop":
+            return
+        else:  # pragma: no cover - protocol misuse
+            raise SimulationError(f"unknown worker message {tag!r}")
+
+
+class _WorkerHandle:
+    """Coordinator-side handle for one shard worker process."""
+
+    def __init__(self, index: int, shard_indices: List[int]):
+        self.index = index
+        self.shard_indices = shard_indices
+        self.proc: Optional[multiprocessing.Process] = None
+        self.conn = None
+
+    def spawn(self, ctx, params: Dict[str, object], states: List[dict]) -> None:
+        parent_conn, child_conn = ctx.Pipe()
+        self.proc = ctx.Process(
+            target=_shard_worker_main, args=(child_conn,), daemon=True
+        )
+        self.proc.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.send(("init", params, states))
+        reply = self.recv()
+        if reply != ("ready",):  # pragma: no cover - protocol misuse
+            raise SimulationError(f"worker {self.index} failed to init: {reply!r}")
+
+    def send(self, msg) -> None:
+        self.conn.send(msg)
+
+    def recv(self):
+        return self.conn.recv()
+
+    def stop(self) -> None:
+        if self.proc is None:
+            return
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.proc.join(timeout=10.0)
+        if self.proc.is_alive():  # pragma: no cover - stuck worker
+            self.proc.terminate()
+            self.proc.join(timeout=10.0)
+        self.conn.close()
+        self.proc = None
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+
+
+class ShardedSimulation:
+    """Epoch-driven, shardable equivalent of :class:`WarehouseSimulation`.
+
+    Parameters
+    ----------
+    config:
+        The simulation config.  ``destination_draws="hashed"`` is
+        required for more than one shard or any worker processes;
+        ``"stream"`` runs as a single serial shard that replays the
+        historical rng semantics exactly.
+    num_shards:
+        Stripe partitions.  Defaults to the worker count (or 1).
+    workers:
+        Worker *processes*.  ``0`` forces in-process serial execution
+        (the oracle-equivalent fallback); ``None`` consults
+        ``parallel`` / ``REPRO_PARALLEL`` / the CPU count via
+        :func:`repro.parallel.decide_parallel`.
+    parallel:
+        Explicit override for the auto decision (see
+        :mod:`repro.parallel`).
+    checkpoint_path, checkpoint_every_days:
+        Snapshot destination and cadence (day boundaries).  A path with
+        no cadence only writes when :meth:`run` stops early
+        (``stop_after_day``); snapshots also serve as the replay base
+        when a worker dies.
+
+    Not supported (loud :class:`ConfigError`, never silent divergence):
+    read workloads (``reads_per_stripe_per_day > 0``) and throttled
+    recovery (``recovery_bandwidth_bytes_per_sec``) -- both serialise
+    through global state that cannot shard yet.
+    """
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        num_shards: Optional[int] = None,
+        workers: Optional[int] = None,
+        parallel: Optional[bool] = None,
+        record_transfers: bool = False,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every_days: Optional[int] = None,
+        _restore=None,
+        _test_crash: Optional[Tuple[int, int, int]] = None,
+    ):
+        if config.reads_per_stripe_per_day > 0:
+            raise ConfigError(
+                "ShardedSimulation does not support read workloads "
+                "(reads_per_stripe_per_day > 0); use WarehouseSimulation"
+            )
+        if config.recovery_bandwidth_bytes_per_sec is not None:
+            raise ConfigError(
+                "ShardedSimulation does not support throttled recovery "
+                "(recovery_bandwidth_bytes_per_sec); the shared pipe is "
+                "global state -- use WarehouseSimulation"
+            )
+        self.config = config
+        if _restore is not None and num_shards is None:
+            num_shards = _restore.num_shards
+        if workers is None:
+            tasks = num_shards if num_shards else (os.cpu_count() or 1)
+            if decide_parallel(tasks, parallel):
+                workers = min(tasks, os.cpu_count() or 1)
+            else:
+                workers = 0
+        self.num_workers = int(workers)
+        self.num_shards = int(num_shards) if num_shards else max(
+            self.num_workers, 1
+        )
+        if self.num_workers > self.num_shards:
+            self.num_workers = self.num_shards
+        if config.destination_draws != "hashed" and (
+            self.num_shards > 1 or self.num_workers > 0
+        ):
+            raise ConfigError(
+                "destination_draws='stream' draws destinations from one "
+                "shared rng in event order, which cannot be partitioned; "
+                "run serial with num_shards=1, or switch the config to "
+                "destination_draws='hashed'"
+            )
+        self.record_transfers = record_transfers
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every_days = checkpoint_every_days
+        if checkpoint_every_days is not None:
+            if checkpoint_every_days < 1:
+                raise ConfigError("checkpoint_every_days must be >= 1")
+            if checkpoint_path is None:
+                raise ConfigError(
+                    "checkpoint_every_days requires checkpoint_path"
+                )
+        self._test_crash = _test_crash
+
+        self.topology = Topology(config.num_racks, config.nodes_per_rack)
+        seed = np.random.SeedSequence(config.seed)
+        placement_seed, _failure, size_seed, recovery_seed, _wl = seed.spawn(5)
+        self.code = create_code(config.code_name, **config.code_params)
+        self.policy = make_placement(
+            config.placement_policy, self.topology, seed=placement_seed
+        )
+        self._recovery_rng = np.random.default_rng(recovery_seed)
+        self._entropy = (
+            destination_entropy(recovery_seed)
+            if config.destination_draws == "hashed"
+            else None
+        )
+        corrupt_mask = None
+        if config.chaos_corrupt_units > 0:
+            from repro.faults import FaultPlan
+
+            plan = FaultPlan(
+                seed=(
+                    config.chaos_seed
+                    if config.chaos_seed is not None
+                    else config.seed
+                ),
+                node_flaps=config.chaos_node_flaps,
+            )
+            corrupt_mask = np.zeros(
+                (config.num_stripes, config.stripe_width_units), dtype=bool
+            )
+            for stripe, slot in plan.corrupt_unit_indices(
+                config.chaos_corrupt_units,
+                config.num_stripes,
+                config.stripe_width_units,
+            ):
+                corrupt_mask[int(stripe), int(slot)] = True
+
+        shard_of = stripe_shard_ids(config.num_stripes, self.num_shards)
+        if _restore is None:
+            # Fresh run: build the identical substrate the oracle builds
+            # (same placement/size streams), then partition by shard.
+            placements = self.policy.place_many(config.num_stripes, self.code.n)
+            sizes = stripe_unit_sizes(
+                np.random.default_rng(size_seed), config.num_stripes, config
+            )
+            self._base_states: List[dict] = []
+            for s in range(self.num_shards):
+                idx = np.flatnonzero(shard_of == s)
+                state = {
+                    "shard_id": s,
+                    "stripe_ids": idx.astype(np.int64),
+                    "placement": placements[idx].astype(np.int64),
+                    "unit_sizes": sizes[idx].astype(np.int64),
+                }
+                if corrupt_mask is not None:
+                    state["corrupt"] = corrupt_mask[idx]
+                self._base_states.append(state)
+            self._start_epoch = 0
+            self._base_epoch = 0
+            self._is_up = np.ones(config.num_nodes, dtype=bool)
+            self._flagged_recovered = 0
+            self._flagged_skipped = 0
+        else:
+            # Resume: shard states come from the snapshot; the rng
+            # states replace the freshly-seeded generators so the
+            # remaining epochs draw exactly what the uninterrupted run
+            # would have drawn.
+            self._base_states = []
+            for s, state in enumerate(_restore.shard_states):
+                state = dict(state)
+                if corrupt_mask is not None:
+                    idx = state["stripe_ids"]
+                    state["corrupt"] = corrupt_mask[idx]
+                self._base_states.append(state)
+            self._recovery_rng.bit_generator.state = (
+                _restore.recovery_rng_state
+            )
+            self.policy.rng.bit_generator.state = _restore.policy_rng_state
+            self._start_epoch = _restore.next_epoch
+            self._base_epoch = _restore.next_epoch
+            self._is_up = np.asarray(_restore.is_up, dtype=bool).copy()
+            self._flagged_recovered = _restore.flagged_events_recovered
+            self._flagged_skipped = _restore.flagged_events_skipped
+
+        self._workers: List[_WorkerHandle] = []
+        self._shards: List[ShardState] = []
+        #: Filtered op arrays per processed epoch (worker mode), kept so
+        #: a replacement worker can replay from the base snapshot.
+        self._epoch_ops: Dict[int, Tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def resume(
+        cls,
+        path: str,
+        workers: Optional[int] = None,
+        parallel: Optional[bool] = None,
+        record_transfers: bool = False,
+        checkpoint_path: Optional[str] = None,
+        checkpoint_every_days: Optional[int] = None,
+    ) -> "ShardedSimulation":
+        """Reconstruct a simulation from a checkpoint file.
+
+        The worker count is a runtime choice, not part of the snapshot:
+        a run checkpointed under N workers may resume under M (or
+        serial) and still produce the identical result, because shards
+        -- not workers -- are the unit of state.
+        """
+        from repro.cluster.checkpoint import load_checkpoint
+
+        data = load_checkpoint(path)
+        return cls(
+            data.config,
+            num_shards=data.num_shards,
+            workers=workers,
+            parallel=parallel,
+            record_transfers=record_transfers,
+            checkpoint_path=(
+                checkpoint_path if checkpoint_path is not None else path
+            ),
+            checkpoint_every_days=checkpoint_every_days,
+            _restore=data,
+        )
+
+    def run(
+        self, stop_after_day: Optional[int] = None
+    ) -> Optional[SimulationResult]:
+        """Run the epochs; returns the result, or None when stopped early.
+
+        ``stop_after_day=N`` applies epochs up to (excluding) day N,
+        writes a checkpoint to ``checkpoint_path`` (required), and
+        returns None; :meth:`resume` continues from there.
+        """
+        if stop_after_day is not None and self.checkpoint_path is None:
+            raise ConfigError("stop_after_day requires checkpoint_path")
+        with span("shard.run"):
+            return self._run(stop_after_day)
+
+    # ------------------------------------------------------------------
+    # The epoch loop
+    # ------------------------------------------------------------------
+
+    def _run(self, stop_after_day: Optional[int]) -> Optional[SimulationResult]:
+        config = self.config
+        timeline = resolve_timeline(config)
+        num_days = int(config.days)
+        num_epochs = timeline.num_epochs(num_days)
+        bounds = timeline.epoch_bounds(num_epochs)
+        target_epoch = num_epochs
+        if stop_after_day is not None:
+            target_epoch = min(int(stop_after_day), num_epochs)
+        m = metrics()
+        if m is not None:
+            m.inc("sim.shard.runs")
+            m.set_gauge("sim.shard.shards", self.num_shards)
+            m.set_gauge("sim.shard.workers", self.num_workers)
+        try:
+            if self.num_workers > 0:
+                self._start_workers()
+            else:
+                self._shards = [
+                    self._build_local_shard(state)
+                    for state in self._base_states
+                ]
+            for epoch in range(self._start_epoch, target_epoch):
+                lo, hi = int(bounds[epoch]), int(bounds[epoch + 1])
+                ops = self._prepare_epoch(timeline, lo, hi)
+                if self.num_workers > 0:
+                    self._epoch_ops[epoch] = ops
+                    recovered = self._dispatch_epoch_workers(epoch, ops)
+                else:
+                    recovered = self._apply_epoch_serial(ops)
+                if m is not None:
+                    m.inc("sim.shard.epochs")
+                    m.inc("sim.shard.ops", hi - lo)
+                    if self.num_shards > 1:
+                        m.observe(
+                            "sim.shard.worker_imbalance",
+                            max(recovered) - min(recovered),
+                        )
+                if (
+                    self.checkpoint_every_days is not None
+                    and (epoch + 1 - self._start_epoch)
+                    % self.checkpoint_every_days
+                    == 0
+                    and epoch + 1 < target_epoch
+                ):
+                    self._write_checkpoint(epoch + 1)
+            if stop_after_day is not None:
+                self._write_checkpoint(target_epoch)
+                return None
+            meter, stats = self._merge_results()
+        finally:
+            self._stop_workers()
+        stats.flagged_events_recovered += self._flagged_recovered
+        stats.flagged_events_skipped += self._flagged_skipped
+        if m is not None:
+            m.inc("simulation.runs")
+            m.inc("simulation.events", timeline.num_source_events)
+            m.set_gauge("simulation.days", num_days)
+        return SimulationResult(
+            config=config,
+            code_name=self.code.name,
+            days=num_days,
+            unavailability_events_per_day=timeline.daily_flagged_series(
+                num_days
+            ),
+            blocks_recovered_per_day=stats.daily_blocks_series(num_days),
+            cross_rack_bytes_per_day=meter.daily_cross_rack_series(
+                num_days, allow_overflow=True
+            ),
+            degraded_fractions=stats.degraded_fractions(),
+            degraded_histogram=dict(stats.degraded_histogram),
+            stats=stats,
+            meter=meter,
+        )
+
+    def _prepare_epoch(self, timeline: Timeline, lo: int, hi: int) -> Tuple:
+        """Draw the epoch's trigger flips and drop skipped flags.
+
+        The flips come off the recovery rng in flag order -- one draw
+        per flag event, exactly like the serial service (a bulk
+        ``random(n)`` consumes the PCG64 stream identically to n scalar
+        draws) -- so the coordinator owns the only order-dependent rng
+        use and shards stay rng-free in hashed mode.  Down/up ops also
+        update the coordinator's availability replica (checkpoints store
+        it).
+        """
+        kinds = timeline.kinds[lo:hi]
+        nodes = timeline.nodes[lo:hi]
+        times = timeline.times[lo:hi]
+        ordinals = timeline.ordinals[lo:hi]
+        flag_idx = np.flatnonzero(kinds == OP_FLAG)
+        keep = np.ones(kinds.shape[0], dtype=bool)
+        if flag_idx.size:
+            flips = self._recovery_rng.random(flag_idx.size)
+            triggered = ~(flips > self.config.recovery_trigger_fraction)
+            self._flagged_recovered += int(triggered.sum())
+            self._flagged_skipped += int(flag_idx.size - triggered.sum())
+            keep[flag_idx[~triggered]] = False
+        kinds = kinds[keep]
+        nodes = nodes[keep]
+        times = times[keep]
+        ordinals = ordinals[keep]
+        not_flag = kinds != OP_FLAG
+        for kind, node in zip(
+            kinds[not_flag].tolist(), nodes[not_flag].tolist()
+        ):
+            self._is_up[node] = kind == OP_UP
+        return (
+            kinds.tolist(),
+            nodes.tolist(),
+            times.tolist(),
+            ordinals.tolist(),
+        )
+
+    def _apply_epoch_serial(self, ops: Tuple) -> List[int]:
+        kinds, nodes, times, ordinals = ops
+        recovered = []
+        merge_bytes = 0
+        for shard in self._shards:
+            recovered.append(shard.apply_epoch(kinds, nodes, times, ordinals))
+            merge_bytes += shard.flush_epoch()
+        m = metrics()
+        if m is not None and merge_bytes:
+            m.inc("sim.shard.merge_bytes", merge_bytes)
+        return recovered
+
+    def _build_local_shard(self, state: dict) -> ShardState:
+        return _build_shard(
+            state,
+            width=self.config.stripe_width_units,
+            num_nodes=self.config.num_nodes,
+            code=self.code,
+            policy=self.policy,
+            topology=self.topology,
+            destination_draws=self.config.destination_draws,
+            entropy=self._entropy,
+            record_transfers=self.record_transfers,
+            is_up=self._is_up,
+        )
+
+    # ------------------------------------------------------------------
+    # Worker orchestration
+    # ------------------------------------------------------------------
+
+    def _worker_params(self, worker_index: int) -> Dict[str, object]:
+        params = {
+            "num_racks": self.config.num_racks,
+            "nodes_per_rack": self.config.nodes_per_rack,
+            "code_name": self.config.code_name,
+            "code_params": dict(self.config.code_params),
+            "placement_policy": self.config.placement_policy,
+            "destination_draws": self.config.destination_draws,
+            "entropy": self._entropy,
+            "num_nodes": self.config.num_nodes,
+            "width": self.config.stripe_width_units,
+            "record_transfers": self.record_transfers,
+            "is_up": self._base_is_up,
+            "crash": None,
+        }
+        if self._test_crash is not None and self._test_crash[0] == worker_index:
+            params["crash"] = (self._test_crash[1], self._test_crash[2])
+        return params
+
+    def _start_workers(self) -> None:
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn"
+        )
+        self._ctx = ctx
+        #: availability replica matching the base snapshot's epoch, for
+        #: worker (re)spawns.
+        self._base_is_up = self._is_up.copy()
+        for index in range(self.num_workers):
+            shard_indices = list(
+                range(index, self.num_shards, self.num_workers)
+            )
+            handle = _WorkerHandle(index, shard_indices)
+            handle.spawn(
+                ctx,
+                self._worker_params(index),
+                [self._base_states[s] for s in shard_indices],
+            )
+            self._workers.append(handle)
+
+    def _dispatch_epoch_workers(self, epoch: int, ops: Tuple) -> List[int]:
+        kinds, nodes, times, ordinals = ops
+        msg = ("epoch", epoch, kinds, nodes, times, ordinals)
+        dead: List[_WorkerHandle] = []
+        for handle in self._workers:
+            try:
+                handle.send(msg)
+            except (BrokenPipeError, OSError):
+                dead.append(handle)
+        per_shard = [0] * self.num_shards
+        merge_bytes = 0
+        for handle in self._workers:
+            if handle in dead:
+                continue
+            try:
+                reply = handle.recv()
+            except (EOFError, OSError):
+                dead.append(handle)
+                continue
+            merge_bytes += len(pickle.dumps(reply))
+            for shard_id, count in zip(handle.shard_indices, reply[2]):
+                per_shard[shard_id] = count
+        m = metrics()
+        if m is not None and merge_bytes:
+            m.inc("sim.shard.merge_bytes", merge_bytes)
+        for handle in dead:
+            replayed = self._replay_worker(handle, epoch)
+            for shard_id, count in zip(handle.shard_indices, replayed):
+                per_shard[shard_id] = count
+        return per_shard
+
+    def _replay_worker(self, handle: _WorkerHandle, epoch: int) -> List[int]:
+        """Respawn a dead worker from the base snapshot and replay epochs.
+
+        The timeline is deterministic and the coordinator retains every
+        dispatched epoch's (pre-filtered) ops, so replay needs no rng
+        coordination: re-init from the last checkpointed shard states
+        (or the initial placement) and re-apply epochs
+        ``base_epoch..epoch``.  Partial state from the mid-epoch death
+        is discarded wholesale, which is what makes the replay exact.
+        """
+        m = metrics()
+        if m is not None:
+            m.inc("sim.shard.worker_restarts")
+        if handle.proc is not None:
+            handle.proc.join(timeout=10.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            handle.proc = None
+        # The crash hook fires once: the replacement must survive.
+        if self._test_crash is not None and self._test_crash[0] == handle.index:
+            self._test_crash = None
+        handle.spawn(
+            self._ctx,
+            self._worker_params(handle.index),
+            [self._base_states[s] for s in handle.shard_indices],
+        )
+        recovered: List[int] = []
+        for past in range(self._base_epoch, epoch + 1):
+            kinds, nodes, times, ordinals = self._epoch_ops[past]
+            handle.send(("epoch", past, kinds, nodes, times, ordinals))
+            reply = handle.recv()
+            recovered = reply[2]
+        return recovered
+
+    def _stop_workers(self) -> None:
+        for handle in self._workers:
+            try:
+                handle.stop()
+            except (BrokenPipeError, OSError, EOFError):
+                pass
+        self._workers = []
+
+    # ------------------------------------------------------------------
+    # Snapshots and result merging
+    # ------------------------------------------------------------------
+
+    def _collect_states(self) -> List[dict]:
+        if self.num_workers == 0:
+            return [shard.state_dict() for shard in self._shards]
+        states: List[Optional[dict]] = [None] * self.num_shards
+        for handle in self._workers:
+            handle.send(("collect",))
+            reply = handle.recv()
+            for shard_id, state in zip(handle.shard_indices, reply[1]):
+                states[shard_id] = state
+        return list(states)
+
+    def _write_checkpoint(self, next_epoch: int) -> None:
+        from repro.cluster.checkpoint import (
+            SimulationCheckpoint,
+            save_checkpoint,
+        )
+
+        wall0 = time_module.perf_counter()
+        states = self._collect_states()
+        save_checkpoint(
+            self.checkpoint_path,
+            SimulationCheckpoint(
+                config=self.config,
+                next_epoch=next_epoch,
+                num_shards=self.num_shards,
+                recovery_rng_state=self._recovery_rng.bit_generator.state,
+                policy_rng_state=self.policy.rng.bit_generator.state,
+                flagged_events_recovered=self._flagged_recovered,
+                flagged_events_skipped=self._flagged_skipped,
+                is_up=self._is_up,
+                shard_states=states,
+            ),
+        )
+        # The freshly-written snapshot becomes the replay base; earlier
+        # epoch ops are no longer needed for crash recovery.
+        self._base_states = states
+        self._base_epoch = next_epoch
+        if self.num_workers > 0:
+            self._base_is_up = self._is_up.copy()
+            for past in [e for e in self._epoch_ops if e < next_epoch]:
+                del self._epoch_ops[past]
+        m = metrics()
+        if m is not None:
+            m.observe(
+                "sim.shard.checkpoint.write_seconds",
+                time_module.perf_counter() - wall0,
+            )
+
+    def _merge_results(self) -> Tuple[TrafficMeter, RecoveryStats]:
+        from repro.cluster.checkpoint import restore_meter, restore_stats
+
+        meter = TrafficMeter(
+            self.topology, record_transfers=self.record_transfers
+        )
+        stats = RecoveryStats()
+        merge_bytes = 0
+        if self.num_workers == 0:
+            for shard in self._shards:
+                meter.merge_from(shard.meter)
+                stats.merge_from(shard.stats)
+        else:
+            parts: List[Optional[Tuple]] = [None] * self.num_shards
+            for handle in self._workers:
+                handle.send(("finish",))
+                reply = handle.recv()
+                merge_bytes += len(pickle.dumps(reply))
+                for shard_id, meter_st, stats_st in reply[1]:
+                    parts[shard_id] = (meter_st, stats_st)
+            for part in parts:
+                meter_st, stats_st = part
+                meter.merge_from(restore_meter(self.topology, meter_st))
+                stats.merge_from(restore_stats(stats_st))
+        m = metrics()
+        if m is not None and merge_bytes:
+            m.inc("sim.shard.merge_bytes", merge_bytes)
+        return meter, stats

@@ -28,7 +28,11 @@ from repro.cluster.datanode import NodeStateTable
 from repro.cluster.events import EventQueue
 from repro.cluster.failures import FailureInjector
 from repro.cluster.network import TrafficMeter
-from repro.cluster.placement import PlacementPolicy, make_placement
+from repro.cluster.placement import (
+    PlacementPolicy,
+    destination_entropy,
+    make_placement,
+)
 from repro.cluster.recovery import RecoveryService, RecoveryStats
 from repro.cluster.topology import Topology
 from repro.cluster.traces import generate_unavailability_events, stripe_unit_sizes
@@ -184,6 +188,12 @@ class WarehouseSimulation:
             bandwidth_bytes_per_sec=config.recovery_bandwidth_bytes_per_sec,
             batched=config.batched_recovery,
             corrupt_units=corrupt_units,
+            destination_draws=config.destination_draws,
+            destination_entropy=(
+                destination_entropy(recovery_seed)
+                if config.destination_draws == "hashed"
+                else None
+            ),
         )
         self.injector = FailureInjector(
             state=self.state,

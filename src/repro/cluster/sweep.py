@@ -44,6 +44,26 @@ def _run_one(config: ClusterConfig) -> SimulationResult:
     return WarehouseSimulation(config).run()
 
 
+def _run_one_sharded(config: ClusterConfig) -> SimulationResult:
+    """Worker: one simulation on the sharded epoch engine.
+
+    Worker processes are pinned to zero -- a sweep already parallelises
+    across configs, so nesting process pools inside each simulation
+    would oversubscribe the machine.  The epoch engine's serial mode is
+    the same trajectory (it IS the oracle's equal), just faster.
+    """
+    from repro.cluster.shard import ShardedSimulation
+
+    return ShardedSimulation(config, workers=0).run()
+
+
+#: Engine name -> module-level worker for :func:`run_many`.
+ENGINES = {
+    "serial": _run_one,
+    "sharded": _run_one_sharded,
+}
+
+
 def parallel_map(
     fn: Callable[[_T], _R],
     items: Sequence[_T],
@@ -74,10 +94,23 @@ def run_many(
     *,
     parallel: Optional[bool] = None,
     max_workers: Optional[int] = None,
+    engine: str = "serial",
 ) -> List[SimulationResult]:
-    """Run one simulation per config; results come back in input order."""
+    """Run one simulation per config; results come back in input order.
+
+    ``engine`` selects the per-config simulator: ``"serial"`` (the
+    :class:`WarehouseSimulation` oracle) or ``"sharded"`` (the epoch
+    engine, byte-identical under hashed destination draws and usually
+    faster).  Both return :class:`SimulationResult`.
+    """
+    if engine not in ENGINES:
+        from repro.errors import ConfigError
+
+        raise ConfigError(
+            f"unknown sweep engine {engine!r}; available: {sorted(ENGINES)}"
+        )
     return parallel_map(
-        _run_one, configs, parallel=parallel, max_workers=max_workers
+        ENGINES[engine], configs, parallel=parallel, max_workers=max_workers
     )
 
 

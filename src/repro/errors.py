@@ -81,3 +81,12 @@ class BackendUnavailable(ReproError):
 
 class TraceError(ReproError):
     """A workload/failure trace is malformed or cannot be generated."""
+
+
+class CheckpointError(ReproError):
+    """A simulation checkpoint could not be written, read, or applied.
+
+    Covers I/O failures, malformed snapshot files, version mismatches,
+    and snapshots whose recorded config disagrees with the resuming
+    simulation.
+    """

@@ -21,7 +21,14 @@ tab_rectime Sec 3.2 -- recovery time vs #connections
 tab_mttdl  Sec 3.2 -- MTTDL(Piggybacked-RS) >= MTTDL(RS)
 abl_groups ablation -- piggyback group partitions
 abl_codes  ablation -- RS vs Piggyback vs LRC vs replication
+scale_correlated substrate -- correlated rack failures (sharded engine)
+scale_hetero     substrate -- heterogeneous block capacities (sharded)
+scale_chaos      substrate -- chaos storm at scale (sharded engine)
 ========== =========================================================
+
+The ``scale_*`` scenarios exercise the simulator substrate itself (the
+sharded epoch engine at up to 10k machines with ``full=True``) rather
+than reproducing a paper artefact.
 """
 
 from repro.experiments.runner import (
@@ -45,6 +52,7 @@ from repro.experiments import (  # noqa: E402,F401  (import for side effects)
     mttdl_exp,
     recovery_time_exp,
     savings,
+    scale,
     traffic_savings,
 )
 
