@@ -9,8 +9,9 @@ Subcommands:
   profiles;
 - ``repro simulate`` -- run a custom warehouse simulation (with
   optional ``--chaos-*`` fault injection);
-- ``repro pipeline`` -- measure file-encode throughput through the
-  batched codec / shared-memory pipeline;
+- ``repro pipeline`` -- measure file encode, whole-shard repair
+  (compiled repair plans), or streaming degraded-read throughput
+  through the batched codec / shared-memory pipeline (``--op``);
 - ``repro chaos`` -- run the seeded fault-injection acceptance
   scenario (pipeline worker crashes + cluster corruption + node flap)
   and report whether the system self-healed;
@@ -311,23 +312,53 @@ def _cmd_scrub(args: argparse.Namespace) -> int:
     return 0 if healed else 1
 
 
-def _cmd_pipeline(args: argparse.Namespace) -> int:
-    import time
+def _materialise_shards(code, data, block_size, name):
+    """Encode ``data`` and return its stored shards and unit checksums.
 
+    ``shards[slot]`` is slot's stored bytes across all stripes
+    back-to-back (data slots store logical block bytes, parity slots
+    the full padded width); ``checksums[slot][t]`` is the CRC32C of
+    stripe ``t``'s stored unit.  This is the at-rest layout the repair
+    and degraded-read pipelines consume.
+    """
     import numpy as np
+
+    from repro.striping.checksum import crc32c
+    from repro.striping.pipeline import encode_file
+
+    result = encode_file(code, data, block_size, name=name)
+    shards = {slot: bytearray() for slot in range(code.n)}
+    checksums = {slot: [] for slot in range(code.n)}
+    cursor = 0
+    for t, layout in enumerate(result.layouts):
+        members = result.file.blocks[
+            cursor : cursor + layout.real_data_count
+        ]
+        cursor += layout.real_data_count
+        for slot in range(code.n):
+            if slot < code.k:
+                if slot < len(members):
+                    stored = members[slot].payload.tobytes()
+                else:
+                    stored = b""  # virtual slot: nothing stored
+            else:
+                stored = result.parities[t][slot - code.k].payload.tobytes()
+            shards[slot] += stored
+            checksums[slot].append(
+                crc32c(np.frombuffer(stored, dtype=np.uint8))
+            )
+    return (
+        len(result.layouts),
+        {s: bytes(b) for s, b in shards.items()},
+        checksums,
+    )
+
+
+def _pipeline_encode(args, code, data, size, block_size, parallel):
+    import time
 
     from repro.striping.pipeline import encode_file
 
-    emit = _begin_metrics(args)
-    params = {"k": args.k, "r": args.r}
-    if args.code == "lrc":
-        params = {"k": args.k, "l": 2, "g": 2}
-    code = create_code(args.code, **params)
-    size = int(args.size_mib * (1 << 20))
-    block_size = int(args.block_kib * 1024)
-    rng = np.random.default_rng(args.seed)
-    data = rng.integers(0, 256, size=size, dtype=np.uint8)
-    parallel = {"auto": None, "on": True, "off": False}[args.parallel]
     best = None
     result = None
     for _ in range(max(1, args.rounds)):
@@ -346,9 +377,119 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
     print(f"encode throughput: {mb / best:.1f} MB/s "
           f"(best of {max(1, args.rounds)}, {best * 1e3:.1f} ms)")
     print(f"parity bytes: {result.parity_bytes:,}")
+    return 0
+
+
+def _pipeline_repair(args, code, data, size, block_size, parallel):
+    import time
+
+    from repro.striping.pipeline import repair_file
+
+    failed = args.failed_slot % code.n
+    stripes, shards, checksums = _materialise_shards(
+        code, data, block_size, "bench"
+    )
+    expected = shards.pop(failed)
+    best = None
+    result = None
+    for _ in range(max(1, args.rounds)):
+        start = time.perf_counter()
+        result = repair_file(
+            code, shards, failed, block_size, size,
+            name="bench", checksums=checksums, parallel=parallel,
+        )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    assert result is not None and best is not None
+    if result.rebuilt.tobytes() != expected:
+        print("FAILED: rebuilt shard does not match the encoded shard")
+        return 1
+    rebuilt_mb = result.rebuilt_bytes / 1e6
+    kind = "data" if failed < code.k else "parity"
+    print(f"code: {code.name}  file: {size / 1e6:.0f} MB  "
+          f"block: {block_size // 1024} KiB  stripes: {stripes}")
+    print(f"failed slot: {failed} ({kind})  "
+          f"mode: {'parallel' if result.parallel_used else 'serial'} "
+          f"({result.shards} shard{'s' if result.shards != 1 else ''})")
+    print(f"repair throughput: {rebuilt_mb / best:.1f} MB/s rebuilt "
+          f"(best of {max(1, args.rounds)}, {best * 1e3:.1f} ms)")
+    ratio = result.bytes_read / max(1, result.rebuilt_bytes)
+    print(f"bytes downloaded: {result.bytes_read:,} "
+          f"({ratio:.1f} per byte rebuilt)")
+    print(f"rebuilt shard verified: crc mismatches "
+          f"{result.crc_mismatches}, quarantined {len(result.quarantined)}")
+    return 0
+
+
+def _pipeline_decode(args, code, data, size, block_size):
+    import io
+    import time
+
+    from repro.striping.pipeline import decode_file
+
+    failed = args.failed_slot % code.n
+    stripes, shards, checksums = _materialise_shards(
+        code, data, block_size, "bench"
+    )
+    del shards[failed]  # the degraded slot: decode without it
+    sources_checks = {s: checksums[s] for s in shards if s < code.k}
+    best = None
+    result = None
+    decoded = None
+    for _ in range(max(1, args.rounds)):
+        sink = io.BytesIO()
+        start = time.perf_counter()
+        result = decode_file(
+            code, shards, sink, block_size, size,
+            name="bench", checksums=sources_checks,
+        )
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+        decoded = sink.getvalue()
+    assert result is not None and best is not None
+    if decoded != data.tobytes():
+        print("FAILED: decoded bytes do not match the original file")
+        return 1
+    mb = size / 1e6
+    kind = "data" if failed < code.k else "parity"
+    print(f"code: {code.name}  file: {mb:.0f} MB  "
+          f"block: {block_size // 1024} KiB  stripes: {stripes}")
+    print(f"degraded slot: {failed} ({kind})  "
+          f"pipeline occupancy: {result.occupancy:.2f}")
+    print(f"degraded read throughput: {mb / best:.1f} MB/s "
+          f"(best of {max(1, args.rounds)}, {best * 1e3:.1f} ms)")
+    ratio = result.bytes_read / max(1, size)
+    print(f"bytes downloaded: {result.bytes_read:,} "
+          f"({ratio:.2f} per byte read)")
+    print(f"file verified: crc mismatches {result.crc_mismatches}, "
+          f"quarantined {len(result.quarantined)}")
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    emit = _begin_metrics(args)
+    params = {"k": args.k, "r": args.r}
+    if args.code == "lrc":
+        params = {"k": args.k, "l": 2, "g": 2}
+    code = create_code(args.code, **params)
+    size = int(args.size_mib * (1 << 20))
+    block_size = int(args.block_kib * 1024)
+    rng = np.random.default_rng(args.seed)
+    data = rng.integers(0, 256, size=size, dtype=np.uint8)
+    parallel = {"auto": None, "on": True, "off": False}[args.parallel]
+    if args.op == "repair":
+        status = _pipeline_repair(args, code, data, size, block_size,
+                                  parallel)
+    elif args.op == "decode":
+        status = _pipeline_decode(args, code, data, size, block_size)
+    else:
+        status = _pipeline_encode(args, code, data, size, block_size,
+                                  parallel)
     if emit:
         _finish_metrics(args)
-    return 0
+    return status
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -652,7 +793,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     pipe_parser = sub.add_parser(
         "pipeline",
-        help="measure file-encode throughput (batched codec + shm pool)",
+        help="measure file encode/repair/degraded-read throughput "
+        "(batched codec, compiled repair plans, shm pool)",
+    )
+    pipe_parser.add_argument(
+        "--op",
+        choices=("encode", "repair", "decode"),
+        default="encode",
+        help="encode a file, rebuild one failed shard (compiled repair "
+        "plan), or stream a degraded read past a lost slot",
+    )
+    pipe_parser.add_argument(
+        "--failed-slot",
+        type=int,
+        default=0,
+        help="slot to fail for --op repair/decode (mod n)",
     )
     pipe_parser.add_argument("--code", default="rs", choices=available_codes())
     pipe_parser.add_argument("--k", type=int, default=10)

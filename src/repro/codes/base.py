@@ -688,6 +688,72 @@ class ErasureCode(abc.ABC):
             bytes_downloaded += transferred
         return out, bytes_downloaded
 
+    def bind_repair_batch(
+        self,
+        failed_node: int,
+        available_units: Mapping[int, "np.ndarray | Sequence[np.ndarray]"],
+        out: np.ndarray,
+        plan: Optional[RepairPlan] = None,
+    ):
+        """Compile a repair plan against fixed buffers; returns an executor.
+
+        The zero-argument callable rebuilds ``out`` (a ``(s, w)`` uint8
+        array) from the *current contents* of the survivor rows, so a
+        caller that refills the same buffers every wave -- the streaming
+        reconstruction pipeline, the repair benches -- pays plan lookup,
+        row validation and kernel marshalling once instead of per wave.
+        The default closes over :meth:`execute_repair_batch` (the numpy
+        oracle path when no native backend serves); fused codes override
+        it to return the backend's bound batched matmul.
+        """
+        failed_node = self.validate_node_index(failed_node)
+        stripes, width, rows_by_node = self.batch_unit_rows(available_units)
+        if out.shape != (stripes, width) or out.dtype != np.uint8:
+            raise RepairError(
+                f"bound repair output must be uint8 {(stripes, width)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        if plan is None:
+            plan = self.repair_plan_cached(failed_node, rows_by_node.keys())
+
+        def execute() -> None:
+            rebuilt, _ = self.execute_repair_batch(
+                failed_node, rows_by_node, plan=plan
+            )
+            out[:] = rebuilt
+
+        return execute
+
+    def _bound_repair_kernel_inputs(
+        self,
+        failed_node: int,
+        available_units: Mapping[int, "np.ndarray | Sequence[np.ndarray]"],
+        out: np.ndarray,
+        plan: Optional[RepairPlan],
+    ):
+        """Shared validation for the fused ``bind_repair_batch`` overrides.
+
+        Returns ``(plan, sources, stripes, width, rows_by_node)`` after
+        checking that every plan source is available and that ``out``
+        matches the batch shape.
+        """
+        failed_node = self.validate_node_index(failed_node)
+        stripes, width, rows_by_node = self.batch_unit_rows(available_units)
+        if out.shape != (stripes, width) or out.dtype != np.uint8:
+            raise RepairError(
+                f"bound repair output must be uint8 {(stripes, width)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        if plan is None:
+            plan = self.repair_plan_cached(failed_node, rows_by_node.keys())
+        sources = list(plan.nodes_contacted)
+        for node in sources:
+            if node not in rows_by_node:
+                raise RepairError(
+                    f"plan reads node {node} which is unavailable"
+                )
+        return plan, sources, stripes, width, rows_by_node
+
     def _apply_packed_parity(
         self,
         kernel,
@@ -720,6 +786,38 @@ class ErasureCode(abc.ABC):
         else:
             for t in range(stripes):
                 kernel.apply(list(data[t]), list(out[t]), accumulate=accumulate)
+
+    def _apply_packed_row_batch(
+        self,
+        kernel,
+        sources: Sequence[int],
+        rows_by_node: Mapping[int, Sequence[np.ndarray]],
+        out: np.ndarray,
+    ) -> None:
+        """Drive a :class:`~repro.gf.packed.PackedRow` across a batch.
+
+        ``out`` is the rebuilt ``(s, w)`` batch; ``sources`` orders the
+        survivor nodes the kernel's coefficients were built over.
+        Narrow batches pool each survivor's rows into one ``s*w`` run so
+        the kernel amortises its vector tail (same idiom as
+        :meth:`_apply_packed_parity`); wide batches issue one fused
+        :meth:`~repro.gf.packed.PackedRow.apply_batch` over zero-copy
+        per-stripe views -- a single FFI crossing on native backends.
+        """
+        stripes, width = out.shape
+        if width < POOL_WIDTH and stripes > 1:
+            pooled = [
+                np.concatenate(list(rows_by_node[node])) for node in sources
+            ]
+            kernel.apply(pooled, out.reshape(-1))
+        else:
+            kernel.apply_batch(
+                [
+                    [rows_by_node[node][t] for node in sources]
+                    for t in range(stripes)
+                ],
+                list(out),
+            )
 
     @property
     def has_fused_batch(self) -> bool:

@@ -259,20 +259,49 @@ class LRCCode(ErasureCode):
                     f"plan reads node {node} which is unavailable"
                 )
         out = np.empty((stripes, width), dtype=np.uint8)
+        # Local repairs compose to an all-ones XOR row; global-parity or
+        # blocked-local repairs to ``generator[failed] @ inverse`` over
+        # the plan's chosen rows -- either way a single fused row kernel
+        # over the whole batch (see :meth:`_repair_row_kernel`).
+        kernel = self._repair_row_kernel(failed_node, sources)
+        self._apply_packed_row_batch(kernel, sources, rows_by_node, out)
+        return out, stripes * plan.bytes_downloaded(width)
+
+    def bind_repair_batch(
+        self,
+        failed_node: int,
+        available_units: Mapping[int, "np.ndarray | list"],
+        out: np.ndarray,
+        plan: Optional[RepairPlan] = None,
+    ):
+        failed_node = self.validate_node_index(failed_node)
+        _, sources, stripes, _, rows_by_node = self._bound_repair_kernel_inputs(
+            failed_node, available_units, out, plan
+        )
+        kernel = self._repair_row_kernel(failed_node, sources)
+        return kernel.bind_batch(
+            [
+                [rows_by_node[node][t] for node in sources]
+                for t in range(stripes)
+            ],
+            list(out),
+        )
+
+    def _repair_row_kernel(self, failed_node: int, sources: List[int]):
+        """The composed single-row repair kernel for one plan's sources."""
         if failed_node < self.k + self.l:
             __, local_sources = self._local_repair_sources(failed_node)
             if set(sources) == set(local_sources):
-                # Local repair is a pure XOR of the group -- vectorise it
-                # across the whole batch with plain bitwise ops.
-                out[:] = 0
-                for node in local_sources:
-                    rows = rows_by_node[node]
-                    for t in range(stripes):
-                        np.bitwise_xor(out[t], rows[t], out=out[t])
-                return out, stripes * plan.bytes_downloaded(width)
-        # Global-parity or blocked-local repair: a single composed row
-        # ``generator[failed] @ inverse`` over the plan's chosen rows --
-        # the same algebra as decode-then-project, fused.
+                return self._memoize(
+                    "_packed_row_cache",
+                    ("local-xor", len(local_sources)),
+                    lambda: PackedRow(
+                        np.ones(len(local_sources), dtype=np.uint8),
+                        self.field,
+                    ),
+                    cap=PACKED_CACHE_CAP,
+                )
+
         def build() -> PackedRow:
             inverse = self.memoized_decode_matrix(
                 tuple(sources),
@@ -285,15 +314,12 @@ class LRCCode(ErasureCode):
             )[0]
             return PackedRow(row, self.field)
 
-        kernel = self._memoize(
+        return self._memoize(
             "_packed_row_cache",
             (failed_node, tuple(sources)),
             build,
             cap=PACKED_CACHE_CAP,
         )
-        for t in range(stripes):
-            kernel.apply([rows_by_node[node][t] for node in sources], out[t])
-        return out, stripes * plan.bytes_downloaded(width)
 
     # ------------------------------------------------------------------
     # Repair

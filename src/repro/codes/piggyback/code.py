@@ -327,16 +327,73 @@ class PiggybackedRSCode(ErasureCode):
         half = width // 2
         terms, a_kernel, b_kernel = self._packed_piggyback_rows(failed_node)
         out = np.empty((stripes, width), dtype=np.uint8)
-        for t in range(stripes):
-            views = [
+        # Half-unit slices of 1-d rows stay contiguous, so both kernels
+        # run as one fused batch call each over the whole stripe set.
+        batch_views = [
+            [
                 rows_by_node[node][t][half:]
                 if substripe == planning.SECOND_SUBSTRIPE
                 else rows_by_node[node][t][:half]
                 for node, substripe in terms
             ]
-            a_kernel.apply(views, out[t, :half])
-            b_kernel.apply(views, out[t, half:])
+            for t in range(stripes)
+        ]
+        a_kernel.apply_batch(batch_views, [out[t, :half] for t in range(stripes)])
+        b_kernel.apply_batch(batch_views, [out[t, half:] for t in range(stripes)])
         return out, stripes * plan.bytes_downloaded(width)
+
+    def bind_repair_batch(
+        self,
+        failed_node: int,
+        available_units: Mapping[int, "np.ndarray | list"],
+        out: np.ndarray,
+        plan: Optional[RepairPlan] = None,
+    ):
+        failed_node = self.validate_node_index(failed_node)
+        stripes, width, rows_by_node = self.batch_unit_rows(available_units)
+        if width % 2:
+            raise RepairError(
+                f"unit size {width} not divisible by 2 substripes"
+            )
+        if plan is None:
+            plan = self.repair_plan_cached(failed_node, rows_by_node.keys())
+        if not planning.is_piggyback_plan(plan):
+            return super().bind_repair_batch(
+                failed_node, available_units, out, plan=plan
+            )
+        for node in plan.nodes_contacted:
+            if node not in rows_by_node:
+                raise RepairError(
+                    f"plan reads node {node} which is unavailable"
+                )
+        if out.shape != (stripes, width) or out.dtype != np.uint8:
+            raise RepairError(
+                f"bound repair output must be uint8 {(stripes, width)}, "
+                f"got {out.dtype} {out.shape}"
+            )
+        half = width // 2
+        terms, a_kernel, b_kernel = self._packed_piggyback_rows(failed_node)
+        batch_views = [
+            [
+                rows_by_node[node][t][half:]
+                if substripe == planning.SECOND_SUBSTRIPE
+                else rows_by_node[node][t][:half]
+                for node, substripe in terms
+            ]
+            for t in range(stripes)
+        ]
+        run_a = a_kernel.bind_batch(
+            batch_views, [out[t, :half] for t in range(stripes)]
+        )
+        run_b = b_kernel.bind_batch(
+            batch_views, [out[t, half:] for t in range(stripes)]
+        )
+
+        def execute() -> None:
+            run_a()
+            run_b()
+
+        return execute
 
     # ------------------------------------------------------------------
     # Repair

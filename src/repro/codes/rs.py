@@ -246,9 +246,27 @@ class ReedSolomonCode(ErasureCode):
                 )
         kernel = self._packed_repair_row(failed_node, tuple(sources))
         out = np.empty((stripes, width), dtype=np.uint8)
-        for t in range(stripes):
-            kernel.apply([rows_by_node[node][t] for node in sources], out[t])
+        self._apply_packed_row_batch(kernel, sources, rows_by_node, out)
         return out, stripes * plan.bytes_downloaded(width)
+
+    def bind_repair_batch(
+        self,
+        failed_node: int,
+        available_units: Mapping[int, "np.ndarray | list"],
+        out: np.ndarray,
+        plan: Optional[RepairPlan] = None,
+    ):
+        _, sources, stripes, _, rows_by_node = self._bound_repair_kernel_inputs(
+            failed_node, available_units, out, plan
+        )
+        kernel = self._packed_repair_row(failed_node, tuple(sources))
+        return kernel.bind_batch(
+            [
+                [rows_by_node[node][t] for node in sources]
+                for t in range(stripes)
+            ],
+            list(out),
+        )
 
     # ------------------------------------------------------------------
     # Repair

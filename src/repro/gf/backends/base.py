@@ -80,6 +80,56 @@ class KernelBackend(abc.ABC):
         equal-length 1-d C-contiguous uint8 rows.
         """
 
+    def matmul_batch(
+        self,
+        field,
+        coeffs: np.ndarray,
+        batch_rows_in: Sequence[Sequence[np.ndarray]],
+        batch_rows_out: Sequence[Sequence[np.ndarray]],
+        accumulate: bool = False,
+    ) -> None:
+        """Apply the *same* ``(m, n)`` matrix to a batch of row sets.
+
+        ``batch_rows_in[b]`` / ``batch_rows_out[b]`` are the ``n``
+        input / ``m`` output rows of batch element ``b``; all rows
+        across the whole batch share one length.  This is the compiled
+        repair-plan shape: one reduced repair matrix applied across
+        every stripe of a survivor batch.  The default runs one
+        :meth:`matmul` per element; native backends override it with a
+        single fused call so a batch costs one FFI crossing instead of
+        one per stripe.
+        """
+        for rows_in, rows_out in zip(batch_rows_in, batch_rows_out):
+            self.matmul(field, coeffs, rows_in, rows_out, accumulate)
+
+    def bind_matmul_batch(
+        self,
+        field,
+        coeffs: np.ndarray,
+        batch_rows_in: Sequence[Sequence[np.ndarray]],
+        batch_rows_out: Sequence[Sequence[np.ndarray]],
+        accumulate: bool = False,
+    ):
+        """Precompile a repeatable :meth:`matmul_batch` over fixed rows.
+
+        Returns a zero-argument callable that re-applies the matrix to
+        the *current contents* of the captured rows.  Callers that
+        rebuild the same buffers every wave (the streaming repair
+        pipeline's buffer pool, the repair benches) pay row validation
+        and pointer marshalling once instead of per wave.  The default
+        just closes over :meth:`matmul_batch`.
+        """
+        coeffs = np.ascontiguousarray(coeffs, dtype=np.uint8)
+        batch_rows_in = [list(rows) for rows in batch_rows_in]
+        batch_rows_out = [list(rows) for rows in batch_rows_out]
+
+        def execute() -> None:
+            self.matmul_batch(
+                field, coeffs, batch_rows_in, batch_rows_out, accumulate
+            )
+
+        return execute
+
     @abc.abstractmethod
     def xor_rows(
         self,

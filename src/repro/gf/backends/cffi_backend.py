@@ -59,8 +59,16 @@ void gf_matmul(const uint64_t* affine, const uint8_t* nib,
                size_t m, size_t n,
                const uint8_t* const* rows_in, uint8_t* const* rows_out,
                size_t length, int accumulate);
+void gf_matmul_batch(const uint64_t* affine, const uint8_t* nib,
+                     const uint8_t* prod, const uint8_t* coeffs,
+                     size_t m, size_t n, size_t batch,
+                     const uint8_t* const* rows_in, uint8_t* const* rows_out,
+                     size_t length, int accumulate);
 void gf_xor_rows(const uint8_t* const* sources, size_t count,
                  uint8_t* dst, size_t length, int accumulate);
+uint32_t crc32c_one(const uint8_t* data, size_t length, uint32_t value);
+void crc32c_rows(const uint8_t* const* rows, const uint64_t* lengths,
+                 size_t count, uint32_t* out);
 """
 
 _SOURCE = r"""
@@ -109,13 +117,73 @@ static void gf_matmul_scalar(const uint8_t* prod, const uint8_t* coeffs,
     }
 }
 
-void gf_matmul(const uint64_t* affine, const uint8_t* nib,
-               const uint8_t* prod, const uint8_t* coeffs,
-               size_t m, size_t n,
-               const uint8_t* const* rows_in, uint8_t* const* rows_out,
-               size_t length, int accumulate) {
+#if GF_TIER == 3
+/* Single-output-row kernel, unrolled four 64-byte blocks deep.  A
+ * repair matmul (m == 1) is one serial XOR/affine chain per block --
+ * the dependency chain, not the load ports, is the bottleneck -- so
+ * four independent accumulators recover the instruction-level
+ * parallelism that the m > 1 encode shape gets for free from its
+ * independent output rows. */
+static size_t gf_row_avx512_u4(const uint64_t* affine,
+                               const uint8_t* coeffs, size_t n,
+                               const uint8_t* const* rows_in,
+                               uint8_t* out, size_t length,
+                               int accumulate) {
+    size_t pos = 0, j;
+    for (; pos + 256 <= length; pos += 256) {
+        __m512i a0, a1, a2, a3;
+        if (accumulate) {
+            a0 = _mm512_loadu_si512((const void*)(out + pos));
+            a1 = _mm512_loadu_si512((const void*)(out + pos + 64));
+            a2 = _mm512_loadu_si512((const void*)(out + pos + 128));
+            a3 = _mm512_loadu_si512((const void*)(out + pos + 192));
+        } else {
+            a0 = _mm512_setzero_si512();
+            a1 = a0; a2 = a0; a3 = a0;
+        }
+        for (j = 0; j < n; j++) {
+            uint8_t c = coeffs[j];
+            const uint8_t* src;
+            if (!c) continue;
+            src = rows_in[j] + pos;
+            if (c == 1) {
+                a0 = _mm512_xor_si512(a0, _mm512_loadu_si512((const void*)src));
+                a1 = _mm512_xor_si512(a1, _mm512_loadu_si512((const void*)(src + 64)));
+                a2 = _mm512_xor_si512(a2, _mm512_loadu_si512((const void*)(src + 128)));
+                a3 = _mm512_xor_si512(a3, _mm512_loadu_si512((const void*)(src + 192)));
+            } else {
+                __m512i q = _mm512_set1_epi64((long long)affine[c]);
+                a0 = _mm512_xor_si512(a0, _mm512_gf2p8affine_epi64_epi8(
+                    _mm512_loadu_si512((const void*)src), q, 0));
+                a1 = _mm512_xor_si512(a1, _mm512_gf2p8affine_epi64_epi8(
+                    _mm512_loadu_si512((const void*)(src + 64)), q, 0));
+                a2 = _mm512_xor_si512(a2, _mm512_gf2p8affine_epi64_epi8(
+                    _mm512_loadu_si512((const void*)(src + 128)), q, 0));
+                a3 = _mm512_xor_si512(a3, _mm512_gf2p8affine_epi64_epi8(
+                    _mm512_loadu_si512((const void*)(src + 192)), q, 0));
+            }
+        }
+        _mm512_storeu_si512((void*)(out + pos), a0);
+        _mm512_storeu_si512((void*)(out + pos + 64), a1);
+        _mm512_storeu_si512((void*)(out + pos + 128), a2);
+        _mm512_storeu_si512((void*)(out + pos + 192), a3);
+    }
+    return pos;
+}
+#endif
+
+static void gf_matmul_one(const uint64_t* affine, const uint8_t* nib,
+                          const uint8_t* prod, const uint8_t* coeffs,
+                          size_t m, size_t n,
+                          const uint8_t* const* rows_in,
+                          uint8_t* const* rows_out,
+                          size_t length, int accumulate) {
     size_t pos = 0;
 #if GF_TIER == 3
+    if (m == 1) {
+        pos = gf_row_avx512_u4(affine, coeffs, n, rows_in, rows_out[0],
+                               length, accumulate);
+    }
     for (; pos + 64 <= length; pos += 64) {
         size_t i, j;
         for (i = 0; i < m; i++) {
@@ -204,6 +272,121 @@ void gf_matmul(const uint64_t* affine, const uint8_t* nib,
                          pos, length, accumulate);
     }
     (void)affine; (void)nib;
+}
+
+void gf_matmul(const uint64_t* affine, const uint8_t* nib,
+               const uint8_t* prod, const uint8_t* coeffs,
+               size_t m, size_t n,
+               const uint8_t* const* rows_in, uint8_t* const* rows_out,
+               size_t length, int accumulate) {
+    gf_matmul_one(affine, nib, prod, coeffs, m, n, rows_in, rows_out,
+                  length, accumulate);
+}
+
+/* One FFI crossing per survivor wave: apply the same (m, n) matrix to
+ * `batch` row sets laid out back-to-back in the pointer arrays
+ * (element b's inputs at rows_in + b*n, outputs at rows_out + b*m). */
+void gf_matmul_batch(const uint64_t* affine, const uint8_t* nib,
+                     const uint8_t* prod, const uint8_t* coeffs,
+                     size_t m, size_t n, size_t batch,
+                     const uint8_t* const* rows_in, uint8_t* const* rows_out,
+                     size_t length, int accumulate) {
+    size_t b;
+    for (b = 0; b < batch; b++) {
+        gf_matmul_one(affine, nib, prod, coeffs, m, n,
+                      rows_in + b * n, rows_out + b * m,
+                      length, accumulate);
+    }
+}
+
+/* CRC32C (Castagnoli, reflected 0x82F63B78): the per-unit integrity
+ * checksum of the striping layer.  The SSE4.2 hardware instruction
+ * computes exactly this polynomial; hosts without it get slicing-by-8
+ * over tables built on first use.  Semantics match the Python
+ * reference in repro.striping.checksum (init/xorout 0xFFFFFFFF,
+ * `value` chains a previous digest). */
+
+#if defined(__SSE4_2__) && defined(__x86_64__)
+#include <nmmintrin.h>
+#else
+
+static uint32_t crc32c_tab[8][256];
+static int crc32c_tab_ready = 0;
+
+static void crc32c_tab_init(void) {
+    uint32_t i, j, crc;
+    if (crc32c_tab_ready) return;
+    for (i = 0; i < 256; i++) {
+        crc = i;
+        for (j = 0; j < 8; j++)
+            crc = (crc & 1) ? (crc >> 1) ^ 0x82F63B78u : crc >> 1;
+        crc32c_tab[0][i] = crc;
+    }
+    for (i = 0; i < 256; i++) {
+        crc = crc32c_tab[0][i];
+        for (j = 1; j < 8; j++) {
+            crc = crc32c_tab[0][crc & 0xFFu] ^ (crc >> 8);
+            crc32c_tab[j][i] = crc;
+        }
+    }
+    crc32c_tab_ready = 1;
+}
+
+static int crc32c_little_endian(void) {
+    const uint32_t probe = 1;
+    uint8_t first;
+    memcpy(&first, &probe, 1);
+    return first == 1;
+}
+#endif
+
+uint32_t crc32c_one(const uint8_t* data, size_t length, uint32_t value) {
+    size_t p = 0;
+    uint32_t crc = value ^ 0xFFFFFFFFu;
+#if defined(__SSE4_2__) && defined(__x86_64__)
+    {
+        uint64_t wide = crc;
+        for (; p + 8 <= length; p += 8) {
+            uint64_t chunk;
+            memcpy(&chunk, data + p, 8);
+            wide = _mm_crc32_u64(wide, chunk);
+        }
+        crc = (uint32_t)wide;
+        for (; p < length; p++)
+            crc = _mm_crc32_u8(crc, data[p]);
+        return crc ^ 0xFFFFFFFFu;
+    }
+#else
+    crc32c_tab_init();
+    if (crc32c_little_endian()) {
+        for (; p + 8 <= length; p += 8) {
+            uint32_t lo, hi;
+            memcpy(&lo, data + p, 4);
+            memcpy(&hi, data + p + 4, 4);
+            lo ^= crc;
+            crc = crc32c_tab[7][lo & 0xFFu]
+                ^ crc32c_tab[6][(lo >> 8) & 0xFFu]
+                ^ crc32c_tab[5][(lo >> 16) & 0xFFu]
+                ^ crc32c_tab[4][lo >> 24]
+                ^ crc32c_tab[3][hi & 0xFFu]
+                ^ crc32c_tab[2][(hi >> 8) & 0xFFu]
+                ^ crc32c_tab[1][(hi >> 16) & 0xFFu]
+                ^ crc32c_tab[0][hi >> 24];
+        }
+    }
+    for (; p < length; p++)
+        crc = crc32c_tab[0][(crc ^ data[p]) & 0xFFu] ^ (crc >> 8);
+    return crc ^ 0xFFFFFFFFu;
+#endif
+}
+
+/* One FFI crossing per verification wave: independent CRCs over
+ * `count` rows with per-row logical lengths. */
+void crc32c_rows(const uint8_t* const* rows, const uint64_t* lengths,
+                 size_t count, uint32_t* out) {
+    size_t i;
+    for (i = 0; i < count; i++)
+        out[i] = crc32c_one(rows[i], (size_t)lengths[i], 0);
 }
 
 void gf_xor_rows(const uint8_t* const* sources, size_t count,
@@ -430,6 +613,65 @@ class CffiBackend(KernelBackend):
             1 if accumulate else 0,
         )
 
+    def matmul_batch(
+        self,
+        field,
+        coeffs: np.ndarray,
+        batch_rows_in: Sequence[Sequence[np.ndarray]],
+        batch_rows_out: Sequence[Sequence[np.ndarray]],
+        accumulate: bool = False,
+    ) -> None:
+        self.bind_matmul_batch(
+            field, coeffs, batch_rows_in, batch_rows_out, accumulate
+        )()
+
+    def bind_matmul_batch(
+        self,
+        field,
+        coeffs: np.ndarray,
+        batch_rows_in: Sequence[Sequence[np.ndarray]],
+        batch_rows_out: Sequence[Sequence[np.ndarray]],
+        accumulate: bool = False,
+    ):
+        affine, nib, prod = self._tables_for(field)
+        coeffs = np.ascontiguousarray(coeffs, dtype=np.uint8)
+        m, n = coeffs.shape
+        flat_in = [row for rows in batch_rows_in for row in rows]
+        flat_out = [row for rows in batch_rows_out for row in rows]
+        batch = len(batch_rows_out)
+        if len(flat_in) != batch * n or len(flat_out) != batch * m:
+            raise ValueError(
+                "batch rows do not match the coefficient matrix shape"
+            )
+        length = int(flat_out[0].shape[0]) if flat_out else 0
+        ffi = self._ffi
+        lib = self._lib
+        # Pointer arrays and table pointers are marshalled once, here;
+        # the closure is a single C call per invocation.  The row and
+        # table arrays are captured so the bare pointers stay alive.
+        args = (
+            ffi.cast("const uint64_t *", affine.ctypes.data),
+            ffi.cast("const uint8_t *", nib.ctypes.data),
+            ffi.cast("const uint8_t *", prod.ctypes.data),
+            ffi.cast("const uint8_t *", coeffs.ctypes.data),
+            m,
+            n,
+            batch,
+            self._row_pointers(flat_in, const=True),
+            self._row_pointers(flat_out, const=False),
+            length,
+            1 if accumulate else 0,
+        )
+        keepalive = (affine, nib, prod, coeffs, flat_in, flat_out)
+
+        def execute() -> None:
+            lib.gf_matmul_batch(*args)
+            _ = keepalive  # noqa: F841 - anchors buffer lifetimes
+
+        if not batch or not m:
+            return lambda: None
+        return execute
+
     def xor_rows(
         self,
         sources: Sequence[np.ndarray],
@@ -444,3 +686,29 @@ class CffiBackend(KernelBackend):
             int(dst.shape[0]),
             1 if accumulate else 0,
         )
+
+    def crc32c(self, data: np.ndarray, value: int = 0) -> int:
+        """CRC32C of one contiguous uint8 buffer (chains ``value``)."""
+        return int(
+            self._lib.crc32c_one(
+                self._ffi.cast("const uint8_t *", data.ctypes.data),
+                int(data.size),
+                int(value) & 0xFFFFFFFF,
+            )
+        )
+
+    def crc32c_rows(
+        self, rows: Sequence[np.ndarray], lengths: Sequence[int]
+    ) -> np.ndarray:
+        """One CRC32C per row, one FFI crossing for the whole wave."""
+        out = np.empty(len(rows), dtype=np.uint32)
+        if not rows:
+            return out
+        length_arr = np.ascontiguousarray(lengths, dtype=np.uint64)
+        self._lib.crc32c_rows(
+            self._row_pointers(rows, const=True),
+            self._ffi.cast("const uint64_t *", length_arr.ctypes.data),
+            len(rows),
+            self._ffi.cast("uint32_t *", out.ctypes.data),
+        )
+        return out

@@ -41,16 +41,31 @@ KERNEL_CHUNK = 1 << 18
 NATIVE_MIN_BYTES = 1 << 12
 
 
-def _native_backend_for(*arrays: np.ndarray):
+def _native_backend_for(*arrays: np.ndarray, row_views: bool = False):
     """The active native backend when every array qualifies, else None.
 
-    Qualification: C-contiguous ``uint8`` and at least
+    Qualification: ``uint8`` dtype, C-contiguous layout, and at least
     :data:`NATIVE_MIN_BYTES` of payload in the last array (the one
-    whose length drives the kernel).  The numpy code paths below remain
-    byte-identical oracles for whatever this declines.
+    whose length drives the kernel).  With ``row_views=True`` a 2-d
+    array only needs each *row* to be a contiguous byte run
+    (``strides[-1] == 1``) -- the backend kernels consume per-row
+    pointers, so column-sliced views like ``data[:, :half]`` (the
+    piggyback substripe projections) dispatch natively instead of
+    falling back to the numpy gathers.  Callers that flatten whole
+    arrays (``scale``) must keep the strict check.  The numpy code
+    paths below remain byte-identical oracles for whatever this
+    declines.
     """
     for array in arrays:
-        if array.dtype != np.uint8 or not array.flags.c_contiguous:
+        if array.dtype != np.uint8:
+            return None
+        if array.flags.c_contiguous:
+            continue
+        if not (
+            row_views
+            and array.ndim == 2
+            and (array.shape[-1] <= 1 or array.strides[-1] == array.itemsize)
+        ):
             return None
     if arrays and arrays[-1].size < NATIVE_MIN_BYTES:
         return None
@@ -361,7 +376,7 @@ class GF256:
             out = np.empty(length, dtype=np.uint8)
         elif out.shape != (length,) or out.dtype != np.uint8:
             raise FieldError("dot out= must be uint8 of shape (length,)")
-        backend = _native_backend_for(payloads, out)
+        backend = _native_backend_for(payloads, out, row_views=True)
         if backend is not None:
             backend.matmul(
                 self,
@@ -423,7 +438,7 @@ class GF256:
             out = np.empty((m, p), dtype=np.uint8)
         elif out.shape != (m, p) or out.dtype != np.uint8:
             raise FieldError("matmul out= must be uint8 of shape (m, p)")
-        backend = _native_backend_for(b, out) if m else None
+        backend = _native_backend_for(b, out, row_views=True) if m else None
         if backend is not None:
             backend.matmul(self, np.ascontiguousarray(a), list(b), list(out))
             return out

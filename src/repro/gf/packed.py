@@ -215,6 +215,53 @@ class PackedMatmul:
                         out_seg[:] = unpacked[:, lane]
                 out_lane += lanes
 
+    def apply_batch(
+        self,
+        batch_rows_in: Sequence[Sequence[np.ndarray]],
+        batch_rows_out: Sequence[Sequence[np.ndarray]],
+        accumulate: bool = False,
+    ) -> None:
+        """Apply the matrix to every row set of a survivor batch.
+
+        One fused backend call when a native backend serves and every
+        row is contiguous; otherwise a per-element :meth:`apply` loop
+        (the byte-identical numpy oracle).
+        """
+        if self._backend is not None and _batch_contiguous(
+            batch_rows_in, batch_rows_out
+        ):
+            self._backend.matmul_batch(
+                self._field, self.matrix, batch_rows_in, batch_rows_out,
+                accumulate,
+            )
+            return
+        for rows_in, rows_out in zip(batch_rows_in, batch_rows_out):
+            self.apply(rows_in, rows_out, accumulate)
+
+    def bind_batch(
+        self,
+        batch_rows_in: Sequence[Sequence[np.ndarray]],
+        batch_rows_out: Sequence[Sequence[np.ndarray]],
+        accumulate: bool = False,
+    ):
+        """Precompiled executor over fixed buffers; see
+        :meth:`KernelBackend.bind_matmul_batch`."""
+        if self._backend is not None and _batch_contiguous(
+            batch_rows_in, batch_rows_out
+        ):
+            return self._backend.bind_matmul_batch(
+                self._field, self.matrix, batch_rows_in, batch_rows_out,
+                accumulate,
+            )
+        batch_rows_in = [list(rows) for rows in batch_rows_in]
+        batch_rows_out = [list(rows) for rows in batch_rows_out]
+
+        def execute() -> None:
+            for rows_in, rows_out in zip(batch_rows_in, batch_rows_out):
+                self.apply(rows_in, rows_out, accumulate)
+
+        return execute
+
     def matmul(self, data: np.ndarray, out: Optional[np.ndarray] = None):
         """Convenience 2-d wrapper: ``(n, L) -> (m, L)``."""
         data = np.asarray(data, dtype=np.uint8)
@@ -222,6 +269,22 @@ class PackedMatmul:
             out = np.empty((self.shape[0], data.shape[1]), dtype=np.uint8)
         self.apply(list(data), list(out))
         return out
+
+
+def _batch_contiguous(
+    batch_rows_in: Sequence[Sequence[np.ndarray]],
+    batch_rows_out: Sequence[Sequence[np.ndarray]],
+) -> bool:
+    """True when every row across the batch is backend-eligible."""
+    return all(
+        row.flags.c_contiguous
+        for rows in batch_rows_in
+        for row in rows
+    ) and all(
+        row.flags.c_contiguous
+        for rows in batch_rows_out
+        for row in rows
+    )
 
 
 def _u16_viewable(array: np.ndarray) -> bool:
@@ -357,6 +420,55 @@ class PackedRow:
                     else:
                         np.take(table, src, out=sc_c)
                         np.bitwise_xor(out_seg, sc_c, out=out_seg)
+
+    def apply_batch(
+        self,
+        batch_rows: Sequence[Sequence[np.ndarray]],
+        batch_outs: Sequence[np.ndarray],
+        accumulate: bool = False,
+    ) -> None:
+        """Rebuild one output row per batch element, fused when native."""
+        if self._backend is not None and _batch_contiguous(
+            batch_rows, [[out] for out in batch_outs]
+        ):
+            self._backend.matmul_batch(
+                self._field,
+                self.coefficients.reshape(1, -1),
+                batch_rows,
+                [[out] for out in batch_outs],
+                accumulate,
+            )
+            return
+        for rows, out in zip(batch_rows, batch_outs):
+            self.apply(rows, out, accumulate)
+
+    def bind_batch(
+        self,
+        batch_rows: Sequence[Sequence[np.ndarray]],
+        batch_outs: Sequence[np.ndarray],
+        accumulate: bool = False,
+    ):
+        """Precompiled executor over fixed buffers; see
+        :meth:`KernelBackend.bind_matmul_batch`."""
+        batch_rows_out = [[out] for out in batch_outs]
+        if self._backend is not None and _batch_contiguous(
+            batch_rows, batch_rows_out
+        ):
+            return self._backend.bind_matmul_batch(
+                self._field,
+                self.coefficients.reshape(1, -1),
+                batch_rows,
+                batch_rows_out,
+                accumulate,
+            )
+        batch_rows = [list(rows) for rows in batch_rows]
+        batch_outs = list(batch_outs)
+
+        def execute() -> None:
+            for rows, out in zip(batch_rows, batch_outs):
+                self.apply(rows, out, accumulate)
+
+        return execute
 
     def _apply_bytewise(
         self,

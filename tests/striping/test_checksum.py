@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.errors import EncodingError
-from repro.striping.checksum import crc32c, crc32c_batch
+from repro.striping.checksum import crc32c, crc32c_batch, crc32c_reference
 
 #: Published CRC32C (Castagnoli) vectors, RFC 3720 appendix B.4 style.
 KNOWN_VECTORS = [
@@ -90,3 +90,30 @@ class TestBatch:
             lengths.append(len(payload))
         got = crc32c_batch(matrix, lengths=lengths)
         assert [int(c) for c in got] == [crc32c(p) for p in payloads]
+
+
+class TestNativeKernel:
+    """The compiled CRC path (when present) against the Python oracle.
+
+    :func:`crc32c` dispatches to the native kernel automatically, so
+    these run the same assertions through whichever implementation the
+    host provides; on hosts without a compiled backend they still pass
+    (both sides are the reference).
+    """
+
+    @pytest.mark.parametrize("data,expected", KNOWN_VECTORS)
+    def test_known_vectors_via_dispatch(self, data, expected):
+        assert crc32c(data) == expected == crc32c_reference(data)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=0, max_size=300), st.integers(0, 2**32 - 1))
+    def test_dispatch_equals_reference_with_chaining(self, payload, value):
+        assert crc32c(payload, value) == crc32c_reference(payload, value)
+
+    def test_word_boundary_sizes(self):
+        # The sliced/hardware kernels switch strategy at 8-byte
+        # boundaries; cover every tail length around them.
+        rng = np.random.default_rng(3)
+        for size in range(0, 40):
+            buf = rng.integers(0, 256, size, dtype=np.uint8)
+            assert crc32c(buf) == crc32c_reference(buf)

@@ -123,6 +123,7 @@ class TestBenchCommand:
         # The oracle row is always present; every workload appears.
         assert "numpy" in out
         assert "RS(10,4).file_encode" in out
+        assert "RS(10,4).file_repair" in out
         assert "CRS(10,4).encode" in out
         assert "CRS(10,4).decode" in out
 
@@ -138,7 +139,7 @@ class TestBenchCommand:
         assert set(meta["gf_backends"]) == {"numpy", "cffi", "numba"}
         rows = payload["rows"]
         numpy_rows = [r for r in rows if r["backend"] == "numpy"]
-        assert len(numpy_rows) == 3
+        assert len(numpy_rows) == 4
         assert all(r["vs_numpy"] == 1.0 for r in numpy_rows)
         # Unavailable tiers document their reason instead of numbers.
         for row in rows:
