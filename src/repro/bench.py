@@ -286,6 +286,13 @@ def _simulation_fingerprint(result) -> tuple:
         stats.unrecoverable_units,
         stats.flagged_events_recovered,
         stats.flagged_events_skipped,
+        stats.cancelled_recoveries,
+        stats.queue_wait_us,
+        stats.urgent_wait_us,
+        stats.deferred_repairs,
+        stats.promoted_repairs,
+        stats.queue_peak_depth,
+        stats.spare_placements,
         meter.total_bytes,
         meter.cross_rack_bytes,
         meter.intra_rack_bytes,
@@ -342,7 +349,7 @@ def run_simulator_comparison(
     days = float(config.days)
     oracle_days_per_s = days / oracle_stats["median_s"]
     sharded_days_per_s = days / sharded_stats["median_s"]
-    return {
+    report = {
         "days": days,
         "num_nodes": config.num_nodes,
         "num_stripes": config.num_stripes,
@@ -356,3 +363,47 @@ def run_simulator_comparison(
         "speedup_median": sharded_days_per_s / oracle_days_per_s,
         "identical": identical,
     }
+    if config.repair_scheduler_active:
+        stats = state["sharded"].stats
+        report["queue"] = {
+            "deferred": stats.deferred_repairs,
+            "promoted": stats.promoted_repairs,
+            "peak_depth": stats.queue_peak_depth,
+            "cancelled": stats.cancelled_recoveries,
+            "urgent_wait_s": round(stats.urgent_wait_us / 1e6, 1),
+        }
+    return report
+
+
+def throttled_bench_config(smoke: Optional[bool] = None):
+    """The simulator bench config under the full repair-policy stack.
+
+    Same cluster and horizon as :func:`simulator_bench_config`, with a
+    recovery pipe sized to stay contended (a standing backlog the
+    scheduler must actually order) plus priority queues and lazy
+    repair -- the most event-dense configuration the DES path has.
+    """
+    from dataclasses import replace
+
+    base = simulator_bench_config(smoke)
+    return replace(
+        base,
+        recovery_bandwidth_bytes_per_sec=12e6 if smoke_mode() else 400e6,
+        repair_queue_discipline="priority",
+        lazy_repair=True,
+        lazy_repair_delay_seconds=7200.0,
+    )
+
+
+def run_throttled_comparison(
+    rounds: Optional[int] = None,
+) -> Dict[str, object]:
+    """Time throttled-recovery (repair-policy DES) vs the serial oracle.
+
+    The sharded engine runs this coordinator-driven (worker processes
+    degrade away), so the measurement is the scheduler's event-loop
+    overhead on top of the epoch engine, not parallel speedup.
+    """
+    return run_simulator_comparison(
+        rounds=rounds, config=throttled_bench_config()
+    )

@@ -155,10 +155,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if destination_draws is None:
         # The sharded engine needs order-independent draws to split
         # work across shards; the serial engine keeps its golden
-        # stream-mode trajectories.
+        # stream-mode trajectories.  The per-link repair model also
+        # requires hashed draws (destinations must be known at submit
+        # time), so requesting it flips the default too.
         destination_draws = (
-            "hashed" if args.engine == "sharded" else "stream"
+            "hashed"
+            if args.engine == "sharded" or args.repair_link_gbps
+            else "stream"
         )
+    policy = args.repair_policy
     config = ClusterConfig(
         days=args.days,
         seed=args.seed,
@@ -169,6 +174,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         recovery_bandwidth_bytes_per_sec=args.recovery_gbps * 125e6
         if args.recovery_gbps
         else None,
+        repair_queue_discipline="priority"
+        if policy in ("priority", "lazy-priority")
+        else "fifo",
+        lazy_repair=policy in ("lazy", "lazy-priority"),
+        hot_spares_per_rack=args.hot_spares,
+        repair_link_gbps=args.repair_link_gbps or None,
         chaos_seed=args.chaos_seed,
         chaos_node_flaps=args.chaos_node_flaps,
         chaos_corrupt_units=args.chaos_corrupt_units,
@@ -201,6 +212,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         print(f"recovery latency mean/median/p99 : "
               f"{latencies.mean():.2f}s / {np.median(latencies):.2f}s / "
               f"{np.percentile(latencies, 99):.2f}s")
+    if config.repair_scheduler_active:
+        stats = result.stats
+        served = max(stats.flagged_events_recovered, 1)
+        print(f"repair queue deferred/promoted   : "
+              f"{stats.deferred_repairs:,} / {stats.promoted_repairs:,} "
+              f"(peak depth {stats.queue_peak_depth:,})")
+        print(f"repair queue wait mean/urgent    : "
+              f"{stats.queue_wait_us / served / 1e6:,.1f}s / "
+              f"{stats.urgent_wait_us / 1e6:,.1f}s total")
+        if config.hot_spares_per_rack:
+            print(f"hot-spare placements             : "
+                  f"{stats.spare_placements:,}")
     if result.read_stats is not None:
         reads = result.read_stats
         print(f"foreground reads                 : {reads.reads:,} "
@@ -725,6 +748,27 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="shared recovery pipe in Gb/s (0 = instantaneous recovery)",
+    )
+    sim_parser.add_argument(
+        "--repair-policy",
+        choices=["eager", "lazy", "priority", "lazy-priority"],
+        default="eager",
+        help="repair-queue policy over the recovery pipe: eager FIFO "
+        "(the default), lazy (defer single erasures 15 min), priority "
+        "(multi-erasure stripes first; needs --recovery-gbps), or both",
+    )
+    sim_parser.add_argument(
+        "--hot-spares",
+        type=int,
+        default=0,
+        help="hot-spare machines per rack (repairs land there first)",
+    )
+    sim_parser.add_argument(
+        "--repair-link-gbps",
+        type=float,
+        default=0.0,
+        help="per-TOR repair uplink in Gb/s (0 = shared-pipe model "
+        "only); implies hashed destination draws",
     )
     sim_parser.add_argument(
         "--chaos-seed",

@@ -33,7 +33,7 @@ import json
 import os
 import time as time_module
 from dataclasses import asdict, dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -41,11 +41,19 @@ from repro.cluster.config import ClusterConfig
 from repro.cluster.network import TrafficMeter
 from repro.cluster.recovery import RecoveryStats
 from repro.cluster.topology import Topology
+from repro.cluster.workload import ReadStats
 from repro.errors import CheckpointError
 from repro.observability import metrics
 
-#: Bump on any change to the snapshot layout.
-CHECKPOINT_VERSION = 1
+#: Bump on any change to the snapshot layout.  Version 2 added the
+#: repair-policy scheduler state, coordinator trajectories, per-shard
+#: read stats, and the queue-metric recovery-stats fields; version-1
+#: snapshots (no scheduler, no reads) still load -- the new fields
+#: default to empty.
+CHECKPOINT_VERSION = 2
+
+#: Versions this build can read.
+_READABLE_VERSIONS = (1, 2)
 
 #: Array-valued keys of one shard's state dict, in archive order.
 _SHARD_ARRAY_KEYS = (
@@ -73,6 +81,17 @@ class SimulationCheckpoint:
     is_up: np.ndarray
     shard_states: List[dict]
     version: int = CHECKPOINT_VERSION
+    #: Repair-policy scheduler state (queues + clocks) when the config
+    #: activates the scheduler; None otherwise (and in v1 snapshots).
+    scheduler_state: Optional[dict] = None
+    #: Coordinator per-node unit trajectories, ragged-encoded as
+    #: (nodes, counts, concatenated uids) -- list order IS the store's
+    #: query order and part of the determinism contract.
+    coord_traj: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
+    coord_missing: Optional[np.ndarray] = None
+    coord_latencies: Optional[np.ndarray] = None
+    coord_queue_wait_us: int = 0
+    coord_urgent_wait_us: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -137,6 +156,12 @@ def stats_state(stats: RecoveryStats) -> Dict[str, object]:
         "repair_latencies": list(stats.repair_latencies),
         "cancelled_recoveries": stats.cancelled_recoveries,
         "corrupt_survivors_excluded": stats.corrupt_survivors_excluded,
+        "deferred_repairs": stats.deferred_repairs,
+        "promoted_repairs": stats.promoted_repairs,
+        "queue_peak_depth": stats.queue_peak_depth,
+        "queue_wait_us": stats.queue_wait_us,
+        "urgent_wait_us": stats.urgent_wait_us,
+        "spare_placements": stats.spare_placements,
     }
 
 
@@ -155,6 +180,43 @@ def restore_stats(state: Dict[str, object]) -> RecoveryStats:
     stats.cancelled_recoveries = int(state["cancelled_recoveries"])
     stats.corrupt_survivors_excluded = int(
         state["corrupt_survivors_excluded"]
+    )
+    # Queue-metric fields arrived with checkpoint version 2; v1
+    # snapshots (written before the repair-policy engine) default them.
+    stats.deferred_repairs = int(state.get("deferred_repairs", 0))
+    stats.promoted_repairs = int(state.get("promoted_repairs", 0))
+    stats.queue_peak_depth = int(state.get("queue_peak_depth", 0))
+    stats.queue_wait_us = int(state.get("queue_wait_us", 0))
+    stats.urgent_wait_us = int(state.get("urgent_wait_us", 0))
+    stats.spare_placements = int(state.get("spare_placements", 0))
+    return stats
+
+
+def read_stats_state(stats: ReadStats) -> Dict[str, int]:
+    """Picklable/JSON-able snapshot of read-workload stats."""
+    return {
+        "reads": stats.reads,
+        "healthy_reads": stats.healthy_reads,
+        "degraded_reads": stats.degraded_reads,
+        "failed_reads": stats.failed_reads,
+        "healthy_bytes": stats.healthy_bytes,
+        "degraded_bytes": stats.degraded_bytes,
+        "degraded_read_latency_us": stats.degraded_read_latency_us,
+        "degraded_read_latency_max_us": stats.degraded_read_latency_max_us,
+    }
+
+
+def restore_read_stats(state: Dict[str, object]) -> ReadStats:
+    stats = ReadStats()
+    stats.reads = int(state["reads"])
+    stats.healthy_reads = int(state["healthy_reads"])
+    stats.degraded_reads = int(state["degraded_reads"])
+    stats.failed_reads = int(state["failed_reads"])
+    stats.healthy_bytes = int(state["healthy_bytes"])
+    stats.degraded_bytes = int(state["degraded_bytes"])
+    stats.degraded_read_latency_us = int(state["degraded_read_latency_us"])
+    stats.degraded_read_latency_max_us = int(
+        state["degraded_read_latency_max_us"]
     )
     return stats
 
@@ -180,11 +242,15 @@ def save_checkpoint(path: str, checkpoint: SimulationCheckpoint) -> None:
         "policy_rng_state": checkpoint.policy_rng_state,
         "flagged_events_recovered": int(checkpoint.flagged_events_recovered),
         "flagged_events_skipped": int(checkpoint.flagged_events_skipped),
+        "scheduler_state": checkpoint.scheduler_state,
+        "coord_queue_wait_us": int(checkpoint.coord_queue_wait_us),
+        "coord_urgent_wait_us": int(checkpoint.coord_urgent_wait_us),
         "shards": [
             {
                 "shard_id": int(state["shard_id"]),
                 "stats": state["stats"],
                 "meter": state["meter"],
+                "read_stats": state.get("read_stats"),
             }
             for state in checkpoint.shard_states
         ],
@@ -195,6 +261,19 @@ def save_checkpoint(path: str, checkpoint: SimulationCheckpoint) -> None:
         ),
         "is_up": np.asarray(checkpoint.is_up, dtype=bool),
     }
+    if checkpoint.coord_traj is not None:
+        traj_nodes, traj_counts, traj_uids = checkpoint.coord_traj
+        arrays["coord_traj_nodes"] = np.asarray(traj_nodes, dtype=np.int64)
+        arrays["coord_traj_counts"] = np.asarray(traj_counts, dtype=np.int64)
+        arrays["coord_traj_uids"] = np.asarray(traj_uids, dtype=np.int64)
+    if checkpoint.coord_missing is not None:
+        arrays["coord_missing"] = np.asarray(
+            checkpoint.coord_missing, dtype=bool
+        )
+    if checkpoint.coord_latencies is not None:
+        arrays["coord_latencies"] = np.asarray(
+            checkpoint.coord_latencies, dtype=np.float64
+        )
     for i, state in enumerate(checkpoint.shard_states):
         for key in _SHARD_ARRAY_KEYS:
             arrays[f"shard{i}_{key}"] = np.asarray(state[key])
@@ -234,10 +313,10 @@ def load_checkpoint(path: str) -> SimulationCheckpoint:
             f"checkpoint {path!r} carries a malformed meta document: {exc}"
         ) from exc
     version = meta.get("version")
-    if version != CHECKPOINT_VERSION:
+    if version not in _READABLE_VERSIONS:
         raise CheckpointError(
             f"checkpoint {path!r} has version {version!r}; this build "
-            f"reads version {CHECKPOINT_VERSION} -- re-create the "
+            f"reads versions {_READABLE_VERSIONS} -- re-create the "
             f"snapshot or use a matching build"
         )
     try:
@@ -254,6 +333,8 @@ def load_checkpoint(path: str) -> SimulationCheckpoint:
             "stats": shard_meta["stats"],
             "meter": shard_meta["meter"],
         }
+        if shard_meta.get("read_stats") is not None:
+            state["read_stats"] = shard_meta["read_stats"]
         for key in _SHARD_ARRAY_KEYS:
             archive_key = f"shard{i}_{key}"
             if archive_key not in data:
@@ -267,6 +348,13 @@ def load_checkpoint(path: str) -> SimulationCheckpoint:
             f"checkpoint {path!r} claims {num_shards} shards but carries "
             f"{len(shard_states)}"
         )
+    coord_traj = None
+    if "coord_traj_nodes" in data:
+        coord_traj = (
+            data["coord_traj_nodes"],
+            data["coord_traj_counts"],
+            data["coord_traj_uids"],
+        )
     checkpoint = SimulationCheckpoint(
         config=config,
         next_epoch=int(meta["next_epoch"]),
@@ -277,6 +365,20 @@ def load_checkpoint(path: str) -> SimulationCheckpoint:
         flagged_events_skipped=int(meta["flagged_events_skipped"]),
         is_up=np.asarray(data["is_up"], dtype=bool),
         shard_states=shard_states,
+        scheduler_state=meta.get("scheduler_state"),
+        coord_traj=coord_traj,
+        coord_missing=(
+            np.asarray(data["coord_missing"], dtype=bool)
+            if "coord_missing" in data
+            else None
+        ),
+        coord_latencies=(
+            np.asarray(data["coord_latencies"], dtype=np.float64)
+            if "coord_latencies" in data
+            else None
+        ),
+        coord_queue_wait_us=int(meta.get("coord_queue_wait_us", 0)),
+        coord_urgent_wait_us=int(meta.get("coord_urgent_wait_us", 0)),
     )
     m = metrics()
     if m is not None:

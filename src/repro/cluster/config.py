@@ -12,6 +12,7 @@ refer to a single source of truth.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -161,6 +162,45 @@ class ClusterConfig:
         choices, so summary statistics are equivalent but trajectories
         differ.  This is a semantic knob, hence config rather than an
         engine argument: a result is a function of its config alone.
+    repair_queue_discipline:
+        How queued repairs are ordered when the shared recovery pipe (or
+        the per-link model) is saturated.  ``"fifo"`` (default) is the
+        historical flat queue; ``"priority"`` serves 2+-erasure stripes
+        strictly before single-erasure ones -- the paper's 1.87%+0.05%
+        multi-erasure tail carries nearly all the data-loss risk, so it
+        should never wait behind the 98.08% single-erasure bulk.
+    priority_aging_seconds:
+        Starvation guard for the priority discipline: a single-erasure
+        job that has waited this long is served at urgent class.  None
+        disables aging.  Only meaningful with ``"priority"``; setting it
+        under ``"fifo"`` is a loud error rather than a silent no-op.
+    lazy_repair, lazy_repair_delay_seconds, lazy_repair_threshold:
+        Lazy repair defers single-erasure stripes (multi-erasure ones
+        are never deferred): each deferred job activates after the delay
+        (default 900 s, the paper's 15-minute flag-threshold semantics),
+        or the whole deferred set is flushed as soon as it reaches the
+        threshold count.  Machines that come back before the timer make
+        their repairs cancel instead of moving bytes -- the transient
+        win the paper attributes to the 15-minute flag delay.
+    hot_spares_per_rack:
+        Pre-reserved replacement capacity: each rack gets this many
+        spare nodes that hold no stripe members at placement time, so
+        repair destinations never block on a full rack under correlated
+        failures.  0 (default) reproduces the historical topology
+        exactly.  Spares fail like any other machine (the trace samples
+        the full topology), so a spared config replays a different
+        trace than the same config without spares.
+    repair_link_gbps, repair_oversubscription:
+        Per-link bandwidth model: each rack's TOR uplink carries
+        ``repair_link_gbps`` and the aggregation layer carries the sum
+        of TOR capacity divided by ``repair_oversubscription`` (the
+        analysis-layer :class:`~repro.analysis.oversubscription.UplinkModel`
+        defaults: 40 Gbps x 8).  When set, repairs queue per destination
+        TOR *and* the shared aggregation trunk, and degraded reads
+        observe queueing latency instead of just byte counts.  Requires
+        ``destination_draws="hashed"`` (the destination must be known at
+        enqueue time, before earlier stream draws have resolved).  None
+        (default) keeps the single aggregate pipe.
     """
 
     num_racks: int = 100
@@ -194,6 +234,14 @@ class ClusterConfig:
     chaos_node_flaps: int = 0
     chaos_corrupt_units: int = 0
     destination_draws: str = "stream"
+    repair_queue_discipline: str = "fifo"
+    priority_aging_seconds: Optional[float] = None
+    lazy_repair: bool = False
+    lazy_repair_delay_seconds: float = UNAVAILABILITY_THRESHOLD_SECONDS
+    lazy_repair_threshold: Optional[int] = None
+    hot_spares_per_rack: int = 0
+    repair_link_gbps: Optional[float] = None
+    repair_oversubscription: float = 8.0
 
     def __post_init__(self):
         if self.num_racks < 2:
@@ -218,11 +266,14 @@ class ClusterConfig:
             raise ConfigError("recovery_trigger_fraction must be in [0, 1]")
         if self.reads_per_stripe_per_day < 0:
             raise ConfigError("reads_per_stripe_per_day must be >= 0")
-        if (
-            self.recovery_bandwidth_bytes_per_sec is not None
-            and self.recovery_bandwidth_bytes_per_sec <= 0
+        if self.recovery_bandwidth_bytes_per_sec is not None and (
+            not math.isfinite(self.recovery_bandwidth_bytes_per_sec)
+            or self.recovery_bandwidth_bytes_per_sec <= 0
         ):
-            raise ConfigError("recovery bandwidth must be positive or None")
+            raise ConfigError(
+                "recovery bandwidth must be finite and positive, or None; "
+                f"got {self.recovery_bandwidth_bytes_per_sec!r}"
+            )
         if self.downtime_distribution not in ("exponential", "weibull"):
             raise ConfigError(
                 f"unknown downtime distribution "
@@ -242,10 +293,92 @@ class ClusterConfig:
                 f"unknown destination_draws {self.destination_draws!r}; "
                 f"expected 'stream' or 'hashed'"
             )
+        if self.repair_queue_discipline not in ("fifo", "priority"):
+            raise ConfigError(
+                f"unknown repair_queue_discipline "
+                f"{self.repair_queue_discipline!r}; expected 'fifo' or "
+                f"'priority'"
+            )
+        if self.priority_aging_seconds is not None:
+            if self.repair_queue_discipline != "priority":
+                raise ConfigError(
+                    "priority_aging_seconds only applies to the "
+                    "'priority' discipline; set repair_queue_discipline "
+                    "or drop the aging knob"
+                )
+            if (
+                not math.isfinite(self.priority_aging_seconds)
+                or self.priority_aging_seconds <= 0
+            ):
+                raise ConfigError(
+                    "priority_aging_seconds must be finite and positive"
+                )
+        if self.repair_queue_discipline == "priority" and not (
+            self.recovery_bandwidth_bytes_per_sec is not None
+            or self.repair_link_gbps is not None
+        ):
+            raise ConfigError(
+                "the 'priority' discipline needs something to contend "
+                "for: set recovery_bandwidth_bytes_per_sec or "
+                "repair_link_gbps"
+            )
+        if (
+            not math.isfinite(self.lazy_repair_delay_seconds)
+            or self.lazy_repair_delay_seconds <= 0
+        ):
+            raise ConfigError(
+                "lazy_repair_delay_seconds must be finite and positive"
+            )
+        if (
+            self.lazy_repair_threshold is not None
+            and self.lazy_repair_threshold < 1
+        ):
+            raise ConfigError("lazy_repair_threshold must be >= 1 or None")
+        if self.hot_spares_per_rack < 0:
+            raise ConfigError("hot_spares_per_rack must be >= 0")
+        if self.repair_link_gbps is not None and (
+            not math.isfinite(self.repair_link_gbps)
+            or self.repair_link_gbps <= 0
+        ):
+            raise ConfigError(
+                "repair_link_gbps must be finite and positive, or None"
+            )
+        if (
+            not math.isfinite(self.repair_oversubscription)
+            or self.repair_oversubscription < 1.0
+        ):
+            raise ConfigError("repair_oversubscription must be >= 1")
+        if (
+            self.repair_link_gbps is not None
+            and self.destination_draws != "hashed"
+        ):
+            raise ConfigError(
+                "the per-link repair model needs destinations known at "
+                "enqueue time; set destination_draws='hashed'"
+            )
+
+    @property
+    def total_nodes_per_rack(self) -> int:
+        """Data nodes plus hot spares in every rack."""
+        return self.nodes_per_rack + self.hot_spares_per_rack
 
     @property
     def num_nodes(self) -> int:
+        return self.num_racks * self.total_nodes_per_rack
+
+    @property
+    def num_data_nodes(self) -> int:
+        """Nodes that hold stripe members at placement time."""
         return self.num_racks * self.nodes_per_rack
+
+    @property
+    def repair_scheduler_active(self) -> bool:
+        """Whether runs route repairs through the policy scheduler."""
+        return (
+            self.recovery_bandwidth_bytes_per_sec is not None
+            or self.repair_link_gbps is not None
+            or self.lazy_repair
+        )
 
     @property
     def stripe_width_units(self) -> int:
@@ -261,7 +394,10 @@ class ClusterConfig:
     def num_stripes(self) -> int:
         """Stripes to place so each node holds ~``stripes_per_node`` members."""
         members = self.stripe_width_units
-        return max(1, int(round(self.stripes_per_node * self.num_nodes / members)))
+        return max(
+            1,
+            int(round(self.stripes_per_node * self.num_data_nodes / members)),
+        )
 
     @property
     def block_scale(self) -> float:

@@ -61,6 +61,20 @@ class EventQueue:
         """Number of events still queued."""
         return len(self._heap)
 
+    def peek_time(self) -> Optional[float]:
+        """Time of the next pending event, or None when the queue is dry.
+
+        Examples
+        --------
+        >>> queue = EventQueue()
+        >>> queue.peek_time() is None
+        True
+        >>> queue.schedule(3.0, lambda q, t: None)
+        >>> queue.peek_time()
+        3.0
+        """
+        return self._heap[0].time if self._heap else None
+
     def schedule(
         self, time: float, handler: EventHandler, label: str = ""
     ) -> None:

@@ -309,3 +309,64 @@ class TrafficMeter:
     def aggregation_switch_bytes(self) -> int:
         """Bytes through the aggregation switch (== cross-rack bytes)."""
         return self.bytes_by_switch.get("aggregation", 0)
+
+
+class RepairLinkModel:
+    """Busy-until clocks for the per-link repair bandwidth model.
+
+    One clock per destination TOR uplink plus one for the shared
+    aggregation trunk, mirroring the oversubscribed two-tier fabric of
+    :class:`repro.analysis.oversubscription.UplinkModel`: each TOR
+    carries ``link_gbps`` and the aggregation layer carries the sum of
+    TOR capacity divided by the oversubscription factor.  A repair
+    download lands on its destination's TOR and (sources being spread
+    across racks) the aggregation trunk; each link is occupied for
+    ``bytes / its capacity`` and the transfer completes at the rate of
+    the slowest link.  Byte *accounting* stays in :class:`TrafficMeter`
+    -- this class only answers "when is the path free, and how fast".
+    """
+
+    def __init__(
+        self, num_racks: int, link_gbps: float, oversubscription: float
+    ):
+        if num_racks < 1:
+            raise SimulationError("link model needs at least one rack")
+        self.num_racks = num_racks
+        self.tor_rate = link_gbps * 1e9 / 8.0
+        self.agg_rate = num_racks * self.tor_rate / oversubscription
+        self.tor_free = [0.0] * num_racks
+        self.agg_free = 0.0
+
+    def gate(self, rack: Optional[int]) -> float:
+        """Earliest time a transfer into ``rack`` can start."""
+        if rack is None:
+            return self.agg_free
+        return max(self.tor_free[rack], self.agg_free)
+
+    def occupy(self, rack: Optional[int], nbytes: float, start: float) -> None:
+        """Reserve the path for a transfer starting at ``start``."""
+        if rack is not None:
+            self.tor_free[rack] = start + nbytes / self.tor_rate
+        self.agg_free = start + nbytes / self.agg_rate
+
+    @property
+    def min_rate(self) -> float:
+        """End-to-end transfer rate (the slowest link on the path)."""
+        return min(self.tor_rate, self.agg_rate)
+
+    def wait(self, rack: Optional[int], now: float) -> float:
+        """Queueing delay a transfer into ``rack`` would see at ``now``."""
+        return max(0.0, self.gate(rack) - now)
+
+    def state_dict(self) -> Dict[str, object]:
+        return {"tor_free": list(self.tor_free), "agg_free": self.agg_free}
+
+    def restore(self, state: Dict[str, object]) -> None:
+        tor_free = list(state["tor_free"])
+        if len(tor_free) != self.num_racks:
+            raise SimulationError(
+                f"link-model state has {len(tor_free)} TOR clocks; "
+                f"topology has {self.num_racks} racks"
+            )
+        self.tor_free = [float(t) for t in tor_free]
+        self.agg_free = float(state["agg_free"])

@@ -102,11 +102,36 @@ def _nth_not_excluded(
 
 
 class PlacementPolicy(abc.ABC):
-    """Chooses the nodes that store one stripe's units."""
+    """Chooses the nodes that store one stripe's units.
 
-    def __init__(self, topology: Topology, seed: int = 0):
+    ``spares_per_rack`` reserves the top ``spares_per_rack`` node slots
+    of every rack as a hot-spare pool: stripe placement never touches
+    them, and rack-preferring replacement draws target them, so repair
+    destinations are pre-reserved capacity instead of competing with
+    data nodes.  0 (the default) reproduces the historical draws
+    bit-for-bit.
+    """
+
+    def __init__(
+        self, topology: Topology, seed: int = 0, spares_per_rack: int = 0
+    ):
+        if not 0 <= spares_per_rack < topology.nodes_per_rack:
+            raise PlacementError(
+                f"spares_per_rack={spares_per_rack} leaves no data nodes "
+                f"in racks of {topology.nodes_per_rack}"
+            )
         self.topology = topology
+        self.spares_per_rack = spares_per_rack
+        self.data_nodes_per_rack = topology.nodes_per_rack - spares_per_rack
         self.rng = np.random.default_rng(seed)
+
+    def is_spare(self, node: int) -> bool:
+        """Whether a node id falls in the reserved spare pool."""
+        return (
+            self.spares_per_rack > 0
+            and node % self.topology.nodes_per_rack
+            >= self.data_nodes_per_rack
+        )
 
     @abc.abstractmethod
     def place_stripe(self, width: int) -> List[int]:
@@ -156,7 +181,14 @@ class PlacementPolicy(abc.ABC):
                         rack += 1
                     else:
                         break
-                offset = int(self.rng.integers(0, nodes_per_rack))
+                # With a spare pool the in-rack draw targets it; without
+                # one this is the historical whole-rack draw.
+                if self.spares_per_rack:
+                    offset = self.data_nodes_per_rack + int(
+                        self.rng.integers(0, self.spares_per_rack)
+                    )
+                else:
+                    offset = int(self.rng.integers(0, nodes_per_rack))
                 return rack * nodes_per_rack + offset
         num_candidates = num_nodes - len(exclude)
         if not num_candidates:
@@ -211,10 +243,13 @@ class PlacementPolicy(abc.ABC):
             # -- the scalar path's exact consumption order.
             highs = np.empty(2 * num_units, dtype=np.int64)
             highs[0::2] = num_free
-            highs[1::2] = nodes_per_rack
+            highs[1::2] = self.spares_per_rack or nodes_per_rack
+            offset_base = (
+                self.data_nodes_per_rack if self.spares_per_rack else 0
+            )
             draws = self.rng.integers(0, highs)
             racks = _nth_not_excluded(rack_mat, first, draws[0::2])
-            return racks * nodes_per_rack + draws[1::2]
+            return racks * nodes_per_rack + offset_base + draws[1::2]
         node_mat, first = _sorted_with_first(exclude_mat)
         num_candidates = self.topology.num_nodes - first.sum(axis=1)
         if not np.all(num_candidates > 0):
@@ -281,8 +316,11 @@ class PlacementPolicy(abc.ABC):
                 ).astype(np.int64)
                 racks = np.argmax(free_cum[has_free] > idx[:, None], axis=1)
                 offsets = (
-                    h_node[has_free] % np.uint64(nodes_per_rack)
+                    h_node[has_free]
+                    % np.uint64(self.spares_per_rack or nodes_per_rack)
                 ).astype(np.int64)
+                if self.spares_per_rack:
+                    offsets += self.data_nodes_per_rack
                 out[has_free] = racks * nodes_per_rack + offsets
             node_level = ~has_free
         if np.any(node_level):
@@ -321,7 +359,9 @@ class DistinctRackPlacement(PlacementPolicy):
         racks = self.rng.choice(self.topology.num_racks, size=width, replace=False)
         nodes = []
         for rack in racks:
-            offset = int(self.rng.integers(self.topology.nodes_per_rack))
+            # Stripes live on data nodes only; the spare pool (if any)
+            # stays empty until repairs land there.
+            offset = int(self.rng.integers(self.data_nodes_per_rack))
             nodes.append(int(rack) * self.topology.nodes_per_rack + offset)
         return nodes
 
@@ -365,17 +405,30 @@ class DistinctNodePlacement(PlacementPolicy):
         )
 
     def place_stripe(self, width: int) -> List[int]:
-        if width > self.topology.num_nodes:
+        num_data = self.topology.num_racks * self.data_nodes_per_rack
+        if width > num_data:
             raise PlacementError(
-                f"stripe of {width} units does not fit {self.topology.num_nodes} "
-                f"nodes"
+                f"stripe of {width} units does not fit {num_data} "
+                f"data nodes"
             )
-        nodes = self.rng.choice(self.topology.num_nodes, size=width, replace=False)
+        if not self.spares_per_rack:
+            # Historical draw, kept verbatim so spare-free configs
+            # replay bit-identical trajectories.
+            nodes = self.rng.choice(
+                self.topology.num_nodes, size=width, replace=False
+            )
+            return [int(n) for n in nodes]
+        npr = self.topology.nodes_per_rack
+        data_ids = np.flatnonzero(
+            np.arange(self.topology.num_nodes) % npr
+            < self.data_nodes_per_rack
+        )
+        nodes = self.rng.choice(data_ids, size=width, replace=False)
         return [int(n) for n in nodes]
 
 
 def make_placement(
-    name: str, topology: Topology, seed: int = 0
+    name: str, topology: Topology, seed: int = 0, spares_per_rack: int = 0
 ) -> PlacementPolicy:
     """Factory: ``"distinct-rack"`` (default) or ``"distinct-node"``."""
     policies = {
@@ -387,4 +440,4 @@ def make_placement(
         raise PlacementError(
             f"unknown placement {name!r}; available: {sorted(policies)}"
         )
-    return policies[key](topology, seed)
+    return policies[key](topology, seed, spares_per_rack)

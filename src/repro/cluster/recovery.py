@@ -17,15 +17,25 @@ per-block planning O(1).
 Two equivalent paths execute a flagged node's recoveries:
 
 - :meth:`RecoveryService.recover_unit` -- one unit at a time; the test
-  oracle, and the only path when a finite recovery bandwidth serialises
-  recoveries through the shared pipe;
-- :meth:`RecoveryService.recover_node_batch` (default when bandwidth is
-  unlimited) -- groups the node's degraded units by their
+  oracle, and the path every scheduled (policy-engine) completion runs
+  through;
+- :meth:`RecoveryService.recover_node_batch` (default when recovery is
+  instantaneous) -- groups the node's degraded units by their
   ``(failed slot, availability bitmask)`` pattern, resolves each
   distinct pattern once, and charges all resulting transfers through
   :meth:`~repro.cluster.network.TrafficMeter.charge_batch` in one shot.
   Destination draws happen in the same per-unit order as the scalar
   path, so both paths produce bit-identical stats, meters, and stores.
+
+When a :class:`~repro.cluster.repair_policy.RepairScheduler` is
+attached (finite bandwidth, lazy repair, or the per-link model), flag
+events *submit* repair jobs instead of executing them: the scheduler
+decides when each job's service completes, and a wake-event chain on
+the DES queue applies completed jobs -- re-planning against
+completion-time state, cancelling jobs whose machine returned first --
+in deterministic ``(completion, seq)`` order.  Configured as a plain
+FIFO over one aggregate pipe this reproduces the historical throttled
+law exactly, flag by flag and float by float.
 """
 
 from __future__ import annotations
@@ -42,8 +52,9 @@ from repro.cluster.datanode import NodeStateTable
 from repro.cluster.events import EventQueue
 from repro.cluster.network import TrafficMeter
 from repro.cluster.placement import PlacementPolicy
+from repro.cluster.repair_policy import RepairJob, RepairScheduler
 from repro.codes.base import ErasureCode, RepairPlan
-from repro.errors import ConfigError, RepairError
+from repro.errors import ConfigError, PlacementError, RepairError
 from repro.observability import metrics
 
 
@@ -74,6 +85,20 @@ class RecoveryStats:
     #: marked corrupt (chaos injection); identical between the scalar
     #: and batched paths.
     corrupt_survivors_excluded: int = 0
+    #: Repair-policy engine counters; all zero unless a scheduler is
+    #: active.  Waits are integer microseconds so shard merges stay
+    #: exact sums.
+    deferred_repairs: int = 0
+    promoted_repairs: int = 0
+    queue_peak_depth: int = 0
+    #: Sum over completed jobs of (service start - flag time).
+    queue_wait_us: int = 0
+    #: Sum over completed *urgent* (multi-erasure) jobs of
+    #: (completion - flag time) -- the multi-erasure exposure metric
+    #: the priority discipline exists to shrink.
+    urgent_wait_us: int = 0
+    #: Rebuilt units whose destination landed in the hot-spare pool.
+    spare_placements: int = 0
 
     def merge_from(self, other: "RecoveryStats") -> None:
         """Fold another stats object into this one (exact integer sums).
@@ -95,6 +120,14 @@ class RecoveryStats:
         self.repair_latencies.extend(other.repair_latencies)
         self.cancelled_recoveries += other.cancelled_recoveries
         self.corrupt_survivors_excluded += other.corrupt_survivors_excluded
+        self.deferred_repairs += other.deferred_repairs
+        self.promoted_repairs += other.promoted_repairs
+        self.queue_peak_depth = max(
+            self.queue_peak_depth, other.queue_peak_depth
+        )
+        self.queue_wait_us += other.queue_wait_us
+        self.urgent_wait_us += other.urgent_wait_us
+        self.spare_placements += other.spare_placements
 
     def daily_blocks_series(self, num_days: int) -> List[int]:
         return [
@@ -131,10 +164,13 @@ class RecoveryService:
         Probability that a flagged machine's units are reconstructed
         (rather than the machine returning before the re-replication
         queue reaches it); calibrated against Fig. 3b.
-    bandwidth_bytes_per_sec:
-        Aggregate reconstruction bandwidth.  None (default) completes
-        recoveries at flag time; a finite value serialises them through
-        a shared pipe, recording per-block repair latencies.
+    scheduler:
+        Optional :class:`~repro.cluster.repair_policy.RepairScheduler`.
+        None (default) completes recoveries at flag time (the right
+        model for daily byte accounting); with a scheduler attached,
+        flag events submit jobs and a wake-event chain applies
+        completions, recording per-block repair latencies and the
+        ``queue_*`` stats.
     batched:
         Use the vectorised per-node fast path when recoveries complete
         at flag time.  Results are identical either way; False keeps the
@@ -167,7 +203,7 @@ class RecoveryService:
         meter: TrafficMeter,
         rng: np.random.Generator,
         trigger_fraction: float = 1.0,
-        bandwidth_bytes_per_sec: Optional[float] = None,
+        scheduler: Optional[RepairScheduler] = None,
         batched: bool = True,
         corrupt_units: Optional[Sequence[Tuple[int, int]]] = None,
         destination_draws: str = "stream",
@@ -197,8 +233,12 @@ class RecoveryService:
         self.meter = meter
         self.rng = rng
         self.trigger_fraction = trigger_fraction
-        self.bandwidth_bytes_per_sec = bandwidth_bytes_per_sec
+        self.scheduler = scheduler
         self.batched = batched
+        #: Earliest outstanding wake event scheduled on the DES queue
+        #: (None when no wake is pending); keeps the wake chain from
+        #: flooding the queue with duplicates.
+        self._wake_at: Optional[float] = None
         self._corrupt_mask: Optional[np.ndarray] = None
         if corrupt_units:
             mask = np.zeros(
@@ -208,7 +248,6 @@ class RecoveryService:
                 mask[int(stripe), int(slot)] = True
             self._corrupt_mask = mask
         self.stats = RecoveryStats()
-        self._pipe_free_at = 0.0
         # (failed slot, availability bitmask) -> resolved plan arrays,
         # or None for unrecoverable patterns.  The bitmask determines
         # the available-slot tuple, so entries stay valid forever.
@@ -229,9 +268,8 @@ class RecoveryService:
             self.stats.flagged_events_skipped += 1
             return
         self.stats.flagged_events_recovered += 1
-        if self.bandwidth_bytes_per_sec is not None:
-            for stripe, slot in self.store.degraded_stripes_on_node(node):
-                self._enqueue_throttled(queue, stripe, slot, time)
+        if self.scheduler is not None:
+            self._submit_repairs(queue, node, time)
         elif self.batched:
             self.recover_node_batch(node, time)
         else:
@@ -254,36 +292,141 @@ class RecoveryService:
             available = usable
         return available, missing_count
 
-    def _enqueue_throttled(
-        self, queue: EventQueue, stripe: int, slot: int, flag_time: float
+    def _submit_repairs(
+        self, queue: EventQueue, node: int, time: float
     ) -> None:
-        """Reserve the shared recovery pipe and schedule completion."""
-        available, missing_count = self._usable_slots(stripe)
-        plan = self._resolve_plan(slot, available)
-        if plan is None:
-            self._count_unrecoverable(missing_count)
-            return
-        duration = plan.bytes_downloaded(
-            int(self.store.unit_sizes[stripe])
-        ) / self.bandwidth_bytes_per_sec
-        start = max(flag_time, self._pipe_free_at)
-        completion = start + duration
-        self._pipe_free_at = completion
+        """Turn a flagged node's degraded units into scheduler jobs.
 
+        Units are submitted in the store's per-node query order
+        (never-relocated units in uid order, relocated-in units
+        appended) -- the identical order the historical throttled
+        enqueue used, and the one the sharded coordinator's node
+        trajectories reproduce.  Plans are resolved at enqueue time to
+        size each job's download; unplannable units count as
+        unrecoverable right here, exactly like the historical enqueue.
+        """
+        scheduler = self.scheduler
+        # Defensive: the wake chain should have drained everything due
+        # strictly before this flag already; if an earlier wake was
+        # superseded, apply stragglers now, in completion order.
+        for job in scheduler.advance(time, inclusive=False):
+            self._finish_job(job)
+        width = self.store.width
+        uids = self.store.degraded_uids_on_node(node)
         # Hashed draws mix in the flag ordinal; capture it now, because
         # by completion time later flags will have advanced the counter.
         ordinal = self._flag_ordinal
+        link_active = scheduler.link is not None
+        for uid in uids.tolist():
+            stripe, slot = divmod(uid, width)
+            available, missing_count = self._usable_slots(stripe)
+            plan = self._resolve_plan(slot, available)
+            if plan is None:
+                self._count_unrecoverable(missing_count)
+                continue
+            nbytes = plan.bytes_downloaded(int(self.store.unit_sizes[stripe]))
+            dest = rack = None
+            if link_active:
+                dest = self._precompute_destination(stripe, slot, ordinal)
+                if dest is not None:
+                    rack = dest // self.placement.topology.nodes_per_rack
+            scheduler.submit(
+                RepairJob(
+                    stripe=stripe,
+                    slot=slot,
+                    uid=uid,
+                    shard_id=0,
+                    enqueue_time=time,
+                    ordinal=ordinal,
+                    nbytes=nbytes,
+                    urgent=missing_count >= 2,
+                    dest=dest,
+                    rack=rack,
+                ),
+                time,
+            )
+        self._schedule_wake(queue)
 
-        def complete(q: EventQueue, now: float) -> None:
-            if not self.store.missing[stripe, slot]:
-                # The machine returned before the queue reached this
-                # block; nothing to rebuild.
-                self.stats.cancelled_recoveries += 1
-                return
-            if self.recover_unit(stripe, slot, now, ordinal=ordinal):
-                self.stats.repair_latencies.append(now - flag_time)
+    def _precompute_destination(
+        self, stripe: int, slot: int, ordinal: int
+    ) -> Optional[int]:
+        """Enqueue-time destination draw for the per-link model.
 
-        queue.schedule(completion, complete, label="recovery-complete")
+        The link model needs to know which TOR a job will occupy before
+        the job runs.  If placement cannot find a destination now (all
+        racks excluded under a correlated burst), the job travels
+        without one and the completion-time redraw decides -- graceful
+        degradation, never a crash.
+        """
+        try:
+            return int(
+                self.placement.hashed_replacement_nodes(
+                    np.asarray(
+                        [self.store.stripe_nodes(stripe)], dtype=np.int64
+                    ),
+                    self.state.down_nodes(),
+                    np.asarray(
+                        [stripe * self.store.width + slot], dtype=np.int64
+                    ),
+                    ordinal,
+                    self._dest_entropy,
+                )[0]
+            )
+        except PlacementError:
+            return None
+
+    def _schedule_wake(self, queue: EventQueue) -> None:
+        """Keep exactly one wake event at the scheduler's next instant."""
+        wake = self.scheduler.next_wake()
+        if wake is None:
+            return
+        if wake < queue.now:
+            wake = queue.now
+        if self._wake_at is not None and self._wake_at <= wake:
+            return
+        self._wake_at = wake
+        queue.schedule(wake, self._on_wake, label="repair-wake")
+
+    def _on_wake(self, queue: EventQueue, now: float) -> None:
+        self._wake_at = None
+        for job in self.scheduler.advance(now, inclusive=True):
+            self._finish_job(job)
+        self._schedule_wake(queue)
+
+    def _finish_job(self, job: RepairJob) -> None:
+        """Apply one completed job against *current* cluster state."""
+        stats = self.stats
+        stats.queue_wait_us += int(
+            round((job.start - job.enqueue_time) * 1e6)
+        )
+        if job.urgent:
+            stats.urgent_wait_us += int(
+                round((job.completion - job.enqueue_time) * 1e6)
+            )
+        if not self.store.missing[job.stripe, job.slot]:
+            # The machine returned before the queue reached this block;
+            # nothing to rebuild.
+            stats.cancelled_recoveries += 1
+            return
+        if self.recover_unit(
+            job.stripe,
+            job.slot,
+            job.completion,
+            ordinal=job.ordinal,
+            destination=job.dest,
+        ):
+            stats.repair_latencies.append(job.completion - job.enqueue_time)
+
+    def finalize_scheduler_stats(self) -> None:
+        """Copy the scheduler's aggregates into the run's stats."""
+        scheduler = self.scheduler
+        if scheduler is None:
+            return
+        self.stats.deferred_repairs += scheduler.deferred_total
+        self.stats.promoted_repairs += scheduler.promoted_total
+        self.stats.queue_peak_depth = max(
+            self.stats.queue_peak_depth, scheduler.peak_depth
+        )
 
     # ------------------------------------------------------------------
     # Per-unit recovery (the oracle path)
@@ -295,12 +438,16 @@ class RecoveryService:
         slot: int,
         time: float,
         ordinal: Optional[int] = None,
+        destination: Optional[int] = None,
     ) -> bool:
         """Rebuild one stripe unit; returns False if unrecoverable now.
 
         ``ordinal`` overrides the flag ordinal hashed destination draws
-        mix in (the throttled path completes recoveries after later
+        mix in (the scheduled path completes recoveries after later
         flags have advanced the counter); None uses the current one.
+        ``destination`` is an optional enqueue-time precommitted
+        destination (the per-link model); it is validated against
+        current state and silently redrawn if stale.
         """
         if not self.store.missing[stripe, slot]:
             raise RepairError(
@@ -315,22 +462,31 @@ class RecoveryService:
         unit_size = int(self.store.unit_sizes[stripe])
         subunit_bytes = unit_size // self.code.substripes_per_unit
         stripe_nodes = self.store.stripe_nodes(stripe)
-        if self.destination_draws == "hashed":
-            destination = int(
-                self.placement.hashed_replacement_nodes(
-                    np.asarray([stripe_nodes], dtype=np.int64),
-                    self.state.down_nodes(),
-                    np.asarray(
-                        [stripe * self.store.width + slot], dtype=np.int64
-                    ),
-                    self._flag_ordinal if ordinal is None else ordinal,
-                    self._dest_entropy,
-                )[0]
-            )
-        else:
-            destination = self.placement.replacement_node(
-                exclude_nodes=stripe_nodes + self.state.down_nodes()
-            )
+        if destination is not None and (
+            destination in stripe_nodes
+            or self.state.is_down(destination)
+        ):
+            destination = None  # stale precommit; redraw below
+        if destination is None:
+            if self.destination_draws == "hashed":
+                destination = int(
+                    self.placement.hashed_replacement_nodes(
+                        np.asarray([stripe_nodes], dtype=np.int64),
+                        self.state.down_nodes(),
+                        np.asarray(
+                            [stripe * self.store.width + slot],
+                            dtype=np.int64,
+                        ),
+                        self._flag_ordinal if ordinal is None else ordinal,
+                        self._dest_entropy,
+                    )[0]
+                )
+            else:
+                destination = self.placement.replacement_node(
+                    exclude_nodes=stripe_nodes + self.state.down_nodes()
+                )
+        if self.placement.is_spare(destination):
+            self.stats.spare_placements += 1
         unit_bytes_downloaded = 0
         for request in plan.requests:
             source_node = stripe_nodes[request.node]
@@ -459,6 +615,11 @@ class RecoveryService:
                     ],
                     dtype=np.int64,
                 )
+        if self.placement.spares_per_rack:
+            offsets = destinations % self.placement.topology.nodes_per_rack
+            self.stats.spare_placements += int(
+                (offsets >= self.placement.data_nodes_per_rack).sum()
+            )
         for count, occurrences in enumerate(
             np.bincount(missing_counts[rec_idx]).tolist()
         ):

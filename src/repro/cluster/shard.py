@@ -48,6 +48,7 @@ disturbing the other workers.
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import time as time_module
@@ -70,18 +71,27 @@ from repro.cluster.placement import (
     make_placement,
 )
 from repro.cluster.recovery import RecoveryStats
+from repro.cluster.repair_policy import RepairJob, scheduler_from_config
 from repro.cluster.simulation import SimulationResult
 from repro.cluster.topology import Topology
 from repro.cluster.traces import generate_unavailability_events, stripe_unit_sizes
+from repro.cluster.workload import ReadStats
 from repro.codes.base import ErasureCode
 from repro.codes.registry import create_code
-from repro.errors import ConfigError, RepairError, SimulationError
-from repro.observability import metrics, span
+from repro.errors import (
+    CheckpointError,
+    ConfigError,
+    PlacementError,
+    RepairError,
+    SimulationError,
+)
+from repro.observability import get_logger, metrics, span
 from repro.parallel import decide_parallel
 
 #: Timeline op kinds, in the exact order the oracle's event queue
-#: produces them.
-OP_DOWN, OP_UP, OP_FLAG = 0, 1, 2
+#: produces them.  Reads carry the client node in ``nodes``, the data
+#: slot in ``ordinals``, and the stripe in ``extras``.
+OP_DOWN, OP_UP, OP_FLAG, OP_READ = 0, 1, 2, 3
 
 
 class Timeline:
@@ -107,11 +117,17 @@ class Timeline:
         total_events: int,
         skipped_already_down: int,
         num_source_events: int,
+        extras: Optional[np.ndarray] = None,
+        num_reads: int = 0,
     ):
         self.kinds = kinds
         self.nodes = nodes
         self.times = times
         self.ordinals = ordinals
+        if extras is None:
+            extras = np.zeros(kinds.shape[0], dtype=np.int64)
+        self.extras = extras
+        self.num_reads = num_reads
         self.num_flags = num_flags
         self.flagged_events_by_day = flagged_events_by_day
         self.total_events = total_events
@@ -177,6 +193,7 @@ def resolve_timeline(config: ClusterConfig) -> Timeline:
     nodes: List[int] = []
     times: List[float] = []
     ordinals: List[int] = []
+    extras: List[int] = []
     flag_count = 0
 
     def on_down(node: int, time: float) -> None:
@@ -184,12 +201,14 @@ def resolve_timeline(config: ClusterConfig) -> Timeline:
         nodes.append(node)
         times.append(time)
         ordinals.append(0)
+        extras.append(0)
 
     def on_up(node: int, time: float) -> None:
         kinds.append(OP_UP)
         nodes.append(node)
         times.append(time)
         ordinals.append(0)
+        extras.append(0)
 
     def on_flagged(queue: EventQueue, node: int, time: float) -> None:
         nonlocal flag_count
@@ -198,6 +217,7 @@ def resolve_timeline(config: ClusterConfig) -> Timeline:
         nodes.append(node)
         times.append(time)
         ordinals.append(flag_count)
+        extras.append(0)
 
     injector = FailureInjector(
         state=NodeStateTable(config.num_nodes),
@@ -209,12 +229,60 @@ def resolve_timeline(config: ClusterConfig) -> Timeline:
     )
     queue = EventQueue()
     injector.install(queue, events)
+    # Foreground reads interleave with the failure ops exactly as the
+    # oracle interleaves them: the identical workload rng draws, the
+    # identical install order (injector first, then reads), the same
+    # queue -- so same-time seq tie-breaks replay verbatim.
+    num_reads = 0
+    if config.reads_per_stripe_per_day > 0:
+        workload_rng = np.random.default_rng(_workload)
+        code_k = create_code(config.code_name, **config.code_params).k
+        expected = (
+            config.reads_per_stripe_per_day
+            * config.num_stripes
+            * config.days
+        )
+        if expected > 0:
+            num_reads = int(workload_rng.poisson(expected))
+            read_times = np.sort(
+                workload_rng.uniform(
+                    0.0, config.days * SECONDS_PER_DAY, num_reads
+                )
+            )
+            read_stripes = workload_rng.integers(
+                0, config.num_stripes, num_reads
+            )
+            read_slots = workload_rng.integers(0, code_k, num_reads)
+            read_clients = workload_rng.integers(
+                0, config.num_nodes, num_reads
+            )
+
+            def make_read(stripe: int, slot: int, client: int):
+                def handler(q: EventQueue, time: float) -> None:
+                    kinds.append(OP_READ)
+                    nodes.append(client)
+                    times.append(time)
+                    ordinals.append(slot)
+                    extras.append(stripe)
+
+                return handler
+
+            for time, stripe, slot, client in zip(
+                read_times, read_stripes, read_slots, read_clients
+            ):
+                queue.schedule(
+                    float(time),
+                    make_read(int(stripe), int(slot), int(client)),
+                    label="read",
+                )
     queue.run()
     return Timeline(
         kinds=np.asarray(kinds, dtype=np.int8),
         nodes=np.asarray(nodes, dtype=np.int64),
         times=np.asarray(times, dtype=np.float64),
         ordinals=np.asarray(ordinals, dtype=np.int64),
+        extras=np.asarray(extras, dtype=np.int64),
+        num_reads=num_reads,
         num_flags=flag_count,
         flagged_events_by_day=dict(injector.flagged_events_by_day),
         total_events=injector.total_events,
@@ -272,6 +340,7 @@ class ShardState:
         node_lists: Optional[Dict[int, List[int]]] = None,
         is_up: Optional[np.ndarray] = None,
         stats: Optional[RecoveryStats] = None,
+        read_stats: Optional[ReadStats] = None,
     ):
         self.shard_id = shard_id
         self.stripe_ids = np.ascontiguousarray(stripe_ids, dtype=np.int64)
@@ -297,6 +366,7 @@ class ShardState:
         self.is_up = np.asarray(is_up, dtype=bool).copy()
         self._down_cache: Optional[List[int]] = None
         self.stats = stats if stats is not None else RecoveryStats()
+        self.read_stats = read_stats if read_stats is not None else ReadStats()
         # (failed slot, availability bitmask) -> resolved plan arrays
         # plus a content key for merging pattern groups that share one
         # plan; same cache keys as the serial service, per shard.
@@ -310,6 +380,11 @@ class ShardState:
         self._ep_srcs: List[np.ndarray] = []
         self._ep_dsts: List[np.ndarray] = []
         self._ep_nbytes: List[np.ndarray] = []
+        # Scalar transfers (reads; scheduler-driven recoveries) buffered
+        # per purpose: (times, srcs, dsts, nbytes) plain lists.
+        self._ep_scalar: Dict[
+            str, Tuple[List[float], List[int], List[int], List[int]]
+        ] = {}
 
     # ------------------------------------------------------------------
     # Epoch application
@@ -321,6 +396,7 @@ class ShardState:
         nodes: Sequence[int],
         times: Sequence[float],
         ordinals: Sequence[int],
+        extras: Sequence[int],
     ) -> int:
         """Apply one epoch's (pre-filtered) ops; returns blocks recovered.
 
@@ -329,14 +405,88 @@ class ShardState:
         this path is rng-free in hashed mode.
         """
         recovered = 0
-        for kind, node, time, ordinal in zip(kinds, nodes, times, ordinals):
+        for kind, node, time, ordinal, extra in zip(
+            kinds, nodes, times, ordinals, extras
+        ):
             if kind == OP_DOWN:
                 self._node_down(node)
             elif kind == OP_UP:
                 self._node_up(node)
+            elif kind == OP_READ:
+                self._apply_read(extra, ordinal, node, time)
             else:
                 recovered += self._node_flagged(node, time, ordinal)
         return recovered
+
+    def local_index(self, stripe: int) -> Optional[int]:
+        """Row index of a global stripe id, or None if not ours."""
+        idx = int(np.searchsorted(self.stripe_ids, stripe))
+        if (
+            idx < self.stripe_ids.shape[0]
+            and self.stripe_ids[idx] == stripe
+        ):
+            return idx
+        return None
+
+    def _charge_scalar(
+        self, time: float, src: int, dst: int, nbytes: int, purpose: str
+    ) -> None:
+        try:
+            buffers = self._ep_scalar[purpose]
+        except KeyError:
+            buffers = self._ep_scalar[purpose] = ([], [], [], [])
+        buffers[0].append(time)
+        buffers[1].append(src)
+        buffers[2].append(dst)
+        buffers[3].append(nbytes)
+
+    def _apply_read(
+        self, stripe: int, slot: int, client: int, time: float
+    ) -> Optional[int]:
+        """Shard-local replay of ``ReadWorkload.perform_read``.
+
+        Returns the bytes a *degraded* read downloaded (for the
+        coordinator's scheduler-latency accounting), None otherwise --
+        including when the stripe belongs to another shard, in which
+        case nothing is counted here (exactly one shard owns each
+        stripe, so merged read stats are exact sums).
+        """
+        local = self.local_index(stripe)
+        if local is None:
+            return None
+        read_stats = self.read_stats
+        read_stats.reads += 1
+        unit_size = int(self.unit_sizes[local])
+        holder = int(self.placement[local, slot])
+        if not self.missing[local, slot] and self.is_up[holder]:
+            if holder != client:
+                self._charge_scalar(time, holder, client, unit_size, "read")
+            read_stats.healthy_reads += 1
+            read_stats.healthy_bytes += unit_size
+            return None
+        available = tuple(np.flatnonzero(~self.missing[local]).tolist())
+        if len(available) < self.code.k:
+            read_stats.failed_reads += 1
+            return None
+        try:
+            plan = self.code.repair_plan_cached(slot, available)
+        except RepairError:
+            read_stats.failed_reads += 1
+            return None
+        subunit_bytes = unit_size // self.code.substripes_per_unit
+        row = self.placement[local]
+        read_bytes = 0
+        for request in plan.requests:
+            source = int(row[request.node])
+            num_bytes = len(request.substripes) * subunit_bytes
+            if source != client:
+                self._charge_scalar(
+                    time, source, client, num_bytes, "degraded-read"
+                )
+            read_stats.degraded_bytes += num_bytes
+            read_bytes += num_bytes
+        read_stats.degraded_reads += 1
+        return read_bytes
 
     def _node_down(self, node: int) -> None:
         self.is_up[node] = False
@@ -446,6 +596,11 @@ class ShardState:
                     ],
                     dtype=np.int64,
                 )
+        if self.policy.spares_per_rack:
+            offsets = destinations % self.policy.topology.nodes_per_rack
+            self.stats.spare_placements += int(
+                (offsets >= self.policy.data_nodes_per_rack).sum()
+            )
         for count, occurrences in enumerate(
             np.bincount(missing_counts[rec_idx]).tolist()
         ):
@@ -501,29 +656,191 @@ class ShardState:
         except RepairError:
             return None
 
+    # ------------------------------------------------------------------
+    # Scheduler-mode (DES) scalar operations
+    # ------------------------------------------------------------------
+
+    def _usable_row(self, local: int) -> Tuple[np.ndarray, int]:
+        """(planning-availability row, true missing count) for one
+        stripe, with the same corrupt-survivor accounting as
+        ``RecoveryService._usable_slots``."""
+        live = ~self.missing[local]
+        missing_count = int(self.width - live.sum())
+        if self._corrupt is not None:
+            corrupt = self._corrupt[local]
+            self.stats.corrupt_survivors_excluded += int(
+                (live & corrupt).sum()
+            )
+            live = live & ~corrupt
+        return live, missing_count
+
+    def collect_repair_job(
+        self, stripe: int, slot: int
+    ) -> Optional[Tuple[int, int]]:
+        """Enqueue-time planning for one degraded unit of ours.
+
+        Returns ``(planned download bytes, missing count)``, or None
+        after accounting the unit unrecoverable -- byte-for-byte the
+        accounting ``RecoveryService._submit_repairs`` performs.
+        """
+        local = self.local_index(stripe)
+        avail, missing_count = self._usable_row(local)
+        available = tuple(np.flatnonzero(avail).tolist())
+        plan = self._resolve_plan(slot, available)
+        if plan is None:
+            self.stats.degraded_histogram[missing_count] += 1
+            self.stats.unrecoverable_units += 1
+            return None
+        nbytes = plan.bytes_downloaded(int(self.unit_sizes[local]))
+        return nbytes, missing_count
+
+    def precompute_destination(
+        self, stripe: int, slot: int, ordinal: int
+    ) -> Optional[int]:
+        """Enqueue-time hashed destination draw for the per-link model;
+        None (job travels without a TOR) when placement has no rack."""
+        local = self.local_index(stripe)
+        row = self.placement[local]
+        try:
+            return int(
+                self.policy.hashed_replacement_nodes(
+                    row[None, :],
+                    self._down_nodes(),
+                    np.asarray(
+                        [stripe * self.width + slot], dtype=np.int64
+                    ),
+                    ordinal,
+                    self._entropy,
+                )[0]
+            )
+        except PlacementError:
+            return None
+
+    def apply_completion(
+        self, job: RepairJob
+    ) -> Optional[Tuple[int, int]]:
+        """Apply one completed scheduler job against current state.
+
+        The scalar mirror of ``RecoveryService._finish_job`` +
+        ``recover_unit``: re-plan against completion-time availability,
+        validate (or redraw) the destination, charge the plan's
+        transfers at the completion instant, relocate.  Returns
+        ``(old holder, destination)`` on success, None when the job was
+        cancelled (machine returned first) or unrecoverable now.
+        """
+        local = self.local_index(job.stripe)
+        slot = job.slot
+        if not self.missing[local, slot]:
+            self.stats.cancelled_recoveries += 1
+            return None
+        avail, missing_count = self._usable_row(local)
+        available = tuple(np.flatnonzero(avail).tolist())
+        plan = self._resolve_plan(slot, available)
+        if plan is None:
+            self.stats.degraded_histogram[missing_count] += 1
+            self.stats.unrecoverable_units += 1
+            return None
+        self.stats.degraded_histogram[missing_count] += 1
+        unit_size = int(self.unit_sizes[local])
+        subunit_bytes = unit_size // self.code.substripes_per_unit
+        row = self.placement[local]
+        stripe_nodes = row.tolist()
+        destination = job.dest
+        if destination is not None and (
+            destination in stripe_nodes or not self.is_up[destination]
+        ):
+            destination = None  # stale precommit; redraw below
+        if destination is None:
+            down = self._down_nodes()
+            if self.destination_draws == "hashed":
+                destination = int(
+                    self.policy.hashed_replacement_nodes(
+                        row[None, :],
+                        down,
+                        np.asarray(
+                            [job.stripe * self.width + slot],
+                            dtype=np.int64,
+                        ),
+                        job.ordinal,
+                        self._entropy,
+                    )[0]
+                )
+            else:
+                destination = self.policy.replacement_node(
+                    exclude_nodes=stripe_nodes + down
+                )
+        if self.policy.is_spare(destination):
+            self.stats.spare_placements += 1
+        time = job.completion
+        unit_bytes = 0
+        for request in plan.requests:
+            num_bytes = len(request.substripes) * subunit_bytes
+            self._charge_scalar(
+                time,
+                int(row[request.node]),
+                destination,
+                num_bytes,
+                "recovery",
+            )
+            unit_bytes += num_bytes
+        old_holder = int(row[slot])
+        self.placement[local, slot] = destination
+        self.missing[local, slot] = False
+        luid = local * self.width + slot
+        self.node_units[old_holder].remove(luid)
+        self.node_units.setdefault(destination, []).append(luid)
+        self.stats.bytes_downloaded += unit_bytes
+        self.stats.blocks_recovered += 1
+        self.stats.blocks_recovered_by_day[
+            int(time // SECONDS_PER_DAY)
+        ] += 1
+        return old_holder, destination
+
     def flush_epoch(self) -> int:
         """Charge the epoch's transfers in one batch; returns array bytes.
 
         Per-transfer times are preserved across the epoch, so the
         meter's per-day grouping is identical to per-flag charging.
         """
-        if not self._ep_srcs:
-            return 0
-        # Times are kept as (time, transfer-count) pairs per flag; one
-        # repeat here replaces a np.full per group in the hot loop.
-        times = np.repeat(
-            np.array([t for t, _ in self._ep_times]),
-            np.array([n for _, n in self._ep_times], dtype=np.int64),
-        )
-        srcs = np.concatenate(self._ep_srcs)
-        dsts = np.concatenate(self._ep_dsts)
-        nbytes = np.concatenate(self._ep_nbytes)
-        self._ep_times.clear()
-        self._ep_srcs.clear()
-        self._ep_dsts.clear()
-        self._ep_nbytes.clear()
-        self.meter.charge_batch(times, srcs, dsts, nbytes, purpose="recovery")
-        return int(times.nbytes + srcs.nbytes + dsts.nbytes + nbytes.nbytes)
+        flushed = 0
+        if self._ep_srcs:
+            # Times are kept as (time, transfer-count) pairs per flag;
+            # one repeat here replaces a np.full per group in the hot
+            # loop.
+            times = np.repeat(
+                np.array([t for t, _ in self._ep_times]),
+                np.array([n for _, n in self._ep_times], dtype=np.int64),
+            )
+            srcs = np.concatenate(self._ep_srcs)
+            dsts = np.concatenate(self._ep_dsts)
+            nbytes = np.concatenate(self._ep_nbytes)
+            self._ep_times.clear()
+            self._ep_srcs.clear()
+            self._ep_dsts.clear()
+            self._ep_nbytes.clear()
+            self.meter.charge_batch(
+                times, srcs, dsts, nbytes, purpose="recovery"
+            )
+            flushed += int(
+                times.nbytes + srcs.nbytes + dsts.nbytes + nbytes.nbytes
+            )
+        if self._ep_scalar:
+            # Scalar transfers (reads, scheduler completions), one
+            # charge_batch per purpose; every meter aggregate is an
+            # order-invariant sum, so batching here is exact.
+            for purpose in sorted(self._ep_scalar):
+                times_l, srcs_l, dsts_l, nbytes_l = self._ep_scalar[purpose]
+                times = np.asarray(times_l, dtype=np.float64)
+                self.meter.charge_batch(
+                    times,
+                    np.asarray(srcs_l, dtype=np.int64),
+                    np.asarray(dsts_l, dtype=np.int64),
+                    np.asarray(nbytes_l, dtype=np.int64),
+                    purpose=purpose,
+                )
+                flushed += int(times.nbytes * 4)
+            self._ep_scalar.clear()
+        return flushed
 
     # ------------------------------------------------------------------
     # Snapshot support
@@ -536,7 +853,11 @@ class ShardState:
         uids) preserving per-list order; empty lists are dropped (an
         absent node and an empty list behave identically).
         """
-        from repro.cluster.checkpoint import meter_state, stats_state
+        from repro.cluster.checkpoint import (
+            meter_state,
+            read_stats_state,
+            stats_state,
+        )
 
         list_nodes = [n for n in sorted(self.node_units) if self.node_units[n]]
         counts = [len(self.node_units[n]) for n in list_nodes]
@@ -554,6 +875,7 @@ class ShardState:
             "list_uids": np.asarray(concat, dtype=np.int64),
             "stats": stats_state(self.stats),
             "meter": meter_state(self.meter),
+            "read_stats": read_stats_state(self.read_stats),
         }
 
 
@@ -583,7 +905,11 @@ def _build_shard(
 ) -> ShardState:
     """Construct a :class:`ShardState` from an initial payload or a
     restored snapshot (snapshots carry the extra keys)."""
-    from repro.cluster.checkpoint import restore_meter, restore_stats
+    from repro.cluster.checkpoint import (
+        restore_meter,
+        restore_read_stats,
+        restore_stats,
+    )
 
     node_lists = None
     if "list_nodes" in state:
@@ -596,6 +922,11 @@ def _build_shard(
         else TrafficMeter(topology, record_transfers=record_transfers)
     )
     stats = restore_stats(state["stats"]) if "stats" in state else None
+    read_stats = (
+        restore_read_stats(state["read_stats"])
+        if "read_stats" in state
+        else None
+    )
     return ShardState(
         shard_id=int(state["shard_id"]),
         stripe_ids=state["stripe_ids"],
@@ -613,6 +944,7 @@ def _build_shard(
         node_lists=node_lists,
         is_up=is_up,
         stats=stats,
+        read_stats=read_stats,
     )
 
 
@@ -625,13 +957,18 @@ def _shard_worker_main(conn) -> None:
     """Stateful shard worker: owns its shards across all epochs.
 
     Messages: ``("init", params, states)`` builds the shards;
-    ``("epoch", e, kinds, nodes, times, ordinals)`` applies one epoch
-    and acks with per-shard recovered counts; ``("collect",)`` returns
-    snapshots; ``("finish",)`` returns per-shard meter/stats states;
-    ``("stop",)`` exits.  The ``crash`` init param (tests only) makes
-    the worker die mid-epoch via ``os._exit`` to exercise replay.
+    ``("epoch", e, kinds, nodes, times, ordinals, extras)`` applies one
+    epoch and acks with per-shard recovered counts; ``("collect",)``
+    returns snapshots; ``("finish",)`` returns per-shard
+    meter/stats/read-stats states; ``("stop",)`` exits.  The ``crash``
+    init param (tests only) makes the worker die mid-epoch via
+    ``os._exit`` to exercise replay.
     """
-    from repro.cluster.checkpoint import meter_state, stats_state
+    from repro.cluster.checkpoint import (
+        meter_state,
+        read_stats_state,
+        stats_state,
+    )
 
     shards: List[ShardState] = []
     crash: Optional[Tuple[int, int]] = None
@@ -646,7 +983,10 @@ def _shard_worker_main(conn) -> None:
             topology = Topology(params["num_racks"], params["nodes_per_rack"])
             code = create_code(params["code_name"], **params["code_params"])
             policy = make_placement(
-                params["placement_policy"], topology, seed=0
+                params["placement_policy"],
+                topology,
+                seed=0,
+                spares_per_rack=params["spares_per_rack"],
             )
             shards = [
                 _build_shard(
@@ -666,13 +1006,13 @@ def _shard_worker_main(conn) -> None:
             crash = params.get("crash")
             conn.send(("ready",))
         elif tag == "epoch":
-            epoch, kinds, nodes, times, ordinals = msg[1:]
+            epoch, kinds, nodes, times, ordinals, extras = msg[1:]
             recovered = []
             for index, shard in enumerate(shards):
                 if crash is not None and crash == (epoch, index):
                     os._exit(23)  # simulated mid-epoch worker death
                 recovered.append(
-                    shard.apply_epoch(kinds, nodes, times, ordinals)
+                    shard.apply_epoch(kinds, nodes, times, ordinals, extras)
                 )
                 shard.flush_epoch()
             if crash is not None and crash[0] == epoch:
@@ -689,6 +1029,7 @@ def _shard_worker_main(conn) -> None:
                             shard.shard_id,
                             meter_state(shard.meter),
                             stats_state(shard.stats),
+                            read_stats_state(shard.read_stats),
                         )
                         for shard in shards
                     ],
@@ -774,10 +1115,16 @@ class ShardedSimulation:
         (``stop_after_day``); snapshots also serve as the replay base
         when a worker dies.
 
-    Not supported (loud :class:`ConfigError`, never silent divergence):
-    read workloads (``reads_per_stripe_per_day > 0``) and throttled
-    recovery (``recovery_bandwidth_bytes_per_sec``) -- both serialise
-    through global state that cannot shard yet.
+    Read workloads (``reads_per_stripe_per_day > 0``) resolve into the
+    timeline up front (the read rng replays the serial workload's draws
+    exactly) and execute on the owning shard, so they partition freely.
+    Repair-policy configs (throttled recovery, priority/lazy queues,
+    the per-link model) serialise through the global queue clocks:
+    the coordinator drives the scheduler itself, running shards
+    in-process -- worker processes degrade gracefully (a structured
+    warning plus the ``sim.repair.workers_degraded`` metric, never a
+    crash or silent divergence) and the result still matches the
+    oracle bit-for-bit.
     """
 
     def __init__(
@@ -792,17 +1139,6 @@ class ShardedSimulation:
         _restore=None,
         _test_crash: Optional[Tuple[int, int, int]] = None,
     ):
-        if config.reads_per_stripe_per_day > 0:
-            raise ConfigError(
-                "ShardedSimulation does not support read workloads "
-                "(reads_per_stripe_per_day > 0); use WarehouseSimulation"
-            )
-        if config.recovery_bandwidth_bytes_per_sec is not None:
-            raise ConfigError(
-                "ShardedSimulation does not support throttled recovery "
-                "(recovery_bandwidth_bytes_per_sec); the shared pipe is "
-                "global state -- use WarehouseSimulation"
-            )
         self.config = config
         if _restore is not None and num_shards is None:
             num_shards = _restore.num_shards
@@ -818,6 +1154,22 @@ class ShardedSimulation:
         )
         if self.num_workers > self.num_shards:
             self.num_workers = self.num_shards
+        #: Global repair-policy scheduler (None when every repair
+        #: completes at flag time).  Queue timing is global state, so
+        #: scheduler runs are coordinator-driven: worker processes
+        #: degrade gracefully to in-process shards.
+        self.scheduler = scheduler_from_config(config)
+        if self.scheduler is not None and self.num_workers > 0:
+            get_logger("repro.shard").warning(
+                "repair-policy-workers-degraded",
+                workers=self.num_workers,
+                reason="repair scheduler serialises through global "
+                "queue clocks; running shards in-process",
+            )
+            m = metrics()
+            if m is not None:
+                m.inc("sim.repair.workers_degraded")
+            self.num_workers = 0
         if config.destination_draws != "hashed" and (
             self.num_shards > 1 or self.num_workers > 0
         ):
@@ -839,12 +1191,15 @@ class ShardedSimulation:
                 )
         self._test_crash = _test_crash
 
-        self.topology = Topology(config.num_racks, config.nodes_per_rack)
+        self.topology = Topology(config.num_racks, config.total_nodes_per_rack)
         seed = np.random.SeedSequence(config.seed)
         placement_seed, _failure, size_seed, recovery_seed, _wl = seed.spawn(5)
         self.code = create_code(config.code_name, **config.code_params)
         self.policy = make_placement(
-            config.placement_policy, self.topology, seed=placement_seed
+            config.placement_policy,
+            self.topology,
+            seed=placement_seed,
+            spares_per_rack=config.hot_spares_per_rack,
         )
         self._recovery_rng = np.random.default_rng(recovery_seed)
         self._entropy = (
@@ -875,6 +1230,16 @@ class ShardedSimulation:
                 corrupt_mask[int(stripe), int(slot)] = True
 
         shard_of = stripe_shard_ids(config.num_stripes, self.num_shards)
+        self._shard_of = shard_of
+        #: Coordinator-side global state for scheduler (DES) mode: the
+        #: per-node unit trajectories in the store's query order, a flat
+        #: missing replica, completed-job latencies, and the exact
+        #: integer wait sums -- all None/zero when no scheduler runs.
+        self._traj: Optional[Dict[int, List[int]]] = None
+        self._missing: Optional[np.ndarray] = None
+        self._latencies: List[float] = []
+        self._queue_wait_us = 0
+        self._urgent_wait_us = 0
         if _restore is None:
             # Fresh run: build the identical substrate the oracle builds
             # (same placement/size streams), then partition by shard.
@@ -899,6 +1264,9 @@ class ShardedSimulation:
             self._is_up = np.ones(config.num_nodes, dtype=bool)
             self._flagged_recovered = 0
             self._flagged_skipped = 0
+            if self.scheduler is not None:
+                self._traj = node_unit_lists(placements)
+                self._missing = np.zeros(placements.size, dtype=bool)
         else:
             # Resume: shard states come from the snapshot; the rng
             # states replace the freshly-seeded generators so the
@@ -920,6 +1288,35 @@ class ShardedSimulation:
             self._is_up = np.asarray(_restore.is_up, dtype=bool).copy()
             self._flagged_recovered = _restore.flagged_events_recovered
             self._flagged_skipped = _restore.flagged_events_skipped
+            if self.scheduler is not None:
+                if (
+                    _restore.scheduler_state is None
+                    or _restore.coord_traj is None
+                    or _restore.coord_missing is None
+                ):
+                    raise CheckpointError(
+                        "config activates the repair-policy scheduler "
+                        "but the checkpoint carries no queue state; it "
+                        "was written by a build without the policy "
+                        "engine -- re-create the snapshot"
+                    )
+                self.scheduler.restore(_restore.scheduler_state)
+                traj_nodes, traj_counts, traj_uids = _restore.coord_traj
+                self._traj = _decode_node_lists(
+                    traj_nodes, traj_counts, traj_uids
+                )
+                self._missing = np.asarray(
+                    _restore.coord_missing, dtype=bool
+                ).copy()
+                self._latencies = (
+                    np.asarray(
+                        _restore.coord_latencies, dtype=np.float64
+                    ).tolist()
+                    if _restore.coord_latencies is not None
+                    else []
+                )
+                self._queue_wait_us = _restore.coord_queue_wait_us
+                self._urgent_wait_us = _restore.coord_urgent_wait_us
 
         self._workers: List[_WorkerHandle] = []
         self._shards: List[ShardState] = []
@@ -1007,7 +1404,11 @@ class ShardedSimulation:
             for epoch in range(self._start_epoch, target_epoch):
                 lo, hi = int(bounds[epoch]), int(bounds[epoch + 1])
                 ops = self._prepare_epoch(timeline, lo, hi)
-                if self.num_workers > 0:
+                if self.scheduler is not None:
+                    recovered = self._apply_epoch_des(
+                        ops, (epoch + 1) * SECONDS_PER_DAY
+                    )
+                elif self.num_workers > 0:
                     self._epoch_ops[epoch] = ops
                     recovered = self._dispatch_epoch_workers(epoch, ops)
                 else:
@@ -1031,11 +1432,30 @@ class ShardedSimulation:
             if stop_after_day is not None:
                 self._write_checkpoint(target_epoch)
                 return None
-            meter, stats = self._merge_results()
+            if self.scheduler is not None:
+                # Serial queue.run() drains to exhaustion; mirror it by
+                # letting every queued/deferred repair run to completion
+                # past the horizon.
+                counts = [0] * self.num_shards
+                self._apply_completions(
+                    self.scheduler.advance(math.inf, inclusive=True), counts
+                )
+                for shard in self._shards:
+                    shard.flush_epoch()
+            meter, stats, read_stats = self._merge_results()
         finally:
             self._stop_workers()
         stats.flagged_events_recovered += self._flagged_recovered
         stats.flagged_events_skipped += self._flagged_skipped
+        if self.scheduler is not None:
+            stats.repair_latencies.extend(self._latencies)
+            stats.queue_wait_us += self._queue_wait_us
+            stats.urgent_wait_us += self._urgent_wait_us
+            stats.deferred_repairs += self.scheduler.deferred_total
+            stats.promoted_repairs += self.scheduler.promoted_total
+            stats.queue_peak_depth = max(
+                stats.queue_peak_depth, self.scheduler.peak_depth
+            )
         if m is not None:
             m.inc("simulation.runs")
             m.inc("simulation.events", timeline.num_source_events)
@@ -1055,6 +1475,11 @@ class ShardedSimulation:
             degraded_histogram=dict(stats.degraded_histogram),
             stats=stats,
             meter=meter,
+            read_stats=(
+                read_stats
+                if self.config.reads_per_stripe_per_day > 0
+                else None
+            ),
         )
 
     def _prepare_epoch(self, timeline: Timeline, lo: int, hi: int) -> Tuple:
@@ -1072,6 +1497,7 @@ class ShardedSimulation:
         nodes = timeline.nodes[lo:hi]
         times = timeline.times[lo:hi]
         ordinals = timeline.ordinals[lo:hi]
+        extras = timeline.extras[lo:hi]
         flag_idx = np.flatnonzero(kinds == OP_FLAG)
         keep = np.ones(kinds.shape[0], dtype=bool)
         if flag_idx.size:
@@ -1084,29 +1510,165 @@ class ShardedSimulation:
         nodes = nodes[keep]
         times = times[keep]
         ordinals = ordinals[keep]
-        not_flag = kinds != OP_FLAG
-        for kind, node in zip(
-            kinds[not_flag].tolist(), nodes[not_flag].tolist()
-        ):
+        extras = extras[keep]
+        avail = (kinds == OP_DOWN) | (kinds == OP_UP)
+        for kind, node in zip(kinds[avail].tolist(), nodes[avail].tolist()):
             self._is_up[node] = kind == OP_UP
         return (
             kinds.tolist(),
             nodes.tolist(),
             times.tolist(),
             ordinals.tolist(),
+            extras.tolist(),
         )
 
     def _apply_epoch_serial(self, ops: Tuple) -> List[int]:
-        kinds, nodes, times, ordinals = ops
+        kinds, nodes, times, ordinals, extras = ops
         recovered = []
         merge_bytes = 0
         for shard in self._shards:
-            recovered.append(shard.apply_epoch(kinds, nodes, times, ordinals))
+            recovered.append(
+                shard.apply_epoch(kinds, nodes, times, ordinals, extras)
+            )
             merge_bytes += shard.flush_epoch()
         m = metrics()
         if m is not None and merge_bytes:
             m.inc("sim.shard.merge_bytes", merge_bytes)
         return recovered
+
+    # ------------------------------------------------------------------
+    # DES mode: the coordinator drives the repair-policy scheduler
+    # ------------------------------------------------------------------
+
+    def _apply_completions(
+        self, jobs: List["RepairJob"], counts: List[int]
+    ) -> None:
+        """Apply finished repair jobs to their owning shards, in order.
+
+        Mirrors the serial service's ``_finish_job``: wait metrics are
+        charged before the cancellation check, and the coordinator's
+        node trajectories replay the relocation as remove+append so the
+        next flag on a node enqueues in the store's query order.
+        """
+        for job in jobs:
+            self._queue_wait_us += int(
+                round((job.start - job.enqueue_time) * 1e6)
+            )
+            if job.urgent:
+                self._urgent_wait_us += int(
+                    round((job.completion - job.enqueue_time) * 1e6)
+                )
+            result = self._shards[job.shard_id].apply_completion(job)
+            if result is None:
+                continue
+            old_holder, destination = result
+            self._latencies.append(job.completion - job.enqueue_time)
+            counts[job.shard_id] += 1
+            self._missing[job.uid] = False
+            self._traj[old_holder].remove(job.uid)
+            self._traj.setdefault(destination, []).append(job.uid)
+
+    def _submit_flag(self, node: int, time: float, ordinal: int) -> None:
+        """Enqueue one repair job per degraded unit on a flagged node.
+
+        The trajectory list IS the store's per-node query order
+        (never-relocated units in uid order, relocated-in units in
+        arrival order), so iterating it unsorted reproduces the serial
+        ``_submit_repairs`` enqueue sequence exactly.
+        """
+        width = self.config.stripe_width_units
+        degraded = [
+            uid for uid in self._traj.get(node, []) if self._missing[uid]
+        ]
+        for uid in degraded:
+            stripe, slot = divmod(int(uid), width)
+            owner = int(self._shard_of[stripe])
+            shard = self._shards[owner]
+            collected = shard.collect_repair_job(stripe, slot)
+            if collected is None:
+                continue
+            nbytes, missing_count = collected
+            dest = rack = None
+            if self.scheduler.link is not None:
+                dest = shard.precompute_destination(stripe, slot, ordinal)
+                if dest is not None:
+                    rack = dest // self.topology.nodes_per_rack
+            self.scheduler.submit(
+                RepairJob(
+                    stripe=stripe,
+                    slot=slot,
+                    uid=int(uid),
+                    shard_id=owner,
+                    enqueue_time=time,
+                    ordinal=ordinal,
+                    nbytes=nbytes,
+                    urgent=missing_count >= 2,
+                    dest=dest,
+                    rack=rack,
+                ),
+                time,
+            )
+
+    def _apply_epoch_des(self, ops: Tuple, bound: float) -> List[int]:
+        """Apply one epoch with the repair-policy scheduler in the loop.
+
+        Interleaving law: before each timeline op, completions strictly
+        *before* its timestamp are applied (ops win exact-time ties,
+        matching the serial event queue where pre-installed ops carry
+        smaller sequence numbers than run-scheduled wakes); at the epoch
+        boundary, completions strictly before the boundary are drained
+        so boundary-time completions stay pending for the next epoch.
+        """
+        kinds, nodes, times, ordinals, extras = ops
+        counts = [0] * self.num_shards
+        for kind, node, time, ordinal, extra in zip(
+            kinds, nodes, times, ordinals, extras
+        ):
+            self._apply_completions(
+                self.scheduler.advance(time, inclusive=False), counts
+            )
+            if kind == OP_DOWN:
+                for shard in self._shards:
+                    shard._node_down(node)
+                units = self._traj.get(node)
+                if units:
+                    self._missing[units] = True
+            elif kind == OP_UP:
+                for shard in self._shards:
+                    shard._node_up(node)
+                units = self._traj.get(node)
+                if units:
+                    self._missing[units] = False
+            elif kind == OP_READ:
+                owner = int(self._shard_of[extra])
+                shard = self._shards[owner]
+                read_bytes = shard._apply_read(extra, ordinal, node, time)
+                if read_bytes is not None:
+                    rack = node // self.topology.nodes_per_rack
+                    latency_us = int(
+                        round(
+                            self.scheduler.read_latency(
+                                time, read_bytes, rack
+                            )
+                            * 1e6
+                        )
+                    )
+                    rs = shard.read_stats
+                    rs.degraded_read_latency_us += latency_us
+                    if latency_us > rs.degraded_read_latency_max_us:
+                        rs.degraded_read_latency_max_us = latency_us
+            else:  # OP_FLAG
+                self._submit_flag(node, time, ordinal)
+        self._apply_completions(
+            self.scheduler.advance(bound, inclusive=False), counts
+        )
+        merge_bytes = 0
+        for shard in self._shards:
+            merge_bytes += shard.flush_epoch()
+        m = metrics()
+        if m is not None and merge_bytes:
+            m.inc("sim.shard.merge_bytes", merge_bytes)
+        return counts
 
     def _build_local_shard(self, state: dict) -> ShardState:
         return _build_shard(
@@ -1129,7 +1691,8 @@ class ShardedSimulation:
     def _worker_params(self, worker_index: int) -> Dict[str, object]:
         params = {
             "num_racks": self.config.num_racks,
-            "nodes_per_rack": self.config.nodes_per_rack,
+            "nodes_per_rack": self.config.total_nodes_per_rack,
+            "spares_per_rack": self.config.hot_spares_per_rack,
             "code_name": self.config.code_name,
             "code_params": dict(self.config.code_params),
             "placement_policy": self.config.placement_policy,
@@ -1167,8 +1730,8 @@ class ShardedSimulation:
             self._workers.append(handle)
 
     def _dispatch_epoch_workers(self, epoch: int, ops: Tuple) -> List[int]:
-        kinds, nodes, times, ordinals = ops
-        msg = ("epoch", epoch, kinds, nodes, times, ordinals)
+        kinds, nodes, times, ordinals, extras = ops
+        msg = ("epoch", epoch, kinds, nodes, times, ordinals, extras)
         dead: List[_WorkerHandle] = []
         for handle in self._workers:
             try:
@@ -1227,8 +1790,10 @@ class ShardedSimulation:
         )
         recovered: List[int] = []
         for past in range(self._base_epoch, epoch + 1):
-            kinds, nodes, times, ordinals = self._epoch_ops[past]
-            handle.send(("epoch", past, kinds, nodes, times, ordinals))
+            kinds, nodes, times, ordinals, extras = self._epoch_ops[past]
+            handle.send(
+                ("epoch", past, kinds, nodes, times, ordinals, extras)
+            )
             reply = handle.recv()
             recovered = reply[2]
         return recovered
@@ -1264,6 +1829,26 @@ class ShardedSimulation:
 
         wall0 = time_module.perf_counter()
         states = self._collect_states()
+        scheduler_state = None
+        coord_traj = None
+        coord_missing = None
+        coord_latencies = None
+        if self.scheduler is not None:
+            scheduler_state = self.scheduler.state_dict()
+            traj_nodes = [
+                n for n in sorted(self._traj) if self._traj[n]
+            ]
+            traj_counts = [len(self._traj[n]) for n in traj_nodes]
+            traj_concat: List[int] = []
+            for n in traj_nodes:
+                traj_concat.extend(self._traj[n])
+            coord_traj = (
+                np.asarray(traj_nodes, dtype=np.int64),
+                np.asarray(traj_counts, dtype=np.int64),
+                np.asarray(traj_concat, dtype=np.int64),
+            )
+            coord_missing = self._missing
+            coord_latencies = np.asarray(self._latencies, dtype=np.float64)
         save_checkpoint(
             self.checkpoint_path,
             SimulationCheckpoint(
@@ -1276,6 +1861,12 @@ class ShardedSimulation:
                 flagged_events_skipped=self._flagged_skipped,
                 is_up=self._is_up,
                 shard_states=states,
+                scheduler_state=scheduler_state,
+                coord_traj=coord_traj,
+                coord_missing=coord_missing,
+                coord_latencies=coord_latencies,
+                coord_queue_wait_us=self._queue_wait_us,
+                coord_urgent_wait_us=self._urgent_wait_us,
             ),
         )
         # The freshly-written snapshot becomes the replay base; earlier
@@ -1293,31 +1884,40 @@ class ShardedSimulation:
                 time_module.perf_counter() - wall0,
             )
 
-    def _merge_results(self) -> Tuple[TrafficMeter, RecoveryStats]:
-        from repro.cluster.checkpoint import restore_meter, restore_stats
+    def _merge_results(
+        self,
+    ) -> Tuple[TrafficMeter, RecoveryStats, ReadStats]:
+        from repro.cluster.checkpoint import (
+            restore_meter,
+            restore_read_stats,
+            restore_stats,
+        )
 
         meter = TrafficMeter(
             self.topology, record_transfers=self.record_transfers
         )
         stats = RecoveryStats()
+        read_stats = ReadStats()
         merge_bytes = 0
         if self.num_workers == 0:
             for shard in self._shards:
                 meter.merge_from(shard.meter)
                 stats.merge_from(shard.stats)
+                read_stats.merge_from(shard.read_stats)
         else:
             parts: List[Optional[Tuple]] = [None] * self.num_shards
             for handle in self._workers:
                 handle.send(("finish",))
                 reply = handle.recv()
                 merge_bytes += len(pickle.dumps(reply))
-                for shard_id, meter_st, stats_st in reply[1]:
-                    parts[shard_id] = (meter_st, stats_st)
+                for shard_id, meter_st, stats_st, read_st in reply[1]:
+                    parts[shard_id] = (meter_st, stats_st, read_st)
             for part in parts:
-                meter_st, stats_st = part
+                meter_st, stats_st, read_st = part
                 meter.merge_from(restore_meter(self.topology, meter_st))
                 stats.merge_from(restore_stats(stats_st))
+                read_stats.merge_from(restore_read_stats(read_st))
         m = metrics()
         if m is not None and merge_bytes:
             m.inc("sim.shard.merge_bytes", merge_bytes)
-        return meter, stats
+        return meter, stats, read_stats

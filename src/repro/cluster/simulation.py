@@ -34,6 +34,7 @@ from repro.cluster.placement import (
     make_placement,
 )
 from repro.cluster.recovery import RecoveryService, RecoveryStats
+from repro.cluster.repair_policy import scheduler_from_config
 from repro.cluster.topology import Topology
 from repro.cluster.traces import generate_unavailability_events, stripe_unit_sizes
 from repro.cluster.workload import ReadStats, ReadWorkload
@@ -132,7 +133,7 @@ class WarehouseSimulation:
 
     def __init__(self, config: ClusterConfig, record_transfers: bool = False):
         self.config = config
-        self.topology = Topology(config.num_racks, config.nodes_per_rack)
+        self.topology = Topology(config.num_racks, config.total_nodes_per_rack)
         # Independent, code-agnostic random streams (see module docstring).
         seed = np.random.SeedSequence(config.seed)
         (
@@ -143,7 +144,10 @@ class WarehouseSimulation:
             workload_seed,
         ) = seed.spawn(5)
         self.placement: PlacementPolicy = make_placement(
-            config.placement_policy, self.topology, seed=placement_seed
+            config.placement_policy,
+            self.topology,
+            seed=placement_seed,
+            spares_per_rack=config.hot_spares_per_rack,
         )
         self.code = create_code(config.code_name, **config.code_params)
         sizes_rng = np.random.default_rng(size_seed)
@@ -177,6 +181,7 @@ class WarehouseSimulation:
                     self.store.num_stripes,
                     self.store.width,
                 )
+        self.scheduler = scheduler_from_config(config)
         self.recovery = RecoveryService(
             store=self.store,
             state=self.state,
@@ -185,7 +190,7 @@ class WarehouseSimulation:
             meter=self.meter,
             rng=recovery_rng,
             trigger_fraction=config.recovery_trigger_fraction,
-            bandwidth_bytes_per_sec=config.recovery_bandwidth_bytes_per_sec,
+            scheduler=self.scheduler,
             batched=config.batched_recovery,
             corrupt_units=corrupt_units,
             destination_draws=config.destination_draws,
@@ -210,6 +215,7 @@ class WarehouseSimulation:
                 code=self.code,
                 rng=np.random.default_rng(workload_seed),
                 reads_per_stripe_per_day=config.reads_per_stripe_per_day,
+                scheduler=self.scheduler,
             )
         self.queue = EventQueue()
 
@@ -239,6 +245,7 @@ class WarehouseSimulation:
         # checks + recoveries); the reported series cover full days only.
         with span("simulation.event_queue"):
             self.queue.run()
+        self.recovery.finalize_scheduler_stats()
         num_days = int(self.config.days)
         m = metrics()
         if m is not None:

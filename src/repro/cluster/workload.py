@@ -40,6 +40,30 @@ class ReadStats:
     failed_reads: int = 0
     healthy_bytes: int = 0
     degraded_bytes: int = 0
+    #: Total and worst-case queueing+transfer latency degraded reads
+    #: observe on the repair fabric (integer microseconds; zero unless
+    #: the per-link/bandwidth model is active).
+    degraded_read_latency_us: int = 0
+    degraded_read_latency_max_us: int = 0
+
+    def merge_from(self, other: "ReadStats") -> None:
+        """Fold another stats object into this one (exact sums/max).
+
+        Per-shard read counters are disjoint, so integer sums (and a
+        max for the worst-case latency) reproduce the serial workload's
+        stats exactly -- the merge law the sharded engine relies on.
+        """
+        self.reads += other.reads
+        self.healthy_reads += other.healthy_reads
+        self.degraded_reads += other.degraded_reads
+        self.failed_reads += other.failed_reads
+        self.healthy_bytes += other.healthy_bytes
+        self.degraded_bytes += other.degraded_bytes
+        self.degraded_read_latency_us += other.degraded_read_latency_us
+        self.degraded_read_latency_max_us = max(
+            self.degraded_read_latency_max_us,
+            other.degraded_read_latency_max_us,
+        )
 
     @property
     def degraded_fraction(self) -> float:
@@ -66,6 +90,11 @@ class ReadWorkload:
         Stream for read times, targets, and client placement.
     reads_per_stripe_per_day:
         Poisson intensity; total rate is ``num_stripes x`` this.
+    scheduler:
+        Optional :class:`~repro.cluster.repair_policy.RepairScheduler`.
+        When present, each degraded read asks it (observationally --
+        no clock advances) how long the repair fabric would delay the
+        reconstruction download, recorded into the latency stats.
     """
 
     def __init__(
@@ -76,6 +105,7 @@ class ReadWorkload:
         code: ErasureCode,
         rng: np.random.Generator,
         reads_per_stripe_per_day: float,
+        scheduler=None,
     ):
         if reads_per_stripe_per_day < 0:
             raise ConfigError("read rate must be non-negative")
@@ -85,6 +115,7 @@ class ReadWorkload:
         self.code = code
         self.rng = rng
         self.reads_per_stripe_per_day = reads_per_stripe_per_day
+        self.scheduler = scheduler
         self.stats = ReadStats()
 
     # ------------------------------------------------------------------
@@ -149,6 +180,7 @@ class ReadWorkload:
             return False
         subunit_bytes = unit_size // self.code.substripes_per_unit
         stripe_nodes = self.store.stripe_nodes(stripe)
+        read_bytes = 0
         for request in plan.requests:
             source = stripe_nodes[request.node]
             num_bytes = len(request.substripes) * subunit_bytes
@@ -157,5 +189,16 @@ class ReadWorkload:
                     time, source, client, num_bytes, purpose="degraded-read"
                 )
             self.stats.degraded_bytes += num_bytes
+            read_bytes += num_bytes
         self.stats.degraded_reads += 1
+        if self.scheduler is not None:
+            rack = self.meter.topology.rack_of(client)
+            latency_us = int(
+                round(
+                    self.scheduler.read_latency(time, read_bytes, rack) * 1e6
+                )
+            )
+            self.stats.degraded_read_latency_us += latency_us
+            if latency_us > self.stats.degraded_read_latency_max_us:
+                self.stats.degraded_read_latency_max_us = latency_us
         return True

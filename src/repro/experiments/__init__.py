@@ -24,6 +24,7 @@ abl_codes  ablation -- RS vs Piggyback vs LRC vs replication
 scale_correlated substrate -- correlated rack failures (sharded engine)
 scale_hetero     substrate -- heterogeneous block capacities (sharded)
 scale_chaos      substrate -- chaos storm at scale (sharded engine)
+repair_policies  substrate -- repair-policy ablation (lazy/priority/spares)
 ========== =========================================================
 
 The ``scale_*`` scenarios exercise the simulator substrate itself (the
@@ -51,6 +52,7 @@ from repro.experiments import (  # noqa: E402,F401  (import for side effects)
     failure_modes,
     mttdl_exp,
     recovery_time_exp,
+    repair_policy,
     savings,
     scale,
     traffic_savings,

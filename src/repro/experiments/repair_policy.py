@@ -1,0 +1,188 @@
+"""Repair-policy ablation on the bandwidth-throttled recovery path.
+
+Not a paper figure: this sweeps the repair-policy engine
+(:mod:`repro.cluster.repair_policy`) over a contended recovery pipe --
+eager vs lazy repair, FIFO vs priority queueing, and the full stack
+with a per-link bandwidth model plus hot spares -- and reports what
+each policy buys:
+
+- ``eager_fifo`` is the historical throttled baseline.  Its trajectory
+  is regression-pinned: with every policy knob off the scheduler must
+  reproduce the plain ``recovery_bandwidth_bytes_per_sec`` law
+  *exactly*, counter for counter.
+- ``lazy_fifo`` defers single-erasure repairs behind a timer so that
+  transient failures heal themselves (more cancellations, fewer bytes).
+- ``eager_priority`` serves multi-erasure stripes first, shrinking
+  urgent queue wait (the data-loss exposure window) without changing
+  which flags get repaired.
+- ``lazy_priority`` combines both.
+- ``full_stack`` adds the per-rack link model and hot spares on top.
+
+Every variant runs through :class:`ShardedSimulation`; at smoke size
+each is cross-checked bit-for-bit against the serial
+:class:`WarehouseSimulation` oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Dict, Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.shard import ShardedSimulation
+from repro.cluster.simulation import SimulationResult, WarehouseSimulation
+from repro.experiments.runner import ExperimentResult, register_experiment
+
+#: Recovery-pipe rates chosen so the smoke topology (240 machines)
+#: builds a real backlog: repairs contend instead of completing
+#: instantly, which is the regime the policies exist for.
+SMOKE_BANDWIDTH = 12e6
+FULL_BANDWIDTH = 400e6
+
+
+def _base_config(full: bool, days: Optional[float]) -> ClusterConfig:
+    if full:
+        return ClusterConfig(
+            num_racks=334,
+            nodes_per_rack=30,
+            stripes_per_node=60.0,
+            days=days if days is not None else 30.0,
+            seed=8,
+            destination_draws="hashed",
+            recovery_bandwidth_bytes_per_sec=FULL_BANDWIDTH,
+        )
+    return ClusterConfig(
+        num_racks=24,
+        nodes_per_rack=10,
+        stripes_per_node=20.0,
+        days=days if days is not None else 6.0,
+        seed=8,
+        destination_draws="hashed",
+        recovery_bandwidth_bytes_per_sec=SMOKE_BANDWIDTH,
+    )
+
+
+def _policy_matrix(base: ClusterConfig) -> Dict[str, ClusterConfig]:
+    lazy = dict(lazy_repair=True, lazy_repair_delay_seconds=7200.0)
+    priority = dict(repair_queue_discipline="priority")
+    return {
+        "eager_fifo": base,
+        "lazy_fifo": replace(base, **lazy),
+        "eager_priority": replace(base, **priority),
+        "lazy_priority": replace(base, **lazy, **priority),
+        "full_stack": replace(
+            base,
+            **lazy,
+            **priority,
+            priority_aging_seconds=6 * 3600.0,
+            lazy_repair_threshold=200,
+            repair_link_gbps=1.0,
+            repair_oversubscription=4.0,
+            hot_spares_per_rack=1,
+        ),
+    }
+
+
+def _fingerprint(result: SimulationResult) -> tuple:
+    stats, meter = result.stats, result.meter
+    return (
+        stats.blocks_recovered,
+        stats.bytes_downloaded,
+        stats.cancelled_recoveries,
+        stats.flagged_events_recovered,
+        stats.flagged_events_skipped,
+        stats.queue_wait_us,
+        stats.urgent_wait_us,
+        stats.deferred_repairs,
+        stats.promoted_repairs,
+        stats.queue_peak_depth,
+        stats.spare_placements,
+        tuple(stats.repair_latencies),
+        meter.total_bytes,
+        meter.cross_rack_bytes,
+        tuple(sorted(meter.cross_rack_bytes_by_day.items())),
+    )
+
+
+def repair_policies(
+    full: bool = False,
+    days: Optional[float] = None,
+    workers: Optional[int] = None,
+) -> ExperimentResult:
+    """Eager/lazy x FIFO/priority x spares over a contended pipe."""
+    base = _base_config(full, days)
+    matrix = _policy_matrix(base)
+
+    rows = []
+    fingerprints: Dict[str, tuple] = {}
+    results: Dict[str, SimulationResult] = {}
+    for name, config in matrix.items():
+        start = time.perf_counter()
+        simulation = ShardedSimulation(config, workers=workers)
+        result = simulation.run()
+        wall = time.perf_counter() - start
+        oracle_match: Optional[bool] = None
+        if not full:
+            oracle_match = _fingerprint(
+                WarehouseSimulation(config).run()
+            ) == _fingerprint(result)
+        stats = result.stats
+        waits = max(stats.flagged_events_recovered, 1)
+        rows.append(
+            {
+                "policy": name,
+                "blocks": stats.blocks_recovered,
+                "GB downloaded": round(stats.bytes_downloaded / 1e9, 1),
+                "cancelled": stats.cancelled_recoveries,
+                "deferred": stats.deferred_repairs,
+                "promoted": stats.promoted_repairs,
+                "peak depth": stats.queue_peak_depth,
+                "mean wait s": round(stats.queue_wait_us / waits / 1e6, 1),
+                "urgent wait s": round(stats.urgent_wait_us / 1e6, 1),
+                "spares used": stats.spare_placements,
+                "wall s": round(wall, 2),
+                "oracle": "" if oracle_match is None else oracle_match,
+            }
+        )
+        fingerprints[name] = _fingerprint(result)
+        results[name] = result
+
+    # Regression pin: all policy knobs off == the plain throttled law.
+    # ``eager_fifo`` already *is* the plain config; assert the engine
+    # agrees with a fresh serial run of it rather than trusting the
+    # loop above shared state.
+    baseline_pin = fingerprints["eager_fifo"] == _fingerprint(
+        WarehouseSimulation(base).run()
+    )
+    urgent = {n: f[6] for n, f in fingerprints.items()}
+    summary = [
+        {
+            "check": "eager_fifo == plain throttled law (pinned)",
+            "value": baseline_pin,
+        },
+        {
+            "check": "priority shrinks urgent wait",
+            "value": urgent["eager_priority"] < urgent["eager_fifo"],
+        },
+        {
+            "check": "lazy repair downloads fewer bytes",
+            "value": fingerprints["lazy_fifo"][1]
+            <= fingerprints["eager_fifo"][1],
+        },
+    ]
+    return ExperimentResult(
+        experiment_id="repair_policies",
+        title="repair-policy ablation (eager/lazy x fifo/priority x spares)",
+        tables={"policies": rows, "summary": summary},
+        data={
+            "base_config": base,
+            "fingerprints": fingerprints,
+            "results": results,
+            "baseline_pin": baseline_pin,
+            "urgent_wait_us": urgent,
+        },
+    )
+
+
+register_experiment("repair_policies", repair_policies)

@@ -82,3 +82,61 @@ class TestClusterConfig:
             ClusterConfig(stripes_per_node=-1)
         with pytest.raises(ConfigError):
             ClusterConfig(recovery_trigger_fraction=1.5)
+
+
+class TestRepairPolicyValidation:
+    """The repair-policy knobs reject nonsense loudly at construction."""
+
+    def test_bandwidth_rejects_nan_and_inf(self):
+        for bad in (float("nan"), float("inf"), float("-inf"), 0.0, -1.0):
+            with pytest.raises(ConfigError, match="recovery bandwidth"):
+                ClusterConfig(recovery_bandwidth_bytes_per_sec=bad)
+
+    def test_discipline_names_are_checked(self):
+        with pytest.raises(ConfigError, match="repair_queue_discipline"):
+            ClusterConfig(repair_queue_discipline="lifo")
+
+    def test_priority_needs_a_bandwidth_model(self):
+        # Priority over an instantaneous repair path orders nothing.
+        with pytest.raises(ConfigError, match="priority"):
+            ClusterConfig(repair_queue_discipline="priority")
+
+    def test_aging_requires_priority(self):
+        with pytest.raises(ConfigError, match="aging"):
+            ClusterConfig(
+                recovery_bandwidth_bytes_per_sec=1e9,
+                priority_aging_seconds=60.0,
+            )
+
+    def test_lazy_delay_rejects_nan_and_negative(self):
+        for bad in (float("nan"), float("inf"), -1.0):
+            with pytest.raises(ConfigError, match="lazy"):
+                ClusterConfig(
+                    lazy_repair=True, lazy_repair_delay_seconds=bad
+                )
+
+    def test_link_gbps_rejects_nan_inf_and_nonpositive(self):
+        for bad in (float("nan"), float("inf"), 0.0, -2.0):
+            with pytest.raises(ConfigError, match="repair_link"):
+                ClusterConfig(
+                    repair_link_gbps=bad, destination_draws="hashed"
+                )
+
+    def test_link_model_requires_hashed_draws(self):
+        with pytest.raises(ConfigError, match="hashed"):
+            ClusterConfig(repair_link_gbps=1.0)
+
+    def test_hot_spares_must_be_non_negative(self):
+        with pytest.raises(ConfigError, match="spares"):
+            ClusterConfig(hot_spares_per_rack=-1)
+
+    def test_total_nodes_include_spares(self):
+        config = ClusterConfig(
+            num_racks=20, nodes_per_rack=5, hot_spares_per_rack=2
+        )
+        assert config.total_nodes_per_rack == 7
+        assert config.num_nodes == 140
+        assert config.num_data_nodes == 100
+        # Stripe density follows data nodes, not spares.
+        same = ClusterConfig(num_racks=20, nodes_per_rack=5)
+        assert config.num_stripes == same.num_stripes

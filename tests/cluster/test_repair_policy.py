@@ -1,0 +1,287 @@
+"""Unit tests for the repair-policy scheduler (queues, clocks, laws)."""
+
+import math
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.network import RepairLinkModel
+from repro.cluster.repair_policy import (
+    JOB_DEFERRED,
+    JOB_IN_SERVICE,
+    JOB_READY,
+    RepairJob,
+    RepairScheduler,
+    scheduler_from_config,
+)
+
+MB = 1_000_000
+
+
+def make_job(
+    uid,
+    t,
+    nbytes=100 * MB,
+    urgent=False,
+    stripe=None,
+    rack=None,
+    dest=None,
+):
+    return RepairJob(
+        stripe=uid if stripe is None else stripe,
+        slot=0,
+        uid=uid,
+        shard_id=0,
+        enqueue_time=t,
+        ordinal=uid + 1,
+        nbytes=nbytes,
+        urgent=urgent,
+        dest=dest,
+        rack=rack,
+    )
+
+
+class TestFifoPipe:
+    """Flat FIFO over one pipe == the historical throttled law."""
+
+    def test_reproduces_precommit_chain(self):
+        # Old law: start = max(flag_time, pipe_free);
+        #          pipe_free = start + nbytes / rate.
+        rate = 10 * MB
+        sched = RepairScheduler(pipe_bytes_per_sec=rate)
+        arrivals = [(0, 0.0, 50 * MB), (1, 1.0, 30 * MB), (2, 20.0, 10 * MB)]
+        pipe_free = 0.0
+        expected = []
+        for uid, t, nbytes in arrivals:
+            start = max(t, pipe_free)
+            pipe_free = start + nbytes / rate
+            expected.append((uid, start, pipe_free))
+            sched.submit(make_job(uid, t, nbytes), t)
+        done = sched.advance(math.inf)
+        assert [(j.uid, j.start, j.completion) for j in done] == expected
+
+    def test_completions_in_order(self):
+        sched = RepairScheduler(pipe_bytes_per_sec=MB)
+        for uid in range(5):
+            sched.submit(make_job(uid, 0.0, nbytes=MB), 0.0)
+        done = sched.advance(math.inf)
+        assert [j.uid for j in done] == [0, 1, 2, 3, 4]
+        assert [j.completion for j in done] == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_exclusive_advance_leaves_boundary_job(self):
+        sched = RepairScheduler(pipe_bytes_per_sec=MB)
+        sched.submit(make_job(0, 0.0, nbytes=MB), 0.0)
+        assert sched.advance(1.0, inclusive=False) == []
+        done = sched.advance(1.0, inclusive=True)
+        assert [j.uid for j in done] == [0]
+
+    def test_next_wake_tracks_completion(self):
+        sched = RepairScheduler(pipe_bytes_per_sec=MB)
+        assert sched.next_wake() is None
+        sched.submit(make_job(0, 2.0, nbytes=MB), 2.0)
+        # Assignment is the next internal event (at the flag time).
+        assert sched.next_wake() == 2.0
+        sched.advance(2.0)
+        assert sched.next_wake() == 3.0
+
+
+class TestPriority:
+    def test_urgent_served_before_bulk(self):
+        sched = RepairScheduler(pipe_bytes_per_sec=MB, discipline="priority")
+        sched.submit(make_job(0, 0.0, nbytes=10 * MB), 0.0)  # bulk, in service
+        sched.submit(make_job(1, 1.0, nbytes=MB), 1.0)  # bulk, waits
+        sched.submit(make_job(2, 2.0, nbytes=MB, urgent=True), 2.0)
+        done = sched.advance(math.inf)
+        assert [j.uid for j in done] == [0, 2, 1]
+
+    def test_fifo_ignores_urgency(self):
+        sched = RepairScheduler(pipe_bytes_per_sec=MB, discipline="fifo")
+        sched.submit(make_job(0, 0.0, nbytes=10 * MB), 0.0)
+        sched.submit(make_job(1, 1.0, nbytes=MB), 1.0)
+        sched.submit(make_job(2, 2.0, nbytes=MB, urgent=True), 2.0)
+        done = sched.advance(math.inf)
+        assert [j.uid for j in done] == [0, 1, 2]
+
+    def test_aging_prevents_starvation(self):
+        # The bulk job ages into the urgent class after 5 s and is then
+        # tie-broken by seq against the later urgent arrival.
+        sched = RepairScheduler(
+            pipe_bytes_per_sec=MB,
+            discipline="priority",
+            priority_aging_seconds=5.0,
+        )
+        sched.submit(make_job(0, 0.0, nbytes=10 * MB), 0.0)
+        sched.submit(make_job(1, 1.0, nbytes=MB), 1.0)  # aged by t=10
+        sched.submit(make_job(2, 2.0, nbytes=MB, urgent=True), 2.0)
+        done = sched.advance(math.inf)
+        assert [j.uid for j in done] == [0, 1, 2]
+
+
+class TestLazyRepair:
+    def test_timer_defers_single_erasure(self):
+        sched = RepairScheduler(
+            pipe_bytes_per_sec=MB, lazy_repair=True, lazy_delay_seconds=900.0
+        )
+        sched.submit(make_job(0, 0.0, nbytes=MB), 0.0)
+        assert sched.deferred_total == 1
+        assert sched.advance(899.0) == []
+        done = sched.advance(math.inf)
+        assert [j.uid for j in done] == [0]
+        assert done[0].start == 900.0
+
+    def test_urgent_bypasses_laziness(self):
+        sched = RepairScheduler(
+            pipe_bytes_per_sec=MB, lazy_repair=True, lazy_delay_seconds=900.0
+        )
+        sched.submit(make_job(0, 0.0, nbytes=MB, urgent=True), 0.0)
+        done = sched.advance(10.0)
+        assert [j.uid for j in done] == [0]
+        assert done[0].start == 0.0
+
+    def test_threshold_flushes_backlog(self):
+        sched = RepairScheduler(
+            pipe_bytes_per_sec=MB,
+            lazy_repair=True,
+            lazy_delay_seconds=1e9,
+            lazy_threshold=3,
+        )
+        for uid in range(3):
+            sched.submit(make_job(uid, float(uid), nbytes=MB), float(uid))
+        # The third submit crosses the threshold: everything activates
+        # at its enqueue instant, long before the (huge) timer.
+        done = sched.advance(100.0)
+        assert [j.uid for j in done] == [0, 1, 2]
+        assert sched.threshold_flushes == 1
+
+    def test_promotion_pulls_deferred_stripe(self):
+        sched = RepairScheduler(
+            pipe_bytes_per_sec=MB, lazy_repair=True, lazy_delay_seconds=1e9
+        )
+        sched.submit(make_job(0, 0.0, nbytes=MB, stripe=7), 0.0)
+        assert sched.pending_jobs()[0].state == JOB_DEFERRED
+        # Second erasure on the same stripe: the deferred job promotes.
+        sched.submit(
+            make_job(1, 5.0, nbytes=MB, stripe=7, urgent=True), 5.0
+        )
+        assert sched.promoted_total == 1
+        done = sched.advance(10.0)
+        assert sorted(j.uid for j in done) == [0, 1]
+        assert all(j.urgent for j in done)
+
+
+class TestLinkModel:
+    def test_per_rack_links_run_concurrently(self):
+        # Two repairs to different racks do not share a TOR uplink;
+        # only the aggregation trunk (4x TOR rate at oversub 1) gates
+        # the second start -- 0.25 s, not the 1.0 s a shared TOR costs.
+        link = RepairLinkModel(4, 1.0, 1.0)  # 1 Gbps per TOR, no oversub
+        sched = RepairScheduler(link_model=link)
+        sched.submit(make_job(0, 0.0, nbytes=125 * MB, rack=0), 0.0)
+        sched.submit(make_job(1, 0.0, nbytes=125 * MB, rack=1), 0.0)
+        done = sched.advance(math.inf)
+        starts = {j.uid: j.start for j in done}
+        assert starts[0] == 0.0
+        assert starts[1] == pytest.approx(0.25)  # trunk, not TOR
+
+    def test_same_rack_serialises(self):
+        link = RepairLinkModel(4, 1.0, 1.0)
+        sched = RepairScheduler(link_model=link)
+        sched.submit(make_job(0, 0.0, nbytes=125 * MB, rack=2), 0.0)
+        sched.submit(make_job(1, 0.0, nbytes=125 * MB, rack=2), 0.0)
+        done = sched.advance(math.inf)
+        starts = sorted(j.start for j in done)
+        assert starts[0] == 0.0
+        assert starts[1] == pytest.approx(1.0)  # full TOR transfer time
+
+    def test_read_latency_sees_backlog(self):
+        sched = RepairScheduler(pipe_bytes_per_sec=MB)
+        assert sched.read_latency(0.0, MB) == pytest.approx(1.0)
+        sched.submit(make_job(0, 0.0, nbytes=10 * MB), 0.0)
+        sched.advance(0.0)  # assign: pipe busy until t=10
+        latency = sched.read_latency(0.0, MB)
+        assert latency == pytest.approx(10.0 + 1.0)
+
+
+class TestCheckpointing:
+    def test_state_roundtrip_mid_backlog(self):
+        def build():
+            return RepairScheduler(
+                pipe_bytes_per_sec=MB,
+                discipline="priority",
+                lazy_repair=True,
+                lazy_delay_seconds=500.0,
+                link_model=RepairLinkModel(4, 1.0, 2.0),
+            )
+
+        a = build()
+        jobs = [
+            make_job(0, 0.0, nbytes=30 * MB, rack=0, urgent=True),
+            make_job(1, 1.0, nbytes=MB, rack=1, urgent=True),
+            make_job(2, 2.0, nbytes=MB, rack=2),
+            make_job(3, 3.0, nbytes=MB, rack=3),
+        ]
+        for j in jobs:
+            a.submit(j, j.enqueue_time)
+        a.advance(5.0)  # mid-backlog: in-service + deferred + ready
+        states = {j.state for j in a.pending_jobs()}
+        assert JOB_IN_SERVICE in states and JOB_DEFERRED in states
+
+        b = build()
+        b.restore(a.state_dict())
+        done_a = [(j.uid, j.start, j.completion) for j in a.advance(math.inf)]
+        done_b = [(j.uid, j.start, j.completion) for j in b.advance(math.inf)]
+        assert done_a == done_b
+        assert a.state_dict() == b.state_dict()
+
+    def test_restored_scheduler_accepts_new_jobs(self):
+        a = RepairScheduler(pipe_bytes_per_sec=MB)
+        a.submit(make_job(0, 0.0, nbytes=10 * MB), 0.0)
+        a.advance(1.0)
+        b = RepairScheduler(pipe_bytes_per_sec=MB)
+        b.restore(a.state_dict())
+        for s in (a, b):
+            s.submit(make_job(1, 1.0, nbytes=MB), 1.0)
+        assert [
+            (j.uid, j.completion) for j in a.advance(math.inf)
+        ] == [(j.uid, j.completion) for j in b.advance(math.inf)]
+
+
+class TestFactory:
+    def test_plain_config_builds_nothing(self):
+        config = ClusterConfig(num_racks=20, nodes_per_rack=5, days=1.0)
+        assert scheduler_from_config(config) is None
+
+    def test_throttle_builds_fifo_pipe(self):
+        config = ClusterConfig(
+            num_racks=20,
+            nodes_per_rack=5,
+            days=1.0,
+            recovery_bandwidth_bytes_per_sec=1e9,
+        )
+        sched = scheduler_from_config(config)
+        assert sched is not None
+        assert sched.pipe_rate == 1e9
+        assert sched.discipline == "fifo"
+        assert sched.link is None
+
+    def test_full_policy_config(self):
+        config = ClusterConfig(
+            num_racks=20,
+            nodes_per_rack=5,
+            days=1.0,
+            recovery_bandwidth_bytes_per_sec=1e9,
+            repair_queue_discipline="priority",
+            priority_aging_seconds=3600.0,
+            lazy_repair=True,
+            lazy_repair_delay_seconds=600.0,
+            lazy_repair_threshold=50,
+            repair_link_gbps=1.0,
+            repair_oversubscription=8.0,
+            destination_draws="hashed",
+        )
+        sched = scheduler_from_config(config)
+        assert sched.discipline == "priority"
+        assert sched.aging == 3600.0
+        assert sched.lazy and sched.lazy_delay == 600.0
+        assert sched.lazy_threshold == 50
+        assert sched.link is not None

@@ -1,0 +1,51 @@
+"""The repair-policy ablation: registered, pinned, and discriminating."""
+
+import pytest
+
+from repro.experiments import available_experiments, run_experiment
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return run_experiment("repair_policies", days=3.0)
+
+
+class TestRepairPolicies:
+    def test_registered(self):
+        assert "repair_policies" in available_experiments()
+
+    def test_covers_the_policy_matrix(self, ablation):
+        assert set(ablation.data["fingerprints"]) == {
+            "eager_fifo",
+            "lazy_fifo",
+            "eager_priority",
+            "lazy_priority",
+            "full_stack",
+        }
+
+    def test_every_variant_matches_the_serial_oracle(self, ablation):
+        rows = ablation.tables["policies"]
+        assert all(row["oracle"] is True for row in rows)
+
+    def test_baseline_is_pinned_to_the_plain_throttled_law(self, ablation):
+        # All policy knobs off == the historical eager-FIFO throttle,
+        # counter for counter (the regression pin the ISSUE demands).
+        assert ablation.data["baseline_pin"] is True
+
+    def test_priority_shrinks_urgent_wait(self, ablation):
+        urgent = ablation.data["urgent_wait_us"]
+        assert 0 < urgent["eager_priority"] < urgent["eager_fifo"]
+
+    def test_lazy_defers_and_saves_bytes(self, ablation):
+        fp = ablation.data["fingerprints"]
+        # fingerprint fields: [1]=bytes_downloaded, [7]=deferred.
+        assert fp["lazy_fifo"][7] > 0
+        assert fp["lazy_fifo"][1] <= fp["eager_fifo"][1]
+
+    def test_full_stack_places_spares(self, ablation):
+        fp = ablation.data["fingerprints"]
+        assert fp["full_stack"][10] > 0
+
+    def test_renders(self, ablation):
+        text = ablation.render()
+        assert "policies" in text and "eager_fifo" in text
