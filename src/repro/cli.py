@@ -158,9 +158,14 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # stream-mode trajectories.  The per-link repair model also
         # requires hashed draws (destinations must be known at submit
         # time), so requesting it flips the default too.
+        # d3 placement and parallel waves replace the shared stream
+        # with deterministic / hashed draws, so they flip it as well.
         destination_draws = (
             "hashed"
-            if args.engine == "sharded" or args.repair_link_gbps
+            if args.engine == "sharded"
+            or args.repair_link_gbps
+            or args.placement == "d3"
+            or args.parallel_repair
             else "stream"
         )
     policy = args.repair_policy
@@ -179,6 +184,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         else "fifo",
         lazy_repair=policy in ("lazy", "lazy-priority"),
         hot_spares_per_rack=args.hot_spares,
+        placement_policy=args.placement,
+        parallel_repair=args.parallel_repair,
         repair_link_gbps=args.repair_link_gbps or None,
         chaos_seed=args.chaos_seed,
         chaos_node_flaps=args.chaos_node_flaps,
@@ -224,6 +231,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if config.hot_spares_per_rack:
             print(f"hot-spare placements             : "
                   f"{stats.spare_placements:,}")
+    if result.stats.parallel_waves:
+        stats = result.stats
+        print(f"parallel repair waves            : "
+              f"{stats.parallel_waves:,} "
+              f"({stats.wave_extra_units:,} forwarded units)")
     if result.read_stats is not None:
         reads = result.read_stats
         print(f"foreground reads                 : {reads.reads:,} "
@@ -569,6 +581,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 _HEAVY_EXPERIMENTS = {
     "fig3a", "fig3b", "tab_missing", "tab_traffic", "ext_degraded",
     "ext_latency", "ext_uplink", "abl_threshold", "abl_placement",
+    "placement_ablation",
 }
 
 
@@ -762,6 +775,21 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="hot-spare machines per rack (repairs land there first)",
+    )
+    sim_parser.add_argument(
+        "--placement",
+        choices=["distinct-rack", "distinct-node", "d3"],
+        default="distinct-rack",
+        help="placement policy: random distinct racks (the paper's "
+        "baseline), random distinct nodes, or the deterministic d3 "
+        "round-robin schedule (implies hashed destination draws)",
+    )
+    sim_parser.add_argument(
+        "--parallel-repair",
+        action="store_true",
+        help="CR-SIM parallel waves: a stripe with a concurrent "
+        "erasures repairs in k+a-1 transfers instead of a*k "
+        "(implies hashed destination draws)",
     )
     sim_parser.add_argument(
         "--repair-link-gbps",

@@ -49,11 +49,13 @@ from repro.observability import metrics
 #: repair-policy scheduler state, coordinator trajectories, per-shard
 #: read stats, and the queue-metric recovery-stats fields; version-1
 #: snapshots (no scheduler, no reads) still load -- the new fields
-#: default to empty.
-CHECKPOINT_VERSION = 2
+#: default to empty.  Version 3 added the stateful-placement (d3)
+#: policy state and the parallel-repair wave counters; v1/v2 snapshots
+#: still load with those defaulted.
+CHECKPOINT_VERSION = 3
 
 #: Versions this build can read.
-_READABLE_VERSIONS = (1, 2)
+_READABLE_VERSIONS = (1, 2, 3)
 
 #: Array-valued keys of one shard's state dict, in archive order.
 _SHARD_ARRAY_KEYS = (
@@ -84,6 +86,10 @@ class SimulationCheckpoint:
     #: Repair-policy scheduler state (queues + clocks) when the config
     #: activates the scheduler; None otherwise (and in v1 snapshots).
     scheduler_state: Optional[dict] = None
+    #: Stateful placement-policy state (d3's cursor, load vector, and
+    #: rotation cursors); None for stateless policies and pre-v3
+    #: snapshots.
+    policy_state: Optional[dict] = None
     #: Coordinator per-node unit trajectories, ragged-encoded as
     #: (nodes, counts, concatenated uids) -- list order IS the store's
     #: query order and part of the determinism contract.
@@ -162,6 +168,8 @@ def stats_state(stats: RecoveryStats) -> Dict[str, object]:
         "queue_wait_us": stats.queue_wait_us,
         "urgent_wait_us": stats.urgent_wait_us,
         "spare_placements": stats.spare_placements,
+        "parallel_waves": stats.parallel_waves,
+        "wave_extra_units": stats.wave_extra_units,
     }
 
 
@@ -189,6 +197,9 @@ def restore_stats(state: Dict[str, object]) -> RecoveryStats:
     stats.queue_wait_us = int(state.get("queue_wait_us", 0))
     stats.urgent_wait_us = int(state.get("urgent_wait_us", 0))
     stats.spare_placements = int(state.get("spare_placements", 0))
+    # Wave counters arrived with checkpoint version 3.
+    stats.parallel_waves = int(state.get("parallel_waves", 0))
+    stats.wave_extra_units = int(state.get("wave_extra_units", 0))
     return stats
 
 
@@ -243,6 +254,7 @@ def save_checkpoint(path: str, checkpoint: SimulationCheckpoint) -> None:
         "flagged_events_recovered": int(checkpoint.flagged_events_recovered),
         "flagged_events_skipped": int(checkpoint.flagged_events_skipped),
         "scheduler_state": checkpoint.scheduler_state,
+        "policy_state": checkpoint.policy_state,
         "coord_queue_wait_us": int(checkpoint.coord_queue_wait_us),
         "coord_urgent_wait_us": int(checkpoint.coord_urgent_wait_us),
         "shards": [
@@ -366,6 +378,7 @@ def load_checkpoint(path: str) -> SimulationCheckpoint:
         is_up=np.asarray(data["is_up"], dtype=bool),
         shard_states=shard_states,
         scheduler_state=meta.get("scheduler_state"),
+        policy_state=meta.get("policy_state"),
         coord_traj=coord_traj,
         coord_missing=(
             np.asarray(data["coord_missing"], dtype=bool)

@@ -69,9 +69,17 @@ class ClusterConfig:
     num_racks, nodes_per_rack:
         Topology (default 100 x 30 = 3000 machines, the paper's scale).
     placement_policy:
-        ``"distinct-rack"`` (production, Section 2.1) or
+        ``"distinct-rack"`` (production, Section 2.1),
         ``"distinct-node"`` (ablation: distinct machines, racks may
-        repeat).
+        repeat), or ``"d3"`` (deterministic keyed round-robin with
+        least-loaded replacement; requires
+        ``destination_draws="hashed"``).
+    parallel_repair:
+        CR-SIM-style multi-failure recovery: a stripe with ``a``
+        concurrent erasures is rebuilt in one wave costing
+        ``k + a - 1`` unit transfers (one decode plus one forward per
+        extra unit) instead of ``a`` independent ``k``-unit repairs.
+        Requires ``destination_draws="hashed"``.
     code_name, code_params:
         Which registered erasure code protects the cold data.
     block_size_bytes:
@@ -242,6 +250,7 @@ class ClusterConfig:
     hot_spares_per_rack: int = 0
     repair_link_gbps: Optional[float] = None
     repair_oversubscription: float = 8.0
+    parallel_repair: bool = False
 
     def __post_init__(self):
         if self.num_racks < 2:
@@ -355,6 +364,26 @@ class ClusterConfig:
             raise ConfigError(
                 "the per-link repair model needs destinations known at "
                 "enqueue time; set destination_draws='hashed'"
+            )
+        if self.placement_policy not in (
+            "distinct-rack", "distinct-node", "d3"
+        ):
+            raise ConfigError(
+                f"unknown placement_policy {self.placement_policy!r}; "
+                f"expected 'distinct-rack', 'distinct-node', or 'd3'"
+            )
+        if self.placement_policy == "d3" and self.destination_draws != "hashed":
+            raise ConfigError(
+                "d3 placement replaces the shared destination rng with "
+                "deterministic least-loaded picks; set "
+                "destination_draws='hashed' (stream draws would "
+                "silently desynchronise)"
+            )
+        if self.parallel_repair and self.destination_draws != "hashed":
+            raise ConfigError(
+                "parallel_repair repairs a stripe's concurrent failures "
+                "in one wave, which needs order-free destination draws; "
+                "set destination_draws='hashed'"
             )
 
     @property

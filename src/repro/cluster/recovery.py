@@ -99,6 +99,10 @@ class RecoveryStats:
     urgent_wait_us: int = 0
     #: Rebuilt units whose destination landed in the hot-spare pool.
     spare_placements: int = 0
+    #: Parallel multi-failure recovery (CR-SIM waves): wave count and
+    #: how many extra units rode along with a leader's decode.
+    parallel_waves: int = 0
+    wave_extra_units: int = 0
 
     def merge_from(self, other: "RecoveryStats") -> None:
         """Fold another stats object into this one (exact integer sums).
@@ -128,6 +132,8 @@ class RecoveryStats:
         self.queue_wait_us += other.queue_wait_us
         self.urgent_wait_us += other.urgent_wait_us
         self.spare_placements += other.spare_placements
+        self.parallel_waves += other.parallel_waves
+        self.wave_extra_units += other.wave_extra_units
 
     def daily_blocks_series(self, num_days: int) -> List[int]:
         return [
@@ -192,6 +198,13 @@ class RecoveryService:
         is required in hashed mode -- the simulation derives it from
         the recovery seed with
         :func:`repro.cluster.placement.destination_entropy`.
+    parallel_repair:
+        CR-SIM-style parallel multi-failure recovery: when a repair of
+        a multi-erasure stripe succeeds, the decode already holds the
+        whole stripe, so the remaining missing units are forwarded from
+        the leader's destination for one unit transfer each (total
+        ``k + a - 1`` transfers for ``a`` erasures instead of ``a``
+        independent ``k``-unit repairs).  Requires hashed draws.
     """
 
     def __init__(
@@ -208,6 +221,7 @@ class RecoveryService:
         corrupt_units: Optional[Sequence[Tuple[int, int]]] = None,
         destination_draws: str = "stream",
         destination_entropy: Optional[int] = None,
+        parallel_repair: bool = False,
     ):
         if destination_draws not in ("stream", "hashed"):
             raise ConfigError(
@@ -219,6 +233,12 @@ class RecoveryService:
                 "destination_draws='hashed' requires destination_entropy "
                 "(derive it with repro.cluster.placement.destination_entropy)"
             )
+        if parallel_repair and destination_draws != "hashed":
+            raise ConfigError(
+                "parallel_repair needs order-free destination draws; "
+                "set destination_draws='hashed'"
+            )
+        self.parallel_repair = parallel_repair
         self.destination_draws = destination_draws
         self._dest_entropy = destination_entropy
         #: Count of flag events seen, in event order; the counter the
@@ -325,6 +345,15 @@ class RecoveryService:
                 self._count_unrecoverable(missing_count)
                 continue
             nbytes = plan.bytes_downloaded(int(self.store.unit_sizes[stripe]))
+            if self.parallel_repair and missing_count >= 2:
+                # One wave job carries the stripe's other erasures too
+                # (k + a - 1 transfers occupy the pipe together).  If a
+                # sibling's own job completes first, this side of the
+                # reservation goes unused -- a deliberate, deterministic
+                # over-booking, not double repair.
+                nbytes += (missing_count - 1) * int(
+                    self.store.unit_sizes[stripe]
+                )
             dest = rack = None
             if link_active:
                 dest = self._precompute_destination(stripe, slot, ordinal)
@@ -370,6 +399,7 @@ class RecoveryService:
                     ),
                     ordinal,
                     self._dest_entropy,
+                    commit=False,
                 )[0]
             )
         except PlacementError:
@@ -463,10 +493,14 @@ class RecoveryService:
         subunit_bytes = unit_size // self.code.substripes_per_unit
         stripe_nodes = self.store.stripe_nodes(stripe)
         if destination is not None and (
-            destination in stripe_nodes
+            self.placement.stateful
+            or destination in stripe_nodes
             or self.state.is_down(destination)
         ):
-            destination = None  # stale precommit; redraw below
+            # Stale precommit, or a stateful policy whose precommit was
+            # a peek (only the link model's TOR estimate): redraw below
+            # so the committing draw happens exactly once, now.
+            destination = None
         if destination is None:
             if self.destination_draws == "hashed":
                 destination = int(
@@ -506,7 +540,64 @@ class RecoveryService:
         if m is not None:
             m.inc("recovery.blocks_recovered")
             m.inc("recovery.bytes_downloaded", unit_bytes_downloaded)
+        if self.parallel_repair:
+            self._recover_wave(
+                stripe,
+                destination,
+                time,
+                self._flag_ordinal if ordinal is None else ordinal,
+            )
         return True
+
+    def _recover_wave(
+        self, stripe: int, leader_dest: int, time: float, ordinal: int
+    ) -> None:
+        """Forward a repaired stripe's other missing units (CR-SIM).
+
+        The leader's decode already reconstructed the whole stripe at
+        ``leader_dest``, so each remaining erasure costs exactly one
+        unit transfer from there -- ``k + a - 1`` total instead of
+        ``a * k``.  Each forwarded unit ticks the degraded histogram at
+        its observed missing count (a, a-1, ...), the same sequence a
+        serial repair of the survivors would have recorded.
+        """
+        extra_slots = np.flatnonzero(self.store.missing[stripe]).tolist()
+        if not extra_slots:
+            return
+        self.stats.parallel_waves += 1
+        unit_size = int(self.store.unit_sizes[stripe])
+        for slot in extra_slots:
+            remaining = int(self.store.missing[stripe].sum())
+            self.stats.degraded_histogram[remaining] += 1
+            stripe_nodes = self.store.stripe_nodes(stripe)
+            destination = int(
+                self.placement.hashed_replacement_nodes(
+                    np.asarray([stripe_nodes], dtype=np.int64),
+                    self.state.down_nodes(),
+                    np.asarray(
+                        [stripe * self.store.width + slot], dtype=np.int64
+                    ),
+                    ordinal,
+                    self._dest_entropy,
+                )[0]
+            )
+            if self.placement.is_spare(destination):
+                self.stats.spare_placements += 1
+            self.meter.charge(
+                time, leader_dest, destination, unit_size, purpose="recovery"
+            )
+            self.stats.bytes_downloaded += unit_size
+            self.store.relocate_unit(stripe, slot, destination)
+            self.stats.blocks_recovered += 1
+            self.stats.blocks_recovered_by_day[
+                int(time // SECONDS_PER_DAY)
+            ] += 1
+            self.stats.wave_extra_units += 1
+            m = metrics()
+            if m is not None:
+                m.inc("recovery.blocks_recovered")
+                m.inc("recovery.bytes_downloaded", unit_size)
+                m.inc("recovery.wave_extra_units")
 
     # ------------------------------------------------------------------
     # Batched per-node recovery (the fast path)
@@ -527,6 +618,19 @@ class RecoveryService:
         if not uids.size:
             return 0
         width = store.width
+        if self.parallel_repair or self.placement.stateful:
+            # Waves relocate units beyond this node's list and stateful
+            # (d3) picks thread a load vector through every draw, so
+            # both run the scalar oracle in the store's per-node order.
+            # Batching is the independent-single-unit fast path only.
+            recovered = 0
+            for uid in uids.tolist():
+                stripe, slot = divmod(uid, width)
+                if not store.missing[stripe, slot]:
+                    continue
+                if self.recover_unit(stripe, slot, time):
+                    recovered += 1
+            return recovered
         stripes = uids // width
         slots = uids % width
         live_rows = ~store.missing[stripes]

@@ -335,6 +335,7 @@ class ShardState:
         meter: TrafficMeter,
         destination_draws: str,
         entropy: Optional[int] = None,
+        parallel_repair: bool = False,
         corrupt_rows: Optional[np.ndarray] = None,
         missing: Optional[np.ndarray] = None,
         node_lists: Optional[Dict[int, List[int]]] = None,
@@ -353,6 +354,7 @@ class ShardState:
         self.meter = meter
         self.destination_draws = destination_draws
         self._entropy = entropy
+        self.parallel_repair = bool(parallel_repair)
         self._corrupt = corrupt_rows
         if missing is None:
             missing = np.zeros(self.placement.shape, dtype=bool)
@@ -519,6 +521,13 @@ class ShardState:
         luids = luids[flat_missing[luids]]
         if not luids.size:
             return 0
+        if self.parallel_repair:
+            # Waves relocate units beyond this node's own list, so this
+            # replays the serial engine's scalar walk in the store's
+            # query order instead of the batched pass.  Stats stay
+            # exact across shards: recoveries decompose per stripe and
+            # hashed draws are order-free.
+            return self._node_flagged_scalar(luids, time, ordinal)
         width = self.width
         lstripes = luids // width
         slots = luids % width
@@ -648,6 +657,135 @@ class ShardState:
         ] += recovered
         return recovered
 
+    def _node_flagged_scalar(
+        self, luids: np.ndarray, time: float, ordinal: int
+    ) -> int:
+        """Serial-order scalar walk over a flagged node's degraded units
+        (the parallel-repair path; see :meth:`_node_flagged`)."""
+        recovered = 0
+        width = self.width
+        for luid in luids.tolist():
+            local, slot = divmod(luid, width)
+            if not self.missing[local, slot]:
+                # A sibling's wave already rebuilt it mid-walk.
+                continue
+            stripe = int(self.stripe_ids[local])
+            recovered += len(
+                self.recover_unit_scalar(stripe, slot, time, ordinal)
+            )
+        return recovered
+
+    def _hashed_destination(
+        self, row: np.ndarray, stripe: int, slot: int, ordinal: int
+    ) -> int:
+        return int(
+            self.policy.hashed_replacement_nodes(
+                row[None, :],
+                self._down_nodes(),
+                np.asarray([stripe * self.width + slot], dtype=np.int64),
+                ordinal,
+                self._entropy,
+            )[0]
+        )
+
+    def _relocate_local(self, local: int, slot: int, destination: int) -> int:
+        """Move one unit to ``destination``; returns the old holder."""
+        old_holder = int(self.placement[local, slot])
+        self.placement[local, slot] = destination
+        self.missing[local, slot] = False
+        luid = local * self.width + slot
+        self.node_units[old_holder].remove(luid)
+        self.node_units.setdefault(destination, []).append(luid)
+        return old_holder
+
+    def recover_unit_scalar(
+        self, stripe: int, slot: int, time: float, ordinal: int
+    ) -> List[Tuple[int, int, int]]:
+        """Scalar mirror of ``RecoveryService.recover_unit`` (+ wave).
+
+        Used by the parallel-repair walk and by the coordinator-driven
+        stateful (d3) epoch path.  Returns the relocations performed --
+        ``[(global uid, old holder, destination), ...]``, leader first,
+        wave extras after -- so the coordinator can replay them against
+        its node trajectories; empty when the unit was not missing or
+        is unrecoverable now (stats accounted here either way).
+        """
+        local = self.local_index(stripe)
+        relocations: List[Tuple[int, int, int]] = []
+        if not self.missing[local, slot]:
+            return relocations
+        avail, missing_count = self._usable_row(local)
+        available = tuple(np.flatnonzero(avail).tolist())
+        plan = self._resolve_plan(slot, available)
+        if plan is None:
+            self.stats.degraded_histogram[missing_count] += 1
+            self.stats.unrecoverable_units += 1
+            return relocations
+        self.stats.degraded_histogram[missing_count] += 1
+        unit_size = int(self.unit_sizes[local])
+        subunit_bytes = unit_size // self.code.substripes_per_unit
+        row = self.placement[local]
+        destination = self._hashed_destination(row, stripe, slot, ordinal)
+        if self.policy.is_spare(destination):
+            self.stats.spare_placements += 1
+        unit_bytes = 0
+        for request in plan.requests:
+            num_bytes = len(request.substripes) * subunit_bytes
+            self._charge_scalar(
+                time, int(row[request.node]), destination, num_bytes,
+                "recovery",
+            )
+            unit_bytes += num_bytes
+        old_holder = self._relocate_local(local, slot, destination)
+        self.stats.bytes_downloaded += unit_bytes
+        self.stats.blocks_recovered += 1
+        self.stats.blocks_recovered_by_day[
+            int(time // SECONDS_PER_DAY)
+        ] += 1
+        relocations.append((stripe * self.width + slot, old_holder, destination))
+        if self.parallel_repair:
+            relocations.extend(
+                self._wave_scalar(local, stripe, destination, time, ordinal)
+            )
+        return relocations
+
+    def _wave_scalar(
+        self,
+        local: int,
+        stripe: int,
+        leader_dest: int,
+        time: float,
+        ordinal: int,
+    ) -> List[Tuple[int, int, int]]:
+        """Shard-local replay of ``RecoveryService._recover_wave``."""
+        extra_slots = np.flatnonzero(self.missing[local]).tolist()
+        relocations: List[Tuple[int, int, int]] = []
+        if not extra_slots:
+            return relocations
+        self.stats.parallel_waves += 1
+        unit_size = int(self.unit_sizes[local])
+        for slot in extra_slots:
+            remaining = int(self.missing[local].sum())
+            self.stats.degraded_histogram[remaining] += 1
+            row = self.placement[local]
+            destination = self._hashed_destination(row, stripe, slot, ordinal)
+            if self.policy.is_spare(destination):
+                self.stats.spare_placements += 1
+            self._charge_scalar(
+                time, leader_dest, destination, unit_size, "recovery"
+            )
+            old_holder = self._relocate_local(local, slot, destination)
+            self.stats.bytes_downloaded += unit_size
+            self.stats.blocks_recovered += 1
+            self.stats.blocks_recovered_by_day[
+                int(time // SECONDS_PER_DAY)
+            ] += 1
+            self.stats.wave_extra_units += 1
+            relocations.append(
+                (stripe * self.width + slot, old_holder, destination)
+            )
+        return relocations
+
     def _resolve_plan(self, slot: int, available: Tuple[int, ...]):
         if len(available) < self.code.k:
             return None
@@ -692,6 +830,10 @@ class ShardState:
             self.stats.unrecoverable_units += 1
             return None
         nbytes = plan.bytes_downloaded(int(self.unit_sizes[local]))
+        if self.parallel_repair and missing_count >= 2:
+            # The wave job carries the stripe's other erasures too --
+            # same deliberate over-booking as the serial service.
+            nbytes += (missing_count - 1) * int(self.unit_sizes[local])
         return nbytes, missing_count
 
     def precompute_destination(
@@ -711,6 +853,7 @@ class ShardState:
                     ),
                     ordinal,
                     self._entropy,
+                    commit=False,
                 )[0]
             )
         except PlacementError:
@@ -718,15 +861,17 @@ class ShardState:
 
     def apply_completion(
         self, job: RepairJob
-    ) -> Optional[Tuple[int, int]]:
+    ) -> Optional[Tuple[int, int, List[Tuple[int, int, int]]]]:
         """Apply one completed scheduler job against current state.
 
         The scalar mirror of ``RecoveryService._finish_job`` +
         ``recover_unit``: re-plan against completion-time availability,
         validate (or redraw) the destination, charge the plan's
         transfers at the completion instant, relocate.  Returns
-        ``(old holder, destination)`` on success, None when the job was
-        cancelled (machine returned first) or unrecoverable now.
+        ``(old holder, destination, wave relocations)`` on success
+        (the wave list is empty unless ``parallel_repair`` forwarded
+        the stripe's other erasures), None when the job was cancelled
+        (machine returned first) or unrecoverable now.
         """
         local = self.local_index(job.stripe)
         slot = job.slot
@@ -747,9 +892,14 @@ class ShardState:
         stripe_nodes = row.tolist()
         destination = job.dest
         if destination is not None and (
-            destination in stripe_nodes or not self.is_up[destination]
+            self.policy.stateful
+            or destination in stripe_nodes
+            or not self.is_up[destination]
         ):
-            destination = None  # stale precommit; redraw below
+            # Stale precommit, or a stateful policy whose precommit was
+            # a peek (only the link model's TOR estimate): redraw below
+            # so the committing draw happens exactly once, now.
+            destination = None
         if destination is None:
             down = self._down_nodes()
             if self.destination_draws == "hashed":
@@ -794,7 +944,12 @@ class ShardState:
         self.stats.blocks_recovered_by_day[
             int(time // SECONDS_PER_DAY)
         ] += 1
-        return old_holder, destination
+        extras: List[Tuple[int, int, int]] = []
+        if self.parallel_repair:
+            extras = self._wave_scalar(
+                local, job.stripe, destination, time, job.ordinal
+            )
+        return old_holder, destination, extras
 
     def flush_epoch(self) -> int:
         """Charge the epoch's transfers in one batch; returns array bytes.
@@ -902,6 +1057,7 @@ def _build_shard(
     entropy: Optional[int],
     record_transfers: bool,
     is_up: Optional[np.ndarray],
+    parallel_repair: bool = False,
 ) -> ShardState:
     """Construct a :class:`ShardState` from an initial payload or a
     restored snapshot (snapshots carry the extra keys)."""
@@ -939,6 +1095,7 @@ def _build_shard(
         meter=meter,
         destination_draws=destination_draws,
         entropy=entropy,
+        parallel_repair=parallel_repair,
         corrupt_rows=state.get("corrupt"),
         missing=state.get("missing"),
         node_lists=node_lists,
@@ -1000,6 +1157,7 @@ def _shard_worker_main(conn) -> None:
                     entropy=params["entropy"],
                     record_transfers=params["record_transfers"],
                     is_up=params["is_up"],
+                    parallel_repair=params.get("parallel_repair", False),
                 )
                 for state in states
             ]
@@ -1124,7 +1282,13 @@ class ShardedSimulation:
     in-process -- worker processes degrade gracefully (a structured
     warning plus the ``sim.repair.workers_degraded`` metric, never a
     crash or silent divergence) and the result still matches the
-    oracle bit-for-bit.
+    oracle bit-for-bit.  Stateful placement (``"d3"``) degrades workers
+    the same way (``sim.placement.workers_degraded``): the coordinator
+    applies each flag's recoveries in trajectory order so the policy's
+    global load vector sees exactly the serial commit sequence.
+    Parallel repair (``config.parallel_repair``) needs no degradation:
+    waves stay within one stripe, hence one shard, and hashed draws
+    are order-free -- shards and workers partition freely.
     """
 
     def __init__(
@@ -1201,6 +1365,20 @@ class ShardedSimulation:
             seed=placement_seed,
             spares_per_rack=config.hot_spares_per_rack,
         )
+        if self.policy.stateful and self.num_workers > 0:
+            # Same graceful degradation as the repair scheduler: d3
+            # threads one global load vector through every replacement
+            # draw, so recoveries must apply in trajectory order.
+            get_logger("repro.shard").warning(
+                "stateful-placement-workers-degraded",
+                workers=self.num_workers,
+                reason="stateful placement serialises replacement draws "
+                "through a global load vector; running shards in-process",
+            )
+            m = metrics()
+            if m is not None:
+                m.inc("sim.placement.workers_degraded")
+            self.num_workers = 0
         self._recovery_rng = np.random.default_rng(recovery_seed)
         self._entropy = (
             destination_entropy(recovery_seed)
@@ -1264,7 +1442,7 @@ class ShardedSimulation:
             self._is_up = np.ones(config.num_nodes, dtype=bool)
             self._flagged_recovered = 0
             self._flagged_skipped = 0
-            if self.scheduler is not None:
+            if self.scheduler is not None or self.policy.stateful:
                 self._traj = node_unit_lists(placements)
                 self._missing = np.zeros(placements.size, dtype=bool)
         else:
@@ -1288,19 +1466,17 @@ class ShardedSimulation:
             self._is_up = np.asarray(_restore.is_up, dtype=bool).copy()
             self._flagged_recovered = _restore.flagged_events_recovered
             self._flagged_skipped = _restore.flagged_events_skipped
-            if self.scheduler is not None:
+            if self.scheduler is not None or self.policy.stateful:
                 if (
-                    _restore.scheduler_state is None
-                    or _restore.coord_traj is None
+                    _restore.coord_traj is None
                     or _restore.coord_missing is None
                 ):
                     raise CheckpointError(
-                        "config activates the repair-policy scheduler "
-                        "but the checkpoint carries no queue state; it "
-                        "was written by a build without the policy "
-                        "engine -- re-create the snapshot"
+                        "config needs coordinator trajectories (repair "
+                        "scheduler or stateful placement) but the "
+                        "checkpoint carries none; it was written by a "
+                        "build without them -- re-create the snapshot"
                     )
-                self.scheduler.restore(_restore.scheduler_state)
                 traj_nodes, traj_counts, traj_uids = _restore.coord_traj
                 self._traj = _decode_node_lists(
                     traj_nodes, traj_counts, traj_uids
@@ -1308,6 +1484,15 @@ class ShardedSimulation:
                 self._missing = np.asarray(
                     _restore.coord_missing, dtype=bool
                 ).copy()
+            if self.scheduler is not None:
+                if _restore.scheduler_state is None:
+                    raise CheckpointError(
+                        "config activates the repair-policy scheduler "
+                        "but the checkpoint carries no queue state; it "
+                        "was written by a build without the policy "
+                        "engine -- re-create the snapshot"
+                    )
+                self.scheduler.restore(_restore.scheduler_state)
                 self._latencies = (
                     np.asarray(
                         _restore.coord_latencies, dtype=np.float64
@@ -1317,6 +1502,16 @@ class ShardedSimulation:
                 )
                 self._queue_wait_us = _restore.coord_queue_wait_us
                 self._urgent_wait_us = _restore.coord_urgent_wait_us
+            if self.policy.stateful:
+                policy_state = getattr(_restore, "policy_state", None)
+                if policy_state is None:
+                    raise CheckpointError(
+                        "config uses a stateful placement policy but "
+                        "the checkpoint carries no policy state; it was "
+                        "written by a build without stateful placement "
+                        "-- re-create the snapshot"
+                    )
+                self.policy.restore(policy_state)
 
         self._workers: List[_WorkerHandle] = []
         self._shards: List[ShardState] = []
@@ -1408,6 +1603,8 @@ class ShardedSimulation:
                     recovered = self._apply_epoch_des(
                         ops, (epoch + 1) * SECONDS_PER_DAY
                     )
+                elif self.policy.stateful:
+                    recovered = self._apply_epoch_stateful(ops)
                 elif self.num_workers > 0:
                     self._epoch_ops[epoch] = ops
                     recovered = self._dispatch_epoch_workers(epoch, ops)
@@ -1481,6 +1678,30 @@ class ShardedSimulation:
                 else None
             ),
         )
+
+    def rack_unit_load(self) -> np.ndarray:
+        """Per-rack stored-unit counts from the final shard placements.
+
+        The balance measure the d3 replacement rule maintains (rows of
+        missing units still count toward their last holder's rack, the
+        same convention the serial store uses).  Only available after an
+        in-process run -- workers own their shard state, so worker runs
+        must collect it through checkpoints instead.
+        """
+        if not self._shards:
+            raise SimulationError(
+                "rack_unit_load needs the shard states in-process; run "
+                "with workers=0 (scheduler and stateful-placement runs "
+                "degrade to in-process automatically)"
+            )
+        npr = self.topology.nodes_per_rack
+        load = np.zeros(self.topology.num_racks, dtype=np.int64)
+        for shard in self._shards:
+            load += np.bincount(
+                (shard.placement // npr).ravel(),
+                minlength=self.topology.num_racks,
+            )
+        return load
 
     def _prepare_epoch(self, timeline: Timeline, lo: int, hi: int) -> Tuple:
         """Draw the epoch's trigger flips and drop skipped flags.
@@ -1561,12 +1782,20 @@ class ShardedSimulation:
             result = self._shards[job.shard_id].apply_completion(job)
             if result is None:
                 continue
-            old_holder, destination = result
+            old_holder, destination, extras = result
             self._latencies.append(job.completion - job.enqueue_time)
             counts[job.shard_id] += 1
             self._missing[job.uid] = False
             self._traj[old_holder].remove(job.uid)
             self._traj.setdefault(destination, []).append(job.uid)
+            # Wave extras (parallel repair) relocated siblings of the
+            # job's stripe; replay them so later flags enqueue in the
+            # store's query order.
+            for guid, wave_old, wave_dest in extras:
+                counts[job.shard_id] += 1
+                self._missing[guid] = False
+                self._traj[wave_old].remove(guid)
+                self._traj.setdefault(wave_dest, []).append(guid)
 
     def _submit_flag(self, node: int, time: float, ordinal: int) -> None:
         """Enqueue one repair job per degraded unit on a flagged node.
@@ -1670,6 +1899,61 @@ class ShardedSimulation:
             m.inc("sim.shard.merge_bytes", merge_bytes)
         return counts
 
+    def _apply_epoch_stateful(self, ops: Tuple) -> List[int]:
+        """Apply one epoch with a stateful placement (d3), no scheduler.
+
+        The policy's load vector must see exactly the serial oracle's
+        commit sequence, so the coordinator walks the ops itself and
+        drives each flag's recoveries through the owning shard in the
+        store's per-node query order (the node trajectories), instead
+        of letting shards batch their own slices.
+        """
+        kinds, nodes, times, ordinals, extras = ops
+        counts = [0] * self.num_shards
+        width = self.config.stripe_width_units
+        for kind, node, time, ordinal, extra in zip(
+            kinds, nodes, times, ordinals, extras
+        ):
+            if kind == OP_DOWN:
+                for shard in self._shards:
+                    shard._node_down(node)
+                units = self._traj.get(node)
+                if units:
+                    self._missing[units] = True
+            elif kind == OP_UP:
+                for shard in self._shards:
+                    shard._node_up(node)
+                units = self._traj.get(node)
+                if units:
+                    self._missing[units] = False
+            elif kind == OP_READ:
+                owner = int(self._shard_of[extra])
+                self._shards[owner]._apply_read(extra, ordinal, node, time)
+            else:  # OP_FLAG
+                degraded = [
+                    uid
+                    for uid in self._traj.get(node, [])
+                    if self._missing[uid]
+                ]
+                for uid in degraded:
+                    stripe, slot = divmod(int(uid), width)
+                    owner = int(self._shard_of[stripe])
+                    relocations = self._shards[owner].recover_unit_scalar(
+                        stripe, slot, time, ordinal
+                    )
+                    counts[owner] += len(relocations)
+                    for guid, old_holder, destination in relocations:
+                        self._missing[guid] = False
+                        self._traj[old_holder].remove(guid)
+                        self._traj.setdefault(destination, []).append(guid)
+        merge_bytes = 0
+        for shard in self._shards:
+            merge_bytes += shard.flush_epoch()
+        m = metrics()
+        if m is not None and merge_bytes:
+            m.inc("sim.shard.merge_bytes", merge_bytes)
+        return counts
+
     def _build_local_shard(self, state: dict) -> ShardState:
         return _build_shard(
             state,
@@ -1682,6 +1966,7 @@ class ShardedSimulation:
             entropy=self._entropy,
             record_transfers=self.record_transfers,
             is_up=self._is_up,
+            parallel_repair=self.config.parallel_repair,
         )
 
     # ------------------------------------------------------------------
@@ -1698,6 +1983,7 @@ class ShardedSimulation:
             "placement_policy": self.config.placement_policy,
             "destination_draws": self.config.destination_draws,
             "entropy": self._entropy,
+            "parallel_repair": self.config.parallel_repair,
             "num_nodes": self.config.num_nodes,
             "width": self.config.stripe_width_units,
             "record_transfers": self.record_transfers,
@@ -1830,11 +2116,16 @@ class ShardedSimulation:
         wall0 = time_module.perf_counter()
         states = self._collect_states()
         scheduler_state = None
+        policy_state = None
         coord_traj = None
         coord_missing = None
         coord_latencies = None
         if self.scheduler is not None:
             scheduler_state = self.scheduler.state_dict()
+            coord_latencies = np.asarray(self._latencies, dtype=np.float64)
+        if self.policy.stateful:
+            policy_state = self.policy.state_dict()
+        if self._traj is not None:
             traj_nodes = [
                 n for n in sorted(self._traj) if self._traj[n]
             ]
@@ -1848,7 +2139,6 @@ class ShardedSimulation:
                 np.asarray(traj_concat, dtype=np.int64),
             )
             coord_missing = self._missing
-            coord_latencies = np.asarray(self._latencies, dtype=np.float64)
         save_checkpoint(
             self.checkpoint_path,
             SimulationCheckpoint(
@@ -1862,6 +2152,7 @@ class ShardedSimulation:
                 is_up=self._is_up,
                 shard_states=states,
                 scheduler_state=scheduler_state,
+                policy_state=policy_state,
                 coord_traj=coord_traj,
                 coord_missing=coord_missing,
                 coord_latencies=coord_latencies,

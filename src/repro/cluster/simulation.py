@@ -199,6 +199,7 @@ class WarehouseSimulation:
                 if config.destination_draws == "hashed"
                 else None
             ),
+            parallel_repair=config.parallel_repair,
         )
         self.injector = FailureInjector(
             state=self.state,

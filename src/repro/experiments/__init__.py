@@ -25,6 +25,7 @@ scale_correlated substrate -- correlated rack failures (sharded engine)
 scale_hetero     substrate -- heterogeneous block capacities (sharded)
 scale_chaos      substrate -- chaos storm at scale (sharded engine)
 repair_policies  substrate -- repair-policy ablation (lazy/priority/spares)
+placement_ablation substrate -- d3 placement + parallel recovery waves
 ========== =========================================================
 
 The ``scale_*`` scenarios exercise the simulator substrate itself (the
@@ -51,6 +52,7 @@ from repro.experiments import (  # noqa: E402,F401  (import for side effects)
     fig4,
     failure_modes,
     mttdl_exp,
+    placement,
     recovery_time_exp,
     repair_policy,
     savings,

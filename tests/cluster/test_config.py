@@ -126,6 +126,20 @@ class TestRepairPolicyValidation:
         with pytest.raises(ConfigError, match="hashed"):
             ClusterConfig(repair_link_gbps=1.0)
 
+    def test_unknown_placement_policy_rejected(self):
+        with pytest.raises(ConfigError, match="placement_policy"):
+            ClusterConfig(placement_policy="best-fit")
+
+    def test_d3_requires_hashed_draws(self):
+        with pytest.raises(ConfigError, match="hashed"):
+            ClusterConfig(placement_policy="d3")
+        ClusterConfig(placement_policy="d3", destination_draws="hashed")
+
+    def test_parallel_repair_requires_hashed_draws(self):
+        with pytest.raises(ConfigError, match="hashed"):
+            ClusterConfig(parallel_repair=True)
+        ClusterConfig(parallel_repair=True, destination_draws="hashed")
+
     def test_hot_spares_must_be_non_negative(self):
         with pytest.raises(ConfigError, match="spares"):
             ClusterConfig(hot_spares_per_rack=-1)

@@ -1,0 +1,226 @@
+"""Unit and property tests for the deterministic d3 placement policy."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.placement import (
+    DeterministicRoundRobinPlacement,
+    destination_entropy,
+    make_placement,
+)
+from repro.cluster.simulation import WarehouseSimulation
+from repro.cluster.topology import Topology
+from repro.errors import PlacementError
+
+ENTROPY = destination_entropy(np.random.SeedSequence(4242))
+
+
+@pytest.fixture
+def topo():
+    return Topology(num_racks=12, nodes_per_rack=5)
+
+
+def _policy(topo, seed=3, spares=0):
+    return DeterministicRoundRobinPlacement(
+        topo, seed=seed, spares_per_rack=spares
+    )
+
+
+class TestSchedule:
+    def test_factory_name_and_stateful_flag(self, topo):
+        policy = make_placement("d3", topo)
+        assert isinstance(policy, DeterministicRoundRobinPlacement)
+        assert policy.stateful is True
+        assert make_placement("distinct-rack", topo).stateful is False
+
+    def test_deterministic_across_instances(self, topo):
+        a = _policy(topo).place_many(40, 9)
+        b = _policy(topo).place_many(40, 9)
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_schedule(self, topo):
+        a = _policy(topo, seed=3).place_many(40, 9)
+        b = _policy(topo, seed=4).place_many(40, 9)
+        assert not np.array_equal(a, b)
+
+    def test_no_rng_draws(self, topo):
+        policy = _policy(topo)
+        before = policy.rng.bit_generator.state
+        policy.place_many(30, 9)
+        policy.place_stripe(9)
+        policy.replacement_node([0, 5, 10])
+        assert policy.rng.bit_generator.state == before
+
+    def test_stripes_rack_diverse(self, topo):
+        matrix = _policy(topo).place_many(50, 12)
+        racks = matrix // topo.nodes_per_rack
+        for row in racks:
+            assert len(set(row.tolist())) == 12
+
+    def test_width_exceeding_racks_rejected(self, topo):
+        with pytest.raises(PlacementError):
+            _policy(topo).place_stripe(13)
+        with pytest.raises(PlacementError):
+            _policy(topo).place_many(4, 13)
+
+    def test_place_many_matches_stripe_loop(self, topo):
+        a = _policy(topo)
+        b = _policy(topo)
+        many = a.place_many(25, 7)
+        loop = np.array(
+            [b.place_stripe(7) for _ in range(25)], dtype=np.int32
+        )
+        assert np.array_equal(many, loop)
+
+    def test_rack_load_balanced_within_one(self, topo):
+        # The round-robin schedule's construction guarantee.
+        for width in (5, 9, 12):
+            matrix = _policy(topo).place_many(37, width)
+            load = np.bincount(
+                (matrix // topo.nodes_per_rack).ravel(),
+                minlength=topo.num_racks,
+            )
+            assert load.max() - load.min() <= 1
+
+    def test_spares_never_hold_stripes(self, topo):
+        matrix = _policy(topo, spares=2).place_many(60, 10)
+        assert np.all(matrix % topo.nodes_per_rack < 3)
+
+
+class TestReplacement:
+    def test_least_loaded_rack_wins(self, topo):
+        policy = _policy(topo)
+        policy.place_many(20, 9)  # near-uniform load
+        # Drain one rack by debiting it through commits of other picks:
+        # simpler -- ask for a replacement and verify the chosen rack
+        # had the minimum load among racks with no excluded node.
+        load_before = policy._load.copy()
+        exclude = [0, 5, 10]
+        excluded_racks = {n // topo.nodes_per_rack for n in exclude}
+        node = policy.replacement_node(exclude)
+        rack = node // topo.nodes_per_rack
+        assert rack not in excluded_racks
+        eligible = [
+            r for r in range(topo.num_racks) if r not in excluded_racks
+        ]
+        assert load_before[rack] == min(load_before[r] for r in eligible)
+        assert policy._load[rack] == load_before[rack] + 1
+
+    def test_repairs_rotate_within_rack(self, topo):
+        policy = _policy(topo, spares=2)
+        # Exclude all racks but 0 so every pick lands in rack 0; the
+        # keyed cursor must alternate between its two spare slots.
+        exclude = [
+            r * topo.nodes_per_rack for r in range(1, topo.num_racks)
+        ]
+        picks = [policy.replacement_node(exclude) for _ in range(4)]
+        assert picks[0] != picks[1]
+        assert picks[:2] == picks[2:]
+        assert all(policy.is_spare(p) for p in picks)
+
+    def test_hashed_draw_debits_old_holder(self, topo):
+        policy = _policy(topo)
+        policy.place_many(12, 12)
+        row = policy.place_stripe(12)
+        load_total = int(policy._load.sum())
+        uids = np.asarray([3], dtype=np.int64)  # old holder = row[3 % 12]
+        old = row[3 % 12]
+        policy.hashed_replacement_nodes(
+            np.asarray([row], dtype=np.int64), [], uids, 0, ENTROPY
+        )
+        # One credit (destination) and one debit (old holder): total
+        # stored load is conserved across a relocation.
+        assert int(policy._load.sum()) == load_total
+        assert policy._load[old // topo.nodes_per_rack] >= 0
+
+    def test_commit_false_is_a_pure_peek(self, topo):
+        policy = _policy(topo)
+        policy.place_many(15, 9)
+        row = np.asarray([policy.place_stripe(9)], dtype=np.int64)
+        uids = np.asarray([0], dtype=np.int64)
+        state = policy.state_dict()
+        peek1 = policy.hashed_replacement_nodes(
+            row, [], uids, 5, ENTROPY, commit=False
+        )
+        peek2 = policy.hashed_replacement_nodes(
+            row, [], uids, 5, ENTROPY, commit=False
+        )
+        assert policy.state_dict() == state
+        committed = policy.hashed_replacement_nodes(
+            row, [], uids, 5, ENTROPY, commit=True
+        )
+        assert peek1.tolist() == peek2.tolist() == committed.tolist()
+        assert policy.state_dict() != state
+
+    def test_no_free_rack_prefers_spares(self):
+        topo = Topology(num_racks=3, nodes_per_rack=4)
+        policy = _policy(topo, spares=1)
+        exclude = [0, 4, 8]  # one data node per rack
+        node = policy.replacement_node(exclude)
+        assert policy.is_spare(node)
+        spares = [n for n in range(topo.num_nodes) if policy.is_spare(n)]
+        fallback = policy.replacement_node(exclude + spares)
+        assert not policy.is_spare(fallback)
+        assert fallback not in exclude
+
+    def test_everything_excluded_raises(self):
+        topo = Topology(num_racks=2, nodes_per_rack=2)
+        with pytest.raises(PlacementError):
+            _policy(topo).replacement_node(list(range(4)))
+
+    def test_state_dict_roundtrip(self, topo):
+        a = _policy(topo)
+        a.place_many(20, 9)
+        a.replacement_node([0, 5])
+        state = a.state_dict()
+        b = _policy(topo)
+        b.restore(state)
+        assert b.state_dict() == state
+        # Continuations agree draw for draw.
+        assert a.place_stripe(9) == b.place_stripe(9)
+        for _ in range(5):
+            assert a.replacement_node([1, 7]) == b.replacement_node([1, 7])
+
+
+class TestDiversityUnderRepairs:
+    """Stripes stay rack-diverse after a simulated lifetime of repairs."""
+
+    @pytest.mark.parametrize("policy", ["distinct-rack", "d3"])
+    def test_final_placements_rack_diverse(self, policy):
+        config = ClusterConfig(
+            num_racks=16,
+            nodes_per_rack=6,
+            stripes_per_node=8.0,
+            days=5.0,
+            seed=31,
+            destination_draws="hashed",
+            placement_policy=policy,
+            code_params={"k": 6, "r": 2},
+        )
+        sim = WarehouseSimulation(config)
+        result = sim.run()
+        assert result.stats.blocks_recovered > 0  # repairs actually ran
+        racks = np.asarray(sim.store.placement) // config.nodes_per_rack
+        distinct = np.array(
+            [len(set(row.tolist())) for row in racks]
+        )
+        assert np.all(distinct == racks.shape[1])
+
+    def test_d3_keeps_rack_load_flat_under_repairs(self):
+        config = ClusterConfig(
+            num_racks=16,
+            nodes_per_rack=6,
+            stripes_per_node=8.0,
+            days=5.0,
+            seed=31,
+            destination_draws="hashed",
+            placement_policy="d3",
+            code_params={"k": 6, "r": 2},
+        )
+        sim = WarehouseSimulation(config)
+        result = sim.run()
+        assert result.stats.blocks_recovered > 0
+        racks = np.asarray(sim.store.placement) // config.nodes_per_rack
+        load = np.bincount(racks.ravel(), minlength=config.num_racks)
+        assert load.max() / load.mean() <= 1.1

@@ -1,0 +1,57 @@
+"""Golden-trajectory pins for the placement/recovery rng streams.
+
+``goldens/placement_goldens.json`` was generated from the codebase
+*before* the spare-pool fallback and d3 work landed.  Every pinned
+config has ``hot_spares_per_rack=0``, where the fallback rewrite and
+the vectorised ``place_many`` must reproduce the historical draws
+bit-for-bit -- placement matrix hash, recovery counters, and
+per-day traffic alike.  A mismatch here means the rng stream moved.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.simulation import WarehouseSimulation
+
+GOLDENS = json.loads(
+    (Path(__file__).parent / "goldens" / "placement_goldens.json").read_text()
+)
+
+
+def _fingerprint(config: ClusterConfig) -> dict:
+    sim = WarehouseSimulation(config)
+    result = sim.run()
+    stats, meter = result.stats, result.meter
+    return {
+        "blocks_recovered": int(stats.blocks_recovered),
+        "bytes_downloaded": int(stats.bytes_downloaded),
+        "degraded_histogram": {
+            str(k): int(v)
+            for k, v in sorted(stats.degraded_histogram.items())
+        },
+        "unrecoverable_units": int(stats.unrecoverable_units),
+        "flagged_events_recovered": int(stats.flagged_events_recovered),
+        "flagged_events_skipped": int(stats.flagged_events_skipped),
+        "spare_placements": int(stats.spare_placements),
+        "total_bytes": int(meter.total_bytes),
+        "cross_rack_bytes": int(meter.cross_rack_bytes),
+        "cross_rack_by_day": {
+            str(k): int(v)
+            for k, v in sorted(meter.cross_rack_bytes_by_day.items())
+        },
+        "placements_sha1": hashlib.sha1(
+            sim.store.placement.astype("int64").tobytes()
+        ).hexdigest(),
+    }
+
+
+@pytest.mark.parametrize("name", sorted(GOLDENS))
+def test_spare_free_trajectory_pinned(name):
+    golden = GOLDENS[name]
+    config = ClusterConfig(**golden["config"])
+    assert config.hot_spares_per_rack == 0
+    assert _fingerprint(config) == golden["fingerprint"]

@@ -1,0 +1,147 @@
+"""Spare-pool semantics of the no-free-rack replacement fallback.
+
+The bug these pin down: when every rack hosted an excluded node, the
+fallback drew uniformly over *all* non-excluded nodes -- landing
+repairs on data nodes even though a reserved spare pool existed.  The
+fix draws over the non-excluded spares first and touches data nodes
+only when every spare is excluded, on both the stream
+(:meth:`replacement_node`) and hashed
+(:meth:`hashed_replacement_nodes`) paths.  The batched stream path
+(:meth:`replacement_nodes`) inherits the rule through its documented
+``None`` bailout: any unit on the fallback branch returns ``None`` and
+the caller loops the scalar method.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.placement import (
+    DistinctRackPlacement,
+    destination_entropy,
+)
+from repro.cluster.topology import Topology
+from repro.errors import PlacementError
+
+ENTROPY = destination_entropy(np.random.SeedSequence(99))
+
+
+@pytest.fixture
+def small():
+    """3 racks x 4 nodes, 1 spare per rack (spares are nodes 3, 7, 11)."""
+    topo = Topology(num_racks=3, nodes_per_rack=4)
+    return topo, DistinctRackPlacement(topo, seed=5, spares_per_rack=1)
+
+
+def _one_data_node_per_rack(topo):
+    return [rack * topo.nodes_per_rack for rack in range(topo.num_racks)]
+
+
+class TestScalarFallback:
+    def test_fallback_targets_spares_not_data_nodes(self, small):
+        # Regression: the old fallback drew over all 9 non-excluded
+        # nodes, so 20 draws landing only on the 3 spares had
+        # probability (1/3)**20 -- this test fails on the old code.
+        topo, policy = small
+        exclude = _one_data_node_per_rack(topo)  # every rack occupied
+        for _ in range(20):
+            node = policy.replacement_node(exclude)
+            assert policy.is_spare(node)
+            assert node not in exclude
+
+    def test_all_spares_excluded_falls_through_to_data_nodes(self, small):
+        topo, policy = small
+        spares = [n for n in range(topo.num_nodes) if policy.is_spare(n)]
+        exclude = _one_data_node_per_rack(topo) + spares
+        for _ in range(20):
+            node = policy.replacement_node(exclude)
+            assert not policy.is_spare(node)
+            assert node not in exclude
+
+    def test_spares_zero_unchanged(self):
+        # With no spare pool the fallback is the historical any-node
+        # draw (also pinned cluster-wide by the trajectory goldens).
+        topo = Topology(num_racks=3, nodes_per_rack=4)
+        policy = DistinctRackPlacement(topo, seed=5)
+        exclude = _one_data_node_per_rack(topo)
+        seen = {policy.replacement_node(exclude) for _ in range(200)}
+        assert any(n % 4 == 3 for n in seen)  # top slots are plain nodes
+        assert any(n % 4 != 3 for n in seen)
+
+
+class TestHashedFallback:
+    def _draw(self, policy, rows, extra, ordinal=0):
+        rows = np.asarray(rows, dtype=np.int64)
+        uids = np.arange(rows.shape[0], dtype=np.int64)
+        return policy.hashed_replacement_nodes(
+            rows, extra, uids, ordinal, ENTROPY
+        )
+
+    def test_node_level_branch_targets_spares(self, small):
+        topo, policy = small
+        rows = [_one_data_node_per_rack(topo)] * 4
+        for ordinal in range(6):
+            for node in self._draw(policy, rows, [], ordinal):
+                assert policy.is_spare(int(node))
+
+    def test_excluded_spares_respected(self, small):
+        topo, policy = small
+        # Spares of racks 0 and 1 are down: every draw must be rack 2's.
+        rows = [_one_data_node_per_rack(topo)] * 4
+        out = self._draw(policy, rows, [3, 7])
+        assert set(out.tolist()) == {11}
+
+    def test_all_spares_excluded_falls_through(self, small):
+        topo, policy = small
+        rows = [_one_data_node_per_rack(topo)] * 4
+        out = self._draw(policy, rows, [3, 7, 11])
+        for node in out:
+            assert not policy.is_spare(int(node))
+            assert int(node) not in rows[0]
+
+    def test_everything_excluded_raises(self, small):
+        topo, policy = small
+        rows = [list(range(topo.num_nodes))]
+        with pytest.raises(PlacementError):
+            self._draw(policy, rows, [])
+
+    def test_free_rack_branch_unaffected(self, small):
+        # With a free rack the draw targets that rack's spare slot --
+        # the pre-existing behaviour the fix must not disturb.
+        topo, policy = small
+        out = self._draw(policy, [[0, 4]], [])  # rack 2 free
+        assert out[0] // topo.nodes_per_rack == 2
+        assert policy.is_spare(int(out[0]))
+
+
+class TestBatchedContract:
+    def test_bailout_when_any_unit_lacks_free_rack(self, small):
+        topo, policy = small
+        rows = np.asarray(
+            [[0, 4], _one_data_node_per_rack(topo)[:2]], dtype=np.int64
+        )
+        # Second row plus the extra exclude covers all three racks.
+        assert policy.replacement_nodes(rows, extra_excludes=[8]) is None
+
+    def test_scalar_loop_over_bailed_rows_hits_spares(self, small):
+        topo, policy = small
+        exclude = _one_data_node_per_rack(topo)
+        rows = np.asarray([exclude, exclude], dtype=np.int64)
+        assert policy.replacement_nodes(rows) is None
+        # The caller's contractual fallback: scalar per row.
+        for row in rows:
+            assert policy.is_spare(policy.replacement_node(row))
+
+    def test_batched_matches_scalar_when_no_bailout(self):
+        topo = Topology(num_racks=8, nodes_per_rack=4)
+        a = DistinctRackPlacement(topo, seed=17, spares_per_rack=1)
+        b = DistinctRackPlacement(topo, seed=17, spares_per_rack=1)
+        rows = np.asarray([[0, 4], [8, 12], [16, 20]], dtype=np.int64)
+        batched = a.replacement_nodes(rows, extra_excludes=[24])
+        scalar = [
+            b.replacement_node(list(row) + [24]) for row in rows.tolist()
+        ]
+        assert batched is not None
+        assert batched.tolist() == scalar
+        assert (
+            a.rng.bit_generator.state == b.rng.bit_generator.state
+        )

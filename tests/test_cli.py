@@ -64,6 +64,24 @@ class TestCommands:
         assert "PiggybackedRS(10,4)" in out
         assert "median cross-rack TB/day" in out
 
+    def test_simulate_d3_parallel(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--days", "2",
+                "--stripes-per-node", "4",
+                "--placement", "d3",
+                "--parallel-repair",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "parallel repair waves" in out
+
+    def test_simulate_rejects_unknown_placement(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--placement", "best-fit"])
+
     def test_simulate_with_chaos(self, capsys):
         code = main(
             [
